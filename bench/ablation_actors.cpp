@@ -1,0 +1,34 @@
+// Ablation A1 (DESIGN.md): how does the number of actors N_act affect
+// optimization quality and runtime at a fixed simulation budget?
+// The paper fixes N_act = 3; this sweep justifies that choice.
+// Default workload: the constrained-quadratic analytic problem (fast);
+// --circuit ota runs the real OTA.
+#include "exp_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace maopt;
+  using namespace maopt::bench;
+  const CliArgs args(argc, argv);
+  ExperimentConfig config = ExperimentConfig::from_cli(args);
+  if (!args.has("runs") && !config.full) config.runs = 2;
+  if (!args.has("sims") && !config.full) config.sims = 50;
+  if (!args.has("init") && !config.full) config.init = 25;
+
+  std::unique_ptr<ckt::SizingProblem> problem;
+  if (args.get("circuit", "analytic") == "ota")
+    problem = std::make_unique<ckt::TwoStageOta>();
+  else
+    problem = std::make_unique<ckt::ConstrainedQuadratic>(12);
+
+  std::vector<std::unique_ptr<core::Optimizer>> roster;
+  for (const int n_act : {1, 2, 3, 4, 6}) {
+    core::MaOptConfig cfg = core::MaOptConfig::ma_opt();
+    cfg.num_actors = n_act;
+    cfg.name = "Nact=" + std::to_string(n_act);
+    roster.push_back(std::make_unique<core::MaOptimizer>(cfg));
+  }
+  auto summaries = run_comparison(*problem, std::move(roster), config);
+  print_table("Ablation: number of actors (" + problem->spec().name + ")",
+              "Min target", summaries);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation A3: critic ensembles. Section II-B of the paper notes that
+// "using multiple regression models for circuit simulation does improve
+// optimization, but consumes more memory resources than using one critic
+// network" — and therefore ships a single critic. This bench quantifies
+// both sides of that trade-off: quality vs parameter count (memory) and
+// training time.
+#include "core/critic.hpp"
+#include "exp_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace maopt;
+  using namespace maopt::bench;
+  const CliArgs args(argc, argv);
+  ExperimentConfig config = ExperimentConfig::from_cli(args);
+  if (!args.has("runs") && !config.full) config.runs = 2;
+  if (!args.has("sims") && !config.full) config.sims = 50;
+  if (!args.has("init") && !config.full) config.init = 25;
+
+  std::unique_ptr<ckt::SizingProblem> problem;
+  if (args.get("circuit", "analytic") == "ota")
+    problem = std::make_unique<ckt::TwoStageOta>();
+  else
+    problem = std::make_unique<ckt::ConstrainedQuadratic>(12);
+
+  std::vector<std::unique_ptr<core::Optimizer>> roster;
+  for (const int n_critics : {1, 2, 4}) {
+    core::MaOptConfig cfg = core::MaOptConfig::ma_opt();
+    cfg.num_critics = n_critics;
+    cfg.name = "Ncritic=" + std::to_string(n_critics);
+    roster.push_back(std::make_unique<core::MaOptimizer>(cfg));
+  }
+  auto summaries = run_comparison(*problem, std::move(roster), config);
+  print_table("Ablation: critic ensemble size", "Min target", summaries);
+
+  // Memory axis: parameters per ensemble at this problem's dimensions.
+  Rng rng(0);
+  for (const int n_critics : {1, 2, 4}) {
+    core::CriticEnsemble ens(static_cast<std::size_t>(n_critics), problem->dim(),
+                             problem->num_metrics(), core::CriticConfig{}, rng);
+    std::printf("Ncritic=%d: %zu trainable parameters (%.1f KiB as doubles)\n", n_critics,
+                ens.num_parameters(), static_cast<double>(ens.num_parameters()) * 8.0 / 1024.0);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation A2 (DESIGN.md): sensitivity of MA-Opt to the near-sampling
+// schedule T_NS and density N_samples (the paper fixes T_NS = 5 and
+// N_samples = 2000, arguing dense sampling in a small radius is what makes
+// the critic trustworthy there).
+#include "exp_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace maopt;
+  using namespace maopt::bench;
+  const CliArgs args(argc, argv);
+  ExperimentConfig config = ExperimentConfig::from_cli(args);
+  if (!args.has("runs") && !config.full) config.runs = 2;
+  if (!args.has("sims") && !config.full) config.sims = 50;
+  if (!args.has("init") && !config.full) config.init = 25;
+
+  std::unique_ptr<ckt::SizingProblem> problem;
+  if (args.get("circuit", "analytic") == "ota")
+    problem = std::make_unique<ckt::TwoStageOta>();
+  else
+    problem = std::make_unique<ckt::ConstrainedQuadratic>(12);
+
+  {
+    std::vector<std::unique_ptr<core::Optimizer>> roster;
+    for (const int t_ns : {2, 5, 10, 0}) {
+      core::MaOptConfig cfg = core::MaOptConfig::ma_opt();
+      if (t_ns == 0) {
+        cfg.use_near_sampling = false;
+        cfg.name = "no-NS";
+      } else {
+        cfg.t_ns = t_ns;
+        cfg.name = "T_NS=" + std::to_string(t_ns);
+      }
+      roster.push_back(std::make_unique<core::MaOptimizer>(cfg));
+    }
+    auto summaries = run_comparison(*problem, std::move(roster), config);
+    print_table("Ablation: near-sampling period", "Min target", summaries);
+  }
+  {
+    std::vector<std::unique_ptr<core::Optimizer>> roster;
+    for (const int n : {200, 2000, 10000}) {
+      core::MaOptConfig cfg = core::MaOptConfig::ma_opt();
+      cfg.near_sampling.num_samples = n;
+      cfg.name = "Ns=" + std::to_string(n);
+      roster.push_back(std::make_unique<core::MaOptimizer>(cfg));
+    }
+    auto summaries = run_comparison(*problem, std::move(roster), config);
+    print_table("Ablation: near-sampling density", "Min target", summaries);
+  }
+  return 0;
+}

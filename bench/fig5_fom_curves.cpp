@@ -1,0 +1,52 @@
+// Reproduces Fig. 5: log10(average best FoM) versus simulation count for
+// every algorithm, on the selected circuit(s). Emits CSV series plus an
+// ASCII rendering. --circuit {ota,tia,ldo,all}.
+#include "exp_common.hpp"
+
+namespace {
+
+using namespace maopt;
+using namespace maopt::bench;
+
+void run_circuit(const std::string& which, const ExperimentConfig& config) {
+  std::unique_ptr<ckt::SizingProblem> problem;
+  if (which == "ota") {
+    problem = std::make_unique<ckt::TwoStageOta>();
+  } else if (which == "tia") {
+    problem = std::make_unique<ckt::ThreeStageTia>();
+  } else {
+    ckt::LdoTranProfile profile;
+    if (!config.full) {
+      profile.t_stop = 10e-6;
+      profile.dt = 50e-9;
+      profile.t_event = 1e-6;
+    }
+    problem = std::make_unique<ckt::LdoRegulator>(profile);
+  }
+  auto summaries = run_comparison(*problem, paper_roster(), config);
+  std::printf("\n=== Fig. 5 analog: %s ===\n", problem->spec().name.c_str());
+  print_ascii_fom_plot(summaries);
+  write_trajectories_csv("fig5_" + which + ".csv", summaries);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  ExperimentConfig config = ExperimentConfig::from_cli(args);
+  // Fig. 5 is a trajectory plot: the reduced default keeps it cheap because
+  // the three-circuit sweep repeats the table workloads.
+  if (!args.has("runs") && !config.full) config.runs = 2;
+  if (!args.has("sims") && !config.full) config.sims = 60;
+  if (!args.has("init") && !config.full) config.init = 40;
+
+  const std::string which = args.get("circuit", "all");
+  if (which == "all") {
+    run_circuit("ota", config);
+    run_circuit("tia", config);
+    run_circuit("ldo", config);
+  } else {
+    run_circuit(which, config);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Microbenchmarks: the Gaussian-process baseline. The paper's stated
+// drawback of BO — O(N^3) training in the number of simulations — shows up
+// directly in BM_GpFit's complexity estimate.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "gp/acquisition.hpp"
+#include "gp/gp_regression.hpp"
+
+namespace {
+
+using namespace maopt;
+using namespace maopt::gp;
+
+struct Data {
+  Mat x;
+  Vec y;
+};
+
+Data make_data(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Data data;
+  data.x.resize(n, d);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      data.x(i, j) = rng.uniform();
+      s += data.x(i, j);
+    }
+    data.y[i] = std::sin(3.0 * s) + 0.01 * rng.normal();
+  }
+  return data;
+}
+
+GpHyperparams default_hp(std::size_t d) {
+  GpHyperparams hp;
+  hp.signal_variance = 1.0;
+  hp.noise_variance = 1e-4;
+  hp.lengthscales.assign(d, 0.4);
+  return hp;
+}
+
+void BM_GpFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Data data = make_data(n, 16, 1);
+  for (auto _ : state) {
+    GpRegression gp(data.x, data.y, default_hp(16));
+    benchmark::DoNotOptimize(gp.log_marginal_likelihood());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GpFit)->RangeMultiplier(2)->Range(50, 400)->Complexity(benchmark::oNCubed);
+
+void BM_GpPredict(benchmark::State& state) {
+  const Data data = make_data(200, 16, 2);
+  GpRegression gp(data.x, data.y, default_hp(16));
+  Vec z(16, 0.5);
+  for (auto _ : state) benchmark::DoNotOptimize(gp.predict(z).mean);
+}
+BENCHMARK(BM_GpPredict);
+
+void BM_HyperparamSearch(benchmark::State& state) {
+  const Data data = make_data(150, 16, 3);
+  Rng rng(4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(GpRegression::fit_hyperparams(data.x, data.y, rng, 8));
+}
+BENCHMARK(BM_HyperparamSearch);
+
+void BM_EiMaximization(benchmark::State& state) {
+  const Data data = make_data(200, 16, 5);
+  GpRegression gp(data.x, data.y, default_hp(16));
+  Rng rng(6);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(maximize_ei(gp, 0.0, 16, rng, 256, 64));
+}
+BENCHMARK(BM_EiMaximization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Microbenchmarks: dense linear algebra used by the MNA solver (LU) and the
+// GP baseline (Cholesky) — the O(N^3) growth here is the paper's stated
+// reason BO scales poorly with simulation count.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+
+namespace {
+
+using namespace maopt;
+using namespace maopt::linalg;
+
+Mat random_dd_matrix(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Mat a(n, n);
+  for (auto& v : a.data()) v = rng.uniform(-1, 1);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+Mat random_spd(std::size_t n, std::uint64_t seed) {
+  const Mat b = random_dd_matrix(n, seed);
+  Mat a = matmul(b, b.transposed());
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  return a;
+}
+
+void BM_LuFactorSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Mat a = random_dd_matrix(n, 1);
+  Vec b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lu_solve(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LuFactorSolve)->RangeMultiplier(2)->Range(8, 128)->Complexity(benchmark::oNCubed);
+
+void BM_ComplexLuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  CMat a(n, n);
+  for (auto& v : a.data()) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  CVec b(n, {1.0, 0.0});
+  for (auto _ : state) benchmark::DoNotOptimize(lu_solve(a, b));
+}
+BENCHMARK(BM_ComplexLuSolve)->Arg(16)->Arg(32);
+
+void BM_CholeskyFactor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Mat a = random_spd(n, 3);
+  for (auto _ : state) {
+    Cholesky chol(a);
+    benchmark::DoNotOptimize(chol.log_determinant());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CholeskyFactor)->RangeMultiplier(2)->Range(32, 256)->Complexity(benchmark::oNCubed);
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Mat a = random_dd_matrix(n, 4);
+  const Mat b = random_dd_matrix(n, 5);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

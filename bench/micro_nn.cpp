@@ -1,0 +1,65 @@
+// Microbenchmarks: the neural-network stack at the paper's architecture
+// (two hidden layers x 100 units) — one critic minibatch step is the unit
+// of cost that dominates MA-Opt's "runtime" rows.
+#include <benchmark/benchmark.h>
+
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+
+namespace {
+
+using namespace maopt;
+using namespace maopt::nn;
+
+void BM_PaperCriticForward(benchmark::State& state) {
+  Rng rng(1);
+  Mlp net = Mlp::make_paper_net(32, 9, rng, false);  // 2d = 32 (16-param circuit)
+  Mat x(static_cast<std::size_t>(state.range(0)), 32, 0.1);
+  for (auto _ : state) benchmark::DoNotOptimize(net.forward(x));
+}
+BENCHMARK(BM_PaperCriticForward)->Arg(1)->Arg(64)->Arg(2000);
+
+void BM_PaperCriticTrainStep(benchmark::State& state) {
+  Rng rng(2);
+  Mlp net = Mlp::make_paper_net(32, 9, rng, false);
+  Adam opt(net.params(), {});
+  Mat x(64, 32, 0.1), y(64, 9, 0.2), grad;
+  for (auto _ : state) {
+    const Mat pred = net.forward(x);
+    benchmark::DoNotOptimize(mse_loss(pred, y, &grad));
+    net.backward(grad);
+    opt.step();
+  }
+}
+BENCHMARK(BM_PaperCriticTrainStep);
+
+void BM_PaperActorForward(benchmark::State& state) {
+  Rng rng(3);
+  Mlp net = Mlp::make_paper_net(16, 16, rng, true);
+  Mat x(64, 16, 0.1);
+  for (auto _ : state) benchmark::DoNotOptimize(net.forward(x));
+}
+BENCHMARK(BM_PaperActorForward);
+
+void BM_InputGradient(benchmark::State& state) {
+  Rng rng(4);
+  Mlp net = Mlp::make_paper_net(32, 9, rng, false);
+  Mat x(64, 32, 0.1), dy(64, 9, 1.0);
+  net.forward(x);
+  for (auto _ : state) benchmark::DoNotOptimize(net.input_gradient(dy));
+}
+BENCHMARK(BM_InputGradient);
+
+void BM_MlpClone(benchmark::State& state) {
+  Rng rng(5);
+  Mlp net = Mlp::make_paper_net(32, 9, rng, false);
+  for (auto _ : state) {
+    Mlp copy = net;
+    benchmark::DoNotOptimize(copy.num_parameters());
+  }
+}
+BENCHMARK(BM_MlpClone);
+
+}  // namespace
+
+BENCHMARK_MAIN();

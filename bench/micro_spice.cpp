@@ -1,0 +1,89 @@
+// Microbenchmarks: the circuit-simulation substrate. One full OTA
+// evaluation is the "SPICE simulation" unit the paper budgets 200 of.
+#include <benchmark/benchmark.h>
+
+#include "circuits/ldo_regulator.hpp"
+#include "circuits/three_stage_tia.hpp"
+#include "circuits/two_stage_ota.hpp"
+#include "common/rng.hpp"
+#include "spice/ac_analysis.hpp"
+#include "spice/dc_analysis.hpp"
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/tran_analysis.hpp"
+
+namespace {
+
+using namespace maopt;
+using namespace maopt::spice;
+
+void build_cs_amp(Netlist& n) {
+  const int vdd = n.node("vdd");
+  const int in = n.node("in");
+  const int out = n.node("out");
+  n.add<VSource>(vdd, kGround, Waveform::dc(1.8));
+  n.add<VSource>(in, kGround, Waveform::dc(0.7), 1.0);
+  n.add<Resistor>(vdd, out, 5e3);
+  n.add<Mosfet>(out, in, kGround, kGround, MosModel::nmos_180(), 20e-6, 1e-6);
+  n.add<Capacitor>(out, kGround, 1e-12);
+}
+
+void BM_DcOperatingPoint(benchmark::State& state) {
+  Netlist n;
+  build_cs_amp(n);
+  DcAnalysis dc;
+  for (auto _ : state) benchmark::DoNotOptimize(dc.solve(n).converged);
+}
+BENCHMARK(BM_DcOperatingPoint);
+
+void BM_AcSweep100Points(benchmark::State& state) {
+  Netlist n;
+  build_cs_amp(n);
+  DcAnalysis dc;
+  const auto op = dc.solve(n);
+  AcAnalysis ac;
+  const auto freqs = log_frequency_grid(1.0, 10e9, 10);
+  for (auto _ : state) benchmark::DoNotOptimize(ac.run(n, op.x, freqs).solutions.size());
+}
+BENCHMARK(BM_AcSweep100Points);
+
+void BM_Transient1kSteps(benchmark::State& state) {
+  Netlist n;
+  build_cs_amp(n);
+  TranOptions opt;
+  opt.t_stop = 1e-6;
+  opt.dt = 1e-9;
+  TranAnalysis tran(opt);
+  for (auto _ : state) benchmark::DoNotOptimize(tran.run(n).converged);
+}
+BENCHMARK(BM_Transient1kSteps);
+
+void BM_OtaFullEvaluation(benchmark::State& state) {
+  ckt::TwoStageOta p;
+  Rng rng(1);
+  const auto x = p.clip({1.0, 1.0, 1.0, 0.5, 0.5, 20, 10, 5, 40, 20, 2.0, 500, 1000, 4, 4, 4});
+  for (auto _ : state) benchmark::DoNotOptimize(p.evaluate(x).simulation_ok);
+}
+BENCHMARK(BM_OtaFullEvaluation);
+
+void BM_TiaFullEvaluation(benchmark::State& state) {
+  ckt::ThreeStageTia p;
+  const auto x = p.clip({0.4, 0.4, 0.4, 0.4, 0.4, 30, 30, 30, 5, 20, 20.0, 200, 2, 2, 2});
+  for (auto _ : state) benchmark::DoNotOptimize(p.evaluate(x).simulation_ok);
+}
+BENCHMARK(BM_TiaFullEvaluation);
+
+void BM_LdoFullEvaluation(benchmark::State& state) {
+  ckt::LdoTranProfile prof;
+  prof.t_stop = 10e-6;
+  prof.dt = 50e-9;
+  prof.t_event = 1e-6;
+  ckt::LdoRegulator p(prof);
+  const auto x = p.clip({1.0, 1.0, 1.0, 1.0, 0.5, 50, 20, 10, 20, 200, 20, 20, 500, 2, 4, 20});
+  for (auto _ : state) benchmark::DoNotOptimize(p.evaluate(x).simulation_ok);
+}
+BENCHMARK(BM_LdoFullEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+// Reproduces Table I (parameter ranges) and Table II (algorithm comparison)
+// for the two-stage OTA. Default: reduced profile; --full for the paper's
+// 10 runs x 200 simulations x 100 initial designs.
+#include "exp_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace maopt;
+  using namespace maopt::bench;
+  const CliArgs args(argc, argv);
+  ExperimentConfig config = ExperimentConfig::from_cli(args);
+  if (config.csv_path.empty()) config.csv_path = "table_ota_trajectories.csv";
+
+  ckt::TwoStageOta problem;
+  print_parameter_table(problem);  // Table I
+
+  auto summaries = run_comparison(problem, paper_roster(), config);
+  print_table("Table II analog: two-stage OTA (" + std::to_string(config.runs) + " runs, " +
+                  std::to_string(config.sims) + " sims)",
+              "Min power (mW)", summaries);
+  write_trajectories_csv(config.csv_path, summaries);
+  return 0;
+}

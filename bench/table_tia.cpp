@@ -1,0 +1,21 @@
+// Reproduces Table III (parameter ranges) and Table IV (algorithm
+// comparison) for the three-stage TIA.
+#include "exp_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace maopt;
+  using namespace maopt::bench;
+  const CliArgs args(argc, argv);
+  ExperimentConfig config = ExperimentConfig::from_cli(args);
+  if (config.csv_path.empty()) config.csv_path = "table_tia_trajectories.csv";
+
+  ckt::ThreeStageTia problem;
+  print_parameter_table(problem);  // Table III
+
+  auto summaries = run_comparison(problem, paper_roster(), config);
+  print_table("Table IV analog: three-stage TIA (" + std::to_string(config.runs) + " runs, " +
+                  std::to_string(config.sims) + " sims)",
+              "Min power (mW)", summaries);
+  write_trajectories_csv(config.csv_path, summaries);
+  return 0;
+}

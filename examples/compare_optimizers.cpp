@@ -1,0 +1,50 @@
+// Compare the paper's five algorithms head-to-head on one circuit with a
+// shared initial population, printing the best-FoM trajectory of each —
+// a miniature of the Table II/IV/VI + Fig. 5 experiment.
+//
+//   ./examples/compare_optimizers [--circuit tia|ota] [--sims 60] [--seed 1]
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "maopt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace maopt;
+  const CliArgs args(argc, argv);
+  const auto sims = static_cast<std::size_t>(args.get_int("sims", 60));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::unique_ptr<ckt::SizingProblem> problem;
+  if (args.get("circuit", "tia") == "ota")
+    problem = std::make_unique<ckt::TwoStageOta>();
+  else
+    problem = std::make_unique<ckt::ThreeStageTia>();
+
+  Rng rng(seed);
+  auto initial = core::sample_initial_set(*problem, 40, rng);
+  std::vector<linalg::Vec> rows;
+  for (const auto& r : initial) rows.push_back(r.metrics);
+  const auto fom = ckt::FomEvaluator::fit_reference(*problem, rows);
+
+  std::vector<std::unique_ptr<core::Optimizer>> roster;
+  roster.push_back(std::make_unique<core::RandomSearch>());
+  roster.push_back(std::make_unique<gp::BoOptimizer>());
+  roster.push_back(std::make_unique<core::MaOptimizer>(core::MaOptConfig::dnn_opt()));
+  roster.push_back(std::make_unique<core::MaOptimizer>(core::MaOptConfig::ma_opt2()));
+  roster.push_back(std::make_unique<core::MaOptimizer>(core::MaOptConfig::ma_opt()));
+
+  std::printf("%s, %zu simulations each, shared initial set of %zu\n\n",
+              problem->spec().name.c_str(), sims, initial.size());
+  std::printf("%-10s %14s %14s %10s %10s\n", "Algorithm", "final FoM", "log10(FoM)", "feasible",
+              "wall (s)");
+  for (auto& opt : roster) {
+    const core::RunHistory h = opt->run(*problem, initial, fom, seed, sims);
+    const double final_fom = h.best_fom_after.back();
+    std::printf("%-10s %14.5g %14.2f %10s %10.1f\n", opt->name().c_str(), final_fom,
+                std::log10(std::max(final_fom, 1e-12)),
+                h.best_feasible() ? "yes" : "no", h.wall_seconds);
+  }
+  std::printf("\nExpected ordering (paper): MA-Opt <= MA-Opt2 < DNN-Opt < BO ~ Random.\n");
+  return 0;
+}

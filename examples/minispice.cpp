@@ -1,0 +1,112 @@
+// minispice — the circuit-simulation substrate as a standalone SPICE-like
+// command-line tool.
+//
+//   ./examples/minispice <deck.cir> [--op]
+//                        [--ac <fstart> <fstop> <node>]
+//                        [--tran <tstop> <dt> <node>]
+//                        [--noise <node>]
+//
+// With no analysis flags, runs the operating point and prints the report.
+// AC/TRAN/NOISE results are printed as CSV on stdout.
+//
+// Example deck:
+//   .model n180 NMOS
+//   VDD vdd 0 1.8
+//   VIN in 0 DC 0.7 AC 1
+//   RL vdd out 5k
+//   M1 out in 0 0 n180 W=20u L=1u
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "maopt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace maopt;
+  using namespace maopt::spice;
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: minispice <deck.cir> [--op] [--ac f0 f1 node] "
+                         "[--tran tstop dt node] [--noise node]\n");
+    return 2;
+  }
+
+  std::ifstream file(args.positional()[0]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open '%s'\n", args.positional()[0].c_str());
+    return 2;
+  }
+  std::stringstream deck;
+  deck << file.rdbuf();
+
+  ParsedNetlist parsed;
+  try {
+    parsed = parse_netlist(deck.str());
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  }
+
+  DcAnalysis dc;
+  const DcResult op = dc.solve(parsed.netlist);
+  if (!op.converged) {
+    std::fprintf(stderr, "DC operating point did not converge\n");
+    return 1;
+  }
+
+  const bool any_analysis = args.has("ac") || args.has("tran") || args.has("noise");
+  if (args.has("op") || !any_analysis)
+    std::fputs(operating_point_report(parsed.netlist, op.x).c_str(), stdout);
+
+  if (args.has("ac")) {
+    // --ac consumes one value via CliArgs; remaining operands are positional.
+    if (args.positional().size() < 3) {
+      std::fprintf(stderr, "--ac needs: <fstart(flag value)> <fstop> <node> "
+                           "(fstop/node as positionals)\n");
+      return 2;
+    }
+    const double f0 = args.get_double("ac", 1.0);
+    const double f1 = spice::parse_spice_value(args.positional()[1]);
+    const int node = parsed.netlist.find_node(args.positional()[2]);
+    AcAnalysis ac;
+    const AcSweep sweep = ac.run(parsed.netlist, op.x, log_frequency_grid(f0, f1, 10));
+    std::printf("frequency,magnitude_db,phase_deg\n");
+    const auto db = magnitude_db(sweep, node);
+    const auto ph = phase_deg_unwrapped(sweep, node);
+    for (std::size_t k = 0; k < sweep.frequencies.size(); ++k)
+      std::printf("%g,%g,%g\n", sweep.frequencies[k], db[k], ph[k]);
+  }
+
+  if (args.has("tran")) {
+    if (args.positional().size() < 3) {
+      std::fprintf(stderr, "--tran needs: <tstop(flag value)> <dt> <node>\n");
+      return 2;
+    }
+    TranOptions topt;
+    topt.t_stop = args.get_double("tran", 1e-6);
+    topt.dt = spice::parse_spice_value(args.positional()[1]);
+    const int node = parsed.netlist.find_node(args.positional()[2]);
+    const TranResult tr = TranAnalysis(topt).run(parsed.netlist);
+    if (!tr.converged) {
+      std::fprintf(stderr, "transient did not converge\n");
+      return 1;
+    }
+    std::printf("time,voltage\n");
+    const auto wave = tr.node_waveform(node);
+    for (std::size_t k = 0; k < tr.time.size(); ++k)
+      std::printf("%g,%g\n", tr.time[k], wave[k]);
+  }
+
+  if (args.has("noise")) {
+    const int node = parsed.netlist.find_node(args.get("noise", "out"));
+    NoiseAnalysis noise;
+    const NoiseResult nr =
+        noise.run(parsed.netlist, op.x, node, kGround, log_frequency_grid(1.0, 1e9, 8));
+    std::printf("frequency,psd_v2hz\n");
+    for (std::size_t k = 0; k < nr.frequencies.size(); ++k)
+      std::printf("%g,%g\n", nr.frequencies[k], nr.output_psd[k]);
+    std::printf("# integrated: %g uVrms\n", nr.total_rms * 1e6);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// A tour of the circuit-simulation substrate on its own — no optimizer.
+// Builds a common-source amplifier, then runs all four analyses the
+// testbenches use: DC operating point, AC sweep, transient, and noise.
+//
+//   ./examples/simulator_tour
+#include <cmath>
+#include <cstdio>
+
+#include "maopt.hpp"
+
+int main() {
+  using namespace maopt;
+  using namespace maopt::spice;
+
+  // --- Netlist: NMOS common-source stage, 5 kOhm load, 200 fF at the output.
+  Netlist n;
+  const int vdd = n.node("vdd");
+  const int in = n.node("in");
+  const int out = n.node("out");
+  auto* supply = n.add<VSource>(vdd, kGround, Waveform::dc(1.8));
+  auto* input = n.add<VSource>(in, kGround, Waveform::dc(0.70), /*ac_mag=*/1.0);
+  n.add<Resistor>(vdd, out, 5e3);
+  auto* m1 = n.add<Mosfet>(out, in, kGround, kGround, MosModel::nmos_180(), 20e-6, 1e-6);
+  n.add<Capacitor>(out, kGround, 200e-15);
+
+  // --- DC operating point.
+  DcAnalysis dc;
+  const DcResult op = dc.solve(n);
+  std::printf("DC operating point (%s, %d Newton iterations):\n", op.method.c_str(),
+              op.iterations);
+  std::printf("  V(out) = %.4f V, Id = %.1f uA, power = %.1f uW\n",
+              Netlist::voltage(op.x, out), m1->drain_current(op.x) * 1e6,
+              std::abs(supply->branch_current(op.x)) * 1.8 * 1e6);
+  const MosEval e = m1->operating_point(op.x);
+  std::printf("  M1: %s, gm = %.3f mS, gds = %.1f uS\n",
+              e.saturated ? "saturation" : (e.cutoff ? "cutoff" : "triode"), e.gm * 1e3,
+              e.gds * 1e6);
+
+  // --- AC sweep: gain, bandwidth, unity-gain frequency.
+  AcAnalysis ac;
+  const AcSweep sweep = ac.run(n, op.x, log_frequency_grid(1e3, 100e9, 10));
+  std::printf("\nAC analysis:\n");
+  std::printf("  low-frequency gain = %.1f dB\n", dc_gain_db(sweep, out));
+  std::printf("  -3 dB bandwidth    = %.1f MHz\n", bandwidth_3db(sweep, out).value_or(0) * 1e-6);
+  std::printf("  unity-gain freq    = %.2f GHz\n",
+              unity_gain_frequency(sweep, out).value_or(0) * 1e-9);
+
+  // --- Transient: response to a 100 mV input step.
+  input->set_waveform(Waveform::pwl({{0.0, 0.70}, {2e-9, 0.70}, {2.2e-9, 0.80}}));
+  TranOptions topt;
+  topt.t_stop = 30e-9;
+  topt.dt = 20e-12;
+  const TranResult tr = TranAnalysis(topt).run(n);
+  const auto wave = tr.node_waveform(out);
+  const auto st = settling_time(tr.time, wave, 2e-9, wave.back(), 0.01 * 0.1);
+  std::printf("\nTransient (100 mV input step):\n");
+  std::printf("  V(out): %.3f V -> %.3f V, settling (1%%) = %.2f ns\n", wave.front(), wave.back(),
+              st.value_or(-1) * 1e9);
+  input->set_dc(0.70);
+
+  // --- Noise: output PSD and integrated noise.
+  NoiseAnalysis noise;
+  const NoiseResult nr = noise.run(n, op.x, out, kGround, log_frequency_grid(1.0, 10e9, 8));
+  std::printf("\nNoise analysis (1 Hz .. 10 GHz):\n");
+  std::printf("  output PSD @ 1 MHz = %.3g V^2/Hz\n",
+              nr.output_psd[static_cast<std::size_t>(
+                  std::distance(nr.frequencies.begin(),
+                                std::lower_bound(nr.frequencies.begin(), nr.frequencies.end(),
+                                                 1e6)))]);
+  std::printf("  integrated output noise = %.1f uVrms\n", nr.total_rms * 1e6);
+  return 0;
+}

@@ -1,0 +1,211 @@
+#include "circuits/folded_cascode_ota.hpp"
+
+#include <cmath>
+
+#include "spice/dc_analysis.hpp"
+#include "circuits/process_variation.hpp"
+#include "spice/devices.hpp"
+#include "spice/measure.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/noise_analysis.hpp"
+#include "spice/tran_analysis.hpp"
+
+namespace maopt::ckt {
+
+namespace {
+
+using namespace maopt::spice;
+
+constexpr double kVdd = 1.8;
+constexpr double kVcm = 0.9;
+constexpr double kIbias = 20e-6;
+constexpr double kVcascN = 0.9;  // NMOS cascode gate bias
+constexpr double kVcascP = 0.9;  // PMOS cascode gate bias
+
+struct FcParams {
+  double l[5];
+  double w[5];
+  double c;
+  double n[3];
+};
+
+FcParams unpack(const Vec& x) {
+  FcParams p{};
+  for (int i = 0; i < 5; ++i) p.l[i] = x[static_cast<std::size_t>(i)] * 1e-6;
+  for (int i = 0; i < 5; ++i) p.w[i] = x[static_cast<std::size_t>(5 + i)] * 1e-6;
+  p.c = x[10] * 1e-15;
+  for (int i = 0; i < 3; ++i) p.n[i] = x[static_cast<std::size_t>(11 + i)];
+  return p;
+}
+
+struct FcBench {
+  Netlist net;
+  VSource* vdd = nullptr;
+  VSource* vinp = nullptr;  ///< non-inverting (M1 gate)
+  VSource* vinn = nullptr;  ///< inverting (M2 gate); null in unity-gain
+  int out = 0;
+};
+
+FcBench build(const FcParams& p, bool unity_gain, const ProcessVariation& pv) {
+  FcBench b;
+  Netlist& n = b.net;
+  const int vdd = n.node("vdd");
+  const int inp = n.node("inp");
+  const int out = n.node("out");
+  const int inn = unity_gain ? out : n.node("inn");
+  const int tailp = n.node("tailp");
+  const int fa = n.node("fa");
+  const int fb = n.node("fb");
+  const int ma = n.node("ma");
+  const int pa = n.node("pa");
+  const int pb = n.node("pb");
+  const int vbp = n.node("vbp");
+  const int vbn = n.node("vbn");
+  const int vcn = n.node("vcn");
+  const int vcp = n.node("vcp");
+  const int gnd = n.node("0");
+
+  const MosModel nm = MosModel::nmos_180();
+  const MosModel pm = MosModel::pmos_180();
+
+  // Per-device deterministic mismatch draws (one per Mosfet add, in order).
+  Rng var_rng(derive_seed(pv.seed, 0x5A5A));
+  auto vary = [&](const MosModel& m) { return pv.enabled() ? vary_model(m, var_rng, pv) : m; };
+
+  b.vdd = n.add<VSource>(vdd, gnd, Waveform::dc(kVdd));
+  b.vinp = n.add<VSource>(inp, gnd, Waveform::dc(kVcm));
+  if (!unity_gain) b.vinn = n.add<VSource>(inn, gnd, Waveform::dc(kVcm));
+  n.add<VSource>(vcn, gnd, Waveform::dc(kVcascN));
+  n.add<VSource>(vcp, gnd, Waveform::dc(kVcascP));
+
+  // PMOS bias diode + tail; NMOS bias diode for the folding sinks.
+  n.add<ISource>(vbp, gnd, Waveform::dc(kIbias));
+  n.add<Mosfet>(vbp, vbp, vdd, vdd, vary(pm), p.w[1], p.l[1]);                 // PMOS diode
+  n.add<Mosfet>(tailp, vbp, vdd, vdd, vary(pm), p.w[1], p.l[1], p.n[0]);       // M0 tail
+  n.add<ISource>(vdd, vbn, Waveform::dc(kIbias));
+  n.add<Mosfet>(vbn, vbn, gnd, gnd, vary(nm), p.w[2], p.l[2]);                 // NMOS diode
+
+  n.add<Mosfet>(fa, inp, tailp, vdd, vary(pm), p.w[0], p.l[0]);                // M1
+  n.add<Mosfet>(fb, inn, tailp, vdd, vary(pm), p.w[0], p.l[0]);                // M2
+
+  n.add<Mosfet>(fa, vbn, gnd, gnd, vary(nm), p.w[2], p.l[2], p.n[1]);          // M3 sink
+  n.add<Mosfet>(fb, vbn, gnd, gnd, vary(nm), p.w[2], p.l[2], p.n[1]);          // M4 sink
+
+  n.add<Mosfet>(ma, vcn, fa, gnd, vary(nm), p.w[3], p.l[3]);                   // M5 cascode
+  n.add<Mosfet>(out, vcn, fb, gnd, vary(nm), p.w[3], p.l[3]);                  // M6 cascode
+
+  // High-swing cascode PMOS mirror: gate of M7/M8 tied to the diode-side
+  // cascode output `ma`.
+  n.add<Mosfet>(pa, ma, vdd, vdd, vary(pm), p.w[4], p.l[4], p.n[2]);           // M7
+  n.add<Mosfet>(pb, ma, vdd, vdd, vary(pm), p.w[4], p.l[4], p.n[2]);           // M8
+  n.add<Mosfet>(ma, vcp, pa, vdd, vary(pm), p.w[4], p.l[4], p.n[2]);           // M9 cascode
+  n.add<Mosfet>(out, vcp, pb, vdd, vary(pm), p.w[4], p.l[4], p.n[2]);          // M10 cascode
+
+  n.add<Capacitor>(out, gnd, p.c);
+
+  b.out = out;
+  n.prepare();
+  return b;
+}
+
+}  // namespace
+
+FoldedCascodeOta::FoldedCascodeOta() {
+  spec_.name = "folded_cascode_ota";
+  spec_.target_name = "power";
+  spec_.target_unit = "mW";
+  spec_.target_weight = 0.01;
+  spec_.constraints = {
+      {"dc_gain", "dB", ConstraintKind::GreaterEqual, 75.0, 1.0},
+      {"cmrr", "dB", ConstraintKind::GreaterEqual, 90.0, 1.0},
+      {"phase_margin", "deg", ConstraintKind::GreaterEqual, 70.0, 1.0},
+      {"settling_time", "ns", ConstraintKind::LessEqual, 60.0, 1.0},
+      {"ugf", "MHz", ConstraintKind::GreaterEqual, 80.0, 1.0},
+      {"output_noise", "mVrms", ConstraintKind::LessEqual, 1.0, 1.0},
+  };
+  lower_ = {0.18, 0.18, 0.18, 0.18, 0.18, 0.22, 0.22, 0.22, 0.22, 0.22, 100, 1, 1, 1};
+  upper_ = {2, 2, 2, 2, 2, 150, 150, 150, 150, 150, 2000, 20, 20, 20};
+  integer_.assign(14, false);
+  for (int i = 11; i < 14; ++i) integer_[static_cast<std::size_t>(i)] = true;
+}
+
+std::vector<std::string> FoldedCascodeOta::parameter_names() const {
+  return {"L1", "L2", "L3", "L4", "L5", "W1", "W2", "W3", "W4", "W5", "C", "N1", "N2", "N3"};
+}
+
+EvalResult FoldedCascodeOta::evaluate(const Vec& x) const {
+  EvalResult result;
+  result.metrics = failure_metrics();
+  result.simulation_ok = false;
+  try {
+    const FcParams p = unpack(x);
+
+    // Unity-gain OP for the replica bias (see TwoStageOta for rationale).
+    FcBench ug = build(p, /*unity_gain=*/true, variation_);
+    DcAnalysis dc;
+    const DcResult ug_op = dc.solve(ug.net);
+    if (!ug_op.converged) return result;
+    const double v_out_op = Netlist::voltage(ug_op.x, ug.out);
+
+    FcBench ol = build(p, /*unity_gain=*/false, variation_);
+    ol.vinn->set_dc(v_out_op);
+    const DcResult op = dc.solve(ol.net);
+    if (!op.converged) return result;
+
+    const double power_mw = std::abs(ol.vdd->branch_current(op.x)) * kVdd * 1e3;
+
+    const auto freqs = log_frequency_grid(1.0, 10e9, 10);
+    AcAnalysis ac;
+    ol.vinp->set_ac_magnitude(0.5);
+    ol.vinn->set_ac_magnitude(-0.5);
+    const AcSweep diff = ac.run(ol.net, op.x, freqs);
+    const double adm_db = dc_gain_db(diff, ol.out);
+    const auto ugf = unity_gain_frequency(diff, ol.out);
+    const auto pm = phase_margin_deg(diff, ol.out);
+
+    ol.vinp->set_ac_magnitude(1.0);
+    ol.vinn->set_ac_magnitude(1.0);
+    const AcSweep cm = ac.run(ol.net, op.x, freqs);
+    const double cmrr_db = adm_db - dc_gain_db(cm, ol.out);
+    ol.vinp->set_ac_magnitude(0.0);
+    ol.vinn->set_ac_magnitude(0.0);
+
+    NoiseAnalysis noise;
+    const NoiseResult nres =
+        noise.run(ug.net, ug_op.x, ug.out, kGround, log_frequency_grid(1.0, 1e9, 8));
+    const double noise_mv = nres.total_rms * 1e3;
+
+    // Settling: 100 mV step in unity gain.
+    constexpr double kStepT = 10e-9;
+    constexpr double kStepV = 0.1;
+    ug.vinp->set_waveform(
+        Waveform::pwl({{0.0, kVcm}, {kStepT, kVcm}, {kStepT + 1e-9, kVcm + kStepV}}));
+    TranOptions topt;
+    topt.t_stop = 400e-9;
+    topt.dt = 0.5e-9;
+    const TranResult tr = TranAnalysis(topt).run(ug.net);
+    double settling_ns = 1e4;
+    if (tr.converged) {
+      const auto wave = tr.node_waveform(ug.out);
+      const double final_v = wave.back();
+      if (std::abs(final_v - (kVcm + kStepV)) < 0.05) {
+        const auto st = settling_time(tr.time, wave, kStepT, final_v, 0.01 * kStepV);
+        if (st) settling_ns = *st * 1e9;
+      }
+    }
+
+    result.metrics[kPowerMw] = power_mw;
+    result.metrics[kDcGainDb] = adm_db;
+    result.metrics[kCmrrDb] = cmrr_db;
+    result.metrics[kPhaseMarginDeg] = pm.value_or(0.0);
+    result.metrics[kSettlingNs] = settling_ns;
+    result.metrics[kUgfMhz] = ugf.value_or(0.0) * 1e-6;
+    result.metrics[kNoiseMvrms] = noise_mv;
+    result.simulation_ok = true;
+    return result;
+  } catch (const std::exception&) {
+    return result;
+  }
+}
+
+}  // namespace maopt::ckt

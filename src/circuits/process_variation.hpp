@@ -1,0 +1,53 @@
+// Process variation and yield estimation — an extension beyond the paper.
+//
+// Each testbench can be put into a "varied" mode where every MOSFET's
+// threshold voltage and transconductance parameter receive independent,
+// deterministic Gaussian perturbations (local mismatch), seeded per Monte
+// Carlo instance. estimate_yield() then answers the question the paper's
+// nominal-only evaluation leaves open: how robust is an optimized design to
+// fabrication spread?
+#pragma once
+
+#include <cstdint>
+
+#include "circuits/sizing_problem.hpp"
+#include "spice/mosfet.hpp"
+
+namespace maopt::ckt {
+
+/// Draws one perturbed model card from `rng` (each call = one device):
+/// global corner shifts first, then local Gaussian mismatch.
+spice::MosModel vary_model(const spice::MosModel& nominal, Rng& rng, const ProcessVariation& pv);
+
+/// Standard process corners: fast/slow NMOS x fast/slow PMOS.
+enum class ProcessCorner { TT, FF, SS, FS, SF };
+
+const char* corner_name(ProcessCorner corner);
+
+/// Deterministic ProcessVariation for a corner: fast = vth lowered by
+/// `vth_step` and KP raised by `kp_step_rel`; slow = the opposite.
+ProcessVariation corner_variation(ProcessCorner corner, double vth_step = 0.03,
+                                  double kp_step_rel = 0.10);
+
+/// Evaluates `x` at all five corners; returns one EvalResult per corner in
+/// enum order. The problem's variation state is reset to nominal afterwards.
+std::vector<EvalResult> evaluate_corners(SizingProblem& problem, const Vec& x,
+                                         double vth_step = 0.03, double kp_step_rel = 0.10);
+
+struct YieldResult {
+  int feasible = 0;
+  int total = 0;
+  int simulation_failures = 0;
+  double yield() const { return total > 0 ? static_cast<double>(feasible) / total : 0.0; }
+  /// Per-instance metric vectors (for spread reporting).
+  std::vector<Vec> metric_samples;
+};
+
+/// Evaluates design `x` under `instances` Monte Carlo mismatch draws with
+/// the given sigmas. The problem's variation state is mutated during the
+/// sweep and reset to nominal afterwards; not thread-safe with concurrent
+/// evaluate() calls on the same object.
+YieldResult estimate_yield(SizingProblem& problem, const Vec& x, int instances,
+                           double sigma_vth, double sigma_kp_rel);
+
+}  // namespace maopt::ckt

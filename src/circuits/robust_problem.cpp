@@ -1,0 +1,53 @@
+#include "circuits/robust_problem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace maopt::ckt {
+
+RobustProblem::RobustProblem(SizingProblem& inner, std::vector<ProcessCorner> corners,
+                             double vth_step, double kp_step_rel)
+    : inner_(&inner),
+      corners_(std::move(corners)),
+      vth_step_(vth_step),
+      kp_step_rel_(kp_step_rel) {
+  if (!inner.supports_process_variation())
+    throw std::invalid_argument("RobustProblem: inner problem has no process-variation support");
+  if (corners_.empty()) throw std::invalid_argument("RobustProblem: empty corner set");
+}
+
+EvalResult RobustProblem::evaluate(const Vec& x) const {
+  EvalResult worst;
+  bool first = true;
+  for (const auto corner : corners_) {
+    inner_->set_process_variation(corner_variation(corner, vth_step_, kp_step_rel_));
+    const EvalResult r = inner_->evaluate(x);
+    if (first) {
+      worst = r;
+      first = false;
+    } else {
+      worst.simulation_ok = worst.simulation_ok && r.simulation_ok;
+      // Target metric: worst = maximum (we minimize f0).
+      worst.metrics[0] = std::max(worst.metrics[0], r.metrics[0]);
+      const auto& cs = spec().constraints;
+      for (std::size_t i = 0; i < cs.size(); ++i) {
+        // Worst = the value closest to (or deepest into) violation.
+        if (cs[i].kind == ConstraintKind::GreaterEqual)
+          worst.metrics[i + 1] = std::min(worst.metrics[i + 1], r.metrics[i + 1]);
+        else
+          worst.metrics[i + 1] = std::max(worst.metrics[i + 1], r.metrics[i + 1]);
+      }
+    }
+    if (!r.simulation_ok) {
+      // A failed corner is a failed robust evaluation: report the inner
+      // problem's failure metrics so the FoM penalizes it fully.
+      worst = r;
+      worst.simulation_ok = false;
+      break;
+    }
+  }
+  inner_->set_process_variation(ProcessVariation{});
+  return worst;
+}
+
+}  // namespace maopt::ckt

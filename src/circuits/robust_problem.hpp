@@ -1,0 +1,52 @@
+// Robust (corner-aware) optimization — extension beyond the paper.
+//
+// RobustProblem decorates any variation-capable SizingProblem so that one
+// "evaluation" simulates the design at a set of process corners and reports
+// the WORST value of every metric (worst per the corresponding constraint
+// direction; the target metric reports its maximum, i.e. worst for
+// minimization). An optimizer driving a RobustProblem therefore searches
+// for designs that meet spec at every corner — design-for-robustness with
+// zero changes to the optimizer stack. Each evaluation costs
+// |corners| simulations; budgets should be scaled accordingly.
+#pragma once
+
+#include <memory>
+
+#include "circuits/process_variation.hpp"
+#include "circuits/sizing_problem.hpp"
+
+namespace maopt::ckt {
+
+class RobustProblem final : public SizingProblem {
+ public:
+  /// Wraps `inner` (not owned; must outlive this object and support process
+  /// variation). Default corner set: all five classic corners.
+  explicit RobustProblem(SizingProblem& inner,
+                         std::vector<ProcessCorner> corners = {ProcessCorner::TT,
+                                                               ProcessCorner::FF,
+                                                               ProcessCorner::SS,
+                                                               ProcessCorner::FS,
+                                                               ProcessCorner::SF},
+                         double vth_step = 0.03, double kp_step_rel = 0.10);
+
+  const ProblemSpec& spec() const override { return inner_->spec(); }
+  std::size_t dim() const override { return inner_->dim(); }
+  const Vec& lower_bounds() const override { return inner_->lower_bounds(); }
+  const Vec& upper_bounds() const override { return inner_->upper_bounds(); }
+  const std::vector<bool>& integer_mask() const override { return inner_->integer_mask(); }
+  std::vector<std::string> parameter_names() const override { return inner_->parameter_names(); }
+
+  /// Worst-case metrics over the corner set. NOT thread-safe (mutates the
+  /// inner problem's variation state during the sweep).
+  EvalResult evaluate(const Vec& x) const override;
+
+  std::size_t num_corners() const { return corners_.size(); }
+
+ private:
+  SizingProblem* inner_;
+  std::vector<ProcessCorner> corners_;
+  double vth_step_;
+  double kp_step_rel_;
+};
+
+}  // namespace maopt::ckt

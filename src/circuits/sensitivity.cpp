@@ -1,0 +1,92 @@
+#include "circuits/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace maopt::ckt {
+
+SensitivityResult sensitivity_analysis(const SizingProblem& problem, const Vec& x,
+                                       double rel_step) {
+  const std::size_t d = problem.dim();
+  const std::size_t m = problem.num_metrics();
+  SensitivityResult result;
+  result.jacobian.resize(m, d);
+  result.normalized.resize(m, d);
+
+  const EvalResult base = problem.evaluate(problem.clip(x));
+  result.base_metrics = base.metrics;
+  result.ok = base.simulation_ok;
+  if (!result.ok) return result;
+
+  const Vec& lo = problem.lower_bounds();
+  const Vec& hi = problem.upper_bounds();
+  const auto& integers = problem.integer_mask();
+
+  for (std::size_t j = 0; j < d; ++j) {
+    const double range = hi[j] - lo[j];
+    double step = integers[j] ? 1.0 : rel_step * range;
+    // Clip probes to the box; fall back to one-sided at the edges.
+    double up = std::min(x[j] + step, hi[j]);
+    double down = std::max(x[j] - step, lo[j]);
+    if (up == down) {  // degenerate (step larger than box): skip
+      for (std::size_t i = 0; i < m; ++i) result.jacobian(i, j) = 0.0;
+      continue;
+    }
+    Vec xp = x, xm = x;
+    xp[j] = up;
+    xm[j] = down;
+    const EvalResult rp = problem.evaluate(problem.clip(xp));
+    const EvalResult rm = problem.evaluate(problem.clip(xm));
+    if (!rp.simulation_ok || !rm.simulation_ok) {
+      result.ok = false;
+      continue;
+    }
+    const double denom = up - down;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double grad = (rp.metrics[i] - rm.metrics[i]) / denom;
+      result.jacobian(i, j) = grad;
+      const double metric_scale = std::max(std::abs(base.metrics[i]), 1e-12);
+      result.normalized(i, j) = grad * range / metric_scale;
+    }
+  }
+  return result;
+}
+
+std::string format_sensitivity_table(const SizingProblem& problem,
+                                     const SensitivityResult& result) {
+  std::ostringstream out;
+  const auto params = problem.parameter_names();
+  const auto& spec = problem.spec();
+  std::vector<std::string> metrics{spec.target_name};
+  for (const auto& c : spec.constraints) metrics.push_back(c.name);
+
+  out << "Normalized sensitivities (d metric %% per full parameter range):\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%-16s", "");
+  out << buf;
+  for (const auto& p : params) {
+    std::snprintf(buf, sizeof buf, "%9s", p.c_str());
+    out << buf;
+  }
+  out << "\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%-16s", metrics[i].c_str());
+    out << buf;
+    std::size_t strongest = 0;
+    for (std::size_t j = 1; j < params.size(); ++j)
+      if (std::abs(result.normalized(i, j)) > std::abs(result.normalized(i, strongest)))
+        strongest = j;
+    for (std::size_t j = 0; j < params.size(); ++j) {
+      std::snprintf(buf, sizeof buf, "%8.2f%c", result.normalized(i, j),
+                    j == strongest ? '*' : ' ');
+      out << buf;
+    }
+    out << "\n";
+  }
+  out << "(* = strongest knob for that metric)\n";
+  return out.str();
+}
+
+}  // namespace maopt::ckt

@@ -1,0 +1,33 @@
+// Finite-difference sensitivity analysis: how much each metric moves per
+// unit change of each design parameter at a given design point — the
+// "which knob does what" report designers ask for before hand-tuning, and
+// a sanity check on what the critic network must learn.
+#pragma once
+
+#include "circuits/sizing_problem.hpp"
+#include "linalg/matrix.hpp"
+
+namespace maopt::ckt {
+
+struct SensitivityResult {
+  /// (num_metrics x dim): d metric_i / d param_j, central differences.
+  linalg::Mat jacobian;
+  /// Same, normalized: (dm/m0) / (dp/range_j) — dimensionless "percent per
+  /// percent-of-range", comparable across metrics and parameters.
+  linalg::Mat normalized;
+  Vec base_metrics;
+  bool ok = false;  ///< false if any probe simulation failed
+};
+
+/// Central finite differences with step = rel_step * (upper - lower) per
+/// parameter, clipped to bounds (one-sided at the box edge). Integer
+/// parameters use a +/-1 step. Costs 2*dim simulations.
+SensitivityResult sensitivity_analysis(const SizingProblem& problem, const Vec& x,
+                                       double rel_step = 0.01);
+
+/// Formats the normalized sensitivities as a table (rows = metrics,
+/// columns = parameters), flagging the strongest knob per metric.
+std::string format_sensitivity_table(const SizingProblem& problem,
+                                     const SensitivityResult& result);
+
+}  // namespace maopt::ckt

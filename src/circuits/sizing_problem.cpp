@@ -1,0 +1,53 @@
+#include "circuits/sizing_problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maopt::ckt {
+
+double normalized_violation(const ConstraintSpec& c, double value) {
+  const double denom = std::max(std::abs(c.bound), 1e-30);
+  if (c.kind == ConstraintKind::GreaterEqual) return std::max(0.0, (c.bound - value) / denom);
+  return std::max(0.0, (value - c.bound) / denom);
+}
+
+Vec SizingProblem::failure_metrics() const {
+  // One full normalized violation per constraint; the target metric gets a
+  // large-but-finite sentinel scaled later by the FoM's f0 reference.
+  Vec f(num_metrics());
+  f[0] = 1e3;
+  const auto& cs = spec().constraints;
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const double off = std::abs(cs[i].bound) > 0 ? std::abs(cs[i].bound) : 1.0;
+    f[i + 1] = cs[i].kind == ConstraintKind::GreaterEqual ? cs[i].bound - off : cs[i].bound + off;
+  }
+  return f;
+}
+
+Vec SizingProblem::clip(Vec x) const {
+  const Vec& lo = lower_bounds();
+  const Vec& hi = upper_bounds();
+  const auto& integers = integer_mask();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::clamp(x[i], lo[i], hi[i]);
+    if (integers[i]) x[i] = std::clamp(std::round(x[i]), lo[i], hi[i]);
+  }
+  return x;
+}
+
+Vec SizingProblem::random_design(Rng& rng) const {
+  const Vec& lo = lower_bounds();
+  const Vec& hi = upper_bounds();
+  Vec x(dim());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform(lo[i], hi[i]);
+  return clip(std::move(x));
+}
+
+bool SizingProblem::feasible(const Vec& metrics) const {
+  const auto& cs = spec().constraints;
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    if (normalized_violation(cs[i], metrics[i + 1]) > 0.0) return false;
+  return true;
+}
+
+}  // namespace maopt::ckt

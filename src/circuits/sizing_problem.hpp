@@ -1,0 +1,108 @@
+// The black-box optimization interface between circuits and optimizers
+// (Eq. 1 of the paper): a box-bounded parameter vector x mapped by SPICE
+// simulation to metrics f(x) = [f0, f1..fm], where f0 is the target to
+// minimize and f1..fm are constrained.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace maopt::ckt {
+
+using linalg::Vec;
+
+enum class ConstraintKind {
+  GreaterEqual,  ///< f_i(x) >= bound
+  LessEqual,     ///< f_i(x) <= bound
+};
+
+/// Gaussian device-mismatch settings for Monte Carlo yield analysis (see
+/// process_variation.hpp). Default-constructed = nominal (no variation).
+struct ProcessVariation {
+  // Random local mismatch (per-device Gaussian draws, seeded).
+  double sigma_vth = 0.0;     ///< absolute threshold spread [V]
+  double sigma_kp_rel = 0.0;  ///< relative KP spread
+  std::uint64_t seed = 0;     ///< Monte Carlo instance id
+
+  // Deterministic global corner shifts, applied per device type before the
+  // random mismatch (see corner_variation() in process_variation.hpp).
+  double nmos_vth_shift = 0.0;
+  double pmos_vth_shift = 0.0;
+  double nmos_kp_factor = 1.0;
+  double pmos_kp_factor = 1.0;
+
+  bool enabled() const {
+    return sigma_vth != 0.0 || sigma_kp_rel != 0.0 || nmos_vth_shift != 0.0 ||
+           pmos_vth_shift != 0.0 || nmos_kp_factor != 1.0 || pmos_kp_factor != 1.0;
+  }
+};
+
+struct ConstraintSpec {
+  std::string name;
+  std::string unit;
+  ConstraintKind kind;
+  double bound;        ///< c_i in Eq. 2
+  double weight = 1.0; ///< w_i in Eq. 2
+};
+
+struct ProblemSpec {
+  std::string name;
+  std::string target_name;  ///< f_0, minimized
+  std::string target_unit;
+  double target_weight = 1.0;  ///< w_0 in Eq. 2 (applied to f0 / f0_reference)
+  std::vector<ConstraintSpec> constraints;
+};
+
+/// Result of one simulation: metrics[0] = f0, metrics[1..m] = constraints.
+struct EvalResult {
+  Vec metrics;
+  bool simulation_ok = true;
+};
+
+class SizingProblem {
+ public:
+  virtual ~SizingProblem() = default;
+
+  virtual const ProblemSpec& spec() const = 0;
+  virtual std::size_t dim() const = 0;
+  virtual const Vec& lower_bounds() const = 0;
+  virtual const Vec& upper_bounds() const = 0;
+  /// True for parameters constrained to integer values (device multipliers).
+  virtual const std::vector<bool>& integer_mask() const = 0;
+  virtual std::vector<std::string> parameter_names() const = 0;
+
+  /// Simulates design x (assumed already within bounds; callers should pass
+  /// through clip()). Must be thread-safe: implementations build a fresh
+  /// netlist per call.
+  virtual EvalResult evaluate(const Vec& x) const = 0;
+
+  /// Metrics reported when the simulator fails to converge: a maximally
+  /// violating, finite vector so surrogate training stays well-posed.
+  virtual Vec failure_metrics() const;
+
+  std::size_t num_metrics() const { return 1 + spec().constraints.size(); }
+
+  /// Process-variation hooks: circuits that support Monte Carlo mismatch
+  /// override these; analytic problems ignore them.
+  virtual void set_process_variation(const ProcessVariation& pv) { (void)pv; }
+  virtual bool supports_process_variation() const { return false; }
+
+  /// Clamp to bounds and round integer-constrained parameters.
+  Vec clip(Vec x) const;
+
+  /// Uniform random design within bounds (integers rounded).
+  Vec random_design(Rng& rng) const;
+
+  /// True when all constraints in `metrics` are satisfied.
+  bool feasible(const Vec& metrics) const;
+};
+
+/// Signed normalized violation of constraint `k` (0 when satisfied):
+/// GreaterEqual: max(0, (c - f)/|c|);  LessEqual: max(0, (f - c)/|c|).
+double normalized_violation(const ConstraintSpec& c, double value);
+
+}  // namespace maopt::ckt

@@ -1,0 +1,62 @@
+// Leveled logging to stderr with a global threshold. The optimizers log
+// per-iteration progress at Debug; experiment harnesses log at Info.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace maopt {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::Debug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::Info); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::Warn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::Error); }
+
+/// RAII wall-clock stopwatch (seconds).
+class Stopwatch {
+ public:
+  Stopwatch();
+  double elapsed_seconds() const;
+  void reset();
+
+ private:
+  long long start_ns_;
+};
+
+/// CPU-time stopwatch scoped to the calling thread — used to attribute
+/// training vs simulation cost inside parallel actor workers without the
+/// overcounting a wall clock suffers when threads share cores.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer();
+  double elapsed_seconds() const;
+  void reset();
+
+ private:
+  long long start_ns_;
+};
+
+}  // namespace maopt

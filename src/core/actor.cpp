@@ -1,0 +1,119 @@
+#include "core/actor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace maopt::core {
+
+Actor::Actor(std::size_t dim, const ActorConfig& config, Rng& rng)
+    : dim_(dim),
+      config_(config),
+      mlp_(dim, config.hidden, dim, rng, nn::Activation::Relu, /*output_tanh=*/true),
+      adam_(mlp_.params(), {.lr = config.learning_rate}) {}
+
+double Actor::train_round(Surrogate& critic, const FomEvaluator& fom,
+                          const std::vector<SimRecord>& records, const nn::RangeScaler& scaler,
+                          const Vec& elite_lb_unit, const Vec& elite_ub_unit, Rng& rng) {
+  if (records.empty()) throw std::invalid_argument("Actor::train_round: empty population");
+  const std::size_t nb = config_.batch_size;
+  double total_loss = 0.0;
+
+  nn::Mat states(nb, dim_);
+  for (int step = 0; step < config_.steps_per_round; ++step) {
+    for (std::size_t k = 0; k < nb; ++k) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(records.size()) - 1));
+      const Vec u = scaler.to_unit(records[idx].x);
+      for (std::size_t c = 0; c < dim_; ++c) states(k, c) = u[c];
+    }
+
+    const nn::Mat actions = mlp_.forward(states);
+
+    nn::Mat critic_in(nb, 2 * dim_);
+    for (std::size_t k = 0; k < nb; ++k)
+      for (std::size_t c = 0; c < dim_; ++c) {
+        critic_in(k, c) = states(k, c);
+        critic_in(k, dim_ + c) = actions(k, c);
+      }
+    const nn::Mat raw = critic.predict(critic_in);
+
+    // dL/d(raw metrics) from the FoM, averaged over the batch.
+    nn::Mat d_raw(nb, raw.cols());
+    double batch_loss = 0.0;
+    for (std::size_t k = 0; k < nb; ++k) {
+      batch_loss += fom(raw.row(k));
+      const Vec g = fom.gradient(raw.row(k));
+      for (std::size_t c = 0; c < raw.cols(); ++c) d_raw(k, c) = g[c] / static_cast<double>(nb);
+    }
+    nn::Mat d_action = critic.action_gradient(d_raw);
+
+    // Boundary violation against the elite bounding box (Eq. 6), unit space.
+    for (std::size_t k = 0; k < nb; ++k) {
+      Vec v(dim_, 0.0), sign(dim_, 0.0);
+      double norm = 0.0;
+      for (std::size_t c = 0; c < dim_; ++c) {
+        const double xn = states(k, c) + actions(k, c);
+        if (xn < elite_lb_unit[c]) {
+          v[c] = elite_lb_unit[c] - xn;
+          sign[c] = -1.0;
+        } else if (xn > elite_ub_unit[c]) {
+          v[c] = xn - elite_ub_unit[c];
+          sign[c] = 1.0;
+        }
+        norm += v[c] * v[c];
+      }
+      norm = std::sqrt(norm);
+      batch_loss += config_.lambda * norm;
+      if (norm > 1e-12) {
+        for (std::size_t c = 0; c < dim_; ++c)
+          d_action(k, c) += config_.lambda * sign[c] * v[c] / norm / static_cast<double>(nb);
+      }
+    }
+
+    mlp_.backward(d_action);
+    adam_.step();
+    total_loss += batch_loss / static_cast<double>(nb);
+  }
+  return total_loss / std::max(1, config_.steps_per_round);
+}
+
+Vec Actor::propose_unit(const Vec& x_unit) {
+  nn::Mat in(1, dim_);
+  for (std::size_t c = 0; c < dim_; ++c) in(0, c) = x_unit[c];
+  const nn::Mat out = mlp_.forward(in);
+  return Vec(out.row(0).begin(), out.row(0).end());
+}
+
+Vec Actor::select_candidate_unit(Surrogate& critic, const FomEvaluator& fom,
+                                 const std::vector<EliteSet::Entry>& elites,
+                                 const nn::RangeScaler& scaler) {
+  if (elites.empty()) throw std::invalid_argument("Actor::select_candidate_unit: empty elite set");
+  const std::size_t n = elites.size();
+  nn::Mat states(n, dim_);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Vec u = scaler.to_unit(elites[k].x);
+    for (std::size_t c = 0; c < dim_; ++c) states(k, c) = u[c];
+  }
+  const nn::Mat actions = mlp_.forward(states);
+  nn::Mat critic_in(n, 2 * dim_);
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t c = 0; c < dim_; ++c) {
+      critic_in(k, c) = states(k, c);
+      critic_in(k, dim_ + c) = actions(k, c);
+    }
+  const nn::Mat raw = critic.predict(critic_in);
+  std::size_t best = 0;
+  double best_g = 1e300;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double g = fom(raw.row(k));
+    if (g < best_g) {
+      best_g = g;
+      best = k;
+    }
+  }
+  Vec proposal(dim_);
+  for (std::size_t c = 0; c < dim_; ++c) proposal[c] = states(best, c) + actions(best, c);
+  return proposal;
+}
+
+}  // namespace maopt::core

@@ -1,0 +1,123 @@
+#include "core/critic.hpp"
+
+#include <stdexcept>
+
+namespace maopt::core {
+
+namespace {
+nn::Mlp make_net(std::size_t dim, std::size_t num_metrics, const CriticConfig& config, Rng& rng) {
+  return nn::Mlp(2 * dim, config.hidden, num_metrics, rng, nn::Activation::Relu,
+                 /*output_tanh=*/false);
+}
+}  // namespace
+
+Critic::Critic(std::size_t dim, std::size_t num_metrics, const CriticConfig& config, Rng& rng)
+    : dim_(dim),
+      num_metrics_(num_metrics),
+      config_(config),
+      mlp_(make_net(dim, num_metrics, config, rng)),
+      adam_(mlp_.params(), {.lr = config.learning_rate}) {}
+
+Critic::Critic(const Critic& other)
+    : dim_(other.dim_),
+      num_metrics_(other.num_metrics_),
+      config_(other.config_),
+      mlp_(other.mlp_),
+      adam_(mlp_.params(), {.lr = other.config_.learning_rate}),
+      norm_(other.norm_) {}
+
+void Critic::fit_normalizer(const std::vector<SimRecord>& records) {
+  nn::Mat metrics(records.size(), num_metrics_);
+  for (std::size_t i = 0; i < records.size(); ++i)
+    for (std::size_t j = 0; j < num_metrics_; ++j) metrics(i, j) = records[i].metrics[j];
+  norm_.fit(metrics);
+}
+
+double Critic::train_round(const PseudoSampleBatcher& batcher, Rng& rng) {
+  nn::Mat x, y_raw, grad;
+  double total = 0.0;
+  for (int s = 0; s < config_.steps_per_round; ++s) {
+    batcher.sample(config_.batch_size, rng, x, y_raw);
+    const nn::Mat y = norm_.transform(y_raw);
+    const nn::Mat pred = mlp_.forward(x);
+    total += nn::mse_loss(pred, y, &grad);
+    mlp_.backward(grad);
+    adam_.step();
+  }
+  return total / std::max(1, config_.steps_per_round);
+}
+
+nn::Mat Critic::predict(const nn::Mat& x_dx) { return norm_.inverse(mlp_.forward(x_dx)); }
+
+Vec Critic::predict_one(const Vec& x_unit, const Vec& dx_unit) {
+  nn::Mat in(1, 2 * dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    in(0, i) = x_unit[i];
+    in(0, dim_ + i) = dx_unit[i];
+  }
+  const nn::Mat out = predict(in);
+  return Vec(out.row(0).begin(), out.row(0).end());
+}
+
+nn::Mat Critic::action_gradient(const nn::Mat& d_loss_d_raw_metrics) {
+  // Chain through the inverse z-score: raw = z * std + mean  =>  dz = draw * std.
+  nn::Mat dz = d_loss_d_raw_metrics;
+  const Vec& std = norm_.std();
+  for (std::size_t r = 0; r < dz.rows(); ++r)
+    for (std::size_t c = 0; c < dz.cols(); ++c) dz(r, c) *= std[c];
+  const nn::Mat dx_full = mlp_.input_gradient(dz);
+  nn::Mat da(dx_full.rows(), dim_);
+  for (std::size_t r = 0; r < dx_full.rows(); ++r)
+    for (std::size_t c = 0; c < dim_; ++c) da(r, c) = dx_full(r, dim_ + c);
+  return da;
+}
+
+CriticEnsemble::CriticEnsemble(std::size_t num_critics, std::size_t dim,
+                               std::size_t num_metrics, const CriticConfig& config, Rng& rng) {
+  if (num_critics == 0) throw std::invalid_argument("CriticEnsemble: need >= 1 member");
+  members_.reserve(num_critics);
+  for (std::size_t i = 0; i < num_critics; ++i) members_.emplace_back(dim, num_metrics, config, rng);
+}
+
+double CriticEnsemble::train_round(const PseudoSampleBatcher& batcher, Rng& rng) {
+  double total = 0.0;
+  for (auto& m : members_) total += m.train_round(batcher, rng);
+  return total / static_cast<double>(members_.size());
+}
+
+void CriticEnsemble::fit_normalizer(const std::vector<SimRecord>& records) {
+  for (auto& m : members_) m.fit_normalizer(records);
+}
+
+nn::Mat CriticEnsemble::predict(const nn::Mat& x_dx) {
+  nn::Mat sum = members_.front().predict(x_dx);
+  for (std::size_t i = 1; i < members_.size(); ++i) {
+    const nn::Mat p = members_[i].predict(x_dx);
+    for (std::size_t k = 0; k < sum.data().size(); ++k) sum.data()[k] += p.data()[k];
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  for (auto& v : sum.data()) v *= inv;
+  return sum;
+}
+
+nn::Mat CriticEnsemble::action_gradient(const nn::Mat& d_loss_d_raw_metrics) {
+  // d(mean of members)/d(dx) = mean of member gradients. Each member's
+  // forward cache is still valid from predict() because predict() ran every
+  // member's forward pass last.
+  nn::Mat sum = members_.front().action_gradient(d_loss_d_raw_metrics);
+  for (std::size_t i = 1; i < members_.size(); ++i) {
+    const nn::Mat g = members_[i].action_gradient(d_loss_d_raw_metrics);
+    for (std::size_t k = 0; k < sum.data().size(); ++k) sum.data()[k] += g.data()[k];
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  for (auto& v : sum.data()) v *= inv;
+  return sum;
+}
+
+std::size_t CriticEnsemble::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& m : members_) n += m.num_parameters();
+  return n;
+}
+
+}  // namespace maopt::core

@@ -1,0 +1,99 @@
+// Critic network (paper Eq. 4): an MLP regression surrogate of the SPICE
+// simulator. Input (x, dx) in the unit design space, output the m+1 metric
+// vector (z-scored internally). Unlike a true RL critic it predicts the
+// full simulation outcome, and the FoM g(.) is applied on top (Eq. 5).
+#pragma once
+
+#include "circuits/fom.hpp"
+#include "core/pseudo_samples.hpp"
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+
+namespace maopt::core {
+
+/// Interface shared by a single critic and a critic ensemble — everything
+/// the actors and the near-sampling method need from the simulator
+/// surrogate Q(x, dx).
+class Surrogate {
+ public:
+  virtual ~Surrogate() = default;
+  /// Predicted raw metric vectors for a batch of (x, dx) unit-space inputs.
+  virtual nn::Mat predict(const nn::Mat& x_dx) = 0;
+  /// Gradient of a scalar loss w.r.t. the dx part of the input, given the
+  /// loss gradient w.r.t. the raw predicted metrics; must follow the
+  /// matching predict() call (forward caches).
+  virtual nn::Mat action_gradient(const nn::Mat& d_loss_d_raw_metrics) = 0;
+  virtual std::size_t dim() const = 0;
+  virtual std::size_t num_metrics() const = 0;
+};
+
+struct CriticConfig {
+  std::vector<std::size_t> hidden = {100, 100};  ///< paper: 2 x 100
+  double learning_rate = 1e-3;
+  std::size_t batch_size = 64;   ///< N_b
+  int steps_per_round = 50;      ///< minibatch SGD steps per training round
+};
+
+class Critic final : public Surrogate {
+ public:
+  Critic(std::size_t dim, std::size_t num_metrics, const CriticConfig& config, Rng& rng);
+
+  /// Copy shares no state; used to give each actor-training thread a private
+  /// forward/backward workspace. The optimizer state is reset in the copy.
+  Critic(const Critic& other);
+  Critic& operator=(const Critic&) = delete;
+
+  /// Refits the metric normalizer on the current population and runs
+  /// `steps_per_round` minibatch steps on pseudo-samples. Returns mean MSE
+  /// (normalized units) over the round.
+  double train_round(const PseudoSampleBatcher& batcher, Rng& rng);
+
+  nn::Mat predict(const nn::Mat& x_dx) override;
+  /// Single-sample convenience.
+  Vec predict_one(const Vec& x_unit, const Vec& dx_unit);
+
+  nn::Mat action_gradient(const nn::Mat& d_loss_d_raw_metrics) override;
+
+  void fit_normalizer(const std::vector<SimRecord>& records);
+  bool normalizer_ready() const { return norm_.fitted(); }
+  std::size_t dim() const override { return dim_; }
+  std::size_t num_metrics() const override { return num_metrics_; }
+  std::size_t num_parameters() const { return const_cast<nn::Mlp&>(mlp_).num_parameters(); }
+  nn::Mlp& network() { return mlp_; }
+
+ private:
+  std::size_t dim_;
+  std::size_t num_metrics_;
+  CriticConfig config_;
+  nn::Mlp mlp_;
+  nn::Adam adam_;
+  nn::ZScoreNormalizer norm_;
+};
+
+/// Ensemble of independently initialized critics whose predictions (and
+/// action gradients) are averaged. The paper (Section II-B) considered
+/// multiple critics and rejected them for memory cost; MaOptConfig's
+/// num_critics > 1 reproduces that trade-off for the ablation bench.
+class CriticEnsemble final : public Surrogate {
+ public:
+  CriticEnsemble(std::size_t num_critics, std::size_t dim, std::size_t num_metrics,
+                 const CriticConfig& config, Rng& rng);
+  CriticEnsemble(const CriticEnsemble& other) = default;
+
+  double train_round(const PseudoSampleBatcher& batcher, Rng& rng);
+  void fit_normalizer(const std::vector<SimRecord>& records);
+
+  nn::Mat predict(const nn::Mat& x_dx) override;
+  nn::Mat action_gradient(const nn::Mat& d_loss_d_raw_metrics) override;
+  std::size_t dim() const override { return members_.front().dim(); }
+  std::size_t num_metrics() const override { return members_.front().num_metrics(); }
+
+  std::size_t size() const { return members_.size(); }
+  /// Total trainable parameters across members (the memory-cost axis).
+  std::size_t num_parameters() const;
+
+ private:
+  std::vector<Critic> members_;
+};
+
+}  // namespace maopt::core

@@ -1,0 +1,87 @@
+#include "core/de.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace maopt::core {
+
+RunHistory DeOptimizer::run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                            const FomEvaluator& fom, std::uint64_t seed,
+                            std::size_t simulation_budget) {
+  RunHistory history;
+  history.algorithm = name();
+  history.records = initial;
+  history.num_initial = initial.size();
+  annotate_foms(history.records, problem, fom);
+
+  Rng rng(derive_seed(seed, 0xDE01));
+  const std::size_t d = problem.dim();
+
+  std::vector<const SimRecord*> sorted;
+  for (const auto& r : history.records) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SimRecord* a, const SimRecord* b) { return a->fom < b->fom; });
+
+  const std::size_t np = std::max<std::size_t>(4, config_.population);
+  std::vector<Vec> pop(np);
+  std::vector<double> pop_fom(np);
+  double best = 1e300;
+  for (std::size_t i = 0; i < np; ++i) {
+    if (i < sorted.size()) {
+      pop[i] = sorted[i]->x;
+      pop_fom[i] = sorted[i]->fom;
+    } else {
+      pop[i] = problem.random_design(rng);
+      pop_fom[i] = 1e300;  // unevaluated filler loses its first selection
+    }
+    best = std::min(best, pop_fom[i]);
+  }
+
+  Stopwatch total;
+  std::size_t sims = 0;
+  while (sims < simulation_budget) {
+    for (std::size_t i = 0; i < np && sims < simulation_budget; ++i) {
+      // Mutation: three distinct partners, none equal to i.
+      std::size_t a, b, c;
+      do a = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(np) - 1));
+      while (a == i);
+      do b = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(np) - 1));
+      while (b == i || b == a);
+      do c = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(np) - 1));
+      while (c == i || c == a || c == b);
+
+      // Binomial crossover with a guaranteed mutated coordinate.
+      Vec trial = pop[i];
+      const auto forced = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(d) - 1));
+      for (std::size_t k = 0; k < d; ++k)
+        if (k == forced || rng.uniform() < config_.cr)
+          trial[k] = pop[a][k] + config_.f * (pop[b][k] - pop[c][k]);
+      trial = problem.clip(std::move(trial));
+
+      Stopwatch sim;
+      const ckt::EvalResult eval = problem.evaluate(trial);
+      history.sim_seconds += sim.elapsed_seconds();
+      ++sims;
+
+      SimRecord rec;
+      rec.x = trial;
+      rec.metrics = eval.metrics;
+      rec.simulation_ok = eval.simulation_ok;
+      rec.fom = fom(rec.metrics);
+      rec.feasible = eval.simulation_ok && problem.feasible(rec.metrics);
+      if (rec.fom < pop_fom[i]) {  // greedy selection
+        pop_fom[i] = rec.fom;
+        pop[i] = rec.x;
+      }
+      best = std::min(best, rec.fom);
+      history.records.push_back(std::move(rec));
+      history.best_fom_after.push_back(best);
+    }
+  }
+  history.wall_seconds = total.elapsed_seconds();
+  return history;
+}
+
+}  // namespace maopt::core

@@ -1,0 +1,30 @@
+// Differential evolution over the FoM — the paper's second related-work
+// population baseline (ref. [8]). Classic DE/rand/1/bin with greedy
+// selection; the population is seeded from the best designs of the shared
+// initial set.
+#pragma once
+
+#include "core/history.hpp"
+
+namespace maopt::core {
+
+struct DeConfig {
+  std::size_t population = 12;
+  double f = 0.5;   ///< differential weight
+  double cr = 0.9;  ///< crossover rate
+};
+
+class DeOptimizer final : public Optimizer {
+ public:
+  explicit DeOptimizer(DeConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "DE"; }
+  RunHistory run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                 const FomEvaluator& fom, std::uint64_t seed,
+                 std::size_t simulation_budget) override;
+
+ private:
+  DeConfig config_;
+};
+
+}  // namespace maopt::core

@@ -1,0 +1,53 @@
+#include "core/elite_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace maopt::core {
+
+EliteSet::EliteSet(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("EliteSet: capacity must be >= 1");
+  entries_.reserve(capacity);
+}
+
+bool EliteSet::try_insert(const Vec& x, double fom) {
+  std::lock_guard lock(mutex_);
+  if (entries_.size() >= capacity_ && fom >= entries_.back().fom) return false;
+  const auto pos = std::upper_bound(entries_.begin(), entries_.end(), fom,
+                                    [](double f, const Entry& e) { return f < e.fom; });
+  entries_.insert(pos, Entry{x, fom});
+  if (entries_.size() > capacity_) entries_.pop_back();
+  return true;
+}
+
+std::vector<EliteSet::Entry> EliteSet::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return entries_;
+}
+
+EliteSet::Entry EliteSet::best() const {
+  std::lock_guard lock(mutex_);
+  if (entries_.empty()) throw std::logic_error("EliteSet: empty");
+  return entries_.front();
+}
+
+void EliteSet::bounds(Vec& lower, Vec& upper) const {
+  std::lock_guard lock(mutex_);
+  if (entries_.empty()) throw std::logic_error("EliteSet: empty");
+  const std::size_t d = entries_.front().x.size();
+  lower.assign(d, 1e300);
+  upper.assign(d, -1e300);
+  for (const auto& e : entries_) {
+    for (std::size_t i = 0; i < d; ++i) {
+      lower[i] = std::min(lower[i], e.x[i]);
+      upper[i] = std::max(upper[i], e.x[i]);
+    }
+  }
+}
+
+std::size_t EliteSet::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace maopt::core

@@ -1,0 +1,72 @@
+#include "core/history.hpp"
+
+namespace maopt::core {
+
+const SimRecord* RunHistory::best() const {
+  const SimRecord* best = nullptr;
+  for (const auto& r : records)
+    if (!best || r.fom < best->fom) best = &r;
+  return best;
+}
+
+const SimRecord* RunHistory::best_feasible() const {
+  const SimRecord* best = nullptr;
+  for (const auto& r : records)
+    if (r.feasible && (!best || r.metrics[0] < best->metrics[0])) best = &r;
+  return best;
+}
+
+std::vector<SimRecord> sample_initial_set(const SizingProblem& problem, std::size_t n, Rng& rng) {
+  std::vector<SimRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SimRecord r;
+    r.x = problem.random_design(rng);
+    const ckt::EvalResult eval = problem.evaluate(r.x);
+    r.metrics = eval.metrics;
+    r.simulation_ok = eval.simulation_ok;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::vector<SimRecord> sample_initial_set_lhs(const SizingProblem& problem, std::size_t n,
+                                              Rng& rng) {
+  const std::size_t d = problem.dim();
+  const Vec& lo = problem.lower_bounds();
+  const Vec& hi = problem.upper_bounds();
+  // One stratum permutation per dimension.
+  std::vector<std::vector<std::size_t>> strata(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    strata[j].resize(n);
+    for (std::size_t i = 0; i < n; ++i) strata[j][i] = i;
+    rng.shuffle(strata[j]);
+  }
+  std::vector<SimRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec x(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double u = (static_cast<double>(strata[j][i]) + rng.uniform()) /
+                       static_cast<double>(n);
+      x[j] = lo[j] + u * (hi[j] - lo[j]);
+    }
+    SimRecord r;
+    r.x = problem.clip(std::move(x));
+    const ckt::EvalResult eval = problem.evaluate(r.x);
+    r.metrics = eval.metrics;
+    r.simulation_ok = eval.simulation_ok;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+void annotate_foms(std::vector<SimRecord>& records, const SizingProblem& problem,
+                   const FomEvaluator& fom) {
+  for (auto& r : records) {
+    r.fom = fom(r.metrics);
+    r.feasible = r.simulation_ok && problem.feasible(r.metrics);
+  }
+}
+
+}  // namespace maopt::core

@@ -1,0 +1,76 @@
+// Shared bookkeeping for optimization runs: every simulated design is a
+// SimRecord; a RunHistory stores them in simulation order together with the
+// best-FoM-so-far trajectory (Fig. 5) and wall-clock breakdowns (the
+// runtime rows of Tables II/IV/VI and the Section III-C analysis).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuits/fom.hpp"
+#include "circuits/sizing_problem.hpp"
+#include "common/rng.hpp"
+
+namespace maopt::core {
+
+using ckt::FomEvaluator;
+using ckt::SizingProblem;
+using linalg::Vec;
+
+struct SimRecord {
+  Vec x;
+  Vec metrics;
+  double fom = 0.0;
+  bool feasible = false;
+  bool simulation_ok = false;
+};
+
+struct RunHistory {
+  std::string algorithm;
+  std::vector<SimRecord> records;      ///< simulation order, initial samples first
+  std::vector<double> best_fom_after;  ///< best FoM after each *post-initial* simulation
+  std::size_t num_initial = 0;
+
+  double wall_seconds = 0.0;   ///< total optimization wall clock (excl. initial sampling)
+  double sim_seconds = 0.0;    ///< time inside SizingProblem::evaluate
+  double train_seconds = 0.0;  ///< critic + actor training time
+  double ns_seconds = 0.0;     ///< near-sampling scan time
+
+  /// Record with the lowest FoM (feasibility folds into FoM by construction).
+  const SimRecord* best() const;
+  /// Best record that satisfies all constraints; nullptr if none.
+  const SimRecord* best_feasible() const;
+  /// Number of post-initial simulations performed.
+  std::size_t simulations_used() const { return records.size() - num_initial; }
+};
+
+/// Evaluates `n` uniform random designs (the paper's X_init protocol:
+/// 100 random designs simulated once and shared across all methods).
+std::vector<SimRecord> sample_initial_set(const SizingProblem& problem, std::size_t n, Rng& rng);
+
+/// Latin-hypercube variant: per dimension, one sample in each of n equal
+/// strata (randomly permuted) — better space coverage than i.i.d. uniform
+/// at the same budget. Integer parameters are rounded afterwards.
+std::vector<SimRecord> sample_initial_set_lhs(const SizingProblem& problem, std::size_t n,
+                                              Rng& rng);
+
+/// Fills fom / feasible fields using `fom` (initial records are created
+/// before the FoM reference exists).
+void annotate_foms(std::vector<SimRecord>& records, const SizingProblem& problem,
+                   const FomEvaluator& fom);
+
+/// Abstract optimizer: consumes a pre-evaluated initial set and a simulation
+/// budget, produces the full run history. Implementations: MaOptimizer
+/// (DNN-Opt / MA-Opt variants), BoOptimizer, RandomSearch.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual std::string name() const = 0;
+  virtual RunHistory run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                         const FomEvaluator& fom, std::uint64_t seed,
+                         std::size_t simulation_budget) = 0;
+};
+
+}  // namespace maopt::core

@@ -1,0 +1,24 @@
+// CSV export of optimization runs: per-simulation design/metric records and
+// best-FoM trajectories, for offline analysis or plotting Fig. 5-style
+// curves with external tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/history.hpp"
+
+namespace maopt::core {
+
+/// One row per record: index, phase (initial/search), every design
+/// parameter (named), every metric (named), fom, feasible, simulation_ok.
+void write_records_csv(std::ostream& out, const RunHistory& history,
+                       const SizingProblem& problem);
+void write_records_csv(const std::string& path, const RunHistory& history,
+                       const SizingProblem& problem);
+
+/// One row per post-initial simulation: index, best-FoM-so-far.
+void write_trajectory_csv(std::ostream& out, const RunHistory& history);
+void write_trajectory_csv(const std::string& path, const RunHistory& history);
+
+}  // namespace maopt::core

@@ -1,0 +1,192 @@
+#include "core/ma_optimizer.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+
+namespace maopt::core {
+
+MaOptConfig MaOptConfig::dnn_opt() {
+  MaOptConfig c;
+  c.name = "DNN-Opt";
+  c.num_actors = 1;
+  c.shared_elite_set = true;  // single actor: shared vs individual identical
+  c.use_near_sampling = false;
+  return c;
+}
+
+MaOptConfig MaOptConfig::ma_opt1() {
+  MaOptConfig c;
+  c.name = "MA-Opt1";
+  c.num_actors = 3;
+  c.shared_elite_set = false;
+  c.use_near_sampling = false;
+  return c;
+}
+
+MaOptConfig MaOptConfig::ma_opt2() {
+  MaOptConfig c;
+  c.name = "MA-Opt2";
+  c.num_actors = 3;
+  c.shared_elite_set = true;
+  c.use_near_sampling = false;
+  return c;
+}
+
+MaOptConfig MaOptConfig::ma_opt() {
+  MaOptConfig c;
+  c.name = "MA-Opt";
+  c.num_actors = 3;
+  c.shared_elite_set = true;
+  c.use_near_sampling = true;
+  return c;
+}
+
+RunHistory MaOptimizer::run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                            const FomEvaluator& fom, std::uint64_t seed,
+                            std::size_t simulation_budget) {
+  RunHistory history;
+  history.algorithm = config_.name;
+  history.records = initial;
+  history.num_initial = initial.size();
+  annotate_foms(history.records, problem, fom);
+
+  const std::size_t d = problem.dim();
+  const std::size_t m1 = problem.num_metrics();
+  const nn::RangeScaler scaler(problem.lower_bounds(), problem.upper_bounds());
+  const auto n_act = static_cast<std::size_t>(std::max(1, config_.num_actors));
+
+  Rng critic_rng(derive_seed(seed, 0xC0));
+  CriticEnsemble critic(static_cast<std::size_t>(std::max(1, config_.num_critics)), d, m1,
+                        config_.critic, critic_rng);
+
+  std::vector<Actor> actors;
+  actors.reserve(n_act);
+  for (std::size_t i = 0; i < n_act; ++i) {
+    Rng actor_rng(derive_seed(seed, 0xA0 + i));
+    actors.emplace_back(d, config_.actor, actor_rng);
+  }
+
+  // Elite sets: one shared, or one per actor (Fig. 2a vs 2b).
+  const std::size_t n_sets = config_.shared_elite_set ? 1 : n_act;
+  std::deque<EliteSet> elites;  // deque: EliteSet holds a mutex (immovable)
+  for (std::size_t i = 0; i < n_sets; ++i) elites.emplace_back(config_.elite_size);
+  for (const auto& r : history.records)
+    for (auto& es : elites) es.try_insert(r.x, r.fom);
+
+  bool specs_met = false;
+  for (const auto& r : history.records) specs_met = specs_met || r.feasible;
+
+  ThreadPool pool(config_.num_threads == 0 ? n_act : config_.num_threads);
+  Rng ns_rng(derive_seed(seed, 0x45));
+
+  Stopwatch total;
+  std::size_t sims = 0;
+  bool critic_trained = false;
+
+  auto append_record = [&](SimRecord rec, bool insert_all_sets) {
+    rec.fom = fom(rec.metrics);
+    rec.feasible = rec.simulation_ok && problem.feasible(rec.metrics);
+    specs_met = specs_met || rec.feasible;
+    if (config_.shared_elite_set) {
+      elites[0].try_insert(rec.x, rec.fom);
+    } else if (insert_all_sets) {
+      // Near-sampling results are not tied to one actor; refresh every set.
+      for (auto& es : elites) es.try_insert(rec.x, rec.fom);
+    }
+    history.records.push_back(std::move(rec));
+    double best;
+    if (history.best_fom_after.empty()) {
+      best = history.records[0].fom;
+      for (const auto& r : history.records) best = std::min(best, r.fom);
+    } else {
+      best = std::min(history.best_fom_after.back(), history.records.back().fom);
+    }
+    history.best_fom_after.push_back(best);
+    ++sims;
+  };
+
+  for (int t = 1; sims < simulation_budget; ++t) {
+    const bool ns_turn = specs_met && config_.use_near_sampling && critic_trained &&
+                         (t % std::max(1, config_.t_ns) == 0);
+    if (ns_turn) {
+      // --- Algorithm 2: near-sampling, one simulation, no training ---
+      Stopwatch ns_clock;
+      const SimRecord* best = history.best();
+      const Vec candidate = near_sampling_candidate(problem, fom, critic, scaler, best->x,
+                                                    config_.near_sampling, ns_rng);
+      history.ns_seconds += ns_clock.elapsed_seconds();
+
+      Stopwatch sim_clock;
+      const ckt::EvalResult eval = problem.evaluate(candidate);
+      history.sim_seconds += sim_clock.elapsed_seconds();
+
+      SimRecord rec;
+      rec.x = candidate;
+      rec.metrics = eval.metrics;
+      rec.simulation_ok = eval.simulation_ok;
+      append_record(std::move(rec), /*insert_all_sets=*/true);
+      continue;
+    }
+
+    // --- Algorithm 1: critic training, then parallel actor rounds ---
+    Stopwatch train_clock;
+    const PseudoSampleBatcher batcher(history.records, scaler);
+    critic.fit_normalizer(history.records);
+    critic.train_round(batcher, critic_rng);
+    critic_trained = true;
+    history.train_seconds += train_clock.elapsed_seconds();
+
+    const std::size_t workers = std::min(n_act, simulation_budget - sims);
+    std::vector<SimRecord> results(workers);
+    std::vector<double> worker_train_s(workers, 0.0), worker_sim_s(workers, 0.0);
+
+    pool.parallel_for(workers, [&](std::size_t i) {
+      Rng rng(derive_seed(seed, 0x1000 + static_cast<std::uint64_t>(t) * 64 + i));
+      EliteSet& elite = config_.shared_elite_set ? elites[0] : elites[i];
+
+      ThreadCpuTimer tclock;
+      CriticEnsemble local_critic(critic);  // private forward/backward workspace
+      Vec lb_raw, ub_raw;
+      elite.bounds(lb_raw, ub_raw);
+      // Map the elite box to unit space (degenerate boxes stay degenerate:
+      // the violation term then pins proposals to the elite's column values).
+      const Vec lb_unit = scaler.to_unit(lb_raw);
+      const Vec ub_unit = scaler.to_unit(ub_raw);
+      actors[i].train_round(local_critic, fom, history.records, scaler, lb_unit, ub_unit, rng);
+      const Vec proposal_unit =
+          actors[i].select_candidate_unit(local_critic, fom, elite.snapshot(), scaler);
+      worker_train_s[i] = tclock.elapsed_seconds();
+
+      Vec candidate(d);
+      for (std::size_t c = 0; c < d; ++c) candidate[c] = std::clamp(proposal_unit[c], -1.0, 1.0);
+      candidate = problem.clip(scaler.from_unit(candidate));
+
+      ThreadCpuTimer sclock;
+      const ckt::EvalResult eval = problem.evaluate(candidate);
+      worker_sim_s[i] = sclock.elapsed_seconds();
+
+      results[i].x = std::move(candidate);
+      results[i].metrics = eval.metrics;
+      results[i].simulation_ok = eval.simulation_ok;
+    });
+
+    for (std::size_t i = 0; i < workers; ++i) {
+      history.train_seconds += worker_train_s[i];
+      history.sim_seconds += worker_sim_s[i];
+      // Individual sets: actor i's result refreshes only its own set.
+      if (!config_.shared_elite_set) {
+        const double f = fom(results[i].metrics);
+        elites[i].try_insert(results[i].x, f);
+      }
+      append_record(std::move(results[i]), /*insert_all_sets=*/false);
+    }
+  }
+
+  history.wall_seconds = total.elapsed_seconds();
+  return history;
+}
+
+}  // namespace maopt::core

@@ -1,0 +1,59 @@
+// MA-Opt (paper Algorithms 1 and 3) and its ablations, configured by
+// MaOptConfig:
+//   * DNN-Opt  [16]: 1 actor,            no near-sampling
+//   * MA-Opt^1     : N_act actors, individual elite sets, no near-sampling
+//   * MA-Opt^2     : N_act actors, shared elite set,      no near-sampling
+//   * MA-Opt       : N_act actors, shared elite set,      near-sampling
+//
+// Per iteration (Algorithm 1): the critic is trained on pseudo-samples of
+// the total design set, then each actor — concurrently on its own thread,
+// with a private critic copy — trains against the critic (Eq. 5), picks the
+// elite state whose proposed move has the lowest predicted FoM, and
+// simulates the proposal. Once specs are met, every T_NS-th iteration runs
+// the near-sampling method instead (Algorithm 3), costing one simulation
+// and no actor training.
+#pragma once
+
+#include "core/actor.hpp"
+#include "core/critic.hpp"
+#include "core/history.hpp"
+#include "core/near_sampling.hpp"
+
+namespace maopt::core {
+
+struct MaOptConfig {
+  std::string name = "MA-Opt";
+  int num_actors = 3;          ///< N_act (paper: 3)
+  int num_critics = 1;         ///< >1: ensemble (paper rejects this for memory; see ablation)
+  bool shared_elite_set = true;
+  bool use_near_sampling = true;
+  int t_ns = 5;                ///< T_NS (paper: 5)
+  std::size_t elite_size = 20; ///< N_es
+  NearSamplingConfig near_sampling{};  ///< N_samples = 2000 (paper)
+  CriticConfig critic{};
+  ActorConfig actor{};
+  std::size_t num_threads = 0;  ///< 0 -> num_actors
+
+  /// Paper configurations.
+  static MaOptConfig dnn_opt();
+  static MaOptConfig ma_opt1();
+  static MaOptConfig ma_opt2();
+  static MaOptConfig ma_opt();
+};
+
+class MaOptimizer final : public Optimizer {
+ public:
+  explicit MaOptimizer(MaOptConfig config = MaOptConfig::ma_opt()) : config_(std::move(config)) {}
+
+  std::string name() const override { return config_.name; }
+  const MaOptConfig& config() const { return config_; }
+
+  RunHistory run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                 const FomEvaluator& fom, std::uint64_t seed,
+                 std::size_t simulation_budget) override;
+
+ private:
+  MaOptConfig config_;
+};
+
+}  // namespace maopt::core

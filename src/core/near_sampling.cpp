@@ -1,0 +1,47 @@
+#include "core/near_sampling.hpp"
+
+#include <algorithm>
+
+namespace maopt::core {
+
+Vec near_sampling_candidate(const ckt::SizingProblem& problem, const FomEvaluator& fom,
+                            Surrogate& critic, const nn::RangeScaler& scaler, const Vec& x_opt_raw,
+                            const NearSamplingConfig& config, Rng& rng) {
+  const std::size_t d = problem.dim();
+  const Vec& lo = problem.lower_bounds();
+  const Vec& hi = problem.upper_bounds();
+  const Vec x_opt_unit = scaler.to_unit(x_opt_raw);
+
+  const auto n = static_cast<std::size_t>(std::max(1, config.num_samples));
+  std::vector<Vec> raw_samples;
+  raw_samples.reserve(n);
+  nn::Mat critic_in(n, 2 * d);
+  for (std::size_t k = 0; k < n; ++k) {
+    Vec s(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double delta = config.delta_frac * (hi[i] - lo[i]);
+      s[i] = std::clamp(x_opt_raw[i] + rng.uniform(-delta, delta), lo[i], hi[i]);
+    }
+    s = problem.clip(std::move(s));
+    const Vec su = scaler.to_unit(s);
+    for (std::size_t i = 0; i < d; ++i) {
+      critic_in(k, i) = x_opt_unit[i];
+      critic_in(k, d + i) = su[i] - x_opt_unit[i];
+    }
+    raw_samples.push_back(std::move(s));
+  }
+
+  const nn::Mat raw_metrics = critic.predict(critic_in);
+  std::size_t best = 0;
+  double best_g = 1e300;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double g = fom(raw_metrics.row(k));
+    if (g < best_g) {
+      best_g = g;
+      best = k;
+    }
+  }
+  return raw_samples[best];
+}
+
+}  // namespace maopt::core

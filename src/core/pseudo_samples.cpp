@@ -1,0 +1,35 @@
+#include "core/pseudo_samples.hpp"
+
+#include <stdexcept>
+
+namespace maopt::core {
+
+PseudoSampleBatcher::PseudoSampleBatcher(const std::vector<SimRecord>& records,
+                                         const nn::RangeScaler& scaler)
+    : records_(&records), scaler_(&scaler) {
+  if (records.empty()) throw std::invalid_argument("PseudoSampleBatcher: empty population");
+}
+
+void PseudoSampleBatcher::sample(std::size_t batch, Rng& rng, nn::Mat& x, nn::Mat& y) const {
+  const auto& recs = *records_;
+  const std::size_t n = recs.size();
+  const std::size_t d = recs.front().x.size();
+  const std::size_t m1 = recs.front().metrics.size();
+  x.resize(batch, 2 * d);
+  y.resize(batch, m1);
+  for (std::size_t k = 0; k < batch; ++k) {
+    const auto i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const Vec ui = scaler_->to_unit(recs[i].x);
+    const Vec uj = scaler_->to_unit(recs[j].x);
+    auto row = x.row(k);
+    for (std::size_t c = 0; c < d; ++c) {
+      row[c] = ui[c];
+      row[d + c] = uj[c] - ui[c];
+    }
+    auto yrow = y.row(k);
+    for (std::size_t c = 0; c < m1; ++c) yrow[c] = recs[j].metrics[c];
+  }
+}
+
+}  // namespace maopt::core

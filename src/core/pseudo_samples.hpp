@@ -1,0 +1,32 @@
+// Pseudo-sample generation (paper Eq. 3, population-based technique [20]):
+// from N simulated designs, up to N^2 training pairs
+//   input  (x_i, x_j - x_i)   ->   target f(x_j)
+// teach the critic the effect of *moves* in the design space, not just
+// point values. Pairs are drawn on demand instead of materializing N^2 rows.
+#pragma once
+
+#include "common/rng.hpp"
+#include "core/history.hpp"
+#include "nn/normalizer.hpp"
+
+namespace maopt::core {
+
+class PseudoSampleBatcher {
+ public:
+  /// `records` must outlive the batcher. Inputs are expressed in the unit
+  /// design space defined by `scaler`; targets are raw metric vectors.
+  PseudoSampleBatcher(const std::vector<SimRecord>& records, const nn::RangeScaler& scaler);
+
+  /// Draws `batch` (i, j) pairs uniformly with replacement and fills
+  /// X (batch x 2d) = [unit(x_i), unit(x_j) - unit(x_i)] and
+  /// Y (batch x (m+1)) = metrics(x_j).
+  void sample(std::size_t batch, Rng& rng, nn::Mat& x, nn::Mat& y) const;
+
+  std::size_t population() const { return records_->size(); }
+
+ private:
+  const std::vector<SimRecord>* records_;
+  const nn::RangeScaler* scaler_;
+};
+
+}  // namespace maopt::core

@@ -1,0 +1,90 @@
+#include "core/pso.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace maopt::core {
+
+RunHistory PsoOptimizer::run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                             const FomEvaluator& fom, std::uint64_t seed,
+                             std::size_t simulation_budget) {
+  RunHistory history;
+  history.algorithm = name();
+  history.records = initial;
+  history.num_initial = initial.size();
+  annotate_foms(history.records, problem, fom);
+
+  Rng rng(derive_seed(seed, 0x9507));
+  const std::size_t d = problem.dim();
+  const Vec& lo = problem.lower_bounds();
+  const Vec& hi = problem.upper_bounds();
+
+  // Seed the swarm with the best initial designs (fill with random if the
+  // initial set is smaller than the swarm).
+  std::vector<const SimRecord*> sorted;
+  for (const auto& r : history.records) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SimRecord* a, const SimRecord* b) { return a->fom < b->fom; });
+
+  const std::size_t n = config_.swarm_size;
+  std::vector<Vec> pos(n), vel(n, Vec(d, 0.0)), pbest(n);
+  std::vector<double> pbest_fom(n);
+  Vec gbest;
+  double gbest_fom = 1e300;
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] = i < sorted.size() ? sorted[i]->x : problem.random_design(rng);
+    pbest[i] = pos[i];
+    pbest_fom[i] = i < sorted.size() ? sorted[i]->fom : 1e300;
+    if (pbest_fom[i] < gbest_fom) {
+      gbest_fom = pbest_fom[i];
+      gbest = pbest[i];
+    }
+  }
+
+  Stopwatch total;
+  double best = gbest_fom;
+  std::size_t sims = 0;
+  while (sims < simulation_budget) {
+    for (std::size_t i = 0; i < n && sims < simulation_budget; ++i) {
+      // Velocity / position update with per-dimension velocity clamp.
+      for (std::size_t c = 0; c < d; ++c) {
+        const double span = hi[c] - lo[c];
+        const double vmax = config_.v_max_frac * span;
+        double v = config_.inertia * vel[i][c] +
+                   config_.cognitive * rng.uniform() * (pbest[i][c] - pos[i][c]) +
+                   config_.social * rng.uniform() * (gbest[c] - pos[i][c]);
+        vel[i][c] = std::clamp(v, -vmax, vmax);
+        pos[i][c] = pos[i][c] + vel[i][c];
+      }
+      pos[i] = problem.clip(std::move(pos[i]));
+
+      Stopwatch sim;
+      const ckt::EvalResult eval = problem.evaluate(pos[i]);
+      history.sim_seconds += sim.elapsed_seconds();
+      ++sims;
+
+      SimRecord rec;
+      rec.x = pos[i];
+      rec.metrics = eval.metrics;
+      rec.simulation_ok = eval.simulation_ok;
+      rec.fom = fom(rec.metrics);
+      rec.feasible = eval.simulation_ok && problem.feasible(rec.metrics);
+      if (rec.fom < pbest_fom[i]) {
+        pbest_fom[i] = rec.fom;
+        pbest[i] = rec.x;
+      }
+      if (rec.fom < gbest_fom) {
+        gbest_fom = rec.fom;
+        gbest = rec.x;
+      }
+      best = std::min(best, rec.fom);
+      history.records.push_back(std::move(rec));
+      history.best_fom_after.push_back(best);
+    }
+  }
+  history.wall_seconds = total.elapsed_seconds();
+  return history;
+}
+
+}  // namespace maopt::core

@@ -1,0 +1,33 @@
+// Particle swarm optimization over the FoM — the paper's related-work
+// population baseline (ref. [7]: "Analog circuit sizing via swarm
+// intelligence"). Canonical gbest PSO with inertia weight and clamped
+// velocities; the swarm is seeded from the best designs of the shared
+// initial set so every method starts from the same information.
+#pragma once
+
+#include "core/history.hpp"
+
+namespace maopt::core {
+
+struct PsoConfig {
+  std::size_t swarm_size = 10;
+  double inertia = 0.72;
+  double cognitive = 1.49;  ///< c1
+  double social = 1.49;     ///< c2
+  double v_max_frac = 0.25;  ///< velocity clamp as a fraction of each range
+};
+
+class PsoOptimizer final : public Optimizer {
+ public:
+  explicit PsoOptimizer(PsoConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "PSO"; }
+  RunHistory run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                 const FomEvaluator& fom, std::uint64_t seed,
+                 std::size_t simulation_budget) override;
+
+ private:
+  PsoConfig config_;
+};
+
+}  // namespace maopt::core

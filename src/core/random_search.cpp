@@ -1,0 +1,41 @@
+#include "core/random_search.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace maopt::core {
+
+RunHistory RandomSearch::run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                             const FomEvaluator& fom, std::uint64_t seed,
+                             std::size_t simulation_budget) {
+  RunHistory history;
+  history.algorithm = name();
+  history.records = initial;
+  history.num_initial = initial.size();
+  annotate_foms(history.records, problem, fom);
+
+  Rng rng(derive_seed(seed, 0x7A));
+  Stopwatch total;
+  double best = 1e300;
+  for (const auto& r : history.records) best = std::min(best, r.fom);
+
+  for (std::size_t i = 0; i < simulation_budget; ++i) {
+    SimRecord rec;
+    rec.x = problem.random_design(rng);
+    Stopwatch sim;
+    const ckt::EvalResult eval = problem.evaluate(rec.x);
+    history.sim_seconds += sim.elapsed_seconds();
+    rec.metrics = eval.metrics;
+    rec.simulation_ok = eval.simulation_ok;
+    rec.fom = fom(rec.metrics);
+    rec.feasible = eval.simulation_ok && problem.feasible(rec.metrics);
+    best = std::min(best, rec.fom);
+    history.records.push_back(std::move(rec));
+    history.best_fom_after.push_back(best);
+  }
+  history.wall_seconds = total.elapsed_seconds();
+  return history;
+}
+
+}  // namespace maopt::core

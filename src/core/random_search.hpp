@@ -1,0 +1,17 @@
+// Uniform random search — a sanity baseline (not in the paper's tables, but
+// any learned method must beat it for the comparison to mean anything).
+#pragma once
+
+#include "core/history.hpp"
+
+namespace maopt::core {
+
+class RandomSearch final : public Optimizer {
+ public:
+  std::string name() const override { return "Random"; }
+  RunHistory run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                 const FomEvaluator& fom, std::uint64_t seed,
+                 std::size_t simulation_budget) override;
+};
+
+}  // namespace maopt::core

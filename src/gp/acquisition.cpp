@@ -1,0 +1,50 @@
+#include "gp/acquisition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace maopt::gp {
+
+namespace {
+double normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+}  // namespace
+
+double expected_improvement(const GpPrediction& pred, double best_value) {
+  const double sigma = std::sqrt(pred.variance);
+  if (sigma < 1e-12) return std::max(0.0, best_value - pred.mean);
+  const double z = (best_value - pred.mean) / sigma;
+  return (best_value - pred.mean) * normal_cdf(z) + sigma * normal_pdf(z);
+}
+
+Vec maximize_ei(const GpRegression& gp, double best_value, std::size_t dim, Rng& rng,
+                int random_candidates, int local_candidates) {
+  Vec best_x(dim, 0.5);
+  double best_ei = -1.0;
+  auto consider = [&](const Vec& x) {
+    const double ei = expected_improvement(gp.predict(x), best_value);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_x = x;
+    }
+  };
+
+  Vec x(dim);
+  for (int c = 0; c < random_candidates; ++c) {
+    for (auto& v : x) v = rng.uniform();
+    consider(x);
+  }
+  // Local refinement with shrinking Gaussian perturbations.
+  for (int c = 0; c < local_candidates; ++c) {
+    const double scale = 0.2 * std::pow(0.99, c);
+    for (std::size_t i = 0; i < dim; ++i)
+      x[i] = std::clamp(best_x[i] + rng.normal(0.0, scale), 0.0, 1.0);
+    consider(x);
+  }
+  return best_x;
+}
+
+}  // namespace maopt::gp

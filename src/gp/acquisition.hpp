@@ -1,0 +1,18 @@
+// Acquisition functions for Bayesian optimization.
+#pragma once
+
+#include "common/rng.hpp"
+#include "gp/gp_regression.hpp"
+
+namespace maopt::gp {
+
+/// Expected improvement for *minimization*:
+///   EI(x) = (best - mu) * Phi(z) + sigma * phi(z),  z = (best - mu) / sigma.
+double expected_improvement(const GpPrediction& pred, double best_value);
+
+/// Maximizes EI over the unit box [0,1]^d with random multistart plus a
+/// Gaussian local-perturbation refinement around the incumbent.
+Vec maximize_ei(const GpRegression& gp, double best_value, std::size_t dim, Rng& rng,
+                int random_candidates = 1024, int local_candidates = 256);
+
+}  // namespace maopt::gp

@@ -1,0 +1,89 @@
+#include "gp/bo_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "gp/acquisition.hpp"
+
+namespace maopt::gp {
+
+namespace {
+
+}  // namespace
+
+core::RunHistory BoOptimizer::run(const core::SizingProblem& problem,
+                                  const std::vector<core::SimRecord>& initial,
+                                  const core::FomEvaluator& fom, std::uint64_t seed,
+                                  std::size_t simulation_budget) {
+  core::RunHistory history;
+  history.algorithm = name();
+  history.records = initial;
+  history.num_initial = initial.size();
+  core::annotate_foms(history.records, problem, fom);
+
+  Rng rng(derive_seed(seed, 0xB0));
+  const nn::RangeScaler scaler(problem.lower_bounds(), problem.upper_bounds());
+  const std::size_t d = problem.dim();
+
+  Stopwatch total;
+  GpHyperparams hp;
+  for (std::size_t it = 0; it < simulation_budget; ++it) {
+    // Assemble training data in [0,1]^d.
+    const std::size_t n = history.records.size();
+    Mat x(n, d);
+    Vec y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec u = scaler.to_unit(history.records[i].x);
+      for (std::size_t j = 0; j < d; ++j) x(i, j) = 0.5 * (u[j] + 1.0);
+      y[i] = config_.log_fom ? std::log10(std::max(history.records[i].fom, 1e-12))
+                              : history.records[i].fom;
+    }
+
+    Stopwatch train;
+    if (it % static_cast<std::size_t>(std::max(1, config_.refit_period)) == 0 ||
+        hp.lengthscales.empty()) {
+      hp = GpRegression::fit_hyperparams(x, y, rng, config_.hyperfit_restarts,
+                                         /*isotropic=*/!config_.ard);
+      hp.kernel = config_.kernel;
+    }
+    double best_fom_y = y[0];
+    for (const double v : y) best_fom_y = std::min(best_fom_y, v);
+
+    Vec next_unit01;
+    try {
+      const GpRegression gp(std::move(x), std::move(y), hp);
+      next_unit01 = maximize_ei(gp, best_fom_y, d, rng, config_.random_candidates,
+                                config_.local_candidates);
+    } catch (const std::runtime_error&) {
+      // Degenerate kernel matrix: fall back to a random probe.
+      next_unit01.resize(d);
+      for (auto& v : next_unit01) v = rng.uniform();
+    }
+    history.train_seconds += train.elapsed_seconds();
+
+    Vec u(d);
+    for (std::size_t j = 0; j < d; ++j) u[j] = 2.0 * next_unit01[j] - 1.0;
+    const Vec candidate = problem.clip(scaler.from_unit(u));
+
+    Stopwatch sim;
+    const ckt::EvalResult eval = problem.evaluate(candidate);
+    history.sim_seconds += sim.elapsed_seconds();
+
+    core::SimRecord rec;
+    rec.x = candidate;
+    rec.metrics = eval.metrics;
+    rec.simulation_ok = eval.simulation_ok;
+    rec.fom = fom(rec.metrics);
+    rec.feasible = eval.simulation_ok && problem.feasible(rec.metrics);
+    history.records.push_back(std::move(rec));
+
+    double best = history.records[0].fom;
+    for (const auto& r : history.records) best = std::min(best, r.fom);
+    history.best_fom_after.push_back(best);
+  }
+  history.wall_seconds = total.elapsed_seconds();
+  return history;
+}
+
+}  // namespace maopt::gp

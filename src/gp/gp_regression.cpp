@@ -1,0 +1,81 @@
+#include "gp/gp_regression.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace maopt::gp {
+
+GpRegression::GpRegression(Mat x, Vec y, GpHyperparams hp)
+    : x_(std::move(x)),
+      y_mean_(0.0),
+      hp_(std::move(hp)),
+      kernel_(hp_.kernel, hp_.signal_variance, hp_.lengthscales) {
+  if (x_.rows() != y.size()) throw std::invalid_argument("GpRegression: X/y size mismatch");
+  if (hp_.lengthscales.size() != x_.cols())
+    throw std::invalid_argument("GpRegression: lengthscale dimension mismatch");
+
+  for (const double v : y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(y.size());
+  y_centered_ = std::move(y);
+  for (auto& v : y_centered_) v -= y_mean_;
+
+  Mat k = kernel_.gram(x_);
+  for (std::size_t i = 0; i < k.rows(); ++i) k(i, i) += hp_.noise_variance;
+  chol_ = std::make_unique<linalg::Cholesky>(k);
+  alpha_ = chol_->solve(y_centered_);
+
+  const double n = static_cast<double>(x_.rows());
+  lml_ = -0.5 * linalg::dot(y_centered_, alpha_) - 0.5 * chol_->log_determinant() -
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+GpPrediction GpRegression::predict(std::span<const double> z) const {
+  const Vec k_star = kernel_.cross(x_, z);
+  const double mean = y_mean_ + linalg::dot(k_star, alpha_);
+  const Vec v = chol_->solve_lower(k_star);
+  double var = hp_.signal_variance - linalg::dot(v, v);
+  if (var < 1e-12) var = 1e-12;
+  return {mean, var};
+}
+
+GpHyperparams GpRegression::fit_hyperparams(const Mat& x, const Vec& y, Rng& rng, int restarts,
+                                            bool isotropic) {
+  const std::size_t d = x.cols();
+  // Target variance as the signal-variance prior center.
+  double ymean = 0.0, yvar = 0.0;
+  for (const double v : y) ymean += v;
+  ymean /= static_cast<double>(y.size());
+  for (const double v : y) yvar += (v - ymean) * (v - ymean);
+  yvar = std::max(yvar / std::max<std::size_t>(1, y.size() - 1), 1e-8);
+
+  GpHyperparams best;
+  best.signal_variance = yvar;
+  best.noise_variance = 1e-4 * yvar;
+  best.lengthscales.assign(d, 0.5);
+  double best_lml = -1e300;
+
+  for (int r = 0; r < restarts; ++r) {
+    GpHyperparams cand;
+    cand.signal_variance = yvar * std::pow(10.0, rng.uniform(-0.5, 0.5));
+    cand.noise_variance = yvar * std::pow(10.0, rng.uniform(-6.0, -2.0));
+    cand.lengthscales.resize(d);
+    // Inputs live in [0,1]; draw a base scale, optionally perturbed per
+    // dimension (ARD) or tied (isotropic).
+    const double base = std::pow(10.0, rng.uniform(-1.0, 0.5));
+    for (auto& l : cand.lengthscales)
+      l = isotropic ? base : base * std::pow(10.0, rng.uniform(-0.3, 0.3));
+    try {
+      const GpRegression gp(x, y, cand);
+      if (gp.log_marginal_likelihood() > best_lml) {
+        best_lml = gp.log_marginal_likelihood();
+        best = cand;
+      }
+    } catch (const std::runtime_error&) {
+      // Non-PD draw (extreme hyperparameters): skip.
+    }
+  }
+  return best;
+}
+
+}  // namespace maopt::gp

@@ -1,0 +1,98 @@
+#include "gp/kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace maopt::gp {
+
+SquaredExponentialArd::SquaredExponentialArd(double signal_variance, Vec lengthscales)
+    : sf2_(signal_variance), ls_(std::move(lengthscales)) {
+  if (!(sf2_ > 0.0)) throw std::invalid_argument("SE kernel: signal variance must be > 0");
+  for (const double l : ls_)
+    if (!(l > 0.0)) throw std::invalid_argument("SE kernel: lengthscales must be > 0");
+}
+
+double SquaredExponentialArd::operator()(std::span<const double> a,
+                                         std::span<const double> b) const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < ls_.size(); ++i) {
+    const double d = (a[i] - b[i]) / ls_[i];
+    s += d * d;
+  }
+  return sf2_ * std::exp(-0.5 * s);
+}
+
+Mat SquaredExponentialArd::gram(const Mat& x) const {
+  const std::size_t n = x.rows();
+  Mat k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = sf2_;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = (*this)(x.row(i), x.row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Vec SquaredExponentialArd::cross(const Mat& x, std::span<const double> z) const {
+  Vec k(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) k[i] = (*this)(x.row(i), z);
+  return k;
+}
+
+Matern52Ard::Matern52Ard(double signal_variance, Vec lengthscales)
+    : sf2_(signal_variance), ls_(std::move(lengthscales)) {
+  if (!(sf2_ > 0.0)) throw std::invalid_argument("Matern kernel: signal variance must be > 0");
+  for (const double l : ls_)
+    if (!(l > 0.0)) throw std::invalid_argument("Matern kernel: lengthscales must be > 0");
+}
+
+double Matern52Ard::operator()(std::span<const double> a, std::span<const double> b) const {
+  double r2 = 0.0;
+  for (std::size_t i = 0; i < ls_.size(); ++i) {
+    const double d = (a[i] - b[i]) / ls_[i];
+    r2 += d * d;
+  }
+  const double r = std::sqrt(r2);
+  const double sr = std::sqrt(5.0) * r;
+  return sf2_ * (1.0 + sr + 5.0 * r2 / 3.0) * std::exp(-sr);
+}
+
+Mat Matern52Ard::gram(const Mat& x) const {
+  const std::size_t n = x.rows();
+  Mat k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = sf2_;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = (*this)(x.row(i), x.row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Vec Matern52Ard::cross(const Mat& x, std::span<const double> z) const {
+  Vec k(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) k[i] = (*this)(x.row(i), z);
+  return k;
+}
+
+Kernel::Kernel(KernelKind kind, double signal_variance, Vec lengthscales)
+    : kind_(kind), se_(signal_variance, lengthscales), matern_(signal_variance, std::move(lengthscales)) {}
+
+double Kernel::operator()(std::span<const double> a, std::span<const double> b) const {
+  return kind_ == KernelKind::SquaredExponential ? se_(a, b) : matern_(a, b);
+}
+
+Mat Kernel::gram(const Mat& x) const {
+  return kind_ == KernelKind::SquaredExponential ? se_.gram(x) : matern_.gram(x);
+}
+
+Vec Kernel::cross(const Mat& x, std::span<const double> z) const {
+  return kind_ == KernelKind::SquaredExponential ? se_.cross(x, z) : matern_.cross(x, z);
+}
+
+}  // namespace maopt::gp

@@ -1,0 +1,71 @@
+// Covariance kernels for Gaussian-process regression (the BO baseline,
+// paper reference [21]).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace maopt::gp {
+
+using linalg::Mat;
+using linalg::Vec;
+
+/// Squared-exponential kernel with automatic relevance determination:
+///   k(x, x') = sf2 * exp(-1/2 * sum_i ((x_i - x'_i) / l_i)^2)
+class SquaredExponentialArd {
+ public:
+  SquaredExponentialArd(double signal_variance, Vec lengthscales);
+
+  double operator()(std::span<const double> a, std::span<const double> b) const;
+
+  /// Gram matrix K(X, X) for row-major sample matrix X (n x d).
+  Mat gram(const Mat& x) const;
+  /// Cross-covariances k(X, z) as a vector of length n.
+  Vec cross(const Mat& x, std::span<const double> z) const;
+
+  double signal_variance() const { return sf2_; }
+  const Vec& lengthscales() const { return ls_; }
+
+ private:
+  double sf2_;
+  Vec ls_;
+};
+
+/// Matern-5/2 kernel with ARD: smoother than Matern-3/2, rougher than SE —
+/// the other standard choice for BO response surfaces.
+///   k(r) = sf2 * (1 + sqrt(5) r + 5 r^2 / 3) exp(-sqrt(5) r),
+///   r^2 = sum_i ((x_i - x'_i)/l_i)^2.
+class Matern52Ard {
+ public:
+  Matern52Ard(double signal_variance, Vec lengthscales);
+
+  double operator()(std::span<const double> a, std::span<const double> b) const;
+  Mat gram(const Mat& x) const;
+  Vec cross(const Mat& x, std::span<const double> z) const;
+
+  double signal_variance() const { return sf2_; }
+  const Vec& lengthscales() const { return ls_; }
+
+ private:
+  double sf2_;
+  Vec ls_;
+};
+
+enum class KernelKind { SquaredExponential, Matern52 };
+
+/// Runtime-dispatched kernel facade used by GpRegression.
+class Kernel {
+ public:
+  Kernel(KernelKind kind, double signal_variance, Vec lengthscales);
+
+  double operator()(std::span<const double> a, std::span<const double> b) const;
+  Mat gram(const Mat& x) const;
+  Vec cross(const Mat& x, std::span<const double> z) const;
+  KernelKind kind() const { return kind_; }
+
+ private:
+  KernelKind kind_;
+  SquaredExponentialArd se_;
+  Matern52Ard matern_;
+};
+
+}  // namespace maopt::gp

@@ -1,0 +1,55 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace maopt::linalg {
+
+Cholesky::Cholesky(const Mat& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  l_.resize(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (s <= 0.0) throw std::runtime_error("Cholesky: matrix not positive definite");
+        l_(i, i) = std::sqrt(s);
+      } else {
+        l_(i, j) = s / l_(j, j);
+      }
+    }
+  }
+}
+
+Vec Cholesky::solve_lower(const Vec& b) const {
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("Cholesky solve: dimension mismatch");
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+Vec Cholesky::solve(const Vec& b) const {
+  Vec y = solve_lower(b);
+  const std::size_t n = size();
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * y[k];
+    y[ii] = s / l_(ii, ii);
+  }
+  return y;
+}
+
+double Cholesky::log_determinant() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace maopt::linalg

@@ -1,0 +1,35 @@
+// Cholesky factorization of symmetric positive-definite matrices, used by
+// the Gaussian-process baseline (kernel matrices) where it is both ~2x
+// faster than LU and the standard route to the log-determinant term of the
+// GP log-marginal likelihood.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace maopt::linalg {
+
+class Cholesky {
+ public:
+  /// Factors SPD `a` as L L^T (lower triangular). Throws std::runtime_error
+  /// if a non-positive pivot is met (matrix not positive definite).
+  explicit Cholesky(const Mat& a);
+
+  std::size_t size() const { return l_.rows(); }
+  const Mat& lower() const { return l_; }
+
+  /// Solves A x = b via two triangular solves.
+  Vec solve(const Vec& b) const;
+
+  /// Solves L y = b (forward substitution only).
+  Vec solve_lower(const Vec& b) const;
+
+  /// log(det A) = 2 * sum(log diag L); never over/underflows.
+  double log_determinant() const;
+
+ private:
+  Mat l_;
+};
+
+}  // namespace maopt::linalg

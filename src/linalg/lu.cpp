@@ -1,0 +1,106 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace maopt::linalg {
+namespace {
+double magnitude(double v) { return std::abs(v); }
+double magnitude(const std::complex<double>& v) { return std::abs(v); }
+}  // namespace
+
+template <typename T>
+LuDecomposition<T>::LuDecomposition(Matrix<T> a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols()) throw std::invalid_argument("LU: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k below the diagonal.
+    std::size_t pivot = k;
+    double best = magnitude(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = magnitude(lu_(i, k));
+      if (m > best) {
+        best = m;
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("LU: matrix is singular");
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(pivot, j));
+      std::swap(perm_[k], perm_[pivot]);
+      perm_sign_ = -perm_sign_;
+    }
+    const T inv_pivot = T{1} / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const T factor = lu_(i, k) * inv_pivot;
+      lu_(i, k) = factor;
+      if (factor == T{}) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= factor * lu_(k, j);
+    }
+  }
+}
+
+template <typename T>
+std::vector<T> LuDecomposition<T>::solve(const std::vector<T>& b) const {
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("LU solve: dimension mismatch");
+  std::vector<T> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution (L has unit diagonal).
+  for (std::size_t i = 1; i < n; ++i) {
+    T s = x[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    T s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+template <typename T>
+std::vector<T> LuDecomposition<T>::solve_transposed(const std::vector<T>& b) const {
+  // A = P^T L U  =>  A^T = U^T L^T P. Solve U^T y = b, L^T z = y, x = P^T z.
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("LU solve_transposed: dimension mismatch");
+  std::vector<T> y(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    T s = y[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(j, i) * y[j];
+    y[i] = s / lu_(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    T s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(j, ii) * y[j];
+    y[ii] = s;
+  }
+  std::vector<T> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = y[i];
+  return x;
+}
+
+template <typename T>
+T LuDecomposition<T>::determinant() const {
+  T det = static_cast<T>(perm_sign_);
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+template <typename T>
+std::vector<T> lu_solve(Matrix<T> a, const std::vector<T>& b) {
+  return LuDecomposition<T>(std::move(a)).solve(b);
+}
+
+template class LuDecomposition<double>;
+template class LuDecomposition<std::complex<double>>;
+template std::vector<double> lu_solve(Matrix<double>, const std::vector<double>&);
+template std::vector<std::complex<double>> lu_solve(Matrix<std::complex<double>>,
+                                                    const std::vector<std::complex<double>>&);
+
+}  // namespace maopt::linalg

@@ -1,0 +1,52 @@
+// LU decomposition with partial pivoting, real and complex. This is the
+// workhorse behind every MNA solve in the circuit simulator: the DC Newton
+// iteration refactors the real Jacobian each step, and the AC / noise
+// analyses factor the complex system matrix once per frequency point.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace maopt::linalg {
+
+/// Factored form of a square matrix; solve() may be called repeatedly.
+template <typename T>
+class LuDecomposition {
+ public:
+  /// Factors `a` (copied). Throws std::runtime_error if (numerically) singular.
+  explicit LuDecomposition(Matrix<T> a);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  std::vector<T> solve(const std::vector<T>& b) const;
+
+  /// Solves A^T x = b (real) / A^H for complex is NOT provided; the noise
+  /// analysis uses explicit per-source forward solves instead.
+  std::vector<T> solve_transposed(const std::vector<T>& b) const;
+
+  /// |det A| can over/underflow for big systems; sign + log-magnitude form.
+  T determinant() const;
+
+ private:
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+/// One-shot convenience: solve A x = b.
+template <typename T>
+std::vector<T> lu_solve(Matrix<T> a, const std::vector<T>& b);
+
+using LuReal = LuDecomposition<double>;
+using LuComplex = LuDecomposition<std::complex<double>>;
+
+extern template class LuDecomposition<double>;
+extern template class LuDecomposition<std::complex<double>>;
+extern template std::vector<double> lu_solve(Matrix<double>, const std::vector<double>&);
+extern template std::vector<std::complex<double>> lu_solve(Matrix<std::complex<double>>,
+                                                           const std::vector<std::complex<double>>&);
+
+}  // namespace maopt::linalg

@@ -1,0 +1,113 @@
+// Dense row-major matrix / vector types shared by the neural-network stack
+// (real), the MNA circuit solver (real for DC/transient, complex for AC),
+// and the Gaussian-process baseline (real, SPD systems).
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace maopt::linalg {
+
+using Vec = std::vector<double>;
+using CVec = std::vector<std::complex<double>>;
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(std::size_t rows, std::size_t cols, std::initializer_list<T> values)
+      : rows_(rows), cols_(cols), data_(values) {
+    assert(data_.size() == rows * cols);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<T> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const T> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+  void resize(std::size_t rows, std::size_t cols, T fill = T{}) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using Mat = Matrix<double>;
+using CMat = Matrix<std::complex<double>>;
+
+/// C = A * B.
+template <typename T>
+Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b);
+
+/// y = A * x.
+template <typename T>
+std::vector<T> matvec(const Matrix<T>& a, const std::vector<T>& x);
+
+/// y = A^T * x (without materializing the transpose).
+template <typename T>
+std::vector<T> matvec_transposed(const Matrix<T>& a, const std::vector<T>& x);
+
+// --- Vector helpers (double) ---
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+double norm_inf(std::span<const double> a);
+/// a += s * b
+void axpy(double s, std::span<const double> b, std::span<double> a);
+
+extern template class Matrix<double>;
+extern template class Matrix<std::complex<double>>;
+extern template Matrix<double> matmul(const Matrix<double>&, const Matrix<double>&);
+extern template Matrix<std::complex<double>> matmul(const Matrix<std::complex<double>>&,
+                                                    const Matrix<std::complex<double>>&);
+extern template std::vector<double> matvec(const Matrix<double>&, const std::vector<double>&);
+extern template std::vector<std::complex<double>> matvec(const Matrix<std::complex<double>>&,
+                                                         const std::vector<std::complex<double>>&);
+extern template std::vector<double> matvec_transposed(const Matrix<double>&,
+                                                      const std::vector<double>&);
+
+}  // namespace maopt::linalg

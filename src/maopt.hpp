@@ -1,0 +1,59 @@
+// Umbrella header: the full public API of the MA-Opt reproduction library.
+//
+// Typical usage (see examples/quickstart.cpp):
+//
+//   maopt::ckt::TwoStageOta problem;
+//   maopt::Rng rng(seed);
+//   auto init = maopt::core::sample_initial_set(problem, 100, rng);
+//   auto fom  = maopt::ckt::FomEvaluator::fit_reference(problem, ...);
+//   maopt::core::MaOptimizer opt(maopt::core::MaOptConfig::ma_opt());
+//   auto history = opt.run(problem, init, fom, seed, 200);
+//   const auto* best = history.best_feasible();
+#pragma once
+
+#include "circuits/analytic_problems.hpp"
+#include "circuits/fom.hpp"
+#include "circuits/folded_cascode_ota.hpp"
+#include "circuits/ldo_regulator.hpp"
+#include "circuits/process_variation.hpp"
+#include "circuits/robust_problem.hpp"
+#include "circuits/sensitivity.hpp"
+#include "circuits/sizing_problem.hpp"
+#include "circuits/three_stage_tia.hpp"
+#include "circuits/two_stage_ota.hpp"
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "common/thread_pool.hpp"
+#include "core/actor.hpp"
+#include "core/critic.hpp"
+#include "core/elite_set.hpp"
+#include "core/history.hpp"
+#include "core/history_io.hpp"
+#include "core/ma_optimizer.hpp"
+#include "core/near_sampling.hpp"
+#include "core/pseudo_samples.hpp"
+#include "core/de.hpp"
+#include "core/pso.hpp"
+#include "core/random_search.hpp"
+#include "gp/bo_optimizer.hpp"
+#include "gp/gp_regression.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+#include "nn/normalizer.hpp"
+#include "nn/serialize.hpp"
+#include "spice/ac_analysis.hpp"
+#include "spice/dc_analysis.hpp"
+#include "spice/dc_sweep.hpp"
+#include "spice/devices.hpp"
+#include "spice/measure.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/netlist.hpp"
+#include "spice/noise_analysis.hpp"
+#include "spice/op_report.hpp"
+#include "spice/parser.hpp"
+#include "spice/tran_analysis.hpp"

@@ -1,0 +1,38 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace maopt::nn {
+
+Adam::Adam(std::vector<ParamRef> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->size(), 0.0);
+    v_.emplace_back(p.value->size(), 0.0);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Vec& value = *params_[k].value;
+    Vec& grad = *params_[k].grad;
+    Vec& m = m_[k];
+    Vec& v = v_[k];
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      m[i] = config_.beta1 * m[i] + (1.0 - config_.beta1) * grad[i];
+      v[i] = config_.beta2 * v[i] + (1.0 - config_.beta2) * grad[i] * grad[i];
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      value[i] -= config_.lr * (mhat / (std::sqrt(vhat) + config_.eps) +
+                                config_.weight_decay * value[i]);
+      grad[i] = 0.0;
+    }
+  }
+}
+
+}  // namespace maopt::nn

@@ -1,0 +1,35 @@
+// Adam optimizer (Kingma & Ba) over a set of ParamRefs.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace maopt::nn {
+
+struct AdamConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;  ///< decoupled (AdamW-style) if nonzero
+};
+
+class Adam {
+ public:
+  explicit Adam(std::vector<ParamRef> params, AdamConfig config = {});
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void step();
+
+  void set_learning_rate(double lr) { config_.lr = lr; }
+  double learning_rate() const { return config_.lr; }
+
+ private:
+  std::vector<ParamRef> params_;
+  AdamConfig config_;
+  std::vector<Vec> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace maopt::nn

@@ -1,0 +1,100 @@
+#include "nn/layer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace maopt::nn {
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
+    : in_(in), out_(out), w_(in * out), b_(out, 0.0), dw_(in * out, 0.0), db_(out, 0.0) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(in + out));
+  for (auto& w : w_) w = rng.uniform(-limit, limit);
+}
+
+Mat Linear::forward(const Mat& x) {
+  if (x.cols() != in_) throw std::invalid_argument("Linear::forward: feature size mismatch");
+  last_x_ = x;
+  Mat y(x.rows(), out_);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto xrow = x.row(r);
+    auto yrow = y.row(r);
+    for (std::size_t j = 0; j < out_; ++j) yrow[j] = b_[j];
+    for (std::size_t i = 0; i < in_; ++i) {
+      const double xi = xrow[i];
+      if (xi == 0.0) continue;
+      const double* wrow = &w_[i * out_];
+      for (std::size_t j = 0; j < out_; ++j) yrow[j] += xi * wrow[j];
+    }
+  }
+  return y;
+}
+
+Mat Linear::backward(const Mat& dy) {
+  if (dy.rows() != last_x_.rows() || dy.cols() != out_)
+    throw std::invalid_argument("Linear::backward: shape mismatch");
+  Mat dx(last_x_.rows(), in_);
+  for (std::size_t r = 0; r < dy.rows(); ++r) {
+    const auto dyrow = dy.row(r);
+    const auto xrow = last_x_.row(r);
+    auto dxrow = dx.row(r);
+    for (std::size_t j = 0; j < out_; ++j) db_[j] += dyrow[j];
+    for (std::size_t i = 0; i < in_; ++i) {
+      const double* wrow = &w_[i * out_];
+      double* dwrow = &dw_[i * out_];
+      double s = 0.0;
+      const double xi = xrow[i];
+      for (std::size_t j = 0; j < out_; ++j) {
+        s += wrow[j] * dyrow[j];
+        dwrow[j] += xi * dyrow[j];
+      }
+      dxrow[i] = s;
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamRef> Linear::params() {
+  return {{&w_, &dw_}, {&b_, &db_}};
+}
+
+std::unique_ptr<Layer> Linear::clone() const {
+  // Bypass the rng-initializing constructor, then copy the weights.
+  Rng dummy(0);
+  auto copy = std::make_unique<Linear>(in_, out_, dummy);
+  copy->w_ = w_;
+  copy->b_ = b_;
+  return copy;
+}
+
+Mat Tanh::forward(const Mat& x) {
+  Mat y = x;
+  for (auto& v : y.data()) v = std::tanh(v);
+  last_y_ = y;
+  return y;
+}
+
+Mat Tanh::backward(const Mat& dy) {
+  Mat dx = dy;
+  const auto& y = last_y_.data();
+  auto& d = dx.data();
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] *= 1.0 - y[i] * y[i];
+  return dx;
+}
+
+Mat Relu::forward(const Mat& x) {
+  last_x_ = x;
+  Mat y = x;
+  for (auto& v : y.data()) v = v > 0.0 ? v : 0.0;
+  return y;
+}
+
+Mat Relu::backward(const Mat& dy) {
+  Mat dx = dy;
+  const auto& x = last_x_.data();
+  auto& d = dx.data();
+  for (std::size_t i = 0; i < d.size(); ++i)
+    if (x[i] <= 0.0) d[i] = 0.0;
+  return dx;
+}
+
+}  // namespace maopt::nn

@@ -1,0 +1,107 @@
+// Feed-forward layers with explicit forward/backward passes.
+//
+// The MA-Opt actor update is a deterministic-policy-gradient-style chain:
+//   dL/dtheta_actor = dg/dQ * dQ/da * da/dtheta_actor,
+// which requires (1) parameter gradients and (2) gradients with respect to
+// the *input* of a network (`backward` returns dL/dX for exactly this).
+// Batches are row-major: X is (batch x features).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace maopt::nn {
+
+using linalg::Mat;
+using linalg::Vec;
+
+/// A (value, gradient) pair owned by a layer; optimizers mutate `value` and
+/// read/zero `grad`.
+struct ParamRef {
+  Vec* value;
+  Vec* grad;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output; caches whatever backward() needs.
+  virtual Mat forward(const Mat& x) = 0;
+
+  /// Given dL/dY, accumulates parameter gradients and returns dL/dX.
+  /// Must be called after forward() with a matching batch.
+  virtual Mat backward(const Mat& dy) = 0;
+
+  /// Parameter (value, grad) pairs; empty for stateless layers.
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Deep copy (weights copied, gradients and caches reset) — used to hand
+  /// each worker thread a private critic during parallel actor training.
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  virtual std::size_t input_size() const = 0;
+  virtual std::size_t output_size() const = 0;
+};
+
+/// Fully connected layer: Y = X W + 1 b^T, W is (in x out).
+class Linear final : public Layer {
+ public:
+  /// Xavier-uniform initialization from `rng`.
+  Linear(std::size_t in, std::size_t out, Rng& rng);
+
+  Mat forward(const Mat& x) override;
+  Mat backward(const Mat& dy) override;
+  std::vector<ParamRef> params() override;
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t input_size() const override { return in_; }
+  std::size_t output_size() const override { return out_; }
+
+  /// Row-major (in x out) weight access for tests.
+  Vec& weights() { return w_; }
+  Vec& bias() { return b_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Vec w_, b_;
+  Vec dw_, db_;
+  Mat last_x_;
+};
+
+/// Elementwise tanh.
+class Tanh final : public Layer {
+ public:
+  explicit Tanh(std::size_t size) : size_(size) {}
+  Mat forward(const Mat& x) override;
+  Mat backward(const Mat& dy) override;
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Tanh>(size_); }
+  std::size_t input_size() const override { return size_; }
+  std::size_t output_size() const override { return size_; }
+
+ private:
+  std::size_t size_;
+  Mat last_y_;
+};
+
+/// Elementwise max(0, x).
+class Relu final : public Layer {
+ public:
+  explicit Relu(std::size_t size) : size_(size) {}
+  Mat forward(const Mat& x) override;
+  Mat backward(const Mat& dy) override;
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Relu>(size_); }
+  std::size_t input_size() const override { return size_; }
+  std::size_t output_size() const override { return size_; }
+
+ private:
+  std::size_t size_;
+  Mat last_x_;
+};
+
+}  // namespace maopt::nn

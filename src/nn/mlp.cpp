@@ -1,0 +1,99 @@
+#include "nn/mlp.hpp"
+
+#include <stdexcept>
+
+namespace maopt::nn {
+
+Mlp::Mlp(std::size_t in, const std::vector<std::size_t>& hidden, std::size_t out, Rng& rng,
+         Activation hidden_act, bool output_tanh) {
+  std::size_t prev = in;
+  for (const std::size_t h : hidden) {
+    layers_.push_back(std::make_unique<Linear>(prev, h, rng));
+    if (hidden_act == Activation::Tanh)
+      layers_.push_back(std::make_unique<Tanh>(h));
+    else
+      layers_.push_back(std::make_unique<Relu>(h));
+    prev = h;
+  }
+  layers_.push_back(std::make_unique<Linear>(prev, out, rng));
+  if (output_tanh) layers_.push_back(std::make_unique<Tanh>(out));
+}
+
+Mlp::Mlp(const Mlp& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+}
+
+Mlp& Mlp::operator=(const Mlp& other) {
+  if (this != &other) {
+    layers_.clear();
+    layers_.reserve(other.layers_.size());
+    for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+  }
+  return *this;
+}
+
+Mlp Mlp::make_paper_net(std::size_t in, std::size_t out, Rng& rng, bool output_tanh) {
+  return Mlp(in, {100, 100}, out, rng, Activation::Relu, output_tanh);
+}
+
+Mat Mlp::forward(const Mat& x) {
+  Mat h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Mat Mlp::backward(const Mat& dy) {
+  Mat g = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+Mat Mlp::input_gradient(const Mat& dy) {
+  // backward() accumulates into parameter grads; to leave them untouched we
+  // run backward and then subtract nothing — instead we save/restore grads.
+  // Cheaper: snapshot grads, backward, restore.
+  std::vector<Vec> saved;
+  auto ps = params();
+  saved.reserve(ps.size());
+  for (const auto& p : ps) saved.push_back(*p.grad);
+  Mat g = backward(dy);
+  for (std::size_t i = 0; i < ps.size(); ++i) *ps[i].grad = std::move(saved[i]);
+  return g;
+}
+
+void Mlp::zero_grad() {
+  for (const auto& p : params()) p.grad->assign(p.grad->size(), 0.0);
+}
+
+std::vector<ParamRef> Mlp::params() {
+  std::vector<ParamRef> out;
+  for (auto& layer : layers_)
+    for (const auto& p : layer->params()) out.push_back(p);
+  return out;
+}
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    // params() is non-const on Layer; const_cast is safe (read-only use).
+    for (const auto& p : const_cast<Layer&>(*layer).params()) n += p.value->size();
+  }
+  return n;
+}
+
+double mse_loss(const Mat& pred, const Mat& target, Mat* grad) {
+  if (pred.rows() != target.rows() || pred.cols() != target.cols())
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  const double n = static_cast<double>(pred.data().size());
+  double loss = 0.0;
+  if (grad) grad->resize(pred.rows(), pred.cols());
+  for (std::size_t i = 0; i < pred.data().size(); ++i) {
+    const double d = pred.data()[i] - target.data()[i];
+    loss += d * d;
+    if (grad) grad->data()[i] = 2.0 * d / n;
+  }
+  return loss / n;
+}
+
+}  // namespace maopt::nn

@@ -1,0 +1,80 @@
+#include "nn/serialize.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace maopt::nn {
+
+namespace {
+constexpr const char* kMagic = "maopt-mlp";
+constexpr int kVersion = 1;
+
+std::string hex_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+}  // namespace
+
+void save_mlp(std::ostream& out, Mlp& net) {
+  const auto params = net.params();
+  out << kMagic << " " << kVersion << "\n";
+  out << "params " << params.size() << "\n";
+  for (const auto& p : params) {
+    out << "block " << p.value->size();
+    for (const double v : *p.value) out << " " << hex_double(v);
+    out << "\n";
+  }
+}
+
+void save_mlp(const std::string& path, Mlp& net) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_mlp: cannot open '" + path + "'");
+  save_mlp(out, net);
+}
+
+void load_mlp(std::istream& in, Mlp& net) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic)
+    throw std::runtime_error("load_mlp: bad magic (not a maopt-mlp file)");
+  if (version != kVersion)
+    throw std::runtime_error("load_mlp: unsupported version " + std::to_string(version));
+
+  std::string kw;
+  std::size_t count = 0;
+  if (!(in >> kw >> count) || kw != "params")
+    throw std::runtime_error("load_mlp: missing params header");
+  const auto params = net.params();
+  if (count != params.size())
+    throw std::runtime_error("load_mlp: parameter block count mismatch (file " +
+                             std::to_string(count) + ", net " + std::to_string(params.size()) +
+                             ")");
+
+  for (auto& p : params) {
+    std::size_t size = 0;
+    if (!(in >> kw >> size) || kw != "block")
+      throw std::runtime_error("load_mlp: missing block header");
+    if (size != p.value->size())
+      throw std::runtime_error("load_mlp: block size mismatch (file " + std::to_string(size) +
+                               ", net " + std::to_string(p.value->size()) + ")");
+    for (auto& v : *p.value) {
+      std::string token;
+      if (!(in >> token)) throw std::runtime_error("load_mlp: truncated block");
+      char* end = nullptr;
+      v = std::strtod(token.c_str(), &end);
+      if (end == token.c_str()) throw std::runtime_error("load_mlp: malformed value '" + token + "'");
+    }
+  }
+}
+
+void load_mlp(const std::string& path, Mlp& net) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_mlp: cannot open '" + path + "'");
+  load_mlp(in, net);
+}
+
+}  // namespace maopt::nn

@@ -1,0 +1,27 @@
+// Plain-text serialization of MLP weights.
+//
+// Format (line-oriented, locale-independent):
+//   maopt-mlp 1            <- magic + version
+//   params <count>         <- number of parameter blocks
+//   block <size> v0 v1 ... <- one line per (weight|bias) vector, hex doubles
+//
+// Only parameter *values* travel; the architecture must match at load time
+// (sizes are validated). Hex float formatting makes round-trips bit-exact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/mlp.hpp"
+
+namespace maopt::nn {
+
+void save_mlp(std::ostream& out, Mlp& net);
+void save_mlp(const std::string& path, Mlp& net);
+
+/// Loads weights into an existing, architecturally identical network.
+/// Throws std::runtime_error on magic/size mismatch or malformed input.
+void load_mlp(std::istream& in, Mlp& net);
+void load_mlp(const std::string& path, Mlp& net);
+
+}  // namespace maopt::nn

@@ -1,0 +1,37 @@
+#include "spice/ac_analysis.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "linalg/lu.hpp"
+
+namespace maopt::spice {
+
+std::vector<double> log_frequency_grid(double f_start, double f_stop, int points_per_decade) {
+  std::vector<double> freqs;
+  const double decades = std::log10(f_stop / f_start);
+  const int n = std::max(2, static_cast<int>(std::ceil(decades * points_per_decade)) + 1);
+  freqs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    freqs.push_back(f_start * std::pow(f_stop / f_start, t));
+  }
+  return freqs;
+}
+
+AcSweep AcAnalysis::run(Netlist& netlist, const Vec& op, const std::vector<double>& frequencies) const {
+  if (!netlist.prepared()) netlist.prepare();
+  AcSweep sweep;
+  sweep.frequencies = frequencies;
+  sweep.solutions.reserve(frequencies.size());
+  CMat a;
+  CVec rhs;
+  for (const double f : frequencies) {
+    const double omega = 2.0 * std::numbers::pi * f;
+    netlist.build_ac_system(omega, op, a, rhs);
+    sweep.solutions.push_back(linalg::lu_solve(std::move(a), rhs));
+  }
+  return sweep;
+}
+
+}  // namespace maopt::spice

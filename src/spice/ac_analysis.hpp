@@ -1,0 +1,30 @@
+// Small-signal AC analysis: the netlist is linearized at a DC operating
+// point and the complex MNA system (G + jwC) x = b is solved per frequency.
+#pragma once
+
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace maopt::spice {
+
+struct AcSweep {
+  std::vector<double> frequencies;       ///< Hz
+  std::vector<CVec> solutions;           ///< one complex solution vector per frequency
+
+  /// Complex voltage of `node` at sweep point `k`.
+  std::complex<double> voltage(std::size_t k, int node) const {
+    return Netlist::voltage(solutions[k], node);
+  }
+};
+
+/// Log-spaced frequency grid [f_start, f_stop] with `points_per_decade`.
+std::vector<double> log_frequency_grid(double f_start, double f_stop, int points_per_decade);
+
+class AcAnalysis {
+ public:
+  /// `op` is a converged DC solution for `netlist`.
+  AcSweep run(Netlist& netlist, const Vec& op, const std::vector<double>& frequencies) const;
+};
+
+}  // namespace maopt::spice

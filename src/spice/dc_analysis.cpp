@@ -1,0 +1,122 @@
+#include "spice/dc_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+
+namespace maopt::spice {
+
+bool DcAnalysis::newton(const Netlist& netlist, double source_scale, double time, double gmin,
+                        const DcOptions& options, Vec& x, int* iterations_out,
+                        const std::vector<CapacitorStamp>* companion_caps,
+                        const Vec* companion_ieq) {
+  const std::size_t n = netlist.system_size();
+  const std::size_t num_nodes = netlist.num_nodes();
+  if (x.size() != n) x.assign(n, 0.0);
+
+  Mat a;
+  Vec rhs;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    netlist.build_nonlinear_system(x, source_scale, time, gmin, a, rhs);
+    if (companion_caps) {
+      // Transient companion models: conductance + equivalent current per cap.
+      RealStamper s(a, rhs);
+      for (std::size_t k = 0; k < companion_caps->size(); ++k) {
+        const auto& c = (*companion_caps)[k];
+        // geq was folded into the cap list as `capacitance` by the caller
+        // (already 2C/dt); ieq provided alongside.
+        s.conductance(c.node_a, c.node_b, c.capacitance);
+        s.current_into(c.node_a, (*companion_ieq)[k]);
+        s.current_into(c.node_b, -(*companion_ieq)[k]);
+      }
+    }
+
+    Vec x_new;
+    try {
+      x_new = linalg::lu_solve(std::move(a), rhs);
+    } catch (const std::runtime_error&) {
+      return false;  // singular Jacobian; caller escalates the continuation
+    }
+
+    // Damping: clamp the max node-voltage change.
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < num_nodes; ++i) max_dv = std::max(max_dv, std::abs(x_new[i] - x[i]));
+    double alpha = 1.0;
+    if (max_dv > options.max_step) alpha = options.max_step / max_dv;
+
+    bool converged = alpha == 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = x_new[i] - x[i];
+      if (converged) {
+        const double tol = i < num_nodes ? options.v_tol : options.i_tol;
+        if (std::abs(dx) > tol * (1.0 + std::abs(x[i]))) converged = false;
+      }
+      x[i] += alpha * dx;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(x[i])) return false;
+    }
+    if (converged) {
+      if (iterations_out) *iterations_out = iter + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+DcResult DcAnalysis::solve(Netlist& netlist, const Vec* initial_guess) const {
+  if (!netlist.prepared()) netlist.prepare();
+  DcResult result;
+  result.x.assign(netlist.system_size(), 0.0);
+  if (initial_guess && initial_guess->size() == netlist.system_size()) result.x = *initial_guess;
+
+  // 1) Direct attempt.
+  if (newton(netlist, 1.0, -1.0, options_.gmin, options_, result.x, &result.iterations)) {
+    result.converged = true;
+    result.method = "direct";
+    return result;
+  }
+
+  // 2) gmin stepping: start heavily damped toward ground, relax to target.
+  if (options_.allow_gmin_stepping) {
+    Vec x(netlist.system_size(), 0.0);
+    bool ok = true;
+    for (double g = 1e-2; g >= options_.gmin * 0.99; g *= 1e-2) {
+      if (!newton(netlist, 1.0, -1.0, std::max(g, options_.gmin), options_, x, nullptr)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && newton(netlist, 1.0, -1.0, options_.gmin, options_, x, &result.iterations)) {
+      result.x = std::move(x);
+      result.converged = true;
+      result.method = "gmin";
+      return result;
+    }
+  }
+
+  // 3) Source stepping: ramp all independent sources from 0.
+  if (options_.allow_source_stepping) {
+    Vec x(netlist.system_size(), 0.0);
+    bool ok = true;
+    for (double scale = 0.1; scale < 1.0001; scale += 0.1) {
+      if (!newton(netlist, std::min(scale, 1.0), -1.0, options_.gmin, options_, x, nullptr)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      result.x = std::move(x);
+      result.converged = true;
+      result.method = "source";
+      result.iterations = options_.max_iterations;
+      return result;
+    }
+  }
+
+  result.converged = false;
+  return result;
+}
+
+}  // namespace maopt::spice

@@ -1,0 +1,48 @@
+// DC operating-point analysis: damped Newton-Raphson over the nonlinear MNA
+// system, with gmin stepping and source stepping as convergence fallbacks
+// (the standard HSPICE-style continuation ladder).
+#pragma once
+
+#include <optional>
+
+#include "spice/netlist.hpp"
+
+namespace maopt::spice {
+
+struct DcOptions {
+  int max_iterations = 200;
+  double v_tol = 1e-6;        ///< node-voltage convergence tolerance [V]
+  double i_tol = 1e-9;        ///< branch-current convergence tolerance [A]
+  double max_step = 0.5;      ///< per-iteration node-voltage step clamp [V]
+  double gmin = 1e-12;        ///< final gmin value [S]
+  bool allow_gmin_stepping = true;
+  bool allow_source_stepping = true;
+};
+
+struct DcResult {
+  Vec x;            ///< node voltages then branch currents
+  bool converged = false;
+  int iterations = 0;
+  std::string method;  ///< "direct", "gmin", or "source"
+};
+
+class DcAnalysis {
+ public:
+  explicit DcAnalysis(DcOptions options = {}) : options_(options) {}
+
+  /// Solves for the operating point; `initial_guess` (if given and the right
+  /// size) seeds Newton — essential for fast DC sweeps.
+  DcResult solve(Netlist& netlist, const Vec* initial_guess = nullptr) const;
+
+  /// Inner Newton loop at fixed gmin / source scale; exposed for the
+  /// transient engine, which performs its own continuation over time.
+  static bool newton(const Netlist& netlist, double source_scale, double time, double gmin,
+                     const DcOptions& options, Vec& x, int* iterations_out,
+                     const std::vector<CapacitorStamp>* companion_caps = nullptr,
+                     const Vec* companion_ieq = nullptr);
+
+ private:
+  DcOptions options_;
+};
+
+}  // namespace maopt::spice

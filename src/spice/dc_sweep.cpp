@@ -1,0 +1,43 @@
+#include "spice/dc_sweep.hpp"
+
+#include <stdexcept>
+
+namespace maopt::spice {
+
+std::vector<double> DcSweep::linear_grid(double from, double to, int points) {
+  if (points < 2) throw std::invalid_argument("DcSweep: need at least 2 points");
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(points));
+  for (int k = 0; k < points; ++k)
+    grid.push_back(from + (to - from) * static_cast<double>(k) / (points - 1));
+  return grid;
+}
+
+DcSweepResult DcSweep::run(Netlist& netlist, const std::vector<double>& values,
+                           const std::function<void(double)>& apply) const {
+  if (!netlist.prepared()) netlist.prepare();
+  DcSweepResult result;
+  result.values = values;
+  result.solutions.reserve(values.size());
+  result.converged.reserve(values.size());
+
+  DcAnalysis dc(options_);
+  Vec guess;
+  for (const double v : values) {
+    apply(v);
+    const DcResult point = guess.empty() ? dc.solve(netlist) : dc.solve(netlist, &guess);
+    if (point.converged) {
+      guess = point.x;
+      result.solutions.push_back(point.x);
+      result.converged.push_back(true);
+    } else {
+      // Hold the previous solution so curves stay plottable.
+      result.solutions.push_back(guess.empty() ? Vec(netlist.system_size(), 0.0) : guess);
+      result.converged.push_back(false);
+      result.all_converged = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace maopt::spice

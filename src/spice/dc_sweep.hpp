@@ -1,0 +1,48 @@
+// DC sweep analysis: re-solve the operating point across a grid of values
+// of one swept quantity (a source voltage/current or any caller-provided
+// setter), warm-starting each point from the previous solution — the
+// engine behind transfer curves, output-swing and regulation measurements.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "spice/dc_analysis.hpp"
+#include "spice/netlist.hpp"
+
+namespace maopt::spice {
+
+struct DcSweepResult {
+  std::vector<double> values;   ///< swept values actually solved
+  std::vector<Vec> solutions;   ///< one operating point per value
+  std::vector<bool> converged;  ///< per-point convergence flag
+  bool all_converged = true;
+
+  /// Waveform of one node across the sweep (non-converged points hold the
+  /// last converged solution's value).
+  std::vector<double> node_curve(int node) const {
+    std::vector<double> v;
+    v.reserve(solutions.size());
+    for (const auto& x : solutions) v.push_back(Netlist::voltage(x, node));
+    return v;
+  }
+};
+
+class DcSweep {
+ public:
+  explicit DcSweep(DcOptions options = {}) : options_(options) {}
+
+  /// Sweeps by calling `apply(value)` before each solve. Points are solved
+  /// in order with warm starts; a failed point falls back to the full
+  /// continuation ladder before being marked non-converged.
+  DcSweepResult run(Netlist& netlist, const std::vector<double>& values,
+                    const std::function<void(double)>& apply) const;
+
+  /// Convenience: linear grid [from, to] with `points` samples.
+  static std::vector<double> linear_grid(double from, double to, int points);
+
+ private:
+  DcOptions options_;
+};
+
+}  // namespace maopt::spice

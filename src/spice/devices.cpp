@@ -1,0 +1,246 @@
+#include "spice/devices.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace maopt::spice {
+
+namespace {
+constexpr double kBoltzmann = 1.380649e-23;
+constexpr double kRoomTemp = 300.0;
+}  // namespace
+
+// --- Waveform ---
+
+Waveform Waveform::dc(double value) {
+  Waveform w;
+  w.kind_ = Kind::Dc;
+  w.dc_ = value;
+  return w;
+}
+
+Waveform Waveform::pwl(std::vector<std::pair<double, double>> points) {
+  if (points.empty()) throw std::invalid_argument("Waveform::pwl: empty point list");
+  Waveform w;
+  w.kind_ = Kind::Pwl;
+  w.points_ = std::move(points);
+  return w;
+}
+
+Waveform Waveform::pulse(double v1, double v2, double delay, double rise, double fall,
+                         double width, double period) {
+  Waveform w;
+  w.kind_ = Kind::Pulse;
+  w.v1_ = v1;
+  w.v2_ = v2;
+  w.delay_ = delay;
+  w.rise_ = std::max(rise, 1e-15);
+  w.fall_ = std::max(fall, 1e-15);
+  w.width_ = width;
+  w.period_ = period;
+  return w;
+}
+
+double Waveform::value(double t) const {
+  switch (kind_) {
+    case Kind::Dc:
+      return dc_;
+    case Kind::Pwl: {
+      if (t <= points_.front().first) return points_.front().second;
+      if (t >= points_.back().first) return points_.back().second;
+      for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (t <= points_[i].first) {
+          const auto& [t0, v0] = points_[i - 1];
+          const auto& [t1, v1] = points_[i];
+          const double frac = (t - t0) / (t1 - t0);
+          return v0 + frac * (v1 - v0);
+        }
+      }
+      return points_.back().second;
+    }
+    case Kind::Pulse: {
+      if (t < delay_) return v1_;
+      double tp = t - delay_;
+      if (period_ > 0.0) tp = std::fmod(tp, period_);
+      if (tp < rise_) return v1_ + (v2_ - v1_) * tp / rise_;
+      if (tp < rise_ + width_) return v2_;
+      if (tp < rise_ + width_ + fall_) return v2_ + (v1_ - v2_) * (tp - rise_ - width_) / fall_;
+      return v1_;
+    }
+  }
+  return 0.0;
+}
+
+// --- Resistor ---
+
+Resistor::Resistor(int a, int b, double ohms) : a_(a), b_(b), ohms_(ohms) {
+  if (!(ohms > 0.0)) throw std::invalid_argument("Resistor: resistance must be positive");
+}
+
+void Resistor::set_resistance(double ohms) {
+  if (!(ohms > 0.0)) throw std::invalid_argument("Resistor: resistance must be positive");
+  ohms_ = ohms;
+}
+
+void Resistor::stamp_nonlinear(RealStamper& s, const NonlinearStampArgs&) const {
+  s.conductance(a_, b_, 1.0 / ohms_);
+}
+
+void Resistor::stamp_ac(ComplexStamper& s, double, const Vec&) const {
+  s.conductance(a_, b_, {1.0 / ohms_, 0.0});
+}
+
+void Resistor::collect_noise(std::vector<NoiseSource>& sources, const Vec&) const {
+  // Johnson-Nyquist thermal noise: S_i = 4 k T / R  [A^2/Hz].
+  sources.push_back({a_, b_, 4.0 * kBoltzmann * kRoomTemp / ohms_, 0.0, "R"});
+}
+
+// --- Capacitor ---
+
+Capacitor::Capacitor(int a, int b, double farads) : a_(a), b_(b), farads_(farads) {
+  if (!(farads >= 0.0)) throw std::invalid_argument("Capacitor: capacitance must be >= 0");
+}
+
+void Capacitor::stamp_nonlinear(RealStamper&, const NonlinearStampArgs&) const {
+  // Open at DC; the transient engine integrates it via collect_caps().
+}
+
+void Capacitor::stamp_ac(ComplexStamper& s, double omega, const Vec&) const {
+  s.conductance(a_, b_, {0.0, omega * farads_});
+}
+
+void Capacitor::collect_caps(std::vector<CapacitorStamp>& caps, const Vec&) const {
+  caps.push_back({a_, b_, farads_});
+}
+
+// --- Inductor ---
+
+Inductor::Inductor(int a, int b, double henries) : a_(a), b_(b), henries_(henries) {
+  if (!(henries > 0.0)) throw std::invalid_argument("Inductor: inductance must be positive");
+}
+
+void Inductor::stamp_nonlinear(RealStamper& s, const NonlinearStampArgs&) const {
+  // DC short: V(a) - V(b) = 0 with branch current unknown.
+  const int br = branch_base();
+  s.add(a_, br, 1.0);
+  s.add(b_, br, -1.0);
+  s.add(br, a_, 1.0);
+  s.add(br, b_, -1.0);
+}
+
+void Inductor::stamp_ac(ComplexStamper& s, double omega, const Vec&) const {
+  const int br = branch_base();
+  s.add(a_, br, {1.0, 0.0});
+  s.add(b_, br, {-1.0, 0.0});
+  s.add(br, a_, {1.0, 0.0});
+  s.add(br, b_, {-1.0, 0.0});
+  s.add(br, br, {0.0, -omega * henries_});
+}
+
+// --- VSource ---
+
+VSource::VSource(int a, int b, Waveform waveform, double ac_mag)
+    : a_(a), b_(b), waveform_(std::move(waveform)), ac_mag_(ac_mag) {}
+
+void VSource::stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const {
+  const int br = branch_base();
+  s.add(a_, br, 1.0);
+  s.add(b_, br, -1.0);
+  s.add(br, a_, 1.0);
+  s.add(br, b_, -1.0);
+  const double v = (args.time < 0.0 ? waveform_.dc_value() : waveform_.value(args.time));
+  s.rhs_add(br, v * args.source_scale);
+}
+
+void VSource::stamp_ac(ComplexStamper& s, double, const Vec&) const {
+  const int br = branch_base();
+  s.add(a_, br, {1.0, 0.0});
+  s.add(b_, br, {-1.0, 0.0});
+  s.add(br, a_, {1.0, 0.0});
+  s.add(br, b_, {-1.0, 0.0});
+  s.rhs_add(br, {ac_mag_, 0.0});
+}
+
+// --- ISource ---
+
+ISource::ISource(int a, int b, Waveform waveform, double ac_mag)
+    : a_(a), b_(b), waveform_(std::move(waveform)), ac_mag_(ac_mag) {}
+
+void ISource::stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const {
+  const double i = (args.time < 0.0 ? waveform_.dc_value() : waveform_.value(args.time)) *
+                   args.source_scale;
+  s.current_into(a_, -i);
+  s.current_into(b_, i);
+}
+
+void ISource::stamp_ac(ComplexStamper& s, double, const Vec&) const {
+  s.current_into(a_, {-ac_mag_, 0.0});
+  s.current_into(b_, {ac_mag_, 0.0});
+}
+
+// --- CurrentSinkLoad ---
+
+CurrentSinkLoad::CurrentSinkLoad(int a, int b, Waveform current, double v_knee)
+    : a_(a), b_(b), current_(std::move(current)), v_knee_(v_knee) {
+  if (!(v_knee > 0.0)) throw std::invalid_argument("CurrentSinkLoad: v_knee must be > 0");
+}
+
+std::pair<double, double> CurrentSinkLoad::shape(double v) const {
+  if (v <= 0.0) return {0.0, 0.0};
+  if (v >= v_knee_) return {1.0, 0.0};
+  return {v / v_knee_, 1.0 / v_knee_};
+}
+
+void CurrentSinkLoad::stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const {
+  const double i_target = (args.time < 0.0 ? current_.dc_value() : current_.value(args.time)) *
+                          args.source_scale;
+  const double v = Netlist::voltage(args.x, a_) - Netlist::voltage(args.x, b_);
+  const auto [f, dfdv] = shape(v);
+  const double i = i_target * f;
+  const double g = i_target * dfdv;
+  // Linear companion: i(v') ~ i + g (v' - v)  =>  conductance g + source.
+  s.conductance(a_, b_, g);
+  const double ieq = i - g * v;
+  s.current_into(a_, -ieq);
+  s.current_into(b_, ieq);
+}
+
+double CurrentSinkLoad::current_at(const Vec& x) const {
+  const double v = Netlist::voltage(x, a_) - Netlist::voltage(x, b_);
+  return current_.dc_value() * shape(v).first;
+}
+
+void CurrentSinkLoad::stamp_ac(ComplexStamper& s, double, const Vec& op) const {
+  const double v = Netlist::voltage(op, a_) - Netlist::voltage(op, b_);
+  const auto [f, dfdv] = shape(v);
+  (void)f;
+  s.conductance(a_, b_, {current_.dc_value() * dfdv, 0.0});
+}
+
+// --- Vcvs ---
+
+Vcvs::Vcvs(int p, int n, int cp, int cn, double gain)
+    : p_(p), n_(n), cp_(cp), cn_(cn), gain_(gain) {}
+
+void Vcvs::stamp_nonlinear(RealStamper& s, const NonlinearStampArgs&) const {
+  const int br = branch_base();
+  s.add(p_, br, 1.0);
+  s.add(n_, br, -1.0);
+  s.add(br, p_, 1.0);
+  s.add(br, n_, -1.0);
+  s.add(br, cp_, -gain_);
+  s.add(br, cn_, gain_);
+}
+
+void Vcvs::stamp_ac(ComplexStamper& s, double, const Vec&) const {
+  const int br = branch_base();
+  s.add(p_, br, {1.0, 0.0});
+  s.add(n_, br, {-1.0, 0.0});
+  s.add(br, p_, {1.0, 0.0});
+  s.add(br, n_, {-1.0, 0.0});
+  s.add(br, cp_, {-gain_, 0.0});
+  s.add(br, cn_, {gain_, 0.0});
+}
+
+}  // namespace maopt::spice

@@ -1,0 +1,159 @@
+// Passive devices and independent / controlled sources.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace maopt::spice {
+
+/// Time-domain source waveform: DC, piecewise-linear, or pulse.
+class Waveform {
+ public:
+  static Waveform dc(double value);
+  /// Points must be sorted by time; value is held constant outside the range.
+  static Waveform pwl(std::vector<std::pair<double, double>> points);
+  static Waveform pulse(double v1, double v2, double delay, double rise, double fall,
+                        double width, double period);
+
+  double value(double t) const;
+  double dc_value() const { return value(0.0); }
+
+ private:
+  enum class Kind { Dc, Pwl, Pulse };
+  Kind kind_ = Kind::Dc;
+  double dc_ = 0.0;
+  std::vector<std::pair<double, double>> points_;
+  double v1_ = 0, v2_ = 0, delay_ = 0, rise_ = 0, fall_ = 0, width_ = 0, period_ = 0;
+};
+
+class Resistor final : public Device {
+ public:
+  Resistor(int a, int b, double ohms);
+  void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
+  void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+  void collect_noise(std::vector<NoiseSource>& sources, const Vec& op) const override;
+
+  void set_resistance(double ohms);
+  double resistance() const { return ohms_; }
+  int node_a() const { return a_; }
+  int node_b() const { return b_; }
+
+ private:
+  int a_, b_;
+  double ohms_;
+};
+
+class Capacitor final : public Device {
+ public:
+  Capacitor(int a, int b, double farads);
+  /// Open circuit at DC.
+  void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
+  void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+  void collect_caps(std::vector<CapacitorStamp>& caps, const Vec& op) const override;
+
+  void set_capacitance(double farads) { farads_ = farads; }
+  double capacitance() const { return farads_; }
+
+ private:
+  int a_, b_;
+  double farads_;
+};
+
+/// Supported in DC (short) and AC; the transient engine rejects netlists
+/// containing inductors (none of the shipped testbenches use them).
+class Inductor final : public Device {
+ public:
+  Inductor(int a, int b, double henries);
+  int num_branches() const override { return 1; }
+  void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
+  void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+
+  double inductance() const { return henries_; }
+
+ private:
+  int a_, b_;
+  double henries_;
+};
+
+/// Independent voltage source (positive terminal `a`). The branch current
+/// unknown is the current flowing from `a` through the source to `b`.
+class VSource final : public Device {
+ public:
+  VSource(int a, int b, Waveform waveform, double ac_mag = 0.0);
+  int num_branches() const override { return 1; }
+  void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
+  void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+
+  void set_waveform(Waveform waveform) { waveform_ = std::move(waveform); }
+  void set_dc(double v) { waveform_ = Waveform::dc(v); }
+  void set_ac_magnitude(double mag) { ac_mag_ = mag; }
+  const Waveform& waveform() const { return waveform_; }
+
+  /// Branch current (A) flowing a -> b in solution x.
+  double branch_current(const Vec& x) const { return x[static_cast<std::size_t>(branch_base())]; }
+
+ private:
+  int a_, b_;
+  Waveform waveform_;
+  double ac_mag_;
+};
+
+/// Independent current source driving current from node `a` to node `b`.
+class ISource final : public Device {
+ public:
+  ISource(int a, int b, Waveform waveform, double ac_mag = 0.0);
+  void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
+  void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+
+  void set_waveform(Waveform waveform) { waveform_ = std::move(waveform); }
+  void set_dc(double i) { waveform_ = Waveform::dc(i); }
+  void set_ac_magnitude(double mag) { ac_mag_ = mag; }
+
+ private:
+  int a_, b_;
+  Waveform waveform_;
+  double ac_mag_;
+};
+
+/// Current sink with compliance: drains i = I(t) * f(v) from node `a` to
+/// node `b`, where v = V(a) - V(b) and
+///   f(v) = 0 for v <= 0, v/v_knee for 0 < v < v_knee, 1 for v >= v_knee.
+/// Unlike an ideal ISource it cannot pull a starved node to unphysical
+/// voltages — the standard electronic-load model for regulator testbenches.
+class CurrentSinkLoad final : public Device {
+ public:
+  CurrentSinkLoad(int a, int b, Waveform current, double v_knee = 0.2);
+  void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
+  void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+
+  void set_waveform(Waveform current) { current_ = std::move(current); }
+  void set_dc(double i) { current_ = Waveform::dc(i); }
+
+  /// Actual current drawn at the operating point `x` (DC evaluation).
+  double current_at(const Vec& x) const;
+
+ private:
+  /// f(v) and df/dv at the given compliance voltage.
+  std::pair<double, double> shape(double v) const;
+
+  int a_, b_;
+  Waveform current_;
+  double v_knee_;
+};
+
+/// Voltage-controlled voltage source: V(p) - V(n) = gain * (V(cp) - V(cn)).
+class Vcvs final : public Device {
+ public:
+  Vcvs(int p, int n, int cp, int cn, double gain);
+  int num_branches() const override { return 1; }
+  void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
+  void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+
+ private:
+  int p_, n_, cp_, cn_;
+  double gain_;
+};
+
+}  // namespace maopt::spice

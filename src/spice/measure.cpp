@@ -1,0 +1,190 @@
+#include "spice/measure.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace maopt::spice {
+
+std::vector<double> magnitude_db(const AcSweep& sweep, int node) {
+  std::vector<double> out;
+  out.reserve(sweep.frequencies.size());
+  for (std::size_t k = 0; k < sweep.frequencies.size(); ++k) {
+    const double mag = std::abs(sweep.voltage(k, node));
+    out.push_back(20.0 * std::log10(std::max(mag, 1e-30)));
+  }
+  return out;
+}
+
+std::vector<double> phase_deg_unwrapped(const AcSweep& sweep, int node) {
+  std::vector<double> out;
+  out.reserve(sweep.frequencies.size());
+  double prev = 0.0;
+  for (std::size_t k = 0; k < sweep.frequencies.size(); ++k) {
+    double ph = std::arg(sweep.voltage(k, node)) * 180.0 / std::numbers::pi;
+    if (k > 0) {
+      while (ph - prev > 180.0) ph -= 360.0;
+      while (ph - prev < -180.0) ph += 360.0;
+    }
+    out.push_back(ph);
+    prev = ph;
+  }
+  return out;
+}
+
+double dc_gain_db(const AcSweep& sweep, int node) {
+  if (sweep.frequencies.empty()) throw std::invalid_argument("dc_gain_db: empty sweep");
+  return 20.0 * std::log10(std::max(std::abs(sweep.voltage(0, node)), 1e-30));
+}
+
+std::optional<double> unity_gain_frequency(const AcSweep& sweep, int node) {
+  const auto db = magnitude_db(sweep, node);
+  for (std::size_t k = 1; k < db.size(); ++k) {
+    if (db[k - 1] >= 0.0 && db[k] < 0.0) {
+      // Interpolate in log-frequency where gain(dB) hits zero.
+      const double t = db[k - 1] / (db[k - 1] - db[k]);
+      const double lf = std::log10(sweep.frequencies[k - 1]) +
+                        t * (std::log10(sweep.frequencies[k]) - std::log10(sweep.frequencies[k - 1]));
+      return std::pow(10.0, lf);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> phase_margin_deg(const AcSweep& sweep, int node) {
+  const auto fu = unity_gain_frequency(sweep, node);
+  if (!fu) return std::nullopt;
+  const auto phase = phase_deg_unwrapped(sweep, node);
+  // Interpolate the unwrapped phase at the unity crossing.
+  double ph_at_fu = phase.back();
+  for (std::size_t k = 1; k < sweep.frequencies.size(); ++k) {
+    if (sweep.frequencies[k] >= *fu) {
+      const double l0 = std::log10(sweep.frequencies[k - 1]);
+      const double l1 = std::log10(sweep.frequencies[k]);
+      const double t = (std::log10(*fu) - l0) / (l1 - l0);
+      ph_at_fu = phase[k - 1] + t * (phase[k] - phase[k - 1]);
+      break;
+    }
+  }
+  // Phase relative to the low-frequency phase handles inverting paths.
+  return 180.0 + (ph_at_fu - phase.front());
+}
+
+std::optional<double> bandwidth_3db(const AcSweep& sweep, int node) {
+  const auto db = magnitude_db(sweep, node);
+  const double target = db.front() - 3.0103;
+  for (std::size_t k = 1; k < db.size(); ++k) {
+    if (db[k - 1] >= target && db[k] < target) {
+      const double t = (db[k - 1] - target) / (db[k - 1] - db[k]);
+      const double lf = std::log10(sweep.frequencies[k - 1]) +
+                        t * (std::log10(sweep.frequencies[k]) - std::log10(sweep.frequencies[k - 1]));
+      return std::pow(10.0, lf);
+    }
+  }
+  return std::nullopt;
+}
+
+double magnitude_at(const AcSweep& sweep, int node, double f) {
+  const auto& freqs = sweep.frequencies;
+  if (freqs.empty()) throw std::invalid_argument("magnitude_at: empty sweep");
+  if (f <= freqs.front()) return std::abs(sweep.voltage(0, node));
+  if (f >= freqs.back()) return std::abs(sweep.voltage(freqs.size() - 1, node));
+  for (std::size_t k = 1; k < freqs.size(); ++k) {
+    if (freqs[k] >= f) {
+      const double t = (std::log10(f) - std::log10(freqs[k - 1])) /
+                       (std::log10(freqs[k]) - std::log10(freqs[k - 1]));
+      const double m0 = std::abs(sweep.voltage(k - 1, node));
+      const double m1 = std::abs(sweep.voltage(k, node));
+      return m0 * std::pow(m1 / std::max(m0, 1e-30), t);
+    }
+  }
+  return std::abs(sweep.voltage(freqs.size() - 1, node));
+}
+
+std::optional<double> settling_time(const std::vector<double>& time,
+                                    const std::vector<double>& waveform, double t_from,
+                                    double final_value, double tol) {
+  if (time.size() != waveform.size() || time.empty())
+    throw std::invalid_argument("settling_time: bad inputs");
+  // Scan backwards for the last point outside the band.
+  std::optional<double> last_outside;
+  for (std::size_t k = time.size(); k-- > 0;) {
+    if (time[k] < t_from) break;
+    if (std::abs(waveform[k] - final_value) > tol) {
+      last_outside = time[k];
+      break;
+    }
+  }
+  if (!last_outside) return 0.0;  // already settled at t_from
+  if (*last_outside >= time.back()) return std::nullopt;  // never settles
+  return *last_outside - t_from;
+}
+
+double overshoot_fraction(const std::vector<double>& waveform, std::size_t from_index,
+                          double initial_value, double final_value) {
+  const double step = final_value - initial_value;
+  if (std::abs(step) < 1e-30) return 0.0;
+  double worst = 0.0;
+  for (std::size_t k = from_index; k < waveform.size(); ++k) {
+    const double beyond = (waveform[k] - final_value) * (step > 0 ? 1.0 : -1.0);
+    worst = std::max(worst, beyond);
+  }
+  return worst / std::abs(step);
+}
+
+std::optional<double> gain_margin_db(const AcSweep& sweep, int node) {
+  const auto phase = phase_deg_unwrapped(sweep, node);
+  const auto db = magnitude_db(sweep, node);
+  const double ref = phase.front();
+  for (std::size_t k = 1; k < phase.size(); ++k) {
+    const double p0 = phase[k - 1] - ref;
+    const double p1 = phase[k] - ref;
+    if (p0 > -180.0 && p1 <= -180.0) {
+      const double t = (p0 + 180.0) / (p0 - p1);
+      const double mag_db = db[k - 1] + t * (db[k] - db[k - 1]);
+      return -mag_db;
+    }
+  }
+  return std::nullopt;
+}
+
+double slew_rate(const std::vector<double>& time, const std::vector<double>& waveform) {
+  if (time.size() != waveform.size())
+    throw std::invalid_argument("slew_rate: size mismatch");
+  double best = 0.0;
+  for (std::size_t k = 1; k < time.size(); ++k) {
+    const double dt = time[k] - time[k - 1];
+    if (dt <= 0.0) continue;
+    best = std::max(best, std::abs(waveform[k] - waveform[k - 1]) / dt);
+  }
+  return best;
+}
+
+std::optional<double> rise_time(const std::vector<double>& time,
+                                const std::vector<double>& waveform, double t_from,
+                                double initial_value, double final_value) {
+  if (time.size() != waveform.size() || time.empty())
+    throw std::invalid_argument("rise_time: bad inputs");
+  const double lo = initial_value + 0.1 * (final_value - initial_value);
+  const double hi = initial_value + 0.9 * (final_value - initial_value);
+  const double direction = final_value > initial_value ? 1.0 : -1.0;
+  std::optional<double> t_lo, t_hi;
+  for (std::size_t k = 1; k < time.size(); ++k) {
+    if (time[k] < t_from) continue;
+    auto crossing = [&](double level) -> std::optional<double> {
+      const double a = (waveform[k - 1] - level) * direction;
+      const double b = (waveform[k] - level) * direction;
+      if (a < 0.0 && b >= 0.0) {
+        const double t = a / (a - b);
+        return time[k - 1] + t * (time[k] - time[k - 1]);
+      }
+      return std::nullopt;
+    };
+    if (!t_lo) t_lo = crossing(lo);
+    if (!t_hi) t_hi = crossing(hi);
+    if (t_lo && t_hi) return *t_hi - *t_lo;
+  }
+  return std::nullopt;
+}
+
+}  // namespace maopt::spice

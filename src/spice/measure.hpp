@@ -1,0 +1,60 @@
+// Post-processing measurements over analysis results — the equivalents of
+// HSPICE .MEASURE statements used by the paper's testbenches: gain, unity-
+// gain frequency, phase margin, bandwidth, settling time, overshoot.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "spice/ac_analysis.hpp"
+
+namespace maopt::spice {
+
+/// |V(node)| in dB20 across the sweep.
+std::vector<double> magnitude_db(const AcSweep& sweep, int node);
+/// Unwrapped phase in degrees across the sweep (continuous, starts in (-180, 180]).
+std::vector<double> phase_deg_unwrapped(const AcSweep& sweep, int node);
+
+/// Magnitude at the lowest swept frequency, in dB.
+double dc_gain_db(const AcSweep& sweep, int node);
+
+/// Frequency where |V(node)| crosses 1 (0 dB), log-interpolated. nullopt if
+/// the magnitude never crosses unity within the sweep.
+std::optional<double> unity_gain_frequency(const AcSweep& sweep, int node);
+
+/// Phase margin in degrees: 180 + (phase at UGF relative to the low-frequency
+/// phase). nullopt when there is no unity crossing.
+std::optional<double> phase_margin_deg(const AcSweep& sweep, int node);
+
+/// -3 dB bandwidth relative to the low-frequency magnitude.
+std::optional<double> bandwidth_3db(const AcSweep& sweep, int node);
+
+/// Interpolated |V(node)| (linear) at frequency f.
+double magnitude_at(const AcSweep& sweep, int node, double f);
+
+/// Settling time: the earliest time T (measured from t_from) such that the
+/// waveform stays within +/- tol of `final_value` for all t >= T.
+/// nullopt if it never settles within the record.
+std::optional<double> settling_time(const std::vector<double>& time,
+                                    const std::vector<double>& waveform, double t_from,
+                                    double final_value, double tol);
+
+/// Peak deviation beyond the final value, as a fraction of the step size.
+double overshoot_fraction(const std::vector<double>& waveform, std::size_t from_index,
+                          double initial_value, double final_value);
+
+/// Gain margin in dB: -|H| (dB) at the frequency where the unwrapped phase
+/// (relative to its low-frequency value) crosses -180 degrees. nullopt when
+/// the phase never reaches -180 within the sweep.
+std::optional<double> gain_margin_db(const AcSweep& sweep, int node);
+
+/// Maximum |dv/dt| over the record [V/s]; 0 for records shorter than 2 points.
+double slew_rate(const std::vector<double>& time, const std::vector<double>& waveform);
+
+/// 10 %-90 % rise time of a step from `initial_value` to `final_value`,
+/// measured from t_from. nullopt if either threshold is never crossed.
+std::optional<double> rise_time(const std::vector<double>& time,
+                                const std::vector<double>& waveform, double t_from,
+                                double initial_value, double final_value);
+
+}  // namespace maopt::spice

@@ -1,0 +1,210 @@
+#include "spice/mosfet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace maopt::spice {
+
+namespace {
+constexpr double kBoltzmann = 1.380649e-23;
+constexpr double kRoomTemp = 300.0;
+}  // namespace
+
+MosModel MosModel::nmos_180() {
+  MosModel m;
+  m.type = MosType::Nmos;
+  m.vth0 = 0.45;
+  m.kp = 280e-6;
+  m.lambda_l = 0.08e-6;
+  m.kf = 3e-25;
+  return m;
+}
+
+MosModel MosModel::pmos_180() {
+  MosModel m;
+  m.type = MosType::Pmos;
+  m.vth0 = 0.45;
+  m.kp = 70e-6;
+  m.lambda_l = 0.10e-6;
+  m.kf = 1e-25;
+  return m;
+}
+
+MosEval mos_level1_eval(double vgs, double vds, double vth, double k, double lambda) {
+  return mos_eval_smooth(vgs, vds, vth, k, lambda, /*nvt=*/0.0);
+}
+
+MosEval mos_eval_smooth(double vgs, double vds, double vth, double k, double lambda, double nvt) {
+  MosEval e{0.0, 0.0, 0.0, 0.0, false, false};
+  double vov = vgs - vth;
+  double dvov = 1.0;  // d vov_eff / d vgs
+  if (nvt > 0.0) {
+    // Softplus smoothing: vov_eff = nvt*ln(1+exp(vov/nvt)), dvov = sigmoid.
+    const double a = vov / nvt;
+    if (a > 40.0) {
+      dvov = 1.0;  // deep strong inversion: softplus == identity numerically
+    } else if (a < -40.0) {
+      e.cutoff = true;
+      return e;  // below any representable subthreshold current
+    } else {
+      vov = nvt * std::log1p(std::exp(a));
+      dvov = 1.0 / (1.0 + std::exp(-a));
+    }
+    e.cutoff = vgs - vth <= 0.0;
+  } else if (vov <= 0.0) {
+    e.cutoff = true;
+    return e;  // gmin at the netlist level keeps the Jacobian regular
+  }
+  const double clm = 1.0 + lambda * vds;
+  if (vds >= vov) {
+    e.saturated = true;
+    e.id = 0.5 * k * vov * vov * clm;
+    e.gm = k * vov * clm * dvov;
+    e.gds = 0.5 * k * vov * vov * lambda;
+  } else {
+    e.id = k * (vov - 0.5 * vds) * vds * clm;
+    e.gm = k * vds * clm * dvov;
+    e.gds = k * (vov - vds) * clm + k * (vov - 0.5 * vds) * vds * lambda;
+  }
+  return e;
+}
+
+Mosfet::Mosfet(int d, int g, int s, int b, MosModel model, double w, double l, double m)
+    : d_(d), g_(g), s_(s), b_(b), model_(model), w_(w), l_(l), m_(m) {
+  set_geometry(w, l, m);
+}
+
+void Mosfet::set_geometry(double w, double l, double m) {
+  if (!(w > 0.0) || !(l > 0.0) || !(m >= 1.0))
+    throw std::invalid_argument("Mosfet: invalid geometry (w, l must be > 0, m >= 1)");
+  w_ = w;
+  l_ = l;
+  m_ = m;
+}
+
+Mosfet::Linearized Mosfet::linearize(const Vec& x) const {
+  const double sign = model_.type == MosType::Nmos ? 1.0 : -1.0;
+  const double vg = sign * Netlist::voltage(x, g_);
+  const double vd = sign * Netlist::voltage(x, d_);
+  const double vs = sign * Netlist::voltage(x, s_);
+  const double vb = sign * Netlist::voltage(x, b_);
+
+  const double k = model_.kp * (w_ / l_) * m_;
+  const double lambda = model_.lambda_l / l_;
+  constexpr double kThermalVoltage = 0.02585;  // kT/q at 300 K
+  // Factor 2: id ~ vov_eff^2, so softplus scale 2*n*vt yields tail exp(vov/(n*vt)).
+  const double nvt = model_.subthreshold ? 2.0 * model_.n_ss * kThermalVoltage : 0.0;
+
+  // Body effect: threshold shift from the (effective-)source-to-bulk bias,
+  // with forward bias clamped for Newton robustness.
+  auto vth_and_chi = [&](double vs_eff) {
+    double vth = model_.vth0;
+    double chi = 0.0;  // gmb / gm
+    if (model_.gamma > 0.0) {
+      const double vbs = std::min(vb - vs_eff, 0.5 * model_.phi);
+      const double root = std::sqrt(model_.phi - vbs);
+      vth += model_.gamma * (root - std::sqrt(model_.phi));
+      chi = model_.gamma / (2.0 * root);
+    }
+    return std::pair<double, double>(vth, chi);
+  };
+
+  Linearized lin{};
+  if (vd >= vs) {
+    const auto [vth, chi] = vth_and_chi(vs);
+    MosEval e = mos_eval_smooth(vg - vs, vd - vs, vth, k, lambda, nvt);
+    e.gmb = e.gm * chi;
+    lin.canon = e;
+    lin.gg = e.gm;
+    lin.gd = e.gds;
+    lin.gb = e.gmb;
+    lin.id_real = sign * e.id;
+  } else {
+    // Drain/source swap: the physical source acts as the channel drain.
+    const auto [vth, chi] = vth_and_chi(vd);
+    MosEval e = mos_eval_smooth(vg - vd, vs - vd, vth, k, lambda, nvt);
+    e.gmb = e.gm * chi;
+    lin.canon = e;
+    lin.gg = -e.gm;
+    lin.gb = -e.gmb;
+    lin.gd = e.gm + e.gds + e.gmb;
+    lin.id_real = sign * (-e.id);
+  }
+  lin.gs = -lin.gg - lin.gd - lin.gb;
+  return lin;
+}
+
+void Mosfet::stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const {
+  const Linearized lin = linearize(args.x);
+  const double vg = Netlist::voltage(args.x, g_);
+  const double vd = Netlist::voltage(args.x, d_);
+  const double vs = Netlist::voltage(args.x, s_);
+  const double vb = Netlist::voltage(args.x, b_);
+  // Companion current source so that the stamped linear model reproduces
+  // id_real at the current iterate.
+  const double ieq = lin.id_real - (lin.gg * vg + lin.gd * vd + lin.gs * vs + lin.gb * vb);
+  s.add(d_, g_, lin.gg);
+  s.add(d_, d_, lin.gd);
+  s.add(d_, s_, lin.gs);
+  s.add(d_, b_, lin.gb);
+  s.add(s_, g_, -lin.gg);
+  s.add(s_, d_, -lin.gd);
+  s.add(s_, s_, -lin.gs);
+  s.add(s_, b_, -lin.gb);
+  s.current_into(d_, -ieq);
+  s.current_into(s_, ieq);
+}
+
+void Mosfet::stamp_ac(ComplexStamper& s, double omega, const Vec& op) const {
+  const Linearized lin = linearize(op);
+  s.add(d_, g_, {lin.gg, 0.0});
+  s.add(d_, d_, {lin.gd, 0.0});
+  s.add(d_, s_, {lin.gs, 0.0});
+  s.add(d_, b_, {lin.gb, 0.0});
+  s.add(s_, g_, {-lin.gg, 0.0});
+  s.add(s_, d_, {-lin.gd, 0.0});
+  s.add(s_, s_, {-lin.gs, 0.0});
+  s.add(s_, b_, {-lin.gb, 0.0});
+  // Parasitic capacitances evaluated at the OP.
+  std::vector<CapacitorStamp> caps;
+  collect_caps(caps, op);
+  for (const auto& c : caps) s.conductance(c.node_a, c.node_b, {0.0, omega * c.capacitance});
+}
+
+void Mosfet::collect_caps(std::vector<CapacitorStamp>& caps, const Vec& op) const {
+  const Linearized lin = linearize(op);
+  const double c_gate = model_.cox * w_ * l_ * m_;
+  const double c_ov = model_.cov * w_ * m_;
+  double cgs, cgd;
+  if (lin.canon.cutoff) {
+    cgs = c_ov;
+    cgd = c_ov;
+  } else if (lin.canon.saturated) {
+    cgs = (2.0 / 3.0) * c_gate + c_ov;  // Meyer saturation partition
+    cgd = c_ov;
+  } else {
+    cgs = 0.5 * c_gate + c_ov;
+    cgd = 0.5 * c_gate + c_ov;
+  }
+  const double cj = model_.cj_w * w_ * m_;
+  caps.push_back({g_, s_, cgs});
+  caps.push_back({g_, d_, cgd});
+  caps.push_back({d_, b_, cj});
+  caps.push_back({s_, b_, cj});
+}
+
+void Mosfet::collect_noise(std::vector<NoiseSource>& sources, const Vec& op) const {
+  const Linearized lin = linearize(op);
+  const double gm = lin.canon.gm;
+  if (gm <= 0.0) return;
+  // Channel thermal noise 4kT*(2/3)*gm; flicker S(f) = kf*gm^2/(Cox*W*L*f).
+  const double white = 4.0 * kBoltzmann * kRoomTemp * (2.0 / 3.0) * gm;
+  const double flicker = model_.kf * gm * gm / (model_.cox * w_ * l_ * m_);
+  sources.push_back({d_, s_, white, flicker, "M"});
+}
+
+double Mosfet::drain_current(const Vec& x) const { return linearize(x).id_real; }
+
+MosEval Mosfet::operating_point(const Vec& x) const { return linearize(x).canon; }
+
+}  // namespace maopt::spice

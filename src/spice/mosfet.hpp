@@ -1,0 +1,106 @@
+// Square-law (SPICE level-1) MOSFET with channel-length modulation,
+// drain/source symmetry (automatic swap for vds < 0), Meyer-style gate
+// capacitances, junction capacitances and thermal + flicker noise.
+//
+// This stands in for the commercial 180 nm BSIM models the paper simulates
+// with HSpice: the optimizer treats the simulator as a black box, so what
+// matters is a nonlinear, region-dependent, multi-metric response surface
+// produced by the same analysis pipeline — not BSIM-level accuracy.
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace maopt::spice {
+
+enum class MosType { Nmos, Pmos };
+
+struct MosModel {
+  MosType type = MosType::Nmos;
+  double vth0 = 0.45;        ///< threshold voltage magnitude [V]
+  double kp = 280e-6;        ///< transconductance parameter mu*Cox [A/V^2]
+  double lambda_l = 0.08e-6; ///< channel-length modulation: lambda = lambda_l / L [1/V]
+  double cox = 8.5e-3;       ///< gate oxide capacitance [F/m^2]
+  double cov = 3e-10;        ///< gate overlap capacitance per width [F/m]
+  double cj_w = 8e-10;       ///< junction capacitance per width [F/m]
+  double kf = 3e-25;         ///< flicker noise coefficient [V^2*F]
+
+  /// Body effect (opt-in): vth = vth0 + gamma*(sqrt(phi - vbs) - sqrt(phi))
+  /// in the canonical frame (vbs <= 0 for normal reverse-biased junctions;
+  /// forward bias is clamped at phi/2 for Newton robustness). gamma = 0
+  /// disables it (default, preserving the calibrated testbenches).
+  double gamma = 0.0;        ///< body-effect coefficient [sqrt(V)]
+  double phi = 0.7;          ///< surface potential 2*phi_F [V]
+
+  /// Subthreshold smoothing (opt-in): replaces the hard cutoff with a
+  /// softplus-smoothed effective overdrive vov_eff = s*ln(1 + exp(vov/s)).
+  /// Because the drain current is quadratic in vov_eff, the subthreshold
+  /// tail decays as exp(2*vov/s); the device uses s = 2*n_ss*vt so the
+  /// effective subthreshold slope factor equals n_ss. Strong inversion
+  /// recovers exact level-1 behaviour, and gm is C1 across the threshold.
+  bool subthreshold = false;
+  double n_ss = 1.5;         ///< subthreshold slope factor
+
+  /// Representative 180 nm-class device cards.
+  static MosModel nmos_180();
+  static MosModel pmos_180();
+};
+
+/// Large-signal evaluation result in the canonical (NMOS, vds >= 0) frame.
+struct MosEval {
+  double id;   ///< drain current [A]
+  double gm;   ///< d id / d vgs [S]
+  double gds;  ///< d id / d vds [S]
+  double gmb = 0.0;  ///< d id / d vbs [S] (body transconductance)
+  bool saturated;
+  bool cutoff;
+};
+
+/// Canonical square-law evaluation; `k = kp * W/L * m`, `lambda` absolute.
+MosEval mos_level1_eval(double vgs, double vds, double vth, double k, double lambda);
+
+/// Level-1 evaluation with softplus-smoothed overdrive; `nvt = n_ss * kT/q`.
+/// Passing nvt <= 0 reproduces the hard-cutoff mos_level1_eval exactly.
+MosEval mos_eval_smooth(double vgs, double vds, double vth, double k, double lambda, double nvt);
+
+class Mosfet final : public Device {
+ public:
+  /// Terminals: drain, gate, source, bulk. `w`/`l` in meters, `m` parallel multiplier.
+  Mosfet(int d, int g, int s, int b, MosModel model, double w, double l, double m = 1.0);
+
+  void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
+  void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+  void collect_caps(std::vector<CapacitorStamp>& caps, const Vec& op) const override;
+  void collect_noise(std::vector<NoiseSource>& sources, const Vec& op) const override;
+
+  /// Drain current (positive = conventional current into drain for NMOS,
+  /// out of drain for PMOS reported as positive magnitude? No: signed,
+  /// current flowing drain->source through the channel in real polarity).
+  double drain_current(const Vec& x) const;
+  MosEval operating_point(const Vec& x) const;
+
+  void set_geometry(double w, double l, double m);
+  double width() const { return w_; }
+  double length() const { return l_; }
+  double multiplier() const { return m_; }
+  MosType type() const { return model_.type; }
+  int drain() const { return d_; }
+  int gate() const { return g_; }
+  int source() const { return s_; }
+  int bulk() const { return b_; }
+
+ private:
+  struct Linearized {
+    double gg, gd, gs, gb;  ///< partials of I_D(real) w.r.t. Vg, Vd, Vs, Vb
+    double id_real;         ///< current into the real drain terminal
+    MosEval canon;          ///< canonical-frame evaluation
+  };
+  Linearized linearize(const Vec& x) const;
+
+  int d_, g_, s_, b_;
+  MosModel model_;
+  double w_, l_, m_;
+};
+
+}  // namespace maopt::spice

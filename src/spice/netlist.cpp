@@ -1,0 +1,89 @@
+#include "spice/netlist.hpp"
+
+#include <stdexcept>
+
+namespace maopt::spice {
+
+int Netlist::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  const auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const int id = static_cast<int>(num_nodes_++);
+  node_ids_.emplace(name, id);
+  prepared_ = false;
+  return id;
+}
+
+int Netlist::find_node(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  const auto it = node_ids_.find(name);
+  if (it == node_ids_.end()) throw std::invalid_argument("Netlist: unknown node '" + name + "'");
+  return it->second;
+}
+
+void Netlist::set_label(const Device* device, std::string label) {
+  labels_[device] = std::move(label);
+}
+
+const std::string& Netlist::label(const Device* device) const {
+  static const std::string kEmpty;
+  const auto it = labels_.find(device);
+  return it == labels_.end() ? kEmpty : it->second;
+}
+
+std::string Netlist::node_name(int node) const {
+  if (node == kGround) return "0";
+  for (const auto& [name, id] : node_ids_)
+    if (id == node) return name;
+  return "";
+}
+
+void Netlist::prepare() {
+  int branch = static_cast<int>(num_nodes_);
+  for (const auto& dev : devices_) {
+    if (dev->num_branches() > 0) {
+      dev->set_branch_base(branch);
+      branch += dev->num_branches();
+    }
+  }
+  system_size_ = static_cast<std::size_t>(branch);
+  prepared_ = true;
+}
+
+void Netlist::build_nonlinear_system(const Vec& x, double source_scale, double time, double gmin,
+                                     Mat& a, Vec& rhs) const {
+  if (!prepared_) throw std::logic_error("Netlist: prepare() not called");
+  a.resize(system_size_, system_size_);
+  rhs.assign(system_size_, 0.0);
+  RealStamper s(a, rhs);
+  // gmin from every node to ground keeps the Jacobian nonsingular when
+  // devices are cut off or nodes float mid-continuation.
+  for (std::size_t n = 0; n < num_nodes_; ++n) s.add(static_cast<int>(n), static_cast<int>(n), gmin);
+  const NonlinearStampArgs args{x, source_scale, time};
+  for (const auto& dev : devices_) dev->stamp_nonlinear(s, args);
+}
+
+void Netlist::build_ac_system(double omega, const Vec& op, CMat& a, CVec& rhs) const {
+  if (!prepared_) throw std::logic_error("Netlist: prepare() not called");
+  a.resize(system_size_, system_size_);
+  rhs.assign(system_size_, std::complex<double>{});
+  ComplexStamper s(a, rhs);
+  constexpr double kAcGmin = 1e-12;
+  for (std::size_t n = 0; n < num_nodes_; ++n)
+    s.add(static_cast<int>(n), static_cast<int>(n), kAcGmin);
+  for (const auto& dev : devices_) dev->stamp_ac(s, omega, op);
+}
+
+std::vector<CapacitorStamp> Netlist::collect_caps(const Vec& op) const {
+  std::vector<CapacitorStamp> caps;
+  for (const auto& dev : devices_) dev->collect_caps(caps, op);
+  return caps;
+}
+
+std::vector<NoiseSource> Netlist::collect_noise(const Vec& op) const {
+  std::vector<NoiseSource> sources;
+  for (const auto& dev : devices_) dev->collect_noise(sources, op);
+  return sources;
+}
+
+}  // namespace maopt::spice

@@ -1,0 +1,49 @@
+#include "spice/noise_analysis.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "linalg/lu.hpp"
+
+namespace maopt::spice {
+
+double integrate_psd(const std::vector<double>& freqs, const std::vector<double>& psd) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < freqs.size(); ++i)
+    total += 0.5 * (psd[i] + psd[i - 1]) * (freqs[i] - freqs[i - 1]);
+  return total;
+}
+
+NoiseResult NoiseAnalysis::run(Netlist& netlist, const Vec& op, int out_pos, int out_neg,
+                               const std::vector<double>& frequencies) const {
+  if (!netlist.prepared()) netlist.prepare();
+  NoiseResult result;
+  result.frequencies = frequencies;
+  result.output_psd.reserve(frequencies.size());
+
+  const std::vector<NoiseSource> sources = netlist.collect_noise(op);
+
+  CMat a;
+  CVec rhs;
+  CVec e_out(netlist.system_size(), std::complex<double>{});
+  if (out_pos != kGround) e_out[static_cast<std::size_t>(out_pos)] = {1.0, 0.0};
+  if (out_neg != kGround) e_out[static_cast<std::size_t>(out_neg)] = {-1.0, 0.0};
+
+  for (const double f : frequencies) {
+    const double omega = 2.0 * std::numbers::pi * f;
+    netlist.build_ac_system(omega, op, a, rhs);
+    const linalg::LuComplex lu(std::move(a));
+    const CVec z = lu.solve_transposed(e_out);
+    double psd = 0.0;
+    for (const auto& src : sources) {
+      const std::complex<double> za = Netlist::voltage(z, src.node_a);
+      const std::complex<double> zb = Netlist::voltage(z, src.node_b);
+      psd += std::norm(za - zb) * src.psd(f);
+    }
+    result.output_psd.push_back(psd);
+  }
+  result.total_rms = std::sqrt(integrate_psd(result.frequencies, result.output_psd));
+  return result;
+}
+
+}  // namespace maopt::spice

@@ -1,0 +1,32 @@
+// Small-signal noise analysis.
+//
+// Each device contributes equivalent noise current generators (thermal,
+// flicker). At every frequency point the transfer from *all* injection
+// nodes to the designated output is obtained with a single adjoint solve
+// A^T z = e_out, giving the output noise PSD
+//   S_out(f) = sum_sources |z[a] - z[b]|^2 * S_source(f)   [V^2/Hz].
+#pragma once
+
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace maopt::spice {
+
+struct NoiseResult {
+  std::vector<double> frequencies;
+  std::vector<double> output_psd;  ///< V^2/Hz at the output node
+  double total_rms = 0.0;          ///< sqrt(integral of PSD over the sweep) [Vrms]
+};
+
+/// Trapezoidal integration of a PSD over (possibly log-spaced) frequencies.
+double integrate_psd(const std::vector<double>& freqs, const std::vector<double>& psd);
+
+class NoiseAnalysis {
+ public:
+  /// Output measured as V(out_pos) - V(out_neg); pass kGround for single-ended.
+  NoiseResult run(Netlist& netlist, const Vec& op, int out_pos, int out_neg,
+                  const std::vector<double>& frequencies) const;
+};
+
+}  // namespace maopt::spice

@@ -1,0 +1,66 @@
+#include "spice/op_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+
+namespace maopt::spice {
+
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+std::string name_or(const Netlist& netlist, const Device* dev, const char* fallback, int index) {
+  const std::string& label = netlist.label(dev);
+  if (!label.empty()) return label;
+  return std::string(fallback) + "#" + std::to_string(index);
+}
+
+}  // namespace
+
+std::string operating_point_report(const Netlist& netlist, const Vec& op) {
+  std::ostringstream out;
+  out << "Operating point (" << netlist.num_nodes() << " nodes, "
+      << netlist.devices().size() << " devices)\n";
+
+  out << "-- node voltages --\n";
+  for (std::size_t n = 0; n < netlist.num_nodes(); ++n) {
+    std::string name = netlist.node_name(static_cast<int>(n));
+    if (name.empty()) name = "n" + std::to_string(n);
+    out << "  V(" << name << ") = " << fmt("%.6g", op[n]) << " V\n";
+  }
+
+  out << "-- devices --\n";
+  int index = 0;
+  for (const auto& dev : netlist.devices()) {
+    ++index;
+    if (const auto* m = dynamic_cast<const Mosfet*>(dev.get())) {
+      const MosEval e = m->operating_point(op);
+      const char* region = e.cutoff ? "cutoff" : (e.saturated ? "saturation" : "triode");
+      out << "  " << name_or(netlist, dev.get(), "M", index) << " ("
+          << (m->type() == MosType::Nmos ? "NMOS" : "PMOS") << " W=" << fmt("%.3g", m->width() * 1e6)
+          << "u L=" << fmt("%.3g", m->length() * 1e6) << "u m=" << fmt("%.0f", m->multiplier())
+          << "): " << region << ", Id=" << fmt("%.4g", m->drain_current(op) * 1e6)
+          << " uA, gm=" << fmt("%.4g", e.gm * 1e3) << " mS, gds=" << fmt("%.4g", e.gds * 1e6)
+          << " uS\n";
+    } else if (const auto* r = dynamic_cast<const Resistor*>(dev.get())) {
+      const double v = Netlist::voltage(op, r->node_a()) - Netlist::voltage(op, r->node_b());
+      out << "  " << name_or(netlist, dev.get(), "R", index) << " (" << fmt("%.4g", r->resistance())
+          << " Ohm): I=" << fmt("%.4g", v / r->resistance() * 1e6) << " uA, V=" << fmt("%.4g", v)
+          << " V\n";
+    } else if (const auto* v = dynamic_cast<const VSource*>(dev.get())) {
+      out << "  " << name_or(netlist, dev.get(), "V", index)
+          << ": I(branch)=" << fmt("%.4g", v->branch_current(op) * 1e3) << " mA\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace maopt::spice

@@ -1,0 +1,16 @@
+// Human-readable operating-point report — the equivalent of a SPICE
+// ".op" printout: per-MOSFET region / current / small-signal parameters,
+// per-resistor current, per-source branch current. Device names come from
+// netlist labels (set automatically by the deck parser).
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace maopt::spice {
+
+/// Formats the operating point `op` (a converged DC solution) as a table.
+std::string operating_point_report(const Netlist& netlist, const Vec& op);
+
+}  // namespace maopt::spice

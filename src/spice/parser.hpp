@@ -1,0 +1,64 @@
+// SPICE-format netlist parser.
+//
+// Supports the element subset the simulator implements, enough to describe
+// every testbench in this repo as a plain-text deck:
+//
+//   * comment        — lines starting with '*' or ';', blank lines
+//   * R/C/L          — Rname n1 n2 value
+//   * V/I            — Vname n+ n- [DC v] [AC mag] [PULSE(v1 v2 td tr tf pw per)]
+//                      [PWL(t1 v1 t2 v2 ...)]
+//   * E (VCVS)       — Ename p n cp cn gain
+//   * M (MOSFET)     — Mname d g s b model [W=..] [L=..] [M=..]
+//   * .model         — .model name NMOS|PMOS [VTO=..] [KP=..] [LAMBDAL=..]
+//                      [COX=..] [COV=..] [CJW=..] [KF=..]
+//
+// Engineering suffixes are honored (f p n u m k meg g t); ground is node
+// "0"/"gnd". Unknown cards raise ParseError with a line number.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/netlist.hpp"
+
+namespace maopt::spice {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses "1.5k", "100f", "2meg", "1e-9" ... into a double.
+/// Throws std::invalid_argument on malformed input.
+double parse_spice_value(const std::string& token);
+
+struct ParsedNetlist {
+  Netlist netlist;
+  std::map<std::string, Device*> devices;       ///< by element name (upper-cased)
+  std::map<std::string, MosModel> models;       ///< .model cards (upper-cased)
+
+  /// Typed device lookup; throws std::out_of_range / std::bad_cast-style
+  /// errors as std::runtime_error for friendlier messages.
+  template <typename T>
+  T* device(const std::string& name) const {
+    const auto it = devices.find(name);
+    if (it == devices.end()) throw std::runtime_error("no device named '" + name + "'");
+    T* typed = dynamic_cast<T*>(it->second);
+    if (typed == nullptr) throw std::runtime_error("device '" + name + "' has a different type");
+    return typed;
+  }
+};
+
+/// Parses a full deck; the returned netlist is prepare()d and ready for
+/// analysis.
+ParsedNetlist parse_netlist(const std::string& deck);
+
+}  // namespace maopt::spice

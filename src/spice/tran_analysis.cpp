@@ -1,0 +1,84 @@
+#include "spice/tran_analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/devices.hpp"
+
+namespace maopt::spice {
+
+TranResult TranAnalysis::run(Netlist& netlist) const {
+  if (!netlist.prepared()) netlist.prepare();
+  for (const auto& dev : netlist.devices())
+    if (dynamic_cast<const Inductor*>(dev.get()) != nullptr)
+      throw std::logic_error("TranAnalysis: inductors are not supported in transient");
+
+  TranResult result;
+
+  // Initial operating point with sources evaluated at t = 0.
+  Vec x(netlist.system_size(), 0.0);
+  if (!DcAnalysis::newton(netlist, 1.0, 0.0, options_.dc.gmin, options_.dc, x, nullptr)) {
+    // Fall back to the full continuation ladder for the t=0 point.
+    DcAnalysis dc(options_.dc);
+    DcResult op = dc.solve(netlist);
+    if (!op.converged) return result;
+    x = std::move(op.x);
+    // Re-polish at t=0 source values (solve() used DC waveform values, which
+    // equal value(0) for all shipped waveform kinds).
+    if (!DcAnalysis::newton(netlist, 1.0, 0.0, options_.dc.gmin, options_.dc, x, nullptr)) return result;
+  }
+
+  const std::vector<CapacitorStamp> caps = netlist.collect_caps(x);
+
+  // Per-capacitor trapezoidal state.
+  std::vector<double> v_prev(caps.size()), i_prev(caps.size(), 0.0);
+  auto cap_voltage = [&](const CapacitorStamp& c, const Vec& sol) {
+    return Netlist::voltage(sol, c.node_a) - Netlist::voltage(sol, c.node_b);
+  };
+  for (std::size_t k = 0; k < caps.size(); ++k) v_prev[k] = cap_voltage(caps[k], x);
+
+  result.time.push_back(0.0);
+  result.x.push_back(x);
+
+  std::vector<CapacitorStamp> companions(caps.size());
+  Vec ieq(caps.size());
+
+  double t = 0.0;
+  double dt = options_.dt;
+  while (t < options_.t_stop - 1e-18) {
+    double step = std::min(dt, options_.t_stop - t);
+    Vec x_try = x;
+    bool ok = false;
+    int halvings = 0;
+    while (!ok) {
+      const double geq_scale = 2.0 / step;
+      for (std::size_t k = 0; k < caps.size(); ++k) {
+        const double geq = geq_scale * caps[k].capacitance;
+        companions[k] = {caps[k].node_a, caps[k].node_b, geq};
+        ieq[k] = geq * v_prev[k] + i_prev[k];
+      }
+      x_try = x;
+      ok = DcAnalysis::newton(netlist, 1.0, t + step, options_.dc.gmin, options_.dc, x_try,
+                              nullptr, &companions, &ieq);
+      if (!ok) {
+        if (++halvings > options_.max_step_halvings) return result;  // converged=false
+        step *= 0.5;
+      }
+    }
+    // Accept the step; update trapezoidal states.
+    for (std::size_t k = 0; k < caps.size(); ++k) {
+      const double geq = companions[k].capacitance;
+      const double v_new = cap_voltage(caps[k], x_try);
+      i_prev[k] = geq * v_new - ieq[k];
+      v_prev[k] = v_new;
+    }
+    t += step;
+    x = std::move(x_try);
+    result.time.push_back(t);
+    result.x.push_back(x);
+  }
+  result.converged = true;
+  return result;
+}
+
+}  // namespace maopt::spice

@@ -1,0 +1,71 @@
+#include "circuits/folded_cascode_ota.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace maopt::ckt {
+namespace {
+
+Vec reference_design() {
+  //      L1   L2   L3   L4   L5    W1  W2  W3  W4  W5     C  N1 N2 N3
+  return {0.5, 1.0, 1.0, 0.4, 0.5, 40, 20, 15, 20, 30, 1000, 2, 2, 2};
+}
+
+TEST(FoldedCascodeOta, SpecShape) {
+  FoldedCascodeOta p;
+  EXPECT_EQ(p.dim(), 14u);
+  EXPECT_EQ(p.num_metrics(), 7u);
+  EXPECT_EQ(p.spec().constraints.size(), 6u);
+  EXPECT_EQ(p.parameter_names().size(), 14u);
+  EXPECT_TRUE(p.integer_mask()[11]);
+  EXPECT_FALSE(p.integer_mask()[10]);
+}
+
+TEST(FoldedCascodeOta, ReferenceDesignSimulatesWithCascodeGain) {
+  FoldedCascodeOta p;
+  const auto r = p.evaluate(p.clip(reference_design()));
+  ASSERT_TRUE(r.simulation_ok);
+  for (const double m : r.metrics) EXPECT_TRUE(std::isfinite(m));
+  // Single-stage cascode: high gain at sub-mW power.
+  EXPECT_GT(r.metrics[FoldedCascodeOta::kDcGainDb], 60.0);
+  EXPECT_LT(r.metrics[FoldedCascodeOta::kPowerMw], 5.0);
+  EXPECT_GT(r.metrics[FoldedCascodeOta::kPhaseMarginDeg], 45.0);
+  EXPECT_GT(r.metrics[FoldedCascodeOta::kUgfMhz], 10.0);
+}
+
+TEST(FoldedCascodeOta, SingleStageHasBetterPhaseMarginThanLowLoadCap) {
+  // Bigger load cap pushes the dominant pole down: PM improves (or stays
+  // ~90) while UGF drops.
+  FoldedCascodeOta p;
+  Vec small_c = reference_design();
+  Vec big_c = reference_design();
+  small_c[10] = 200;
+  big_c[10] = 2000;
+  const auto rs = p.evaluate(p.clip(small_c));
+  const auto rb = p.evaluate(p.clip(big_c));
+  ASSERT_TRUE(rs.simulation_ok);
+  ASSERT_TRUE(rb.simulation_ok);
+  EXPECT_GT(rs.metrics[FoldedCascodeOta::kUgfMhz], rb.metrics[FoldedCascodeOta::kUgfMhz]);
+}
+
+TEST(FoldedCascodeOta, EvaluationIsDeterministic) {
+  FoldedCascodeOta p;
+  const Vec x = p.clip(reference_design());
+  const auto a = p.evaluate(x);
+  const auto b = p.evaluate(x);
+  for (std::size_t i = 0; i < a.metrics.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.metrics[i], b.metrics[i]);
+}
+
+TEST(FoldedCascodeOta, RandomDesignsSimulate) {
+  FoldedCascodeOta p;
+  Rng rng(23);
+  int ok = 0;
+  for (int i = 0; i < 6; ++i)
+    if (p.evaluate(p.random_design(rng)).simulation_ok) ++ok;
+  EXPECT_GE(ok, 5);
+}
+
+}  // namespace
+}  // namespace maopt::ckt

@@ -1,0 +1,86 @@
+#include "circuits/ldo_regulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace maopt::ckt {
+namespace {
+
+Vec reference_design() {
+  //      L1   L2   L3   L4   L5    W1  W2  W3  W4   W5   R1  R2   C   N1 N2 N3
+  return {1.0, 1.0, 1.0, 1.0, 0.5, 50, 20, 10, 20, 200, 20, 20, 500, 2, 4, 20};
+}
+
+/// Coarse transient profile keeps the unit tests fast.
+LdoTranProfile fast_profile() {
+  LdoTranProfile prof;
+  prof.t_stop = 10e-6;
+  prof.dt = 50e-9;
+  prof.t_event = 1e-6;
+  return prof;
+}
+
+TEST(LdoRegulator, SpecMatchesTableV) {
+  LdoRegulator p;
+  EXPECT_EQ(p.dim(), 16u);
+  EXPECT_EQ(p.num_metrics(), 10u);  // Iq + 9 constraints (Eq. 9)
+  EXPECT_EQ(p.spec().constraints.size(), 9u);
+  EXPECT_DOUBLE_EQ(p.lower_bounds()[0], 0.32);
+  EXPECT_DOUBLE_EQ(p.upper_bounds()[0], 3.0);
+  EXPECT_DOUBLE_EQ(p.upper_bounds()[5], 200.0);
+  EXPECT_TRUE(p.integer_mask()[13]);
+}
+
+TEST(LdoRegulator, ReferenceDesignRegulates) {
+  LdoRegulator p(fast_profile());
+  const auto r = p.evaluate(p.clip(reference_design()));
+  ASSERT_TRUE(r.simulation_ok);
+  for (const double m : r.metrics) EXPECT_TRUE(std::isfinite(m));
+  // Output near the 1.8 V target (divider R1 = R2, vref = 0.9).
+  EXPECT_GT(r.metrics[LdoRegulator::kVoutMinV], 1.5);
+  EXPECT_LT(r.metrics[LdoRegulator::kVoutMaxV], 2.1);
+  EXPECT_GT(r.metrics[LdoRegulator::kQuiescentMa], 0.0);
+  EXPECT_GT(r.metrics[LdoRegulator::kPsrrDb], 10.0);
+}
+
+TEST(LdoRegulator, VoutMinAndMaxReportSameMeasurement) {
+  LdoRegulator p(fast_profile());
+  const auto r = p.evaluate(p.clip(reference_design()));
+  ASSERT_TRUE(r.simulation_ok);
+  EXPECT_DOUBLE_EQ(r.metrics[LdoRegulator::kVoutMinV], r.metrics[LdoRegulator::kVoutMaxV]);
+}
+
+TEST(LdoRegulator, DividerRatioShiftsOutput) {
+  LdoRegulator p(fast_profile());
+  Vec balanced = reference_design();
+  Vec skewed = reference_design();
+  skewed[10] = 40.0;  // R1 larger -> Vout = vref*(1+R1/R2) larger
+  const auto rb = p.evaluate(p.clip(balanced));
+  const auto rs = p.evaluate(p.clip(skewed));
+  ASSERT_TRUE(rb.simulation_ok);
+  ASSERT_TRUE(rs.simulation_ok);
+  EXPECT_GT(rs.metrics[LdoRegulator::kVoutMinV], rb.metrics[LdoRegulator::kVoutMinV] + 0.3);
+}
+
+TEST(LdoRegulator, EvaluationIsDeterministic) {
+  LdoRegulator p(fast_profile());
+  const Vec x = p.clip(reference_design());
+  const auto a = p.evaluate(x);
+  const auto b = p.evaluate(x);
+  for (std::size_t i = 0; i < a.metrics.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.metrics[i], b.metrics[i]);
+}
+
+TEST(LdoRegulator, RandomDesignsMostlySimulate) {
+  LdoRegulator p(fast_profile());
+  Rng rng(17);
+  int ok = 0;
+  const int n = 5;
+  for (int i = 0; i < n; ++i)
+    if (p.evaluate(p.random_design(rng)).simulation_ok) ++ok;
+  EXPECT_GE(ok, n - 1);
+}
+
+}  // namespace
+}  // namespace maopt::ckt

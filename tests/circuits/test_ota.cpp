@@ -1,0 +1,98 @@
+#include "circuits/two_stage_ota.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace maopt::ckt {
+namespace {
+
+/// A hand-sized, deliberately conservative design used across the OTA tests.
+Vec reference_design() {
+  //      L1   L2   L3   L4   L5    W1  W2  W3  W4  W5   R    C    Cf  N1 N2 N3
+  return {1.0, 1.0, 1.0, 0.5, 0.5, 20, 10, 5, 40, 20, 2.0, 500, 1000, 4, 4, 4};
+}
+
+TEST(TwoStageOta, SpecMatchesTableI) {
+  TwoStageOta p;
+  EXPECT_EQ(p.dim(), 16u);
+  EXPECT_EQ(p.num_metrics(), 9u);  // power + 8 constraints (Eq. 7)
+  EXPECT_EQ(p.spec().constraints.size(), 8u);
+  EXPECT_EQ(p.parameter_names().size(), 16u);
+  // Table I ranges.
+  EXPECT_DOUBLE_EQ(p.lower_bounds()[0], 0.18);
+  EXPECT_DOUBLE_EQ(p.upper_bounds()[0], 2.0);
+  EXPECT_DOUBLE_EQ(p.lower_bounds()[5], 0.22);
+  EXPECT_DOUBLE_EQ(p.upper_bounds()[5], 150.0);
+  EXPECT_DOUBLE_EQ(p.upper_bounds()[12], 10000.0);  // Cf up to 10 pF
+  EXPECT_TRUE(p.integer_mask()[13]);
+  EXPECT_TRUE(p.integer_mask()[15]);
+  EXPECT_FALSE(p.integer_mask()[0]);
+}
+
+TEST(TwoStageOta, ReferenceDesignSimulates) {
+  TwoStageOta p;
+  const auto r = p.evaluate(p.clip(reference_design()));
+  ASSERT_TRUE(r.simulation_ok);
+  for (const double m : r.metrics) EXPECT_TRUE(std::isfinite(m));
+  // Physically plausible ballpark values.
+  EXPECT_GT(r.metrics[TwoStageOta::kPowerMw], 0.01);
+  EXPECT_LT(r.metrics[TwoStageOta::kPowerMw], 50.0);
+  EXPECT_GT(r.metrics[TwoStageOta::kDcGainDb], 20.0);
+  EXPECT_GT(r.metrics[TwoStageOta::kUgfMhz], 0.1);
+  EXPECT_GT(r.metrics[TwoStageOta::kSwingV], 0.2);
+  EXPECT_GT(r.metrics[TwoStageOta::kNoiseMvrms], 0.0);
+}
+
+TEST(TwoStageOta, EvaluationIsDeterministic) {
+  TwoStageOta p;
+  const Vec x = p.clip(reference_design());
+  const auto a = p.evaluate(x);
+  const auto b = p.evaluate(x);
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t i = 0; i < a.metrics.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.metrics[i], b.metrics[i]);
+}
+
+TEST(TwoStageOta, WiderInputPairRaisesGain) {
+  TwoStageOta p;
+  Vec narrow = reference_design();
+  Vec wide = reference_design();
+  narrow[5] = 5.0;   // W1
+  wide[5] = 80.0;
+  const auto rn = p.evaluate(p.clip(narrow));
+  const auto rw = p.evaluate(p.clip(wide));
+  ASSERT_TRUE(rn.simulation_ok);
+  ASSERT_TRUE(rw.simulation_ok);
+  // gm1 grows with W1 -> first-stage gain grows.
+  EXPECT_GT(rw.metrics[TwoStageOta::kDcGainDb], rn.metrics[TwoStageOta::kDcGainDb]);
+}
+
+TEST(TwoStageOta, MoreTailCurrentBurnsMorePower) {
+  TwoStageOta p;
+  Vec small = reference_design();
+  Vec big = reference_design();
+  small[13] = 1;  // N1
+  big[13] = 12;
+  const auto rs = p.evaluate(p.clip(small));
+  const auto rb = p.evaluate(p.clip(big));
+  ASSERT_TRUE(rs.simulation_ok);
+  ASSERT_TRUE(rb.simulation_ok);
+  EXPECT_GT(rb.metrics[TwoStageOta::kPowerMw], rs.metrics[TwoStageOta::kPowerMw]);
+}
+
+TEST(TwoStageOta, RandomDesignsMostlySimulate) {
+  TwoStageOta p;
+  Rng rng(11);
+  int ok = 0;
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    const auto r = p.evaluate(p.random_design(rng));
+    if (r.simulation_ok) ++ok;
+  }
+  // The DC continuation ladder should rescue nearly all random designs.
+  EXPECT_GE(ok, n - 1);
+}
+
+}  // namespace
+}  // namespace maopt::ckt

@@ -1,0 +1,124 @@
+#include "circuits/process_variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/analytic_problems.hpp"
+#include "circuits/two_stage_ota.hpp"
+
+namespace maopt::ckt {
+namespace {
+
+TEST(VaryModel, NominalWhenSigmasZero) {
+  Rng rng(1);
+  const auto nominal = spice::MosModel::nmos_180();
+  const auto varied = vary_model(nominal, rng, ProcessVariation{});
+  EXPECT_DOUBLE_EQ(varied.vth0, nominal.vth0);
+  EXPECT_DOUBLE_EQ(varied.kp, nominal.kp);
+}
+
+TEST(VaryModel, PerturbsWithRequestedSpread) {
+  Rng rng(2);
+  const auto nominal = spice::MosModel::nmos_180();
+  ProcessVariation pv;
+  pv.sigma_vth = 0.02;
+  pv.sigma_kp_rel = 0.10;
+  double vth_var = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const auto m = vary_model(nominal, rng, pv);
+    vth_var += std::pow(m.vth0 - nominal.vth0, 2);
+    EXPECT_GT(m.kp, 0.0);
+  }
+  EXPECT_NEAR(std::sqrt(vth_var / n), 0.02, 0.002);
+}
+
+TEST(ProcessVariation, AnalyticProblemsIgnoreIt) {
+  ConstrainedQuadratic p(3);
+  EXPECT_FALSE(p.supports_process_variation());
+  const Vec x{0.3, 0.3, 0.3};
+  const auto before = p.evaluate(x);
+  ProcessVariation pv;
+  pv.sigma_vth = 0.1;
+  p.set_process_variation(pv);  // no-op
+  const auto after = p.evaluate(x);
+  EXPECT_EQ(before.metrics, after.metrics);
+}
+
+TEST(ProcessVariation, OtaMetricsShiftUnderMismatch) {
+  TwoStageOta p;
+  EXPECT_TRUE(p.supports_process_variation());
+  const Vec x = p.clip({1.0, 1.0, 1.0, 0.5, 0.5, 20, 10, 5, 40, 20, 2.0, 500, 1000, 4, 4, 4});
+  const auto nominal = p.evaluate(x);
+  ASSERT_TRUE(nominal.simulation_ok);
+
+  ProcessVariation pv;
+  pv.sigma_vth = 0.02;
+  pv.sigma_kp_rel = 0.05;
+  pv.seed = 1;
+  p.set_process_variation(pv);
+  const auto varied = p.evaluate(x);
+  ASSERT_TRUE(varied.simulation_ok);
+  // Mismatch must move at least the matching-sensitive metrics (CMRR).
+  EXPECT_NE(nominal.metrics[TwoStageOta::kCmrrDb], varied.metrics[TwoStageOta::kCmrrDb]);
+
+  // Same seed -> identical result; different seed -> different result.
+  const auto varied_again = p.evaluate(x);
+  EXPECT_EQ(varied.metrics, varied_again.metrics);
+  pv.seed = 2;
+  p.set_process_variation(pv);
+  const auto other_seed = p.evaluate(x);
+  EXPECT_NE(varied.metrics, other_seed.metrics);
+
+  p.set_process_variation(ProcessVariation{});
+  const auto back = p.evaluate(x);
+  EXPECT_EQ(back.metrics, nominal.metrics);
+}
+
+TEST(ProcessVariation, MismatchVisiblyMovesCmrr) {
+  // In this topology the nominal common-mode gain is set by the finite tail
+  // impedance (not by matching), so mismatch can move CMRR either way — but
+  // it must move it measurably in essentially every instance.
+  TwoStageOta p;
+  const Vec x = p.clip({1.0, 1.0, 1.0, 0.5, 0.5, 20, 10, 5, 40, 20, 2.0, 500, 1000, 4, 4, 4});
+  const double nominal_cmrr = p.evaluate(x).metrics[TwoStageOta::kCmrrDb];
+  int moved = 0;
+  const int n = 6;
+  for (int k = 0; k < n; ++k) {
+    ProcessVariation pv;
+    pv.sigma_vth = 0.01;
+    pv.seed = static_cast<std::uint64_t>(k);
+    p.set_process_variation(pv);
+    const auto r = p.evaluate(x);
+    if (r.simulation_ok && std::abs(r.metrics[TwoStageOta::kCmrrDb] - nominal_cmrr) > 0.1) ++moved;
+  }
+  p.set_process_variation(ProcessVariation{});
+  EXPECT_GE(moved, n - 1);
+}
+
+TEST(EstimateYield, CountsAndResetsToNominal) {
+  TwoStageOta p;
+  const Vec x = p.clip({1.0, 1.0, 1.0, 0.5, 0.5, 20, 10, 5, 40, 20, 2.0, 500, 1000, 4, 4, 4});
+  const auto nominal = p.evaluate(x);
+  const YieldResult y = estimate_yield(p, x, 5, 0.01, 0.03);
+  EXPECT_EQ(y.total, 5);
+  EXPECT_EQ(y.metric_samples.size(), 5u);
+  EXPECT_GE(y.feasible, 0);
+  EXPECT_LE(y.feasible, 5);
+  EXPECT_GE(y.yield(), 0.0);
+  EXPECT_LE(y.yield(), 1.0);
+  // State restored.
+  EXPECT_EQ(p.evaluate(x).metrics, nominal.metrics);
+}
+
+TEST(EstimateYield, ZeroSigmaYieldMatchesNominalFeasibility) {
+  TwoStageOta p;
+  const Vec x = p.clip({1.0, 1.0, 1.0, 0.5, 0.5, 20, 10, 5, 40, 20, 2.0, 500, 1000, 4, 4, 4});
+  const bool nominal_feasible = p.feasible(p.evaluate(x).metrics);
+  const YieldResult y = estimate_yield(p, x, 3, 0.0, 0.0);
+  EXPECT_EQ(y.yield(), nominal_feasible ? 1.0 : 0.0);
+}
+
+}  // namespace
+}  // namespace maopt::ckt

@@ -1,0 +1,85 @@
+#include "circuits/robust_problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/analytic_problems.hpp"
+#include "circuits/two_stage_ota.hpp"
+
+namespace maopt::ckt {
+namespace {
+
+Vec ota_reference() {
+  return {1.0, 1.0, 1.0, 0.5, 0.5, 20, 10, 5, 40, 20, 2.0, 500, 1000, 4, 4, 4};
+}
+
+TEST(RobustProblem, RejectsVariationUnawareInner) {
+  ConstrainedQuadratic analytic(3);
+  EXPECT_THROW(RobustProblem robust(analytic), std::invalid_argument);
+}
+
+TEST(RobustProblem, RejectsEmptyCornerSet) {
+  TwoStageOta ota;
+  EXPECT_THROW(RobustProblem robust(ota, {}), std::invalid_argument);
+}
+
+TEST(RobustProblem, DelegatesProblemShape) {
+  TwoStageOta ota;
+  RobustProblem robust(ota);
+  EXPECT_EQ(robust.dim(), ota.dim());
+  EXPECT_EQ(robust.num_metrics(), ota.num_metrics());
+  EXPECT_EQ(robust.parameter_names(), ota.parameter_names());
+  EXPECT_EQ(robust.num_corners(), 5u);
+}
+
+TEST(RobustProblem, TtOnlyMatchesNominal) {
+  TwoStageOta ota;
+  RobustProblem robust(ota, {ProcessCorner::TT});
+  const Vec x = ota.clip(ota_reference());
+  const auto nominal = ota.evaluate(x);
+  const auto robust_r = robust.evaluate(x);
+  EXPECT_EQ(robust_r.metrics, nominal.metrics);
+}
+
+TEST(RobustProblem, WorstCaseIsNeverBetterThanNominal) {
+  TwoStageOta ota;
+  RobustProblem robust(ota);
+  const Vec x = ota.clip(ota_reference());
+  const auto nominal = ota.evaluate(x);
+  const auto worst = robust.evaluate(x);
+  ASSERT_TRUE(worst.simulation_ok);
+  // Target (power): worst-case >= nominal.
+  EXPECT_GE(worst.metrics[0], nominal.metrics[0] - 1e-12);
+  // Each constraint's worst-case violation >= nominal violation.
+  const auto& cs = ota.spec().constraints;
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    EXPECT_GE(normalized_violation(cs[i], worst.metrics[i + 1]),
+              normalized_violation(cs[i], nominal.metrics[i + 1]) - 1e-12)
+        << cs[i].name;
+  }
+}
+
+TEST(RobustProblem, RestoresInnerToNominal) {
+  TwoStageOta ota;
+  const Vec x = ota.clip(ota_reference());
+  const auto before = ota.evaluate(x);
+  {
+    RobustProblem robust(ota);
+    robust.evaluate(x);
+  }
+  EXPECT_EQ(ota.evaluate(x).metrics, before.metrics);
+}
+
+TEST(RobustProblem, FeasibleRobustDesignIsFeasibleAtEveryCorner) {
+  TwoStageOta ota;
+  RobustProblem robust(ota);
+  const Vec x = ota.clip(ota_reference());
+  const auto worst = robust.evaluate(x);
+  if (robust.feasible(worst.metrics)) {
+    for (const auto& r : evaluate_corners(ota, x)) EXPECT_TRUE(ota.feasible(r.metrics));
+  } else {
+    SUCCEED();  // reference design need not be robust-feasible
+  }
+}
+
+}  // namespace
+}  // namespace maopt::ckt

@@ -1,0 +1,75 @@
+#include "circuits/three_stage_tia.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace maopt::ckt {
+namespace {
+
+Vec reference_design() {
+  //      L1   L2   L3   L4   L5    W1  W2  W3  W4  W5   R   Cf  N1 N2 N3
+  return {0.4, 0.4, 0.4, 0.4, 0.4, 30, 30, 30, 5, 20, 20.0, 200, 2, 2, 2};
+}
+
+TEST(ThreeStageTia, SpecMatchesTableIII) {
+  ThreeStageTia p;
+  EXPECT_EQ(p.dim(), 15u);
+  EXPECT_EQ(p.num_metrics(), 4u);  // power + 3 constraints (Eq. 8)
+  EXPECT_EQ(p.spec().constraints.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.upper_bounds()[10], 100.0);  // R up to 100 kOhm
+  EXPECT_DOUBLE_EQ(p.upper_bounds()[11], 2000.0); // Cf up to 2 pF
+  EXPECT_TRUE(p.integer_mask()[12]);
+}
+
+TEST(ThreeStageTia, ReferenceDesignSimulates) {
+  ThreeStageTia p;
+  const auto r = p.evaluate(p.clip(reference_design()));
+  ASSERT_TRUE(r.simulation_ok);
+  for (const double m : r.metrics) EXPECT_TRUE(std::isfinite(m));
+  EXPECT_GT(r.metrics[ThreeStageTia::kPowerMw], 0.001);
+  EXPECT_LT(r.metrics[ThreeStageTia::kPowerMw], 100.0);
+  // With the loop closed, Z_T ~ R = 20 kOhm = 86 dBOhm.
+  EXPECT_GT(r.metrics[ThreeStageTia::kZtDbOhm], 60.0);
+  EXPECT_LT(r.metrics[ThreeStageTia::kZtDbOhm], 110.0);
+  EXPECT_GT(r.metrics[ThreeStageTia::kInputNoisePa], 0.0);
+}
+
+TEST(ThreeStageTia, TransimpedanceTracksFeedbackResistor) {
+  ThreeStageTia p;
+  Vec lo = reference_design();
+  Vec hi = reference_design();
+  lo[10] = 5.0;   // 5 kOhm
+  hi[10] = 50.0;  // 50 kOhm
+  const auto rl = p.evaluate(p.clip(lo));
+  const auto rh = p.evaluate(p.clip(hi));
+  ASSERT_TRUE(rl.simulation_ok);
+  ASSERT_TRUE(rh.simulation_ok);
+  const double dzt =
+      rh.metrics[ThreeStageTia::kZtDbOhm] - rl.metrics[ThreeStageTia::kZtDbOhm];
+  // 10x resistor = +20 dB if loop gain is high; accept a generous window.
+  EXPECT_GT(dzt, 10.0);
+  EXPECT_LT(dzt, 26.0);
+}
+
+TEST(ThreeStageTia, EvaluationIsDeterministic) {
+  ThreeStageTia p;
+  const Vec x = p.clip(reference_design());
+  const auto a = p.evaluate(x);
+  const auto b = p.evaluate(x);
+  for (std::size_t i = 0; i < a.metrics.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.metrics[i], b.metrics[i]);
+}
+
+TEST(ThreeStageTia, RandomDesignsMostlySimulate) {
+  ThreeStageTia p;
+  Rng rng(13);
+  int ok = 0;
+  const int n = 8;
+  for (int i = 0; i < n; ++i)
+    if (p.evaluate(p.random_design(rng)).simulation_ok) ++ok;
+  EXPECT_GE(ok, n - 1);
+}
+
+}  // namespace
+}  // namespace maopt::ckt

@@ -1,0 +1,63 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maopt {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, SpaceSeparatedValue) {
+  const auto args = make({"--runs", "5"});
+  EXPECT_EQ(args.get_int("runs", 0), 5);
+}
+
+TEST(CliArgs, EqualsSeparatedValue) {
+  const auto args = make({"--sims=123"});
+  EXPECT_EQ(args.get_int("sims", 0), 123);
+}
+
+TEST(CliArgs, BooleanFlagWithoutValue) {
+  const auto args = make({"--full"});
+  EXPECT_TRUE(args.get_bool("full"));
+  EXPECT_TRUE(args.has("full"));
+}
+
+TEST(CliArgs, MissingFlagUsesFallback) {
+  const auto args = make({});
+  EXPECT_EQ(args.get_int("runs", 10), 10);
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.5), 0.5);
+  EXPECT_FALSE(args.get_bool("full"));
+  EXPECT_EQ(args.get("name", "x"), "x");
+}
+
+TEST(CliArgs, DoubleParsing) {
+  const auto args = make({"--lr", "0.25"});
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.0), 0.25);
+}
+
+TEST(CliArgs, PositionalArgumentsCollected) {
+  const auto args = make({"alpha", "--k", "3", "beta"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "alpha");
+  EXPECT_EQ(args.positional()[1], "beta");
+}
+
+TEST(CliArgs, ExplicitFalseValues) {
+  const auto args = make({"--x=false", "--y=0"});
+  EXPECT_FALSE(args.get_bool("x", true));
+  EXPECT_FALSE(args.get_bool("y", true));
+}
+
+TEST(CliArgs, ConsecutiveFlags) {
+  const auto args = make({"--a", "--b", "2"});
+  EXPECT_TRUE(args.get_bool("a"));
+  EXPECT_EQ(args.get_int("b", 0), 2);
+}
+
+}  // namespace
+}  // namespace maopt

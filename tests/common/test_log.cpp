@@ -1,0 +1,69 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace maopt {
+namespace {
+
+TEST(Log, LevelThresholdRoundTrip) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Warn);
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+  // Emitting below threshold must be a no-op (no crash, nothing observable).
+  log_debug() << "suppressed";
+  log_error() << "also suppressed at Off";
+  set_log_level(saved);
+}
+
+TEST(Log, StreamingAcceptsMixedTypes) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Off);
+  log_info() << "x=" << 42 << " y=" << 1.5 << " z=" << std::string("s");
+  set_log_level(saved);
+}
+
+TEST(Stopwatch, MeasuresElapsedWallTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double t = sw.elapsed_seconds();
+  EXPECT_GE(t, 0.015);
+  EXPECT_LT(t, 5.0);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  sw.reset();
+  EXPECT_LT(sw.elapsed_seconds(), 0.010);
+}
+
+TEST(ThreadCpuTimer, CountsOwnWorkNotSleep) {
+  ThreadCpuTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const double slept = timer.elapsed_seconds();
+  EXPECT_LT(slept, 0.02);  // sleeping burns (almost) no CPU
+
+  timer.reset();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 20000000; ++i) sink = sink + i * 1e-9;
+  EXPECT_GT(timer.elapsed_seconds(), 0.001);
+}
+
+TEST(ThreadCpuTimer, IsPerThread) {
+  ThreadCpuTimer main_timer;
+  std::thread worker([] {
+    volatile double sink = 0.0;
+    for (int i = 0; i < 20000000; ++i) sink = sink + i * 1e-9;
+  });
+  worker.join();
+  // The worker's CPU time must not appear on this thread's clock.
+  EXPECT_LT(main_timer.elapsed_seconds(), 0.05);
+}
+
+}  // namespace
+}  // namespace maopt

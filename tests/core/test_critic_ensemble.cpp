@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "circuits/analytic_problems.hpp"
+#include "core/critic.hpp"
+#include "core/ma_optimizer.hpp"
+
+namespace maopt::core {
+namespace {
+
+struct EnsembleFixture : ::testing::Test {
+  EnsembleFixture() : problem(3), scaler(problem.lower_bounds(), problem.upper_bounds()) {
+    Rng rng(1);
+    for (int i = 0; i < 40; ++i) {
+      SimRecord r;
+      r.x = problem.random_design(rng);
+      r.metrics = problem.evaluate(r.x).metrics;
+      records.push_back(std::move(r));
+    }
+    config.hidden = {24, 24};
+    config.steps_per_round = 10;
+  }
+  ckt::ConstrainedQuadratic problem;
+  nn::RangeScaler scaler;
+  std::vector<SimRecord> records;
+  CriticConfig config;
+};
+
+TEST_F(EnsembleFixture, ZeroMembersThrows) {
+  Rng rng(2);
+  EXPECT_THROW(CriticEnsemble(0, 3, 3, config, rng), std::invalid_argument);
+}
+
+TEST_F(EnsembleFixture, SingleMemberMatchesPlainCritic) {
+  // Same rng stream -> the one member is identical to a directly-built critic.
+  Rng rng_a(3), rng_b(3);
+  CriticEnsemble ens(1, 3, 3, config, rng_a);
+  Critic critic(3, 3, config, rng_b);
+  ens.fit_normalizer(records);
+  critic.fit_normalizer(records);
+  nn::Mat in(1, 6, 0.1);
+  const nn::Mat pe = ens.predict(in);
+  const nn::Mat pc = critic.predict(in);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(pe(0, c), pc(0, c));
+}
+
+TEST_F(EnsembleFixture, PredictionIsMeanOfMembers) {
+  Rng rng(4);
+  CriticEnsemble ens(3, 3, 3, config, rng);
+  ens.fit_normalizer(records);
+  // Clone into singles using the copy constructor, then compare.
+  nn::Mat in(2, 6, 0.2);
+  const nn::Mat avg = ens.predict(in);
+  // Averaging property is hard to check without member access; instead use
+  // determinism: two identical ensembles agree.
+  Rng rng2(4);
+  CriticEnsemble ens2(3, 3, 3, config, rng2);
+  ens2.fit_normalizer(records);
+  const nn::Mat avg2 = ens2.predict(in);
+  for (std::size_t k = 0; k < avg.data().size(); ++k)
+    EXPECT_DOUBLE_EQ(avg.data()[k], avg2.data()[k]);
+}
+
+TEST_F(EnsembleFixture, TrainingReducesLossAcrossMembers) {
+  Rng rng(5);
+  CriticEnsemble ens(2, 3, 3, config, rng);
+  ens.fit_normalizer(records);
+  PseudoSampleBatcher batcher(records, scaler);
+  Rng trng(6);
+  const double first = ens.train_round(batcher, trng);
+  double last = first;
+  for (int i = 0; i < 15; ++i) last = ens.train_round(batcher, trng);
+  EXPECT_LT(last, first);
+}
+
+TEST_F(EnsembleFixture, ActionGradientAveragesMatchFiniteDifference) {
+  Rng rng(7);
+  CriticEnsemble ens(2, 3, 3, config, rng);
+  ens.fit_normalizer(records);
+  PseudoSampleBatcher batcher(records, scaler);
+  Rng trng(8);
+  ens.train_round(batcher, trng);
+
+  const Vec w{1.0, -0.5, 0.25};
+  nn::Mat in(1, 6, 0.15);
+  ens.predict(in);
+  nn::Mat dl(1, 3);
+  for (std::size_t c = 0; c < 3; ++c) dl(0, c) = w[c];
+  const nn::Mat da = ens.action_gradient(dl);
+
+  const double eps = 1e-6;
+  for (std::size_t c = 0; c < 3; ++c) {
+    nn::Mat inp = in, inm = in;
+    inp(0, 3 + c) += eps;
+    inm(0, 3 + c) -= eps;
+    const nn::Mat rp = ens.predict(inp);
+    const nn::Mat rm = ens.predict(inm);
+    double lp = 0.0, lm = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      lp += w[j] * rp(0, j);
+      lm += w[j] * rm(0, j);
+    }
+    EXPECT_NEAR(da(0, c), (lp - lm) / (2 * eps), 1e-4) << c;
+  }
+}
+
+TEST_F(EnsembleFixture, ParameterCountScalesLinearly) {
+  Rng rng(9);
+  CriticEnsemble one(1, 3, 3, config, rng);
+  CriticEnsemble four(4, 3, 3, config, rng);
+  EXPECT_EQ(four.num_parameters(), 4 * one.num_parameters());
+}
+
+TEST_F(EnsembleFixture, MaOptimizerRunsWithEnsemble) {
+  Rng rng(10);
+  auto init = sample_initial_set(problem, 15, rng);
+  std::vector<linalg::Vec> rows;
+  for (const auto& r : init) rows.push_back(r.metrics);
+  const auto fom = ckt::FomEvaluator::fit_reference(problem, rows);
+
+  MaOptConfig cfg = MaOptConfig::ma_opt();
+  cfg.num_critics = 2;
+  cfg.critic.hidden = {24, 24};
+  cfg.critic.steps_per_round = 8;
+  cfg.actor.hidden = {16, 16};
+  cfg.actor.steps_per_round = 5;
+  cfg.near_sampling.num_samples = 100;
+  MaOptimizer opt(cfg);
+  const RunHistory h = opt.run(problem, init, fom, 3, 12);
+  EXPECT_EQ(h.simulations_used(), 12u);
+}
+
+}  // namespace
+}  // namespace maopt::core

@@ -1,0 +1,66 @@
+#include "core/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/analytic_problems.hpp"
+
+namespace maopt::core {
+namespace {
+
+SimRecord make_record(double f0, double fom, bool feasible) {
+  SimRecord r;
+  r.x = {0.0};
+  r.metrics = {f0, 1.0, 0.0};
+  r.fom = fom;
+  r.feasible = feasible;
+  r.simulation_ok = true;
+  return r;
+}
+
+TEST(RunHistory, BestPicksLowestFom) {
+  RunHistory h;
+  h.records.push_back(make_record(1.0, 0.5, false));
+  h.records.push_back(make_record(2.0, 0.1, false));
+  h.records.push_back(make_record(3.0, 0.9, false));
+  ASSERT_NE(h.best(), nullptr);
+  EXPECT_DOUBLE_EQ(h.best()->fom, 0.1);
+}
+
+TEST(RunHistory, BestFeasiblePicksLowestTargetAmongFeasible) {
+  RunHistory h;
+  h.records.push_back(make_record(0.5, 0.01, false));  // better FoM but infeasible
+  h.records.push_back(make_record(2.0, 0.2, true));
+  h.records.push_back(make_record(1.5, 0.3, true));    // worse FoM, better target
+  ASSERT_NE(h.best_feasible(), nullptr);
+  EXPECT_DOUBLE_EQ(h.best_feasible()->metrics[0], 1.5);
+}
+
+TEST(RunHistory, BestFeasibleNullWhenNoneFeasible) {
+  RunHistory h;
+  h.records.push_back(make_record(1.0, 0.5, false));
+  EXPECT_EQ(h.best_feasible(), nullptr);
+}
+
+TEST(RunHistory, EmptyHistoryBestIsNull) {
+  RunHistory h;
+  EXPECT_EQ(h.best(), nullptr);
+  EXPECT_EQ(h.best_feasible(), nullptr);
+}
+
+TEST(RunHistory, SimulationsUsedExcludesInitial) {
+  RunHistory h;
+  h.num_initial = 3;
+  for (int i = 0; i < 8; ++i) h.records.push_back(make_record(1, 1, false));
+  EXPECT_EQ(h.simulations_used(), 5u);
+}
+
+TEST(SampleInitialSet, DifferentSeedsGiveDifferentSets) {
+  ckt::ConstrainedQuadratic problem(4);
+  Rng a(1), b(2);
+  const auto sa = sample_initial_set(problem, 5, a);
+  const auto sb = sample_initial_set(problem, 5, b);
+  EXPECT_NE(sa[0].x, sb[0].x);
+}
+
+}  // namespace
+}  // namespace maopt::core

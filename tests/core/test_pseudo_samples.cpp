@@ -1,0 +1,96 @@
+#include "core/pseudo_samples.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/analytic_problems.hpp"
+
+namespace maopt::core {
+namespace {
+
+std::vector<SimRecord> make_records(const ckt::SizingProblem& p, std::size_t n, Rng& rng) {
+  std::vector<SimRecord> recs;
+  for (std::size_t i = 0; i < n; ++i) {
+    SimRecord r;
+    r.x = p.random_design(rng);
+    r.metrics = p.evaluate(r.x).metrics;
+    r.simulation_ok = true;
+    recs.push_back(std::move(r));
+  }
+  return recs;
+}
+
+TEST(PseudoSamples, ShapesMatchBatchRequest) {
+  ckt::ConstrainedQuadratic p(3);
+  Rng rng(1);
+  const auto recs = make_records(p, 10, rng);
+  nn::RangeScaler scaler(p.lower_bounds(), p.upper_bounds());
+  PseudoSampleBatcher batcher(recs, scaler);
+  nn::Mat x, y;
+  batcher.sample(17, rng, x, y);
+  EXPECT_EQ(x.rows(), 17u);
+  EXPECT_EQ(x.cols(), 6u);  // 2d
+  EXPECT_EQ(y.rows(), 17u);
+  EXPECT_EQ(y.cols(), 3u);  // m+1
+}
+
+TEST(PseudoSamples, Eq3InvariantHolds) {
+  // For every row: target must equal the metrics of the design at
+  // unit(x_i) + delta — i.e. f(x_j) (Eq. 3).
+  ckt::ConstrainedQuadratic p(4);
+  Rng rng(2);
+  const auto recs = make_records(p, 12, rng);
+  nn::RangeScaler scaler(p.lower_bounds(), p.upper_bounds());
+  PseudoSampleBatcher batcher(recs, scaler);
+  nn::Mat x, y;
+  batcher.sample(50, rng, x, y);
+  for (std::size_t k = 0; k < 50; ++k) {
+    // Reconstruct x_j from the input row.
+    linalg::Vec uj(4);
+    for (std::size_t c = 0; c < 4; ++c) uj[c] = x(k, c) + x(k, 4 + c);
+    const linalg::Vec xj = scaler.from_unit(uj);
+    const auto eval = p.evaluate(xj);
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(y(k, c), eval.metrics[c], 1e-9);
+  }
+}
+
+TEST(PseudoSamples, InputsLieInUnitRange) {
+  ckt::ConstrainedQuadratic p(2);
+  Rng rng(3);
+  const auto recs = make_records(p, 8, rng);
+  nn::RangeScaler scaler(p.lower_bounds(), p.upper_bounds());
+  PseudoSampleBatcher batcher(recs, scaler);
+  nn::Mat x, y;
+  batcher.sample(100, rng, x, y);
+  for (std::size_t k = 0; k < 100; ++k) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_GE(x(k, c), -1.0 - 1e-12);
+      EXPECT_LE(x(k, c), 1.0 + 1e-12);
+      EXPECT_GE(x(k, 2 + c), -2.0 - 1e-12);  // deltas span [-2, 2]
+      EXPECT_LE(x(k, 2 + c), 2.0 + 1e-12);
+    }
+  }
+}
+
+TEST(PseudoSamples, PopulationOfOneYieldsZeroDeltas) {
+  ckt::ConstrainedQuadratic p(2);
+  Rng rng(4);
+  const auto recs = make_records(p, 1, rng);
+  nn::RangeScaler scaler(p.lower_bounds(), p.upper_bounds());
+  PseudoSampleBatcher batcher(recs, scaler);
+  nn::Mat x, y;
+  batcher.sample(5, rng, x, y);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_DOUBLE_EQ(x(k, 2), 0.0);
+    EXPECT_DOUBLE_EQ(x(k, 3), 0.0);
+  }
+}
+
+TEST(PseudoSamples, EmptyPopulationThrows) {
+  ckt::ConstrainedQuadratic p(2);
+  nn::RangeScaler scaler(p.lower_bounds(), p.upper_bounds());
+  std::vector<SimRecord> empty;
+  EXPECT_THROW(PseudoSampleBatcher(empty, scaler), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maopt::core

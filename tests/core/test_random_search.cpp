@@ -1,0 +1,63 @@
+#include "core/random_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/analytic_problems.hpp"
+
+namespace maopt::core {
+namespace {
+
+TEST(RandomSearch, BudgetAndTrajectoryShape) {
+  ckt::ConstrainedQuadratic problem(3);
+  Rng rng(1);
+  auto init = sample_initial_set(problem, 10, rng);
+  std::vector<linalg::Vec> rows;
+  for (const auto& r : init) rows.push_back(r.metrics);
+  const auto fom = ckt::FomEvaluator::fit_reference(problem, rows);
+
+  RandomSearch rs;
+  const RunHistory h = rs.run(problem, init, fom, 5, 25);
+  EXPECT_EQ(h.simulations_used(), 25u);
+  EXPECT_EQ(h.records.size(), 35u);
+  for (std::size_t i = 1; i < h.best_fom_after.size(); ++i)
+    EXPECT_LE(h.best_fom_after[i], h.best_fom_after[i - 1]);
+}
+
+TEST(RandomSearch, Deterministic) {
+  ckt::ConstrainedQuadratic problem(3);
+  Rng rng(2);
+  auto init = sample_initial_set(problem, 5, rng);
+  std::vector<linalg::Vec> rows;
+  for (const auto& r : init) rows.push_back(r.metrics);
+  const auto fom = ckt::FomEvaluator::fit_reference(problem, rows);
+  RandomSearch a, b;
+  const auto ha = a.run(problem, init, fom, 9, 10);
+  const auto hb = b.run(problem, init, fom, 9, 10);
+  for (std::size_t i = 0; i < ha.records.size(); ++i) EXPECT_EQ(ha.records[i].x, hb.records[i].x);
+}
+
+TEST(SampleInitialSet, CountAndEvaluation) {
+  ckt::ConstrainedQuadratic problem(2);
+  Rng rng(3);
+  const auto init = sample_initial_set(problem, 12, rng);
+  EXPECT_EQ(init.size(), 12u);
+  for (const auto& r : init) {
+    EXPECT_EQ(r.metrics.size(), problem.num_metrics());
+    EXPECT_TRUE(r.simulation_ok);
+  }
+}
+
+TEST(AnnotateFoms, FillsFomAndFeasibility) {
+  ckt::ConstrainedQuadratic problem(2);
+  Rng rng(4);
+  auto recs = sample_initial_set(problem, 8, rng);
+  const ckt::FomEvaluator fom(problem, 1.0);
+  annotate_foms(recs, problem, fom);
+  for (const auto& r : recs) {
+    EXPECT_DOUBLE_EQ(r.fom, fom(r.metrics));
+    EXPECT_EQ(r.feasible, problem.feasible(r.metrics));
+  }
+}
+
+}  // namespace
+}  // namespace maopt::core

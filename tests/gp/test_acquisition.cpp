@@ -1,0 +1,73 @@
+#include "gp/acquisition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace maopt::gp {
+namespace {
+
+TEST(Ei, ZeroVarianceReducesToPlainImprovement) {
+  EXPECT_DOUBLE_EQ(expected_improvement({1.0, 0.0}, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(expected_improvement({5.0, 0.0}, 3.0), 0.0);
+}
+
+TEST(Ei, AlwaysNonNegative) {
+  for (double mean : {-2.0, 0.0, 2.0, 10.0})
+    for (double var : {1e-6, 0.1, 4.0})
+      EXPECT_GE(expected_improvement({mean, var}, 0.0), 0.0) << mean << "/" << var;
+}
+
+TEST(Ei, GrowsWithVarianceAtEqualMean) {
+  // mean == best: improvement comes purely from exploration.
+  EXPECT_GT(expected_improvement({0.0, 4.0}, 0.0), expected_improvement({0.0, 0.01}, 0.0));
+}
+
+TEST(Ei, GrowsAsMeanDropsBelowBest) {
+  EXPECT_GT(expected_improvement({-1.0, 1.0}, 0.0), expected_improvement({0.5, 1.0}, 0.0));
+}
+
+TEST(Ei, KnownGaussianValue) {
+  // mean = best, sigma = 1: EI = phi(0) = 1/sqrt(2 pi).
+  EXPECT_NEAR(expected_improvement({0.0, 1.0}, 0.0), 0.3989422804, 1e-9);
+}
+
+TEST(MaximizeEi, FindsRegionNearKnownMinimum) {
+  // GP on f(x) = (x-0.3)^2 with a gap around the minimum: EI should focus
+  // near the low-mean region.
+  const std::size_t n = 8;
+  Mat x(n, 1);
+  Vec y(n);
+  const double xs[n] = {0.0, 0.1, 0.2, 0.45, 0.6, 0.75, 0.9, 1.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = xs[i];
+    y[i] = std::pow(xs[i] - 0.3, 2);
+  }
+  GpHyperparams hp;
+  hp.signal_variance = 0.1;
+  hp.noise_variance = 1e-8;
+  hp.lengthscales = {0.15};
+  GpRegression gp(x, y, hp);
+  Rng rng(3);
+  const Vec best = maximize_ei(gp, 0.0225, 1, rng, 512, 128);
+  EXPECT_NEAR(best[0], 0.3, 0.15);
+}
+
+TEST(MaximizeEi, StaysInUnitBox) {
+  Mat x(2, 3, {0.2, 0.2, 0.2, 0.8, 0.8, 0.8});
+  Vec y{1.0, 0.0};
+  GpHyperparams hp;
+  hp.signal_variance = 1.0;
+  hp.noise_variance = 1e-6;
+  hp.lengthscales = {0.5, 0.5, 0.5};
+  GpRegression gp(x, y, hp);
+  Rng rng(5);
+  const Vec best = maximize_ei(gp, 0.0, 3, rng, 128, 64);
+  for (const double v : best) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace maopt::gp

@@ -1,0 +1,97 @@
+#include "gp/bo_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/analytic_problems.hpp"
+#include "core/random_search.hpp"
+
+namespace maopt::gp {
+namespace {
+
+using core::RunHistory;
+using core::SimRecord;
+
+struct BoSetup {
+  ckt::ConstrainedQuadratic problem{4};
+  std::vector<SimRecord> initial;
+  std::unique_ptr<ckt::FomEvaluator> fom;
+
+  explicit BoSetup(std::size_t n_init = 20, std::uint64_t seed = 1) {
+    Rng rng(seed);
+    initial = core::sample_initial_set(problem, n_init, rng);
+    std::vector<linalg::Vec> rows;
+    for (const auto& r : initial) rows.push_back(r.metrics);
+    fom = std::make_unique<ckt::FomEvaluator>(ckt::FomEvaluator::fit_reference(problem, rows));
+  }
+};
+
+TEST(Bo, RespectsSimulationBudget) {
+  BoSetup s;
+  BoConfig cfg;
+  cfg.random_candidates = 128;
+  cfg.local_candidates = 32;
+  cfg.hyperfit_restarts = 4;
+  BoOptimizer bo(cfg);
+  const RunHistory h = bo.run(s.problem, s.initial, *s.fom, 7, 15);
+  EXPECT_EQ(h.simulations_used(), 15u);
+  EXPECT_EQ(h.records.size(), s.initial.size() + 15);
+  EXPECT_EQ(h.best_fom_after.size(), 15u);
+}
+
+TEST(Bo, BestFomTrajectoryIsMonotoneNonIncreasing) {
+  BoSetup s;
+  BoConfig cfg;
+  cfg.random_candidates = 128;
+  cfg.local_candidates = 32;
+  cfg.hyperfit_restarts = 4;
+  BoOptimizer bo(cfg);
+  const RunHistory h = bo.run(s.problem, s.initial, *s.fom, 3, 20);
+  for (std::size_t i = 1; i < h.best_fom_after.size(); ++i)
+    EXPECT_LE(h.best_fom_after[i], h.best_fom_after[i - 1]);
+}
+
+TEST(Bo, ImprovesOverInitialBest) {
+  BoSetup s;
+  double init_best = 1e300;
+  {
+    auto recs = s.initial;
+    core::annotate_foms(recs, s.problem, *s.fom);
+    for (const auto& r : recs) init_best = std::min(init_best, r.fom);
+  }
+  BoConfig cfg;
+  cfg.random_candidates = 256;
+  cfg.local_candidates = 64;
+  cfg.hyperfit_restarts = 8;
+  BoOptimizer bo(cfg);
+  const RunHistory h = bo.run(s.problem, s.initial, *s.fom, 11, 30);
+  EXPECT_LT(h.best_fom_after.back(), init_best);
+}
+
+TEST(Bo, DeterministicForFixedSeed) {
+  BoSetup s;
+  BoConfig cfg;
+  cfg.random_candidates = 64;
+  cfg.local_candidates = 16;
+  cfg.hyperfit_restarts = 2;
+  BoOptimizer a(cfg), b(cfg);
+  const RunHistory ha = a.run(s.problem, s.initial, *s.fom, 42, 10);
+  const RunHistory hb = b.run(s.problem, s.initial, *s.fom, 42, 10);
+  ASSERT_EQ(ha.records.size(), hb.records.size());
+  for (std::size_t i = 0; i < ha.records.size(); ++i)
+    EXPECT_EQ(ha.records[i].x, hb.records[i].x);
+}
+
+TEST(Bo, TracksTrainAndSimTime) {
+  BoSetup s;
+  BoConfig cfg;
+  cfg.random_candidates = 64;
+  cfg.local_candidates = 16;
+  cfg.hyperfit_restarts = 2;
+  BoOptimizer bo(cfg);
+  const RunHistory h = bo.run(s.problem, s.initial, *s.fom, 1, 5);
+  EXPECT_GT(h.train_seconds, 0.0);
+  EXPECT_GE(h.wall_seconds, h.train_seconds);
+}
+
+}  // namespace
+}  // namespace maopt::gp

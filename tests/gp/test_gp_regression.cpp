@@ -1,0 +1,110 @@
+#include "gp/gp_regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace maopt::gp {
+namespace {
+
+GpHyperparams default_hp(std::size_t d) {
+  GpHyperparams hp;
+  hp.signal_variance = 1.0;
+  hp.noise_variance = 1e-6;
+  hp.lengthscales.assign(d, 0.4);
+  return hp;
+}
+
+TEST(Gp, InterpolatesTrainingPointsWithTinyNoise) {
+  Mat x(3, 1, {0.0, 0.5, 1.0});
+  Vec y{1.0, -1.0, 2.0};
+  GpRegression gp(x, y, default_hp(1));
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto p = gp.predict(x.row(i));
+    EXPECT_NEAR(p.mean, y[i], 1e-3);
+    EXPECT_LT(p.variance, 1e-4);
+  }
+}
+
+TEST(Gp, RevertsToMeanFarFromData) {
+  Mat x(2, 1, {0.0, 0.1});
+  Vec y{5.0, 5.2};
+  GpRegression gp(x, y, default_hp(1));
+  const auto p = gp.predict(Vec{100.0});
+  EXPECT_NEAR(p.mean, 5.1, 1e-6);               // prior mean = data mean
+  EXPECT_NEAR(p.variance, 1.0, 1e-6);           // prior variance
+}
+
+TEST(Gp, VarianceShrinksNearData) {
+  Mat x(1, 1, {0.5});
+  Vec y{0.0};
+  GpRegression gp(x, y, default_hp(1));
+  EXPECT_LT(gp.predict(Vec{0.55}).variance, gp.predict(Vec{0.9}).variance);
+}
+
+TEST(Gp, SmoothInterpolationOfQuadratic) {
+  const std::size_t n = 15;
+  Mat x(n, 1);
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<double>(i) / (n - 1);
+    y[i] = std::pow(x(i, 0) - 0.4, 2);
+  }
+  GpHyperparams hp = default_hp(1);
+  hp.lengthscales = {0.2};
+  GpRegression gp(x, y, hp);
+  for (double t = 0.05; t < 1.0; t += 0.1) {
+    const auto p = gp.predict(Vec{t});
+    EXPECT_NEAR(p.mean, std::pow(t - 0.4, 2), 0.01) << t;
+  }
+}
+
+TEST(Gp, LmlPrefersSensibleLengthscale) {
+  // Data from a smooth function: an absurdly tiny lengthscale should have
+  // lower marginal likelihood than a reasonable one.
+  const std::size_t n = 12;
+  Mat x(n, 1);
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<double>(i) / (n - 1);
+    y[i] = std::sin(3.0 * x(i, 0));
+  }
+  GpHyperparams good = default_hp(1);
+  good.lengthscales = {0.3};
+  GpHyperparams bad = default_hp(1);
+  bad.lengthscales = {0.001};
+  EXPECT_GT(GpRegression(x, y, good).log_marginal_likelihood(),
+            GpRegression(x, y, bad).log_marginal_likelihood());
+}
+
+TEST(Gp, FitHyperparamsReturnsUsableValues) {
+  Rng rng(1);
+  const std::size_t n = 20;
+  Mat x(n, 2);
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+    y[i] = x(i, 0) * x(i, 0) + 0.3 * x(i, 1);
+  }
+  const auto hp = GpRegression::fit_hyperparams(x, y, rng, 16);
+  EXPECT_GT(hp.signal_variance, 0.0);
+  EXPECT_GT(hp.noise_variance, 0.0);
+  ASSERT_EQ(hp.lengthscales.size(), 2u);
+  // The fitted model must at least reproduce the training data decently.
+  GpRegression gp(x, y, hp);
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) err += std::abs(gp.predict(x.row(i)).mean - y[i]);
+  EXPECT_LT(err / n, 0.1);
+}
+
+TEST(Gp, MismatchedSizesThrow) {
+  Mat x(3, 1);
+  Vec y{1.0, 2.0};
+  EXPECT_THROW(GpRegression(x, y, default_hp(1)), std::invalid_argument);
+  Vec y3{1.0, 2.0, 3.0};
+  EXPECT_THROW(GpRegression(x, y3, default_hp(2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maopt::gp

@@ -1,0 +1,63 @@
+#include "gp/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace maopt::gp {
+namespace {
+
+TEST(Kernel, SelfCovarianceIsSignalVariance) {
+  SquaredExponentialArd k(2.5, {1.0, 1.0});
+  const Vec x{0.3, -0.7};
+  EXPECT_DOUBLE_EQ(k(x, x), 2.5);
+}
+
+TEST(Kernel, DecaysWithDistance) {
+  SquaredExponentialArd k(1.0, {1.0});
+  const Vec a{0.0};
+  EXPECT_GT(k(a, Vec{0.1}), k(a, Vec{0.5}));
+  EXPECT_GT(k(a, Vec{0.5}), k(a, Vec{2.0}));
+}
+
+TEST(Kernel, KnownValue) {
+  SquaredExponentialArd k(1.0, {2.0});
+  // exp(-0.5 * (1/2)^2) = exp(-0.125)
+  EXPECT_NEAR(k(Vec{0.0}, Vec{1.0}), std::exp(-0.125), 1e-12);
+}
+
+TEST(Kernel, ArdLengthscalesWeightDimensionsIndependently) {
+  SquaredExponentialArd k(1.0, {0.1, 10.0});
+  const Vec origin{0.0, 0.0};
+  // Same offset is far along dim 0 but negligible along dim 1.
+  EXPECT_LT(k(origin, Vec{0.5, 0.0}), 1e-5);
+  EXPECT_GT(k(origin, Vec{0.0, 0.5}), 0.99);
+}
+
+TEST(Kernel, GramIsSymmetricWithUnitDiagonalScale) {
+  SquaredExponentialArd k(3.0, {1.0});
+  Mat x(3, 1, {0.0, 0.5, 2.0});
+  const Mat g = k.gram(x);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(g(i, i), 3.0);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+  }
+}
+
+TEST(Kernel, CrossMatchesElementwise) {
+  SquaredExponentialArd k(1.0, {1.0, 1.0});
+  Mat x(2, 2, {0.0, 0.0, 1.0, 1.0});
+  const Vec z{0.5, 0.5};
+  const Vec c = k.cross(x, z);
+  EXPECT_DOUBLE_EQ(c[0], k(x.row(0), z));
+  EXPECT_DOUBLE_EQ(c[1], k(x.row(1), z));
+}
+
+TEST(Kernel, InvalidHyperparametersThrow) {
+  EXPECT_THROW(SquaredExponentialArd(0.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(SquaredExponentialArd(1.0, {0.0}), std::invalid_argument);
+  EXPECT_THROW(SquaredExponentialArd(1.0, {1.0, -1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maopt::gp

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "gp/gp_regression.hpp"
+
+namespace maopt::gp {
+namespace {
+
+TEST(Matern52, SelfCovarianceIsSignalVariance) {
+  Matern52Ard k(1.7, {1.0});
+  const Vec x{0.4};
+  EXPECT_DOUBLE_EQ(k(x, x), 1.7);
+}
+
+TEST(Matern52, KnownValueAtUnitDistance) {
+  Matern52Ard k(1.0, {1.0});
+  const double sr = std::sqrt(5.0);
+  const double expect = (1.0 + sr + 5.0 / 3.0) * std::exp(-sr);
+  EXPECT_NEAR(k(Vec{0.0}, Vec{1.0}), expect, 1e-12);
+}
+
+TEST(Matern52, DecaysMonotonically) {
+  Matern52Ard k(1.0, {1.0});
+  double prev = 1.0;
+  for (double d = 0.1; d < 5.0; d += 0.1) {
+    const double v = k(Vec{0.0}, Vec{d});
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Matern52, HeavierTailThanSquaredExponential) {
+  Matern52Ard matern(1.0, {1.0});
+  SquaredExponentialArd se(1.0, {1.0});
+  // At large distance the Matern covariance dominates the Gaussian decay.
+  EXPECT_GT(matern(Vec{0.0}, Vec{3.0}), se(Vec{0.0}, Vec{3.0}));
+}
+
+TEST(Matern52, GramSymmetricPositiveDiagonal) {
+  Matern52Ard k(2.0, {0.5, 0.5});
+  Mat x(3, 2, {0.0, 0.0, 0.3, 0.1, 0.9, 0.8});
+  const Mat g = k.gram(x);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(g(i, i), 2.0);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+  }
+}
+
+TEST(Matern52, InvalidHyperparametersThrow) {
+  EXPECT_THROW(Matern52Ard(0.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Matern52Ard(1.0, {-1.0}), std::invalid_argument);
+}
+
+TEST(KernelFacade, DispatchesByKind) {
+  Kernel se(KernelKind::SquaredExponential, 1.0, {1.0});
+  Kernel mat(KernelKind::Matern52, 1.0, {1.0});
+  SquaredExponentialArd se_ref(1.0, {1.0});
+  Matern52Ard mat_ref(1.0, {1.0});
+  const Vec a{0.0}, b{0.7};
+  EXPECT_DOUBLE_EQ(se(a, b), se_ref(a, b));
+  EXPECT_DOUBLE_EQ(mat(a, b), mat_ref(a, b));
+  EXPECT_NE(se(a, b), mat(a, b));
+}
+
+TEST(GpWithMatern, InterpolatesTrainingData) {
+  Mat x(4, 1, {0.0, 0.3, 0.6, 1.0});
+  Vec y{0.0, 1.0, 0.5, -0.5};
+  GpHyperparams hp;
+  hp.signal_variance = 1.0;
+  hp.noise_variance = 1e-8;
+  hp.lengthscales = {0.3};
+  hp.kernel = KernelKind::Matern52;
+  GpRegression gp(x, y, hp);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(gp.predict(x.row(i)).mean, y[i], 1e-3);
+}
+
+TEST(GpWithMatern, PredictionsDifferFromSeOffData) {
+  Rng rng(1);
+  Mat x(10, 1);
+  Vec y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i) / 9.0;
+    y[i] = std::sin(6.0 * x(i, 0));
+  }
+  GpHyperparams hp;
+  hp.signal_variance = 1.0;
+  hp.noise_variance = 1e-6;
+  hp.lengthscales = {0.2};
+  GpRegression se(x, y, hp);
+  hp.kernel = KernelKind::Matern52;
+  GpRegression matern(x, y, hp);
+  EXPECT_NE(se.predict(Vec{0.55}).mean, matern.predict(Vec{0.55}).mean);
+}
+
+}  // namespace
+}  // namespace maopt::gp

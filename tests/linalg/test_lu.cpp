@@ -1,0 +1,113 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace maopt::linalg {
+namespace {
+
+TEST(Lu, Solves2x2System) {
+  Mat a(2, 2, {2, 1, 1, 3});
+  const std::vector<double> b{5, 10};
+  const auto x = lu_solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Mat a(2, 2, {0, 1, 1, 0});
+  const std::vector<double> b{2, 3};
+  const auto x = lu_solve(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  Mat a(2, 2, {1, 2, 2, 4});
+  EXPECT_THROW(LuReal dec(a), std::runtime_error);
+}
+
+TEST(Lu, NonSquareThrows) {
+  Mat a(2, 3);
+  EXPECT_THROW(LuReal dec(a), std::invalid_argument);
+}
+
+TEST(Lu, DeterminantKnown) {
+  Mat a(2, 2, {3, 8, 4, 6});
+  const LuReal dec(a);
+  EXPECT_NEAR(dec.determinant(), -14.0, 1e-10);
+}
+
+TEST(Lu, SolveTransposedMatchesExplicit) {
+  Rng rng(1);
+  const std::size_t n = 6;
+  Mat a(n, n);
+  for (auto& v : a.data()) v = rng.uniform(-1, 1);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+
+  const LuReal dec(a);
+  const auto x1 = dec.solve_transposed(b);
+  const auto x2 = lu_solve(a.transposed(), b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-10);
+}
+
+TEST(Lu, ComplexSolve) {
+  using C = std::complex<double>;
+  CMat a(2, 2, {C(1, 1), C(0, 0), C(0, 0), C(0, 2)});
+  const std::vector<C> b{C(2, 0), C(4, 0)};
+  const auto x = lu_solve(a, b);
+  EXPECT_NEAR(x[0].real(), 1.0, 1e-12);
+  EXPECT_NEAR(x[0].imag(), -1.0, 1e-12);
+  EXPECT_NEAR(x[1].real(), 0.0, 1e-12);
+  EXPECT_NEAR(x[1].imag(), -2.0, 1e-12);
+}
+
+TEST(Lu, ComplexSolveTransposed) {
+  using C = std::complex<double>;
+  Rng rng(2);
+  const std::size_t n = 5;
+  CMat a(n, n);
+  for (auto& v : a.data()) v = C(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += C(4, 0);
+  std::vector<C> b(n);
+  for (auto& v : b) v = C(rng.uniform(-1, 1), rng.uniform(-1, 1));
+
+  const LuComplex dec(a);
+  const auto x1 = dec.solve_transposed(b);
+  const auto x2 = lu_solve(a.transposed(), b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x1[i].real(), x2[i].real(), 1e-10);
+    EXPECT_NEAR(x1[i].imag(), x2[i].imag(), 1e-10);
+  }
+}
+
+/// Property sweep: A * solve(A, b) == b for random diagonally-dominant A.
+class LuRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRoundTrip, SolveThenMultiplyRecoversRhs) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  Mat a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (auto& v : a.data()) v = rng.uniform(-1, 1);
+  for (int i = 0; i < n; ++i) a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += n;
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-10, 10);
+
+  const auto x = lu_solve(a, b);
+  const auto back = matvec(a, x);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(back[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRoundTrip, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+TEST(Lu, SolveDimensionMismatchThrows) {
+  Mat a(2, 2, {1, 0, 0, 1});
+  const LuReal dec(a);
+  EXPECT_THROW(dec.solve({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maopt::linalg

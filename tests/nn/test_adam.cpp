@@ -1,0 +1,72 @@
+#include "nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace maopt::nn {
+namespace {
+
+TEST(Adam, MinimizesQuadratic) {
+  Vec x{5.0, -3.0};
+  Vec g(2, 0.0);
+  Adam opt({{&x, &g}}, {.lr = 0.1});
+  for (int i = 0; i < 500; ++i) {
+    g[0] = 2.0 * x[0];
+    g[1] = 2.0 * x[1];
+    opt.step();
+  }
+  EXPECT_NEAR(x[0], 0.0, 1e-3);
+  EXPECT_NEAR(x[1], 0.0, 1e-3);
+}
+
+TEST(Adam, StepZeroesGradients) {
+  Vec x{1.0};
+  Vec g{0.5};
+  Adam opt({{&x, &g}}, AdamConfig{});
+  opt.step();
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+}
+
+TEST(Adam, FirstStepMagnitudeIsLearningRate) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Vec x{0.0};
+  Vec g{0.3};
+  Adam opt({{&x, &g}}, {.lr = 0.01});
+  opt.step();
+  EXPECT_NEAR(x[0], -0.01, 1e-6);
+}
+
+TEST(Adam, WeightDecayShrinksParameters) {
+  Vec x{1.0};
+  Vec g{0.0};
+  Adam opt({{&x, &g}}, {.lr = 0.1, .weight_decay = 0.5});
+  opt.step();
+  EXPECT_LT(x[0], 1.0);
+}
+
+TEST(Adam, HandlesMultipleParameterGroups) {
+  Vec a{2.0}, b{-2.0};
+  Vec ga(1, 0.0), gb(1, 0.0);
+  Adam opt({{&a, &ga}, {&b, &gb}}, {.lr = 0.05});
+  for (int i = 0; i < 400; ++i) {
+    ga[0] = 2.0 * (a[0] - 1.0);
+    gb[0] = 2.0 * (b[0] + 1.0);
+    opt.step();
+  }
+  EXPECT_NEAR(a[0], 1.0, 1e-2);
+  EXPECT_NEAR(b[0], -1.0, 1e-2);
+}
+
+TEST(Adam, SetLearningRate) {
+  Vec x{0.0};
+  Vec g{1.0};
+  Adam opt({{&x, &g}}, {.lr = 0.01});
+  opt.set_learning_rate(0.5);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.5);
+  opt.step();
+  EXPECT_NEAR(x[0], -0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace maopt::nn

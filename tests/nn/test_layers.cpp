@@ -1,0 +1,135 @@
+#include "nn/layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace maopt::nn {
+namespace {
+
+// Central finite-difference check of parameter and input gradients of a
+// scalar loss L = sum(Y) through a single layer.
+void check_layer_gradients(Layer& layer, const Mat& x, double tol = 1e-6) {
+  Mat y = layer.forward(x);
+  Mat dy(y.rows(), y.cols(), 1.0);  // dL/dY for L = sum(Y)
+  for (const auto& p : layer.params()) p.grad->assign(p.grad->size(), 0.0);
+  const Mat dx = layer.backward(dy);
+
+  const double eps = 1e-6;
+  auto loss = [&](const Mat& input) {
+    const Mat out = layer.forward(input);
+    double s = 0.0;
+    for (const double v : out.data()) s += v;
+    return s;
+  };
+
+  // Input gradient.
+  for (std::size_t i = 0; i < x.data().size(); ++i) {
+    Mat xp = x, xm = x;
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    const double num = (loss(xp) - loss(xm)) / (2 * eps);
+    EXPECT_NEAR(dx.data()[i], num, tol) << "input grad " << i;
+  }
+
+  // Parameter gradients.
+  for (const auto& p : layer.params()) {
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      const double saved = (*p.value)[i];
+      (*p.value)[i] = saved + eps;
+      const double lp = loss(x);
+      (*p.value)[i] = saved - eps;
+      const double lm = loss(x);
+      (*p.value)[i] = saved;
+      EXPECT_NEAR((*p.grad)[i], (lp - lm) / (2 * eps), tol) << "param grad " << i;
+    }
+  }
+}
+
+TEST(Linear, ForwardKnownValues) {
+  Rng rng(0);
+  Linear lin(2, 1, rng);
+  lin.weights() = {2.0, 3.0};  // w[in*out]: in=2, out=1
+  lin.bias() = {1.0};
+  Mat x(1, 2, {4.0, 5.0});
+  const Mat y = lin.forward(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), 1.0 + 2.0 * 4.0 + 3.0 * 5.0);
+}
+
+TEST(Linear, GradientCheck) {
+  Rng rng(1);
+  Linear lin(3, 4, rng);
+  Mat x(5, 3);
+  Rng xr(2);
+  for (auto& v : x.data()) v = xr.uniform(-1, 1);
+  check_layer_gradients(lin, x);
+}
+
+TEST(Linear, XavierInitWithinLimit) {
+  Rng rng(3);
+  Linear lin(10, 10, rng);
+  const double limit = std::sqrt(6.0 / 20.0);
+  for (const double w : lin.weights()) {
+    EXPECT_LE(std::abs(w), limit);
+  }
+  for (const double b : lin.bias()) EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+TEST(Linear, ForwardWrongFeatureCountThrows) {
+  Rng rng(0);
+  Linear lin(3, 2, rng);
+  Mat x(1, 4);
+  EXPECT_THROW(lin.forward(x), std::invalid_argument);
+}
+
+TEST(Tanh, ForwardMatchesStdTanh) {
+  Tanh t(3);
+  Mat x(1, 3, {-1.0, 0.0, 2.0});
+  const Mat y = t.forward(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), std::tanh(-1.0));
+  EXPECT_DOUBLE_EQ(y(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 2), std::tanh(2.0));
+}
+
+TEST(Tanh, GradientCheck) {
+  Tanh t(4);
+  Mat x(3, 4);
+  Rng xr(5);
+  for (auto& v : x.data()) v = xr.uniform(-2, 2);
+  check_layer_gradients(t, x);
+}
+
+TEST(Relu, ForwardClampsNegatives) {
+  Relu r(3);
+  Mat x(1, 3, {-1.0, 0.0, 2.0});
+  const Mat y = r.forward(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 2), 2.0);
+}
+
+TEST(Relu, GradientCheckAwayFromKink) {
+  Relu r(4);
+  Mat x(3, 4);
+  Rng xr(6);
+  // Keep inputs away from 0 where the subgradient is ambiguous.
+  for (auto& v : x.data()) {
+    v = xr.uniform(-2, 2);
+    if (std::abs(v) < 0.1) v = v < 0 ? -0.1 : 0.1;
+  }
+  check_layer_gradients(r, x);
+}
+
+TEST(Linear, CloneCopiesWeightsIndependently) {
+  Rng rng(7);
+  Linear lin(2, 2, rng);
+  auto copy = lin.clone();
+  auto* copy_lin = dynamic_cast<Linear*>(copy.get());
+  ASSERT_NE(copy_lin, nullptr);
+  EXPECT_EQ(copy_lin->weights(), lin.weights());
+  lin.weights()[0] += 1.0;
+  EXPECT_NE(copy_lin->weights()[0], lin.weights()[0]);
+}
+
+}  // namespace
+}  // namespace maopt::nn

@@ -1,0 +1,113 @@
+#include "nn/normalizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace maopt::nn {
+namespace {
+
+TEST(RangeScaler, MapsBoundsToUnitInterval) {
+  RangeScaler s({0.0, -10.0}, {2.0, 10.0});
+  const Vec lo = s.to_unit(Vec{0.0, -10.0});
+  const Vec hi = s.to_unit(Vec{2.0, 10.0});
+  EXPECT_DOUBLE_EQ(lo[0], -1.0);
+  EXPECT_DOUBLE_EQ(lo[1], -1.0);
+  EXPECT_DOUBLE_EQ(hi[0], 1.0);
+  EXPECT_DOUBLE_EQ(hi[1], 1.0);
+}
+
+TEST(RangeScaler, CenterMapsToZero) {
+  RangeScaler s({0.0}, {4.0});
+  EXPECT_DOUBLE_EQ(s.to_unit(Vec{2.0})[0], 0.0);
+}
+
+TEST(RangeScaler, RoundTrip) {
+  RangeScaler s({0.18, 0.22, 0.1}, {2.0, 150.0, 100.0});
+  const Vec x{1.0, 42.0, 3.0};
+  const Vec back = s.from_unit(s.to_unit(x));
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-12);
+}
+
+TEST(RangeScaler, DeltaScalingIsOffsetFree) {
+  RangeScaler s({0.0}, {10.0});
+  EXPECT_DOUBLE_EQ(s.delta_to_unit(Vec{5.0})[0], 1.0);  // 5 / half-span(5)
+  EXPECT_DOUBLE_EQ(s.delta_from_unit(Vec{1.0})[0], 5.0);
+}
+
+TEST(RangeScaler, MatrixOverloadMatchesVector) {
+  RangeScaler s({0.0, 0.0}, {1.0, 2.0});
+  Mat x(2, 2, {0.2, 0.4, 0.8, 1.6});
+  const Mat u = s.to_unit(x);
+  for (std::size_t r = 0; r < 2; ++r) {
+    const Vec row(x.row(r).begin(), x.row(r).end());
+    const Vec uv = s.to_unit(row);
+    EXPECT_DOUBLE_EQ(u(r, 0), uv[0]);
+    EXPECT_DOUBLE_EQ(u(r, 1), uv[1]);
+  }
+}
+
+TEST(RangeScaler, InvalidBoundsThrow) {
+  EXPECT_THROW(RangeScaler({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(RangeScaler({0.0, 1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(ZScore, TransformedColumnsAreStandardized) {
+  Mat samples(100, 2);
+  Rng rng(1);
+  for (std::size_t r = 0; r < 100; ++r) {
+    samples(r, 0) = rng.normal(5.0, 2.0);
+    samples(r, 1) = rng.normal(-100.0, 30.0);
+  }
+  ZScoreNormalizer z;
+  z.fit(samples);
+  const Mat t = z.transform(samples);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double m = 0.0, v = 0.0;
+    for (std::size_t r = 0; r < 100; ++r) m += t(r, c);
+    m /= 100;
+    for (std::size_t r = 0; r < 100; ++r) v += (t(r, c) - m) * (t(r, c) - m);
+    v /= 100;
+    EXPECT_NEAR(m, 0.0, 1e-10);
+    EXPECT_NEAR(v, 1.0, 1e-10);
+  }
+}
+
+TEST(ZScore, RoundTrip) {
+  Mat samples(10, 1);
+  for (std::size_t r = 0; r < 10; ++r) samples(r, 0) = static_cast<double>(r);
+  ZScoreNormalizer z;
+  z.fit(samples);
+  const Vec x{3.7};
+  EXPECT_NEAR(z.inverse(z.transform(x))[0], 3.7, 1e-12);
+}
+
+TEST(ZScore, ConstantColumnSafe) {
+  Mat samples(5, 1, 2.0);
+  ZScoreNormalizer z;
+  z.fit(samples);
+  const Vec t = z.transform(Vec{2.0});
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  EXPECT_DOUBLE_EQ(z.inverse(t)[0], 2.0);
+}
+
+TEST(ZScore, GradientChainRule) {
+  Mat samples(4, 1, {0.0, 2.0, 4.0, 6.0});
+  ZScoreNormalizer z;
+  z.fit(samples);
+  // raw = z*std + mean => d raw/d z = std => dz = draw * std; gradient_to_raw
+  // maps d/dz -> d/draw = (d/dz) / std.
+  const Vec g = z.gradient_to_raw(Vec{1.0});
+  EXPECT_NEAR(g[0], 1.0 / z.std()[0], 1e-12);
+}
+
+TEST(ZScore, FitEmptyThrows) {
+  ZScoreNormalizer z;
+  Mat empty(0, 3);
+  EXPECT_THROW(z.fit(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maopt::nn

@@ -1,0 +1,119 @@
+#include "spice/ac_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "spice/dc_analysis.hpp"
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+
+namespace maopt::spice {
+namespace {
+
+TEST(Ac, LogFrequencyGridEndpointsAndMonotonicity) {
+  const auto f = log_frequency_grid(1.0, 1e6, 10);
+  EXPECT_NEAR(f.front(), 1.0, 1e-9);
+  EXPECT_NEAR(f.back(), 1e6, 1e-3);
+  for (std::size_t i = 1; i < f.size(); ++i) EXPECT_GT(f[i], f[i - 1]);
+  EXPECT_GE(f.size(), 61u);
+}
+
+/// RC low-pass: |H| = 1/sqrt(1+(f/fc)^2), phase = -atan(f/fc).
+class RcLowPass : public ::testing::Test {
+ protected:
+  RcLowPass() {
+    vin_ = net_.node("vin");
+    out_ = net_.node("out");
+    net_.add<VSource>(vin_, kGround, Waveform::dc(0.0), /*ac_mag=*/1.0);
+    net_.add<Resistor>(vin_, out_, 1e3);
+    net_.add<Capacitor>(out_, kGround, 1e-6);
+    net_.prepare();
+    op_.assign(net_.system_size(), 0.0);
+  }
+  static constexpr double kFc = 1.0 / (2.0 * std::numbers::pi * 1e3 * 1e-6);
+  Netlist net_;
+  int vin_, out_;
+  Vec op_;
+};
+
+TEST_F(RcLowPass, MagnitudeAtCornerIsMinus3Db) {
+  AcAnalysis ac;
+  const auto sweep = ac.run(net_, op_, {kFc});
+  EXPECT_NEAR(std::abs(sweep.voltage(0, out_)), 1.0 / std::sqrt(2.0), 1e-6);
+}
+
+TEST_F(RcLowPass, PhaseAtCornerIsMinus45Deg) {
+  AcAnalysis ac;
+  const auto sweep = ac.run(net_, op_, {kFc});
+  EXPECT_NEAR(std::arg(sweep.voltage(0, out_)) * 180.0 / std::numbers::pi, -45.0, 1e-3);
+}
+
+TEST_F(RcLowPass, MagnitudeMatchesAnalyticAcrossSweep) {
+  AcAnalysis ac;
+  const auto freqs = log_frequency_grid(1.0, 1e5, 5);
+  const auto sweep = ac.run(net_, op_, freqs);
+  for (std::size_t k = 0; k < freqs.size(); ++k) {
+    const double expect = 1.0 / std::sqrt(1.0 + std::pow(freqs[k] / kFc, 2));
+    EXPECT_NEAR(std::abs(sweep.voltage(k, out_)), expect, 1e-6) << "f=" << freqs[k];
+  }
+}
+
+TEST(Ac, RlHighPass) {
+  // Series R from source, inductor to ground: |H| = wL / sqrt(R^2 + (wL)^2).
+  Netlist n;
+  const int vin = n.node("vin");
+  const int out = n.node("out");
+  n.add<VSource>(vin, kGround, Waveform::dc(0.0), 1.0);
+  n.add<Resistor>(vin, out, 100.0);
+  n.add<Inductor>(out, kGround, 1e-3);
+  n.prepare();
+  Vec op(n.system_size(), 0.0);
+  AcAnalysis ac;
+  const double f = 50e3;
+  const auto sweep = ac.run(n, op, {f});
+  const double wl = 2.0 * std::numbers::pi * f * 1e-3;
+  EXPECT_NEAR(std::abs(sweep.voltage(0, out)), wl / std::hypot(100.0, wl), 1e-4);
+}
+
+TEST(Ac, CommonSourceAmpGainIsGmOverGl) {
+  // NMOS CS stage with ideal resistor load; low-frequency gain = gm * (R || ro).
+  Netlist n;
+  const int vdd = n.node("vdd");
+  const int in = n.node("in");
+  const int out = n.node("out");
+  n.add<VSource>(vdd, kGround, Waveform::dc(1.8));
+  n.add<VSource>(in, kGround, Waveform::dc(0.7), /*ac_mag=*/1.0);
+  n.add<Resistor>(vdd, out, 5e3);
+  auto* m = n.add<Mosfet>(out, in, kGround, kGround, MosModel::nmos_180(), 20e-6, 1e-6);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  const auto e = m->operating_point(r.x);
+  ASSERT_TRUE(e.saturated);
+  AcAnalysis ac;
+  const auto sweep = ac.run(n, r.x, {10.0});
+  const double gl = 1.0 / 5e3 + e.gds;
+  EXPECT_NEAR(std::abs(sweep.voltage(0, out)), e.gm / gl, 0.01 * e.gm / gl);
+  // Inverting stage: phase ~ 180 degrees at low frequency.
+  const double phase = std::abs(std::arg(sweep.voltage(0, out))) * 180.0 / std::numbers::pi;
+  EXPECT_NEAR(phase, 180.0, 1.0);
+}
+
+TEST(Ac, SourceWithZeroAcMagnitudeProducesZeroResponse) {
+  Netlist n;
+  const int vin = n.node("vin");
+  const int out = n.node("out");
+  n.add<VSource>(vin, kGround, Waveform::dc(1.0), 0.0);
+  n.add<Resistor>(vin, out, 1e3);
+  n.add<Resistor>(out, kGround, 1e3);
+  n.prepare();
+  Vec op(n.system_size(), 0.0);
+  AcAnalysis ac;
+  const auto sweep = ac.run(n, op, {100.0});
+  EXPECT_LT(std::abs(sweep.voltage(0, out)), 1e-12);
+}
+
+}  // namespace
+}  // namespace maopt::spice

@@ -1,0 +1,116 @@
+// Additional AC-analysis properties: superposition, electronic-load
+// small-signal behaviour, and PULSE-driven transients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/ac_analysis.hpp"
+#include "spice/dc_analysis.hpp"
+#include "spice/devices.hpp"
+#include "spice/tran_analysis.hpp"
+
+namespace maopt::spice {
+namespace {
+
+TEST(AcExtra, SuperpositionOfTwoSources) {
+  // Linear network: response to both AC sources equals the sum of the
+  // responses to each alone.
+  auto response = [](double mag1, double mag2) {
+    Netlist n;
+    const int a = n.node("a");
+    const int b = n.node("b");
+    const int out = n.node("out");
+    n.add<VSource>(a, kGround, Waveform::dc(0.0), mag1);
+    n.add<VSource>(b, kGround, Waveform::dc(0.0), mag2);
+    n.add<Resistor>(a, out, 1e3);
+    n.add<Resistor>(b, out, 2e3);
+    n.add<Resistor>(out, kGround, 3e3);
+    n.prepare();
+    Vec op(n.system_size(), 0.0);
+    AcAnalysis ac;
+    return ac.run(n, op, {1e3}).voltage(0, out);
+  };
+  const auto both = response(1.0, 1.0);
+  const auto only1 = response(1.0, 0.0);
+  const auto only2 = response(0.0, 1.0);
+  EXPECT_NEAR(both.real(), (only1 + only2).real(), 1e-12);
+  EXPECT_NEAR(both.imag(), (only1 + only2).imag(), 1e-12);
+}
+
+TEST(AcExtra, CurrentSinkLoadIsOpenAboveKneeInSmallSignal) {
+  // Above the knee df/dv = 0: the load contributes no AC conductance.
+  Netlist n;
+  const int out = n.node("out");
+  n.add<ISource>(kGround, out, Waveform::dc(10e-3), /*ac_mag=*/1.0);
+  n.add<Resistor>(out, kGround, 100.0);
+  n.add<CurrentSinkLoad>(out, kGround, Waveform::dc(5e-3), 0.2);
+  DcAnalysis dc;
+  const auto op = dc.solve(n);
+  ASSERT_TRUE(op.converged);
+  ASSERT_GT(Netlist::voltage(op.x, out), 0.2);  // above knee
+  AcAnalysis ac;
+  const auto sweep = ac.run(n, op.x, {1e3});
+  // AC current of 1 A into 100 Ohm -> 100 V if the load adds nothing.
+  EXPECT_NEAR(std::abs(sweep.voltage(0, out)), 100.0, 0.01);
+}
+
+TEST(AcExtra, CurrentSinkLoadAddsConductanceInComplianceRegion) {
+  Netlist n;
+  const int out = n.node("out");
+  n.add<ISource>(kGround, out, Waveform::dc(1e-3), /*ac_mag=*/1.0);
+  n.add<Resistor>(out, kGround, 100.0);
+  n.add<CurrentSinkLoad>(out, kGround, Waveform::dc(50e-3), 0.5);  // starved
+  DcAnalysis dc;
+  const auto op = dc.solve(n);
+  ASSERT_TRUE(op.converged);
+  ASSERT_LT(Netlist::voltage(op.x, out), 0.5);  // in compliance region
+  AcAnalysis ac;
+  const auto sweep = ac.run(n, op.x, {1e3});
+  // Load conductance 50mA/0.5V = 0.1 S in parallel with 0.01 S -> |Z| = 1/0.11.
+  EXPECT_NEAR(std::abs(sweep.voltage(0, out)), 1.0 / 0.11, 0.05);
+}
+
+TEST(AcExtra, PulseSourceDrivesRepeatingTransient) {
+  Netlist n;
+  const int in = n.node("in");
+  const int out = n.node("out");
+  n.add<VSource>(in, kGround,
+                 Waveform::pulse(0.0, 1.0, /*delay=*/50e-9, /*rise=*/1e-9, /*fall=*/1e-9,
+                                 /*width=*/100e-9, /*period=*/200e-9));
+  n.add<Resistor>(in, out, 100.0);
+  n.add<Capacitor>(out, kGround, 10e-12);  // tau = 1 ns << pulse width
+  TranOptions topt;
+  topt.t_stop = 450e-9;
+  topt.dt = 1e-9;
+  const auto tr = TranAnalysis(topt).run(n);
+  ASSERT_TRUE(tr.converged);
+  const auto wave = tr.node_waveform(out);
+  auto at = [&](double t) {
+    std::size_t k = 0;
+    while (k + 1 < tr.time.size() && tr.time[k] < t) ++k;
+    return wave[k];
+  };
+  EXPECT_NEAR(at(20e-9), 0.0, 0.02);    // before first pulse
+  EXPECT_NEAR(at(120e-9), 1.0, 0.02);   // during first pulse
+  EXPECT_NEAR(at(180e-9), 0.0, 0.05);   // between pulses
+  EXPECT_NEAR(at(320e-9), 1.0, 0.02);   // second period
+}
+
+TEST(AcExtra, TwoToneDividerMagnitudeIndependentOfFrequency) {
+  // Purely resistive network: identical response at widely spaced tones.
+  Netlist n;
+  const int in = n.node("in");
+  const int out = n.node("out");
+  n.add<VSource>(in, kGround, Waveform::dc(0.0), 1.0);
+  n.add<Resistor>(in, out, 1e3);
+  n.add<Resistor>(out, kGround, 1e3);
+  n.prepare();
+  Vec op(n.system_size(), 0.0);
+  AcAnalysis ac;
+  const auto sweep = ac.run(n, op, {1.0, 1e6, 1e12});
+  for (std::size_t k = 0; k < 3; ++k)
+    EXPECT_NEAR(std::abs(sweep.voltage(k, out)), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace maopt::spice

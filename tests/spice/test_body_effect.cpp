@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/dc_analysis.hpp"
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+
+namespace maopt::spice {
+namespace {
+
+MosModel body_nmos() {
+  MosModel m = MosModel::nmos_180();
+  m.gamma = 0.4;
+  m.phi = 0.7;
+  return m;
+}
+
+/// NMOS with source lifted above bulk by `vsb`; returns drain current.
+double id_at_vsb(const MosModel& model, double vsb) {
+  Netlist n;
+  const int d = n.node("d");
+  const int g = n.node("g");
+  const int s = n.node("s");
+  n.add<VSource>(d, kGround, Waveform::dc(1.8 + vsb));  // keep vds = 1.8
+  n.add<VSource>(g, kGround, Waveform::dc(1.0 + vsb));  // keep vgs = 1.0
+  n.add<VSource>(s, kGround, Waveform::dc(vsb));
+  auto* m1 = n.add<Mosfet>(d, g, s, kGround, model, 10e-6, 1e-6);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  EXPECT_TRUE(r.converged);
+  return m1->drain_current(r.x);
+}
+
+TEST(BodyEffect, GammaZeroIgnoresBulkBias) {
+  const MosModel nominal = MosModel::nmos_180();
+  EXPECT_NEAR(id_at_vsb(nominal, 0.0), id_at_vsb(nominal, 0.5), 1e-12);
+}
+
+TEST(BodyEffect, ReverseBodyBiasReducesCurrent) {
+  const MosModel m = body_nmos();
+  const double i0 = id_at_vsb(m, 0.0);
+  const double i1 = id_at_vsb(m, 0.3);
+  const double i2 = id_at_vsb(m, 0.6);
+  EXPECT_GT(i0, i1);
+  EXPECT_GT(i1, i2);
+}
+
+TEST(BodyEffect, ThresholdShiftMatchesFormula) {
+  // Infer delta-vth from the sqrt-law current ratio (saturation, lambda small).
+  MosModel m = body_nmos();
+  m.lambda_l = 1e-12;  // suppress CLM for a clean comparison
+  const double vsb = 0.5;
+  const double i0 = id_at_vsb(m, 0.0);
+  const double i1 = id_at_vsb(m, vsb);
+  // id ~ (vgs - vth)^2: vov0 = 0.55, vov1 = vov0 - dvth.
+  const double dvth_measured = 0.55 - 0.55 * std::sqrt(i1 / i0);
+  const double dvth_expected = 0.4 * (std::sqrt(0.7 + vsb) - std::sqrt(0.7));
+  EXPECT_NEAR(dvth_measured, dvth_expected, 1e-3);
+}
+
+TEST(BodyEffect, GmbReportedPositiveAndSmallerThanGm) {
+  Netlist n;
+  const int d = n.node("d");
+  const int g = n.node("g");
+  const int s = n.node("s");
+  n.add<VSource>(d, kGround, Waveform::dc(1.8));
+  n.add<VSource>(g, kGround, Waveform::dc(1.5));
+  n.add<VSource>(s, kGround, Waveform::dc(0.5));
+  auto* m1 = n.add<Mosfet>(d, g, s, kGround, body_nmos(), 10e-6, 1e-6);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  const auto e = m1->operating_point(r.x);
+  EXPECT_GT(e.gmb, 0.0);
+  EXPECT_LT(e.gmb, e.gm);
+}
+
+TEST(BodyEffect, GmbMatchesFiniteDifferenceOfBulkBias) {
+  // Perturb the bulk with its own source and compare dId/dVb to gmb.
+  auto id_with_vb = [](double vbulk, MosEval* eval_out) {
+    Netlist n;
+    const int d = n.node("d");
+    const int g = n.node("g");
+    const int s = n.node("s");
+    const int b = n.node("b");
+    n.add<VSource>(d, kGround, Waveform::dc(1.8));
+    n.add<VSource>(g, kGround, Waveform::dc(1.5));
+    n.add<VSource>(s, kGround, Waveform::dc(0.5));
+    n.add<VSource>(b, kGround, Waveform::dc(vbulk));
+    auto* m1 = n.add<Mosfet>(d, g, s, b, body_nmos(), 10e-6, 1e-6);
+    DcAnalysis dc;
+    const auto r = dc.solve(n);
+    EXPECT_TRUE(r.converged);
+    if (eval_out) *eval_out = m1->operating_point(r.x);
+    return m1->drain_current(r.x);
+  };
+  MosEval e{};
+  id_with_vb(0.0, &e);
+  const double h = 1e-5;
+  const double fd = (id_with_vb(h, nullptr) - id_with_vb(-h, nullptr)) / (2 * h);
+  EXPECT_NEAR(e.gmb, fd, std::abs(fd) * 1e-3 + 1e-12);
+}
+
+TEST(BodyEffect, ForwardBiasClampKeepsNewtonStable) {
+  // Bulk well above source (forward bias): the clamp must keep the solve
+  // convergent and the current finite.
+  Netlist n;
+  const int d = n.node("d");
+  const int g = n.node("g");
+  n.add<VSource>(d, kGround, Waveform::dc(1.8));
+  n.add<VSource>(g, kGround, Waveform::dc(1.0));
+  const int b = n.node("b");
+  n.add<VSource>(b, kGround, Waveform::dc(1.5));
+  auto* m1 = n.add<Mosfet>(d, g, kGround, b, body_nmos(), 10e-6, 1e-6);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  EXPECT_TRUE(std::isfinite(m1->drain_current(r.x)));
+}
+
+}  // namespace
+}  // namespace maopt::spice

@@ -1,0 +1,178 @@
+#include "spice/dc_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+
+namespace maopt::spice {
+namespace {
+
+TEST(Dc, ResistorDivider) {
+  Netlist n;
+  const int vin = n.node("vin");
+  const int mid = n.node("mid");
+  n.add<VSource>(vin, kGround, Waveform::dc(10.0));
+  n.add<Resistor>(vin, mid, 1e3);
+  n.add<Resistor>(mid, kGround, 3e3);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(Netlist::voltage(r.x, mid), 7.5, 1e-6);
+}
+
+TEST(Dc, VsourceBranchCurrentSign) {
+  Netlist n;
+  const int vin = n.node("vin");
+  auto* vs = n.add<VSource>(vin, kGround, Waveform::dc(5.0));
+  n.add<Resistor>(vin, kGround, 1e3);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  // 5 mA flows out of the + terminal into the resistor, so the branch
+  // current (defined + -> - through the source) is -5 mA.
+  EXPECT_NEAR(vs->branch_current(r.x), -5e-3, 1e-9);
+}
+
+TEST(Dc, CurrentSourceIntoResistor) {
+  Netlist n;
+  const int out = n.node("out");
+  n.add<ISource>(kGround, out, Waveform::dc(2e-3));  // 2 mA from gnd into out
+  n.add<Resistor>(out, kGround, 1e3);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(Netlist::voltage(r.x, out), 2.0, 1e-6);
+}
+
+TEST(Dc, SuperpositionOfTwoSources) {
+  Netlist n;
+  const int a = n.node("a");
+  n.add<VSource>(a, kGround, Waveform::dc(1.0));
+  const int b = n.node("b");
+  n.add<Resistor>(a, b, 1e3);
+  n.add<Resistor>(b, kGround, 1e3);
+  n.add<ISource>(kGround, b, Waveform::dc(1e-3));
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  // V(b) = 1.0 * 0.5 (divider) + 1 mA * 500 Ohm (parallel) = 1.0
+  EXPECT_NEAR(Netlist::voltage(r.x, b), 1.0, 1e-6);
+}
+
+TEST(Dc, VcvsGain) {
+  Netlist n;
+  const int in = n.node("in");
+  const int out = n.node("out");
+  n.add<VSource>(in, kGround, Waveform::dc(0.1));
+  n.add<Vcvs>(out, kGround, in, kGround, 25.0);
+  n.add<Resistor>(out, kGround, 1e3);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(Netlist::voltage(r.x, out), 2.5, 1e-6);
+}
+
+TEST(Dc, CapacitorIsOpenAtDc) {
+  Netlist n;
+  const int vin = n.node("vin");
+  const int mid = n.node("mid");
+  n.add<VSource>(vin, kGround, Waveform::dc(3.0));
+  n.add<Resistor>(vin, mid, 1e3);
+  n.add<Capacitor>(mid, kGround, 1e-9);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  // No DC path to ground except gmin: node floats to the source voltage.
+  EXPECT_NEAR(Netlist::voltage(r.x, mid), 3.0, 1e-3);
+}
+
+TEST(Dc, InductorIsShortAtDc) {
+  Netlist n;
+  const int vin = n.node("vin");
+  const int mid = n.node("mid");
+  n.add<VSource>(vin, kGround, Waveform::dc(2.0));
+  n.add<Resistor>(vin, mid, 1e3);
+  n.add<Inductor>(mid, kGround, 1e-3);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(Netlist::voltage(r.x, mid), 0.0, 1e-9);
+}
+
+TEST(Dc, WarmStartConverges) {
+  Netlist n;
+  const int vin = n.node("vin");
+  const int mid = n.node("mid");
+  auto* vs = n.add<VSource>(vin, kGround, Waveform::dc(1.0));
+  n.add<Resistor>(vin, mid, 1e3);
+  n.add<Resistor>(mid, kGround, 1e3);
+  DcAnalysis dc;
+  auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  vs->set_dc(1.1);
+  const auto r2 = dc.solve(n, &r.x);
+  ASSERT_TRUE(r2.converged);
+  EXPECT_NEAR(Netlist::voltage(r2.x, mid), 0.55, 1e-6);
+}
+
+TEST(Dc, NmosDiodeStringConverges) {
+  // Nonlinear network: current source into two stacked diode-connected NMOS.
+  Netlist n;
+  const int a = n.node("a");
+  const int b = n.node("b");
+  n.add<ISource>(kGround, a, Waveform::dc(100e-6));
+  n.add<Mosfet>(a, a, b, kGround, MosModel::nmos_180(), 10e-6, 1e-6);
+  n.add<Mosfet>(b, b, kGround, kGround, MosModel::nmos_180(), 10e-6, 1e-6);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  const double va = Netlist::voltage(r.x, a);
+  const double vb = Netlist::voltage(r.x, b);
+  // Both devices saturated diode-connected: Vgs > Vth each.
+  EXPECT_GT(vb, 0.45);
+  EXPECT_GT(va - vb, 0.45);
+  EXPECT_LT(va, 3.0);
+}
+
+TEST(Dc, NewtonReportsNonConvergenceWhenIterationBudgetTooSmall) {
+  Netlist n;
+  const int vin = n.node("vin");
+  n.add<VSource>(vin, kGround, Waveform::dc(1.0));
+  n.add<Resistor>(vin, kGround, 1.0);
+  n.prepare();
+  DcOptions opt;
+  opt.max_iterations = 1;  // linear circuits need 2 iterations (solve + verify)
+  Vec x;
+  EXPECT_FALSE(DcAnalysis::newton(n, 1.0, -1.0, opt.gmin, opt, x, nullptr));
+  opt.max_iterations = 5;
+  EXPECT_TRUE(DcAnalysis::newton(n, 1.0, -1.0, opt.gmin, opt, x, nullptr));
+}
+
+TEST(Dc, MosInverterTransferIsMonotoneDecreasing) {
+  // NMOS common-source with resistor load: increasing Vin lowers Vout.
+  Netlist n;
+  const int vdd = n.node("vdd");
+  const int in = n.node("in");
+  const int out = n.node("out");
+  n.add<VSource>(vdd, kGround, Waveform::dc(1.8));
+  auto* vin = n.add<VSource>(in, kGround, Waveform::dc(0.0));
+  n.add<Resistor>(vdd, out, 10e3);
+  n.add<Mosfet>(out, in, kGround, kGround, MosModel::nmos_180(), 10e-6, 0.5e-6);
+  DcAnalysis dc;
+  double prev = 1e9;
+  Vec guess;
+  for (double v = 0.0; v <= 1.8; v += 0.2) {
+    vin->set_dc(v);
+    const auto r = guess.empty() ? dc.solve(n) : dc.solve(n, &guess);
+    ASSERT_TRUE(r.converged) << "vin=" << v;
+    guess = r.x;
+    const double vo = Netlist::voltage(r.x, out);
+    EXPECT_LE(vo, prev + 1e-9) << "vin=" << v;
+    prev = vo;
+  }
+  EXPECT_LT(prev, 0.2);  // fully on at Vin = 1.8
+}
+
+}  // namespace
+}  // namespace maopt::spice

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "spice/dc_analysis.hpp"
+#include "spice/devices.hpp"
+#include "spice/tran_analysis.hpp"
+
+namespace maopt::spice {
+namespace {
+
+TEST(CurrentSinkLoad, DrawsFullCurrentAboveKnee) {
+  // Stiff source feeding the load: V stays high, load draws its target.
+  Netlist n;
+  const int out = n.node("out");
+  auto* vs = n.add<VSource>(out, kGround, Waveform::dc(1.8));
+  n.add<CurrentSinkLoad>(out, kGround, Waveform::dc(50e-3));
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  // All 50 mA flows through the source branch.
+  EXPECT_NEAR(vs->branch_current(r.x), -50e-3, 1e-9);
+}
+
+TEST(CurrentSinkLoad, CurrentAtReportsActualDraw) {
+  Netlist n;
+  const int out = n.node("out");
+  n.add<VSource>(out, kGround, Waveform::dc(1.8));
+  auto* load = n.add<CurrentSinkLoad>(out, kGround, Waveform::dc(10e-3), 0.2);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(load->current_at(r.x), 10e-3, 1e-9);
+}
+
+TEST(CurrentSinkLoad, CollapsesGracefullyWhenSourceIsWeak) {
+  // A 1 kOhm source can deliver at most 1.8 mA into a short; asking the
+  // load for 100 mA must NOT drive the node to huge negative voltages
+  // (the failure mode of an ideal ISource).
+  Netlist n;
+  const int src = n.node("src");
+  const int out = n.node("out");
+  n.add<VSource>(src, kGround, Waveform::dc(1.8));
+  n.add<Resistor>(src, out, 1e3);
+  auto* load = n.add<CurrentSinkLoad>(out, kGround, Waveform::dc(100e-3), 0.2);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  const double v = Netlist::voltage(r.x, out);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 0.2);  // stuck in the compliance region
+  EXPECT_LT(load->current_at(r.x), 100e-3);
+}
+
+TEST(CurrentSinkLoad, LinearRegionSolvesConsistently) {
+  // In the compliance region the load acts like a conductance I/v_knee:
+  // 1.8 V source, 1 kOhm series, load 10 mA with knee 0.5 V.
+  // Equivalent conductance g = 0.02 S -> v = 1.8 * (1/g)/(1k + 1/g)?? Solve:
+  // v = 1.8 - 1e3 * i, i = 10e-3 * v / 0.5 = 0.02 v  =>  v = 1.8 / 21 * 10.
+  Netlist n;
+  const int src = n.node("src");
+  const int out = n.node("out");
+  n.add<VSource>(src, kGround, Waveform::dc(1.8));
+  n.add<Resistor>(src, out, 1e3);
+  n.add<CurrentSinkLoad>(out, kGround, Waveform::dc(10e-3), 0.5);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(Netlist::voltage(r.x, out), 1.8 / 21.0, 1e-6);
+}
+
+TEST(CurrentSinkLoad, TransientStepFollowsWaveform) {
+  Netlist n;
+  const int out = n.node("out");
+  n.add<VSource>(out, kGround, Waveform::dc(1.8));
+  auto* load = n.add<CurrentSinkLoad>(
+      out, kGround, Waveform::pwl({{0.0, 1e-3}, {1e-6, 1e-3}, {1.1e-6, 20e-3}}));
+  (void)load;
+  // A VSource pins the node, so just check the transient converges and the
+  // source branch current steps accordingly.
+  TranOptions topt;
+  topt.t_stop = 2e-6;
+  topt.dt = 10e-9;
+  TranAnalysis tran(topt);
+  const auto tr = tran.run(n);
+  ASSERT_TRUE(tr.converged);
+  // Branch current of the vsource = -load current.
+  const std::size_t branch = 1;  // 1 node + branch index 1
+  EXPECT_NEAR(tr.x.front()[branch], -1e-3, 1e-9);
+  EXPECT_NEAR(tr.x.back()[branch], -20e-3, 1e-9);
+}
+
+TEST(CurrentSinkLoad, InvalidKneeThrows) {
+  EXPECT_THROW(CurrentSinkLoad(0, 1, Waveform::dc(1e-3), 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maopt::spice

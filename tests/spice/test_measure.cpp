@@ -1,0 +1,138 @@
+#include "spice/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+namespace maopt::spice {
+namespace {
+
+/// Builds an AcSweep for a single-pole transfer H(f) = A / (1 + j f/fp) at
+/// node 0 of a 1-node system.
+AcSweep single_pole_sweep(double a0, double fp, double f_lo, double f_hi, int ppd) {
+  AcSweep sweep;
+  sweep.frequencies = log_frequency_grid(f_lo, f_hi, ppd);
+  for (const double f : sweep.frequencies) {
+    const std::complex<double> h = a0 / std::complex<double>(1.0, f / fp);
+    sweep.solutions.push_back({h});
+  }
+  return sweep;
+}
+
+TEST(Measure, DcGainDb) {
+  const auto sweep = single_pole_sweep(100.0, 1e3, 1.0, 1e7, 10);
+  EXPECT_NEAR(dc_gain_db(sweep, 0), 40.0, 0.01);
+}
+
+TEST(Measure, UnityGainFrequencySinglePole) {
+  // For a0 >> 1: f_ugf ~ a0 * fp.
+  const auto sweep = single_pole_sweep(100.0, 1e3, 1.0, 1e7, 20);
+  const auto fu = unity_gain_frequency(sweep, 0);
+  ASSERT_TRUE(fu.has_value());
+  EXPECT_NEAR(*fu, 1e5, 1e5 * 0.02);
+}
+
+TEST(Measure, UnityGainFrequencyAbsentWhenGainBelowUnity) {
+  const auto sweep = single_pole_sweep(0.5, 1e3, 1.0, 1e7, 10);
+  EXPECT_FALSE(unity_gain_frequency(sweep, 0).has_value());
+}
+
+TEST(Measure, PhaseMarginSinglePoleIsNinetyDegrees) {
+  const auto sweep = single_pole_sweep(1000.0, 1e3, 1.0, 1e9, 20);
+  const auto pm = phase_margin_deg(sweep, 0);
+  ASSERT_TRUE(pm.has_value());
+  EXPECT_NEAR(*pm, 90.0, 1.5);
+}
+
+TEST(Measure, PhaseMarginInvertingPathUsesRelativePhase) {
+  // Same single pole but with an inverting DC sign: PM must be unchanged.
+  auto sweep = single_pole_sweep(1000.0, 1e3, 1.0, 1e9, 20);
+  for (auto& sol : sweep.solutions) sol[0] = -sol[0];
+  const auto pm = phase_margin_deg(sweep, 0);
+  ASSERT_TRUE(pm.has_value());
+  EXPECT_NEAR(*pm, 90.0, 1.5);
+}
+
+TEST(Measure, TwoPolePhaseMarginDropsBelowNinety) {
+  AcSweep sweep;
+  sweep.frequencies = log_frequency_grid(1.0, 1e9, 20);
+  const double fp1 = 1e3, fp2 = 1e6, a0 = 1000.0;
+  for (const double f : sweep.frequencies) {
+    const auto h = a0 / (std::complex<double>(1.0, f / fp1) * std::complex<double>(1.0, f / fp2));
+    sweep.solutions.push_back({h});
+  }
+  const auto pm = phase_margin_deg(sweep, 0);
+  ASSERT_TRUE(pm.has_value());
+  // Analytic: |H|=1 at f ~ 7.9e5 Hz, PM = 180 - atan(f/fp1) - atan(f/fp2)
+  // ~ 51.9 degrees (the second pole sits just above the unity crossing).
+  EXPECT_NEAR(*pm, 51.9, 3.0);
+}
+
+TEST(Measure, Bandwidth3DbOfSinglePole) {
+  const auto sweep = single_pole_sweep(10.0, 1e4, 1.0, 1e8, 20);
+  const auto bw = bandwidth_3db(sweep, 0);
+  ASSERT_TRUE(bw.has_value());
+  EXPECT_NEAR(*bw, 1e4, 1e4 * 0.03);
+}
+
+TEST(Measure, MagnitudeAtInterpolates) {
+  const auto sweep = single_pole_sweep(100.0, 1e3, 1.0, 1e7, 5);
+  const double m = magnitude_at(sweep, 0, 1e3);
+  EXPECT_NEAR(m, 100.0 / std::sqrt(2.0), 100.0 / std::sqrt(2.0) * 0.05);
+}
+
+TEST(Measure, PhaseUnwrappingIsContinuous) {
+  AcSweep sweep;
+  sweep.frequencies = log_frequency_grid(1.0, 1e9, 20);
+  // Three poles: total phase approaches -270, crossing the -180 wrap.
+  for (const double f : sweep.frequencies) {
+    const auto pole = std::complex<double>(1.0, f / 1e4);
+    sweep.solutions.push_back({1000.0 / (pole * pole * pole)});
+  }
+  const auto ph = phase_deg_unwrapped(sweep, 0);
+  for (std::size_t k = 1; k < ph.size(); ++k) EXPECT_LT(std::abs(ph[k] - ph[k - 1]), 90.0);
+  EXPECT_LT(ph.back(), -240.0);
+}
+
+TEST(Measure, SettlingTimeExactOnSyntheticExponential) {
+  std::vector<double> time, wave;
+  const double tau = 1e-6;
+  for (int k = 0; k <= 1000; ++k) {
+    const double t = k * 1e-8;
+    time.push_back(t);
+    wave.push_back(1.0 - std::exp(-t / tau));
+  }
+  // 1% band: settles at t = tau * ln(100) ~ 4.605 us.
+  const auto st = settling_time(time, wave, 0.0, 1.0, 0.01);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_NEAR(*st, 4.605e-6, 0.05e-6);
+}
+
+TEST(Measure, SettlingTimeZeroWhenAlreadySettled) {
+  const std::vector<double> time{0.0, 1.0, 2.0};
+  const std::vector<double> wave{1.0, 1.0, 1.0};
+  const auto st = settling_time(time, wave, 0.0, 1.0, 0.01);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_DOUBLE_EQ(*st, 0.0);
+}
+
+TEST(Measure, SettlingTimeNulloptWhenNeverSettles) {
+  const std::vector<double> time{0.0, 1.0, 2.0};
+  const std::vector<double> wave{0.0, 0.5, 2.0};
+  EXPECT_FALSE(settling_time(time, wave, 0.0, 1.0, 0.01).has_value());
+}
+
+TEST(Measure, OvershootFraction) {
+  const std::vector<double> wave{0.0, 0.6, 1.3, 1.1, 1.0};
+  EXPECT_NEAR(overshoot_fraction(wave, 0, 0.0, 1.0), 0.3, 1e-12);
+}
+
+TEST(Measure, OvershootZeroForMonotone) {
+  const std::vector<double> wave{0.0, 0.5, 0.9, 1.0};
+  EXPECT_DOUBLE_EQ(overshoot_fraction(wave, 0, 0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace maopt::spice

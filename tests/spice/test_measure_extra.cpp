@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "spice/measure.hpp"
+
+namespace maopt::spice {
+namespace {
+
+/// Three identical poles: phase reaches -270, crossing -180 at f = sqrt(3)*fp
+/// where each pole contributes 60 degrees.
+AcSweep triple_pole_sweep(double a0, double fp) {
+  AcSweep sweep;
+  sweep.frequencies = log_frequency_grid(1.0, 1e9, 40);
+  for (const double f : sweep.frequencies) {
+    const auto pole = std::complex<double>(1.0, f / fp);
+    sweep.solutions.push_back({a0 / (pole * pole * pole)});
+  }
+  return sweep;
+}
+
+TEST(GainMargin, TriplePoleAnalyticValue) {
+  // At the -180 crossing f = sqrt(3) fp: |H| = a0 / (1+3)^{3/2} = a0 / 8.
+  const auto sweep = triple_pole_sweep(100.0, 1e4);
+  const auto gm = gain_margin_db(sweep, 0);
+  ASSERT_TRUE(gm.has_value());
+  EXPECT_NEAR(*gm, -20.0 * std::log10(100.0 / 8.0), 0.3);
+}
+
+TEST(GainMargin, PositiveWhenGainBelowUnityAtCrossing) {
+  const auto sweep = triple_pole_sweep(4.0, 1e4);  // |H| at crossing = 0.5
+  const auto gm = gain_margin_db(sweep, 0);
+  ASSERT_TRUE(gm.has_value());
+  EXPECT_NEAR(*gm, 6.02, 0.3);
+}
+
+TEST(GainMargin, NulloptForSinglePole) {
+  AcSweep sweep;
+  sweep.frequencies = log_frequency_grid(1.0, 1e9, 20);
+  for (const double f : sweep.frequencies)
+    sweep.solutions.push_back({10.0 / std::complex<double>(1.0, f / 1e4)});
+  EXPECT_FALSE(gain_margin_db(sweep, 0).has_value());
+}
+
+TEST(SlewRate, MaxSlopeOfRamp) {
+  const std::vector<double> t{0.0, 1e-9, 2e-9, 3e-9};
+  const std::vector<double> v{0.0, 0.1, 0.5, 0.6};
+  EXPECT_NEAR(slew_rate(t, v), 0.4 / 1e-9, 1e-3);
+}
+
+TEST(SlewRate, ZeroForFlatRecord) {
+  const std::vector<double> t{0.0, 1.0, 2.0};
+  const std::vector<double> v{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(slew_rate(t, v), 0.0);
+}
+
+TEST(SlewRate, SizeMismatchThrows) {
+  EXPECT_THROW(slew_rate({0.0, 1.0}, {0.0}), std::invalid_argument);
+}
+
+TEST(RiseTime, ExponentialStepMatchesTheory) {
+  // v(t) = 1 - exp(-t/tau): rise time (10-90%) = tau * ln(9) ~ 2.197 tau.
+  std::vector<double> t, v;
+  const double tau = 1e-6;
+  for (int k = 0; k <= 2000; ++k) {
+    t.push_back(k * 5e-9);
+    v.push_back(1.0 - std::exp(-t.back() / tau));
+  }
+  const auto rt = rise_time(t, v, 0.0, 0.0, 1.0);
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_NEAR(*rt, tau * std::log(9.0), tau * 0.02);
+}
+
+TEST(RiseTime, FallingStepMeasured) {
+  std::vector<double> t, v;
+  for (int k = 0; k <= 100; ++k) {
+    t.push_back(k * 1e-9);
+    v.push_back(1.0 - 0.01 * k);  // linear fall 1 -> 0
+  }
+  const auto rt = rise_time(t, v, 0.0, 1.0, 0.0);
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_NEAR(*rt, 80e-9, 2e-9);  // 10%..90% of a 100 ns linear ramp
+}
+
+TEST(RiseTime, NulloptWhenStepNeverCompletes) {
+  const std::vector<double> t{0.0, 1.0, 2.0};
+  const std::vector<double> v{0.0, 0.2, 0.4};  // never reaches 90%
+  EXPECT_FALSE(rise_time(t, v, 0.0, 0.0, 1.0).has_value());
+}
+
+}  // namespace
+}  // namespace maopt::spice

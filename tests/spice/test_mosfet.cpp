@@ -1,0 +1,174 @@
+#include "spice/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/dc_analysis.hpp"
+#include "spice/devices.hpp"
+
+namespace maopt::spice {
+namespace {
+
+TEST(MosEval, CutoffBelowThreshold) {
+  const auto e = mos_level1_eval(0.3, 1.0, 0.45, 1e-3, 0.1);
+  EXPECT_TRUE(e.cutoff);
+  EXPECT_DOUBLE_EQ(e.id, 0.0);
+  EXPECT_DOUBLE_EQ(e.gm, 0.0);
+}
+
+TEST(MosEval, SaturationCurrent) {
+  // id = k/2 * vov^2 * (1 + lambda*vds)
+  const auto e = mos_level1_eval(1.0, 1.5, 0.45, 2e-3, 0.1);
+  EXPECT_TRUE(e.saturated);
+  const double vov = 0.55;
+  EXPECT_NEAR(e.id, 0.5 * 2e-3 * vov * vov * 1.15, 1e-12);
+  EXPECT_NEAR(e.gm, 2e-3 * vov * 1.15, 1e-12);
+  EXPECT_NEAR(e.gds, 0.5 * 2e-3 * vov * vov * 0.1, 1e-12);
+}
+
+TEST(MosEval, TriodeCurrent) {
+  const auto e = mos_level1_eval(1.0, 0.2, 0.45, 2e-3, 0.0);
+  EXPECT_FALSE(e.saturated);
+  EXPECT_FALSE(e.cutoff);
+  EXPECT_NEAR(e.id, 2e-3 * (0.55 - 0.1) * 0.2, 1e-12);
+}
+
+TEST(MosEval, ContinuousAtSaturationBoundary) {
+  const double vov = 0.55;
+  const auto sat = mos_level1_eval(1.0, vov + 1e-9, 0.45, 2e-3, 0.1);
+  const auto tri = mos_level1_eval(1.0, vov - 1e-9, 0.45, 2e-3, 0.1);
+  EXPECT_NEAR(sat.id, tri.id, 1e-9);
+  EXPECT_NEAR(sat.gm, tri.gm, 1e-6);
+}
+
+TEST(MosEval, GmGdsMatchFiniteDifference) {
+  const double vth = 0.45, k = 2e-3, lambda = 0.08;
+  for (const double vgs : {0.7, 1.0, 1.4}) {
+    for (const double vds : {0.1, 0.4, 1.2}) {
+      const auto e = mos_level1_eval(vgs, vds, vth, k, lambda);
+      const double h = 1e-7;
+      const double gm_fd = (mos_level1_eval(vgs + h, vds, vth, k, lambda).id -
+                            mos_level1_eval(vgs - h, vds, vth, k, lambda).id) /
+                           (2 * h);
+      const double gds_fd = (mos_level1_eval(vgs, vds + h, vth, k, lambda).id -
+                             mos_level1_eval(vgs, vds - h, vth, k, lambda).id) /
+                            (2 * h);
+      EXPECT_NEAR(e.gm, gm_fd, 1e-6) << vgs << "/" << vds;
+      EXPECT_NEAR(e.gds, gds_fd, 1e-6) << vgs << "/" << vds;
+    }
+  }
+}
+
+TEST(Mosfet, NmosOperatingPointCurrent) {
+  Netlist n;
+  const int d = n.node("d");
+  const int g = n.node("g");
+  n.add<VSource>(d, kGround, Waveform::dc(1.8));
+  n.add<VSource>(g, kGround, Waveform::dc(1.0));
+  auto* m = n.add<Mosfet>(d, g, kGround, kGround, MosModel::nmos_180(), 10e-6, 1e-6);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  // k = 280u * 10 = 2.8 mA/V^2, vov = 0.55, lambda = 0.08
+  const double expect = 0.5 * 2.8e-3 * 0.55 * 0.55 * (1 + 0.08 * 1.8);
+  EXPECT_NEAR(m->drain_current(r.x), expect, 1e-8);
+  EXPECT_TRUE(m->operating_point(r.x).saturated);
+}
+
+TEST(Mosfet, MultiplierScalesCurrent) {
+  for (const double mult : {1.0, 4.0}) {
+    Netlist n;
+    const int d = n.node("d");
+    const int g = n.node("g");
+    n.add<VSource>(d, kGround, Waveform::dc(1.8));
+    n.add<VSource>(g, kGround, Waveform::dc(1.0));
+    auto* m = n.add<Mosfet>(d, g, kGround, kGround, MosModel::nmos_180(), 10e-6, 1e-6, mult);
+    DcAnalysis dc;
+    const auto r = dc.solve(n);
+    ASSERT_TRUE(r.converged);
+    static double base = 0.0;
+    if (mult == 1.0)
+      base = m->drain_current(r.x);
+    else
+      EXPECT_NEAR(m->drain_current(r.x), base * mult, 1e-10);
+  }
+}
+
+TEST(Mosfet, PmosConductsWithNegativeVgs) {
+  Netlist n;
+  const int s = n.node("s");
+  const int d = n.node("d");
+  n.add<VSource>(s, kGround, Waveform::dc(1.8));  // source at vdd
+  n.add<VSource>(d, kGround, Waveform::dc(0.5));
+  const int g = n.node("g");
+  n.add<VSource>(g, kGround, Waveform::dc(0.8));  // vsg = 1.0
+  auto* m = n.add<Mosfet>(d, g, s, s, MosModel::pmos_180(), 10e-6, 1e-6);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  // Current flows source -> drain: drain_current (into drain) is negative.
+  EXPECT_LT(m->drain_current(r.x), -1e-5);
+}
+
+TEST(Mosfet, DrainSourceSwapSymmetry) {
+  // Same device, terminals swapped: current negates exactly.
+  auto run = [](bool swapped) {
+    Netlist n;
+    const int a = n.node("a");
+    const int g = n.node("g");
+    n.add<VSource>(a, kGround, Waveform::dc(0.8));
+    n.add<VSource>(g, kGround, Waveform::dc(1.3));
+    auto* m = swapped
+                  ? n.add<Mosfet>(kGround, g, a, kGround, MosModel::nmos_180(), 5e-6, 0.5e-6)
+                  : n.add<Mosfet>(a, g, kGround, kGround, MosModel::nmos_180(), 5e-6, 0.5e-6);
+    DcAnalysis dc;
+    const auto r = dc.solve(n);
+    EXPECT_TRUE(r.converged);
+    return m->drain_current(r.x);
+  };
+  const double forward = run(false);
+  const double reverse = run(true);
+  EXPECT_GT(forward, 0.0);
+  EXPECT_NEAR(forward, -reverse, 1e-10);
+}
+
+TEST(Mosfet, CapsDependOnRegion) {
+  const MosModel nm = MosModel::nmos_180();
+  Mosfet m(0, 1, 2, 2, nm, 10e-6, 1e-6);
+  // op vector: nodes 0(d),1(g),2(s)
+  Vec sat_op{1.8, 1.0, 0.0};
+  Vec cut_op{1.8, 0.0, 0.0};
+  std::vector<CapacitorStamp> sat_caps, cut_caps;
+  m.collect_caps(sat_caps, sat_op);
+  m.collect_caps(cut_caps, cut_op);
+  ASSERT_EQ(sat_caps.size(), 4u);
+  // cgs in saturation (2/3 Cox WL + Cov) exceeds cutoff (Cov only).
+  EXPECT_GT(sat_caps[0].capacitance, cut_caps[0].capacitance);
+  // cgd equals the overlap cap in both regions.
+  EXPECT_NEAR(sat_caps[1].capacitance, cut_caps[1].capacitance, 1e-20);
+}
+
+TEST(Mosfet, NoiseOnlyWhenConducting) {
+  const MosModel nm = MosModel::nmos_180();
+  Mosfet m(0, 1, 2, 2, nm, 10e-6, 1e-6);
+  std::vector<NoiseSource> on, off;
+  m.collect_noise(on, {1.8, 1.0, 0.0});
+  m.collect_noise(off, {1.8, 0.0, 0.0});
+  EXPECT_EQ(on.size(), 1u);
+  EXPECT_TRUE(off.empty());
+  EXPECT_GT(on[0].white, 0.0);
+  EXPECT_GT(on[0].flicker, 0.0);
+  // Flicker rises toward low frequency.
+  EXPECT_GT(on[0].psd(10.0), on[0].psd(1e6));
+}
+
+TEST(Mosfet, InvalidGeometryThrows) {
+  const MosModel nm = MosModel::nmos_180();
+  EXPECT_THROW(Mosfet(0, 1, 2, 2, nm, 0.0, 1e-6), std::invalid_argument);
+  EXPECT_THROW(Mosfet(0, 1, 2, 2, nm, 1e-6, -1e-6), std::invalid_argument);
+  EXPECT_THROW(Mosfet(0, 1, 2, 2, nm, 1e-6, 1e-6, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maopt::spice

@@ -1,0 +1,84 @@
+// Property sweeps over the MOSFET model: physical monotonicity and
+// continuity invariants that must hold across the whole geometry range the
+// optimizers explore.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/mosfet.hpp"
+
+namespace maopt::spice {
+namespace {
+
+struct Geometry {
+  double w_um;
+  double l_um;
+};
+
+class MosGeometrySweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(MosGeometrySweep, CurrentIncreasesWithVgs) {
+  const auto [w, l] = GetParam();
+  const double k = 280e-6 * (w / l);
+  const double lambda = 0.08e-6 / (l * 1e-6);
+  double prev = -1.0;
+  for (double vgs = 0.5; vgs <= 1.8; vgs += 0.1) {
+    const auto e = mos_level1_eval(vgs, 1.0, 0.45, k, lambda);
+    EXPECT_GT(e.id, prev) << "vgs=" << vgs;
+    prev = e.id;
+  }
+}
+
+TEST_P(MosGeometrySweep, CurrentIncreasesWithVds) {
+  const auto [w, l] = GetParam();
+  const double k = 280e-6 * (w / l);
+  const double lambda = 0.08e-6 / (l * 1e-6);
+  double prev = -1.0;
+  for (double vds = 0.05; vds <= 1.8; vds += 0.05) {
+    const auto e = mos_level1_eval(1.0, vds, 0.45, k, lambda);
+    EXPECT_GE(e.id, prev) << "vds=" << vds;
+    prev = e.id;
+  }
+}
+
+TEST_P(MosGeometrySweep, ConductancesNonNegative) {
+  const auto [w, l] = GetParam();
+  const double k = 280e-6 * (w / l);
+  const double lambda = 0.08e-6 / (l * 1e-6);
+  for (double vgs = 0.0; vgs <= 1.8; vgs += 0.3)
+    for (double vds = 0.0; vds <= 1.8; vds += 0.3) {
+      const auto e = mos_level1_eval(vgs, vds, 0.45, k, lambda);
+      EXPECT_GE(e.gm, 0.0);
+      EXPECT_GE(e.gds, 0.0);
+      EXPECT_GE(e.id, 0.0);
+    }
+}
+
+TEST_P(MosGeometrySweep, CurrentContinuousAcrossRegionBoundary) {
+  const auto [w, l] = GetParam();
+  const double k = 280e-6 * (w / l);
+  const double lambda = 0.08e-6 / (l * 1e-6);
+  for (double vgs = 0.6; vgs <= 1.6; vgs += 0.2) {
+    const double vov = vgs - 0.45;
+    const auto below = mos_level1_eval(vgs, vov * (1 - 1e-9), 0.45, k, lambda);
+    const auto above = mos_level1_eval(vgs, vov * (1 + 1e-9), 0.45, k, lambda);
+    EXPECT_NEAR(below.id, above.id, std::max(1e-12, above.id * 1e-6));
+  }
+}
+
+TEST_P(MosGeometrySweep, CutoffContinuousAtThreshold) {
+  const auto [w, l] = GetParam();
+  const double k = 280e-6 * (w / l);
+  const auto below = mos_level1_eval(0.45 - 1e-9, 1.0, 0.45, k, 0.1);
+  const auto above = mos_level1_eval(0.45 + 1e-9, 1.0, 0.45, k, 0.1);
+  EXPECT_DOUBLE_EQ(below.id, 0.0);
+  EXPECT_LT(above.id, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, MosGeometrySweep,
+                         ::testing::Values(Geometry{0.22, 0.18}, Geometry{1.0, 0.18},
+                                           Geometry{10.0, 0.5}, Geometry{150.0, 2.0},
+                                           Geometry{50.0, 1.0}));
+
+}  // namespace
+}  // namespace maopt::spice

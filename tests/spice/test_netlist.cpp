@@ -1,0 +1,118 @@
+#include "spice/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/devices.hpp"
+
+namespace maopt::spice {
+namespace {
+
+TEST(Netlist, GroundAliases) {
+  Netlist n;
+  EXPECT_EQ(n.node("0"), kGround);
+  EXPECT_EQ(n.node("gnd"), kGround);
+  EXPECT_EQ(n.node("GND"), kGround);
+}
+
+TEST(Netlist, NodesGetStableIds) {
+  Netlist n;
+  const int a = n.node("a");
+  const int b = n.node("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(n.node("a"), a);
+  EXPECT_EQ(n.num_nodes(), 2u);
+}
+
+TEST(Netlist, FindNodeThrowsOnUnknown) {
+  Netlist n;
+  n.node("a");
+  EXPECT_EQ(n.find_node("a"), 0);
+  EXPECT_THROW(n.find_node("zz"), std::invalid_argument);
+}
+
+TEST(Netlist, PrepareAssignsBranchIndices) {
+  Netlist n;
+  const int a = n.node("a");
+  const int b = n.node("b");
+  auto* v1 = n.add<VSource>(a, n.node("0"), Waveform::dc(1.0));
+  auto* v2 = n.add<VSource>(b, n.node("0"), Waveform::dc(2.0));
+  n.prepare();
+  EXPECT_EQ(n.system_size(), 4u);  // 2 nodes + 2 branches
+  EXPECT_EQ(v1->branch_base(), 2);
+  EXPECT_EQ(v2->branch_base(), 3);
+}
+
+TEST(Netlist, BuildWithoutPrepareThrows) {
+  Netlist n;
+  n.add<Resistor>(n.node("a"), kGround, 1e3);
+  Mat a;
+  Vec rhs;
+  EXPECT_THROW(n.build_nonlinear_system({0.0}, 1.0, -1.0, 1e-12, a, rhs), std::logic_error);
+}
+
+TEST(Netlist, GroundStampsDropped) {
+  Netlist n;
+  const int a = n.node("a");
+  n.add<Resistor>(a, kGround, 2.0);  // g = 0.5
+  n.prepare();
+  Mat mat;
+  Vec rhs;
+  Vec x(1, 0.0);
+  n.build_nonlinear_system(x, 1.0, -1.0, 0.0, mat, rhs);
+  EXPECT_EQ(mat.rows(), 1u);
+  EXPECT_DOUBLE_EQ(mat(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(rhs[0], 0.0);
+}
+
+TEST(Netlist, GminAppliedToDiagonal) {
+  Netlist n;
+  n.node("a");
+  n.prepare();
+  Mat mat;
+  Vec rhs;
+  Vec x(1, 0.0);
+  n.build_nonlinear_system(x, 1.0, -1.0, 1e-3, mat, rhs);
+  EXPECT_DOUBLE_EQ(mat(0, 0), 1e-3);
+}
+
+TEST(Netlist, VoltageHelperHandlesGround) {
+  Vec x{1.5, 2.5};
+  EXPECT_DOUBLE_EQ(Netlist::voltage(x, kGround), 0.0);
+  EXPECT_DOUBLE_EQ(Netlist::voltage(x, 1), 2.5);
+}
+
+TEST(Waveform, DcConstant) {
+  const auto w = Waveform::dc(3.3);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 3.3);
+  EXPECT_DOUBLE_EQ(w.value(1e-3), 3.3);
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  const auto w = Waveform::pwl({{1.0, 0.0}, {2.0, 10.0}});
+  EXPECT_DOUBLE_EQ(w.value(0.5), 0.0);    // before first point
+  EXPECT_DOUBLE_EQ(w.value(1.5), 5.0);    // interpolated
+  EXPECT_DOUBLE_EQ(w.value(3.0), 10.0);   // after last point
+}
+
+TEST(Waveform, PwlEmptyThrows) { EXPECT_THROW(Waveform::pwl({}), std::invalid_argument); }
+
+TEST(Waveform, PulseShape) {
+  const auto w = Waveform::pulse(0.0, 1.0, /*delay=*/1.0, /*rise=*/0.5, /*fall=*/0.5,
+                                 /*width=*/2.0, /*period=*/10.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5), 0.0);   // before delay
+  EXPECT_DOUBLE_EQ(w.value(1.25), 0.5);  // mid-rise
+  EXPECT_DOUBLE_EQ(w.value(2.0), 1.0);   // flat top
+  EXPECT_DOUBLE_EQ(w.value(3.75), 0.5);  // mid-fall
+  EXPECT_DOUBLE_EQ(w.value(5.0), 0.0);   // back to v1
+  EXPECT_DOUBLE_EQ(w.value(12.0), 1.0);  // periodic repeat (11s -> 2s into cycle)
+}
+
+TEST(Devices, InvalidValuesThrow) {
+  EXPECT_THROW(Resistor(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(Resistor(0, 1, -5.0), std::invalid_argument);
+  EXPECT_THROW(Capacitor(0, 1, -1e-12), std::invalid_argument);
+  EXPECT_THROW(Inductor(0, 1, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maopt::spice

@@ -1,0 +1,129 @@
+#include "spice/noise_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/ac_analysis.hpp"
+#include "spice/dc_analysis.hpp"
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+
+namespace maopt::spice {
+namespace {
+
+constexpr double kT4 = 4.0 * 1.380649e-23 * 300.0;
+
+TEST(Noise, SingleResistorPsdIs4kTR) {
+  Netlist n;
+  const int out = n.node("out");
+  n.add<Resistor>(out, kGround, 1e3);
+  n.prepare();
+  Vec op(n.system_size(), 0.0);
+  NoiseAnalysis noise;
+  const auto r = noise.run(n, op, out, kGround, {1e3});
+  ASSERT_EQ(r.output_psd.size(), 1u);
+  EXPECT_NEAR(r.output_psd[0], kT4 * 1e3, kT4 * 1e3 * 1e-6);
+}
+
+TEST(Noise, ParallelResistorsGiveParallelResistance) {
+  Netlist n;
+  const int out = n.node("out");
+  n.add<Resistor>(out, kGround, 2e3);
+  n.add<Resistor>(out, kGround, 2e3);
+  n.prepare();
+  Vec op(n.system_size(), 0.0);
+  NoiseAnalysis noise;
+  const auto r = noise.run(n, op, out, kGround, {1e3});
+  EXPECT_NEAR(r.output_psd[0], kT4 * 1e3, kT4 * 1e3 * 1e-6);
+}
+
+TEST(Noise, RcFilterShapesResistorNoise) {
+  // PSD(f) = 4kTR / (1 + (f/fc)^2): check the corner value.
+  Netlist n;
+  const int out = n.node("out");
+  n.add<Resistor>(out, kGround, 1e3);
+  n.add<Capacitor>(out, kGround, 1e-9);
+  n.prepare();
+  Vec op(n.system_size(), 0.0);
+  const double fc = 1.0 / (2.0 * 3.14159265358979 * 1e3 * 1e-9);
+  NoiseAnalysis noise;
+  const auto r = noise.run(n, op, out, kGround, {fc});
+  EXPECT_NEAR(r.output_psd[0], kT4 * 1e3 / 2.0, kT4 * 1e3 * 1e-4);
+}
+
+TEST(Noise, TotalRmsOfRcApproacheskTOverC) {
+  // Integrated noise of an RC filter -> sqrt(kT/C), independent of R.
+  Netlist n;
+  const int out = n.node("out");
+  n.add<Resistor>(out, kGround, 1e3);
+  n.add<Capacitor>(out, kGround, 1e-12);
+  n.prepare();
+  Vec op(n.system_size(), 0.0);
+  NoiseAnalysis noise;
+  const auto freqs = log_frequency_grid(1.0, 1e12, 20);
+  const auto r = noise.run(n, op, out, kGround, freqs);
+  const double ktc = std::sqrt(1.380649e-23 * 300.0 / 1e-12);
+  EXPECT_NEAR(r.total_rms, ktc, ktc * 0.02);
+}
+
+TEST(Noise, VoltageSourceShortsNoiseAtOutput) {
+  Netlist n;
+  const int out = n.node("out");
+  n.add<Resistor>(out, kGround, 1e3);
+  n.add<VSource>(out, kGround, Waveform::dc(1.0));
+  DcAnalysis dc;
+  const auto opr = dc.solve(n);
+  ASSERT_TRUE(opr.converged);
+  NoiseAnalysis noise;
+  const auto r = noise.run(n, opr.x, out, kGround, {1e3});
+  EXPECT_LT(r.output_psd[0], 1e-25);
+}
+
+TEST(Noise, MosfetChannelNoiseAppearsAtAmpOutput) {
+  // CS amp: output noise ~ (4kT(2/3)gm + 4kT/R/R... ) * Rout^2 at mid-band.
+  Netlist n;
+  const int vdd = n.node("vdd");
+  const int in = n.node("in");
+  const int out = n.node("out");
+  n.add<VSource>(vdd, kGround, Waveform::dc(1.8));
+  n.add<VSource>(in, kGround, Waveform::dc(0.7));
+  n.add<Resistor>(vdd, out, 20e3);
+  auto* m = n.add<Mosfet>(out, in, kGround, kGround, MosModel::nmos_180(), 20e-6, 1e-6);
+  DcAnalysis dc;
+  const auto opr = dc.solve(n);
+  ASSERT_TRUE(opr.converged);
+  const auto e = m->operating_point(opr.x);
+  NoiseAnalysis noise;
+  // High frequency point to make flicker negligible.
+  const auto r = noise.run(n, opr.x, out, kGround, {100e6});
+  const double rout = 1.0 / (1.0 / 20e3 + e.gds);
+  const double expect = (kT4 * (2.0 / 3.0) * e.gm + kT4 / 20e3) * rout * rout;
+  EXPECT_NEAR(r.output_psd[0], expect, expect * 0.05);
+}
+
+TEST(Noise, IntegratePsdTrapezoid) {
+  const std::vector<double> f{0.0, 1.0, 3.0};
+  const std::vector<double> psd{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(integrate_psd(f, psd), 6.0);
+}
+
+TEST(Noise, FlickerDominatesAtLowFrequency) {
+  Netlist n;
+  const int vdd = n.node("vdd");
+  const int in = n.node("in");
+  const int out = n.node("out");
+  n.add<VSource>(vdd, kGround, Waveform::dc(1.8));
+  n.add<VSource>(in, kGround, Waveform::dc(0.7));
+  n.add<Resistor>(vdd, out, 20e3);
+  n.add<Mosfet>(out, in, kGround, kGround, MosModel::nmos_180(), 20e-6, 1e-6);
+  DcAnalysis dc;
+  const auto opr = dc.solve(n);
+  ASSERT_TRUE(opr.converged);
+  NoiseAnalysis noise;
+  const auto r = noise.run(n, opr.x, out, kGround, {1.0, 1e8});
+  EXPECT_GT(r.output_psd[0], 5.0 * r.output_psd[1]);
+}
+
+}  // namespace
+}  // namespace maopt::spice

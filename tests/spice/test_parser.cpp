@@ -1,0 +1,187 @@
+#include "spice/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/ac_analysis.hpp"
+#include "spice/dc_analysis.hpp"
+
+namespace maopt::spice {
+namespace {
+
+TEST(SpiceValue, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_spice_value("-3"), -3.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1e-9"), 1e-9);
+}
+
+TEST(SpiceValue, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("1k"), 1e3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2.2u"), 2.2e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("100f"), 100e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_value("10p"), 10e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("5n"), 5e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3m"), 3e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2meg"), 2e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1g"), 1e9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("4t"), 4e12);
+}
+
+TEST(SpiceValue, UnitLettersAfterSuffixIgnored) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("10pF"), 10e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1kOhm"), 1e3);
+}
+
+TEST(SpiceValue, MalformedThrows) {
+  EXPECT_THROW(parse_spice_value(""), std::invalid_argument);
+  EXPECT_THROW(parse_spice_value("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_spice_value("1.5x"), std::invalid_argument);
+}
+
+TEST(Parser, ResistorDividerDeck) {
+  const auto parsed = parse_netlist(R"(
+* simple divider
+V1 vin 0 DC 10
+R1 vin mid 1k
+R2 mid 0 3k
+)");
+  EXPECT_EQ(parsed.devices.size(), 3u);
+  Netlist& n = const_cast<Netlist&>(parsed.netlist);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(Netlist::voltage(r.x, parsed.netlist.find_node("mid")), 7.5, 1e-6);
+}
+
+TEST(Parser, BareValueSourceShorthand) {
+  const auto parsed = parse_netlist("V1 a 0 1.8\nR1 a 0 1k\n");
+  Netlist& n = const_cast<Netlist&>(parsed.netlist);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(Netlist::voltage(r.x, parsed.netlist.find_node("a")), 1.8, 1e-9);
+}
+
+TEST(Parser, AcMagnitudeAndRcResponse) {
+  auto parsed = parse_netlist(R"(
+V1 in 0 DC 0 AC 1
+R1 in out 1k
+C1 out 0 1u
+)");
+  Vec op(parsed.netlist.system_size(), 0.0);
+  AcAnalysis ac;
+  const double fc = 1.0 / (2.0 * 3.14159265358979 * 1e-3);
+  const auto sweep = ac.run(parsed.netlist, op, {fc});
+  EXPECT_NEAR(std::abs(sweep.voltage(0, parsed.netlist.find_node("out"))), 1.0 / std::sqrt(2.0),
+              1e-4);
+}
+
+TEST(Parser, MosfetWithModelCard) {
+  auto parsed = parse_netlist(R"(
+.model mynmos NMOS VTO=0.5 KP=200u
+Vd d 0 1.8
+Vg g 0 1.0
+M1 d g 0 0 mynmos W=10u L=1u
+)");
+  DcAnalysis dc;
+  const auto r = dc.solve(parsed.netlist);
+  ASSERT_TRUE(r.converged);
+  auto* m1 = parsed.device<Mosfet>("M1");
+  // vov = 0.5, k = 200u*10 = 2m, lambda = 0.08 (default nmos_180 lambda_l/L)
+  const double expect = 0.5 * 2e-3 * 0.25 * (1 + 0.08 * 1.8);
+  EXPECT_NEAR(m1->drain_current(r.x), expect, 1e-8);
+}
+
+TEST(Parser, PulseAndPwlSources) {
+  auto parsed = parse_netlist(R"(
+V1 a 0 PULSE(0 1 1u 10n 10n 2u 10u)
+V2 b 0 PWL(0 0 1u 0 2u 5)
+R1 a 0 1k
+R2 b 0 1k
+)");
+  auto* v1 = parsed.device<VSource>("V1");
+  EXPECT_DOUBLE_EQ(v1->waveform().value(0.5e-6), 0.0);
+  EXPECT_DOUBLE_EQ(v1->waveform().value(2e-6), 1.0);
+  auto* v2 = parsed.device<VSource>("V2");
+  EXPECT_DOUBLE_EQ(v2->waveform().value(1.5e-6), 2.5);
+}
+
+TEST(Parser, VcvsAndInductor) {
+  auto parsed = parse_netlist(R"(
+V1 in 0 2
+E1 out 0 in 0 5
+L1 out lx 1m
+R1 lx 0 1k
+)");
+  DcAnalysis dc;
+  const auto r = dc.solve(parsed.netlist);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(Netlist::voltage(r.x, parsed.netlist.find_node("out")), 10.0, 1e-6);
+  EXPECT_NEAR(Netlist::voltage(r.x, parsed.netlist.find_node("lx")), 10.0, 1e-6);
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored) {
+  const auto parsed = parse_netlist(R"(
+* header comment
+
+R1 a 0 1k ; trailing comment
+* another
+)");
+  EXPECT_EQ(parsed.devices.size(), 1u);
+}
+
+TEST(Parser, CaseInsensitiveElementNames) {
+  const auto parsed = parse_netlist("r1 a 0 1k\nc1 a 0 1p\n");
+  EXPECT_NE(parsed.devices.find("R1"), parsed.devices.end());
+  EXPECT_NE(parsed.devices.find("C1"), parsed.devices.end());
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("R1 a 0 1k\nQ1 a b c\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Parser, UnknownModelIsError) {
+  EXPECT_THROW(parse_netlist("M1 d g 0 0 nosuch W=1u L=1u\n"), ParseError);
+}
+
+TEST(Parser, MissingModelCardFieldsError) {
+  EXPECT_THROW(parse_netlist(".model m NMOS FOO=1\n"), ParseError);
+  EXPECT_THROW(parse_netlist(".model m BJT\n"), ParseError);
+}
+
+TEST(Parser, MalformedElementArityError) {
+  EXPECT_THROW(parse_netlist("R1 a 0\n"), ParseError);
+  EXPECT_THROW(parse_netlist("E1 a 0 b\n"), ParseError);
+}
+
+TEST(Parser, DeviceLookupTypeMismatch) {
+  const auto parsed = parse_netlist("R1 a 0 1k\n");
+  EXPECT_THROW(parsed.device<Capacitor>("R1"), std::runtime_error);
+  EXPECT_THROW(parsed.device<Resistor>("R9"), std::runtime_error);
+}
+
+TEST(Parser, FullAmplifierDeckEndToEnd) {
+  auto parsed = parse_netlist(R"(
+* NMOS common-source amplifier
+.model n180 NMOS
+VDD vdd 0 1.8
+VIN in 0 DC 0.7 AC 1
+RL vdd out 5k
+M1 out in 0 0 n180 W=20u L=1u
+CL out 0 200f
+)");
+  DcAnalysis dc;
+  const auto op = dc.solve(parsed.netlist);
+  ASSERT_TRUE(op.converged);
+  AcAnalysis ac;
+  const auto sweep = ac.run(parsed.netlist, op.x, {1e3});
+  // Inverting gain > 1 at low frequency.
+  EXPECT_GT(std::abs(sweep.voltage(0, parsed.netlist.find_node("out"))), 2.0);
+}
+
+}  // namespace
+}  // namespace maopt::spice

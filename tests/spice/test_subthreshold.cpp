@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/dc_analysis.hpp"
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+
+namespace maopt::spice {
+namespace {
+
+constexpr double kNvt = 1.5 * 0.02585;
+
+TEST(Subthreshold, ZeroNvtReproducesHardCutoff) {
+  for (double vgs : {0.2, 0.45, 0.7, 1.2}) {
+    for (double vds : {0.1, 0.9}) {
+      const auto hard = mos_level1_eval(vgs, vds, 0.45, 1e-3, 0.1);
+      const auto smooth0 = mos_eval_smooth(vgs, vds, 0.45, 1e-3, 0.1, 0.0);
+      EXPECT_DOUBLE_EQ(hard.id, smooth0.id);
+      EXPECT_DOUBLE_EQ(hard.gm, smooth0.gm);
+      EXPECT_DOUBLE_EQ(hard.gds, smooth0.gds);
+    }
+  }
+}
+
+TEST(Subthreshold, ExponentialTailBelowThreshold) {
+  // 100 mV below threshold, current drops ~ exp(-dV/nvt) per dV.
+  const double i1 = mos_eval_smooth(0.35, 1.0, 0.45, 1e-3, 0.0, kNvt).id;
+  const double i2 = mos_eval_smooth(0.25, 1.0, 0.45, 1e-3, 0.0, kNvt).id;
+  EXPECT_GT(i1, 0.0);
+  EXPECT_GT(i2, 0.0);
+  const double decade_ratio = i1 / i2;
+  // id ~ vov_eff^2 ~ exp(2*vov/s) with s = kNvt here, so the expected ratio
+  // over a 100 mV step is exp(0.2 / kNvt); generous band for the softplus
+  // transition region.
+  const double expect = std::exp(0.2 / kNvt);
+  EXPECT_GT(decade_ratio, expect * 0.3);
+  EXPECT_LT(decade_ratio, expect * 3.0);
+}
+
+TEST(Subthreshold, ConvergesToLevel1InStrongInversion) {
+  const auto smooth = mos_eval_smooth(1.4, 1.0, 0.45, 1e-3, 0.08, kNvt);
+  const auto hard = mos_level1_eval(1.4, 1.0, 0.45, 1e-3, 0.08);
+  EXPECT_NEAR(smooth.id, hard.id, hard.id * 0.1);
+  EXPECT_NEAR(smooth.gm, hard.gm, hard.gm * 0.1);
+}
+
+TEST(Subthreshold, GmContinuousAcrossThreshold) {
+  const double h = 1e-4;
+  const auto below = mos_eval_smooth(0.45 - h, 1.0, 0.45, 1e-3, 0.0, kNvt);
+  const auto above = mos_eval_smooth(0.45 + h, 1.0, 0.45, 1e-3, 0.0, kNvt);
+  EXPECT_NEAR(below.gm, above.gm, above.gm * 0.02);
+  EXPECT_NEAR(below.id, above.id, above.id * 0.02);
+}
+
+TEST(Subthreshold, GmMatchesFiniteDifferenceEverywhere) {
+  for (double vgs = 0.2; vgs <= 1.6; vgs += 0.1) {
+    const double h = 1e-7;
+    const auto e = mos_eval_smooth(vgs, 0.9, 0.45, 1e-3, 0.08, kNvt);
+    const double fd = (mos_eval_smooth(vgs + h, 0.9, 0.45, 1e-3, 0.08, kNvt).id -
+                       mos_eval_smooth(vgs - h, 0.9, 0.45, 1e-3, 0.08, kNvt).id) /
+                      (2 * h);
+    EXPECT_NEAR(e.gm, fd, std::max(1e-9, fd * 1e-4)) << "vgs=" << vgs;
+  }
+}
+
+TEST(Subthreshold, DeepCutoffIsNumericallyZero) {
+  const auto e = mos_eval_smooth(-2.0, 1.0, 0.45, 1e-3, 0.0, kNvt);
+  EXPECT_TRUE(e.cutoff);
+  EXPECT_DOUBLE_EQ(e.id, 0.0);
+}
+
+TEST(Subthreshold, DiodeBiasedBelowThresholdStillSolves) {
+  // A 1 nA diode-connected device must bias into the subthreshold region.
+  MosModel nm = MosModel::nmos_180();
+  nm.subthreshold = true;
+  Netlist n;
+  const int a = n.node("a");
+  n.add<ISource>(n.node("vdd"), a, Waveform::dc(1e-9));
+  n.add<VSource>(n.find_node("vdd"), kGround, Waveform::dc(1.8));
+  n.add<Mosfet>(a, a, kGround, kGround, nm, 10e-6, 1e-6);
+  DcAnalysis dc;
+  const auto r = dc.solve(n);
+  ASSERT_TRUE(r.converged);
+  const double va = Netlist::voltage(r.x, a);
+  EXPECT_GT(va, 0.05);
+  EXPECT_LT(va, 0.45);  // gate voltage below threshold at 1 nA
+}
+
+}  // namespace
+}  // namespace maopt::spice
