@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_actors.dir/ablation_actors.cpp.o"
+  "CMakeFiles/ablation_actors.dir/ablation_actors.cpp.o.d"
+  "ablation_actors"
+  "ablation_actors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_actors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_critics.dir/ablation_critics.cpp.o"
+  "CMakeFiles/ablation_critics.dir/ablation_critics.cpp.o.d"
+  "ablation_critics"
+  "ablation_critics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_critics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fom.dir/ablation_fom.cpp.o"
+  "CMakeFiles/ablation_fom.dir/ablation_fom.cpp.o.d"
+  "ablation_fom"
+  "ablation_fom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

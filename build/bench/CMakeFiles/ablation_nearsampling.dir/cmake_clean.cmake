@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nearsampling.dir/ablation_nearsampling.cpp.o"
+  "CMakeFiles/ablation_nearsampling.dir/ablation_nearsampling.cpp.o.d"
+  "ablation_nearsampling"
+  "ablation_nearsampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nearsampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

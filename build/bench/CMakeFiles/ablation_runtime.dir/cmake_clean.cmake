@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_runtime.dir/ablation_runtime.cpp.o"
+  "CMakeFiles/ablation_runtime.dir/ablation_runtime.cpp.o.d"
+  "ablation_runtime"
+  "ablation_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

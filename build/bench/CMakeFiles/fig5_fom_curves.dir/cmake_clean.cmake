@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fom_curves.dir/fig5_fom_curves.cpp.o"
+  "CMakeFiles/fig5_fom_curves.dir/fig5_fom_curves.cpp.o.d"
+  "fig5_fom_curves"
+  "fig5_fom_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fom_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

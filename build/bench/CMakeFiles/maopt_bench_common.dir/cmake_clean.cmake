@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maopt_bench_common.dir/exp_common.cpp.o"
+  "CMakeFiles/maopt_bench_common.dir/exp_common.cpp.o.d"
+  "libmaopt_bench_common.a"
+  "libmaopt_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maopt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gp.dir/micro_gp.cpp.o"
+  "CMakeFiles/micro_gp.dir/micro_gp.cpp.o.d"
+  "micro_gp"
+  "micro_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

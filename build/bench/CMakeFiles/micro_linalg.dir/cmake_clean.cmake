@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_linalg.dir/micro_linalg.cpp.o"
+  "CMakeFiles/micro_linalg.dir/micro_linalg.cpp.o.d"
+  "micro_linalg"
+  "micro_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

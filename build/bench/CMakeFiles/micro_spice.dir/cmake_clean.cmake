@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_spice.dir/micro_spice.cpp.o"
+  "CMakeFiles/micro_spice.dir/micro_spice.cpp.o.d"
+  "micro_spice"
+  "micro_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

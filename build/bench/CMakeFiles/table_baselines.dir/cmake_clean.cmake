@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_baselines.dir/table_baselines.cpp.o"
+  "CMakeFiles/table_baselines.dir/table_baselines.cpp.o.d"
+  "table_baselines"
+  "table_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_foldedcascode.dir/table_foldedcascode.cpp.o"
+  "CMakeFiles/table_foldedcascode.dir/table_foldedcascode.cpp.o.d"
+  "table_foldedcascode"
+  "table_foldedcascode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_foldedcascode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_ldo.dir/table_ldo.cpp.o"
+  "CMakeFiles/table_ldo.dir/table_ldo.cpp.o.d"
+  "table_ldo"
+  "table_ldo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_ldo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

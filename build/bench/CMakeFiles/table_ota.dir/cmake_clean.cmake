@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_ota.dir/table_ota.cpp.o"
+  "CMakeFiles/table_ota.dir/table_ota.cpp.o.d"
+  "table_ota"
+  "table_ota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_ota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

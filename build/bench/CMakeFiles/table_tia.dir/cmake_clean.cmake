@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_tia.dir/table_tia.cpp.o"
+  "CMakeFiles/table_tia.dir/table_tia.cpp.o.d"
+  "table_tia"
+  "table_tia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_tia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

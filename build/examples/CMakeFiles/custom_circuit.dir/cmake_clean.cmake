@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_circuit.dir/custom_circuit.cpp.o"
+  "CMakeFiles/custom_circuit.dir/custom_circuit.cpp.o.d"
+  "custom_circuit"
+  "custom_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

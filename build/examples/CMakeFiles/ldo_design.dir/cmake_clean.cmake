@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldo_design.dir/ldo_design.cpp.o"
+  "CMakeFiles/ldo_design.dir/ldo_design.cpp.o.d"
+  "ldo_design"
+  "ldo_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldo_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

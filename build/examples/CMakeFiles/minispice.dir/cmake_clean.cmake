@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minispice.dir/minispice.cpp.o"
+  "CMakeFiles/minispice.dir/minispice.cpp.o.d"
+  "minispice"
+  "minispice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minispice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_report.dir/sensitivity_report.cpp.o"
+  "CMakeFiles/sensitivity_report.dir/sensitivity_report.cpp.o.d"
+  "sensitivity_report"
+  "sensitivity_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_tour.dir/simulator_tour.cpp.o"
+  "CMakeFiles/simulator_tour.dir/simulator_tour.cpp.o.d"
+  "simulator_tour"
+  "simulator_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

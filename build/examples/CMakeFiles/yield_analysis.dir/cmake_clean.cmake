@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yield_analysis.dir/yield_analysis.cpp.o"
+  "CMakeFiles/yield_analysis.dir/yield_analysis.cpp.o.d"
+  "yield_analysis"
+  "yield_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yield_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/analytic_problems.cpp" "src/CMakeFiles/maopt_circuits.dir/circuits/analytic_problems.cpp.o" "gcc" "src/CMakeFiles/maopt_circuits.dir/circuits/analytic_problems.cpp.o.d"
+  "/root/repo/src/circuits/folded_cascode_ota.cpp" "src/CMakeFiles/maopt_circuits.dir/circuits/folded_cascode_ota.cpp.o" "gcc" "src/CMakeFiles/maopt_circuits.dir/circuits/folded_cascode_ota.cpp.o.d"
+  "/root/repo/src/circuits/fom.cpp" "src/CMakeFiles/maopt_circuits.dir/circuits/fom.cpp.o" "gcc" "src/CMakeFiles/maopt_circuits.dir/circuits/fom.cpp.o.d"
+  "/root/repo/src/circuits/ldo_regulator.cpp" "src/CMakeFiles/maopt_circuits.dir/circuits/ldo_regulator.cpp.o" "gcc" "src/CMakeFiles/maopt_circuits.dir/circuits/ldo_regulator.cpp.o.d"
+  "/root/repo/src/circuits/process_variation.cpp" "src/CMakeFiles/maopt_circuits.dir/circuits/process_variation.cpp.o" "gcc" "src/CMakeFiles/maopt_circuits.dir/circuits/process_variation.cpp.o.d"
+  "/root/repo/src/circuits/robust_problem.cpp" "src/CMakeFiles/maopt_circuits.dir/circuits/robust_problem.cpp.o" "gcc" "src/CMakeFiles/maopt_circuits.dir/circuits/robust_problem.cpp.o.d"
+  "/root/repo/src/circuits/sensitivity.cpp" "src/CMakeFiles/maopt_circuits.dir/circuits/sensitivity.cpp.o" "gcc" "src/CMakeFiles/maopt_circuits.dir/circuits/sensitivity.cpp.o.d"
+  "/root/repo/src/circuits/sizing_problem.cpp" "src/CMakeFiles/maopt_circuits.dir/circuits/sizing_problem.cpp.o" "gcc" "src/CMakeFiles/maopt_circuits.dir/circuits/sizing_problem.cpp.o.d"
+  "/root/repo/src/circuits/three_stage_tia.cpp" "src/CMakeFiles/maopt_circuits.dir/circuits/three_stage_tia.cpp.o" "gcc" "src/CMakeFiles/maopt_circuits.dir/circuits/three_stage_tia.cpp.o.d"
+  "/root/repo/src/circuits/two_stage_ota.cpp" "src/CMakeFiles/maopt_circuits.dir/circuits/two_stage_ota.cpp.o" "gcc" "src/CMakeFiles/maopt_circuits.dir/circuits/two_stage_ota.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maopt_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maopt_circuits.dir/circuits/analytic_problems.cpp.o"
+  "CMakeFiles/maopt_circuits.dir/circuits/analytic_problems.cpp.o.d"
+  "CMakeFiles/maopt_circuits.dir/circuits/folded_cascode_ota.cpp.o"
+  "CMakeFiles/maopt_circuits.dir/circuits/folded_cascode_ota.cpp.o.d"
+  "CMakeFiles/maopt_circuits.dir/circuits/fom.cpp.o"
+  "CMakeFiles/maopt_circuits.dir/circuits/fom.cpp.o.d"
+  "CMakeFiles/maopt_circuits.dir/circuits/ldo_regulator.cpp.o"
+  "CMakeFiles/maopt_circuits.dir/circuits/ldo_regulator.cpp.o.d"
+  "CMakeFiles/maopt_circuits.dir/circuits/process_variation.cpp.o"
+  "CMakeFiles/maopt_circuits.dir/circuits/process_variation.cpp.o.d"
+  "CMakeFiles/maopt_circuits.dir/circuits/robust_problem.cpp.o"
+  "CMakeFiles/maopt_circuits.dir/circuits/robust_problem.cpp.o.d"
+  "CMakeFiles/maopt_circuits.dir/circuits/sensitivity.cpp.o"
+  "CMakeFiles/maopt_circuits.dir/circuits/sensitivity.cpp.o.d"
+  "CMakeFiles/maopt_circuits.dir/circuits/sizing_problem.cpp.o"
+  "CMakeFiles/maopt_circuits.dir/circuits/sizing_problem.cpp.o.d"
+  "CMakeFiles/maopt_circuits.dir/circuits/three_stage_tia.cpp.o"
+  "CMakeFiles/maopt_circuits.dir/circuits/three_stage_tia.cpp.o.d"
+  "CMakeFiles/maopt_circuits.dir/circuits/two_stage_ota.cpp.o"
+  "CMakeFiles/maopt_circuits.dir/circuits/two_stage_ota.cpp.o.d"
+  "libmaopt_circuits.a"
+  "libmaopt_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maopt_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

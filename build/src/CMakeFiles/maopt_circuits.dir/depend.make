@@ -1,0 +1,2 @@
+# Empty dependencies file for maopt_circuits.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cli.cpp" "src/CMakeFiles/maopt_common.dir/common/cli.cpp.o" "gcc" "src/CMakeFiles/maopt_common.dir/common/cli.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/maopt_common.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/maopt_common.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/maopt_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/maopt_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/statistics.cpp" "src/CMakeFiles/maopt_common.dir/common/statistics.cpp.o" "gcc" "src/CMakeFiles/maopt_common.dir/common/statistics.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/maopt_common.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/maopt_common.dir/common/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maopt_common.dir/common/cli.cpp.o"
+  "CMakeFiles/maopt_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/maopt_common.dir/common/log.cpp.o"
+  "CMakeFiles/maopt_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/maopt_common.dir/common/rng.cpp.o"
+  "CMakeFiles/maopt_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/maopt_common.dir/common/statistics.cpp.o"
+  "CMakeFiles/maopt_common.dir/common/statistics.cpp.o.d"
+  "CMakeFiles/maopt_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/maopt_common.dir/common/thread_pool.cpp.o.d"
+  "libmaopt_common.a"
+  "libmaopt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maopt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

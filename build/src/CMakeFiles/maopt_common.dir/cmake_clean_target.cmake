@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmaopt_common.a"
+)

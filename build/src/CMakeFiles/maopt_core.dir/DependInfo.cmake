@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/actor.cpp" "src/CMakeFiles/maopt_core.dir/core/actor.cpp.o" "gcc" "src/CMakeFiles/maopt_core.dir/core/actor.cpp.o.d"
+  "/root/repo/src/core/critic.cpp" "src/CMakeFiles/maopt_core.dir/core/critic.cpp.o" "gcc" "src/CMakeFiles/maopt_core.dir/core/critic.cpp.o.d"
+  "/root/repo/src/core/de.cpp" "src/CMakeFiles/maopt_core.dir/core/de.cpp.o" "gcc" "src/CMakeFiles/maopt_core.dir/core/de.cpp.o.d"
+  "/root/repo/src/core/elite_set.cpp" "src/CMakeFiles/maopt_core.dir/core/elite_set.cpp.o" "gcc" "src/CMakeFiles/maopt_core.dir/core/elite_set.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/CMakeFiles/maopt_core.dir/core/history.cpp.o" "gcc" "src/CMakeFiles/maopt_core.dir/core/history.cpp.o.d"
+  "/root/repo/src/core/history_io.cpp" "src/CMakeFiles/maopt_core.dir/core/history_io.cpp.o" "gcc" "src/CMakeFiles/maopt_core.dir/core/history_io.cpp.o.d"
+  "/root/repo/src/core/ma_optimizer.cpp" "src/CMakeFiles/maopt_core.dir/core/ma_optimizer.cpp.o" "gcc" "src/CMakeFiles/maopt_core.dir/core/ma_optimizer.cpp.o.d"
+  "/root/repo/src/core/near_sampling.cpp" "src/CMakeFiles/maopt_core.dir/core/near_sampling.cpp.o" "gcc" "src/CMakeFiles/maopt_core.dir/core/near_sampling.cpp.o.d"
+  "/root/repo/src/core/pseudo_samples.cpp" "src/CMakeFiles/maopt_core.dir/core/pseudo_samples.cpp.o" "gcc" "src/CMakeFiles/maopt_core.dir/core/pseudo_samples.cpp.o.d"
+  "/root/repo/src/core/pso.cpp" "src/CMakeFiles/maopt_core.dir/core/pso.cpp.o" "gcc" "src/CMakeFiles/maopt_core.dir/core/pso.cpp.o.d"
+  "/root/repo/src/core/random_search.cpp" "src/CMakeFiles/maopt_core.dir/core/random_search.cpp.o" "gcc" "src/CMakeFiles/maopt_core.dir/core/random_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maopt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maopt_core.dir/core/actor.cpp.o"
+  "CMakeFiles/maopt_core.dir/core/actor.cpp.o.d"
+  "CMakeFiles/maopt_core.dir/core/critic.cpp.o"
+  "CMakeFiles/maopt_core.dir/core/critic.cpp.o.d"
+  "CMakeFiles/maopt_core.dir/core/de.cpp.o"
+  "CMakeFiles/maopt_core.dir/core/de.cpp.o.d"
+  "CMakeFiles/maopt_core.dir/core/elite_set.cpp.o"
+  "CMakeFiles/maopt_core.dir/core/elite_set.cpp.o.d"
+  "CMakeFiles/maopt_core.dir/core/history.cpp.o"
+  "CMakeFiles/maopt_core.dir/core/history.cpp.o.d"
+  "CMakeFiles/maopt_core.dir/core/history_io.cpp.o"
+  "CMakeFiles/maopt_core.dir/core/history_io.cpp.o.d"
+  "CMakeFiles/maopt_core.dir/core/ma_optimizer.cpp.o"
+  "CMakeFiles/maopt_core.dir/core/ma_optimizer.cpp.o.d"
+  "CMakeFiles/maopt_core.dir/core/near_sampling.cpp.o"
+  "CMakeFiles/maopt_core.dir/core/near_sampling.cpp.o.d"
+  "CMakeFiles/maopt_core.dir/core/pseudo_samples.cpp.o"
+  "CMakeFiles/maopt_core.dir/core/pseudo_samples.cpp.o.d"
+  "CMakeFiles/maopt_core.dir/core/pso.cpp.o"
+  "CMakeFiles/maopt_core.dir/core/pso.cpp.o.d"
+  "CMakeFiles/maopt_core.dir/core/random_search.cpp.o"
+  "CMakeFiles/maopt_core.dir/core/random_search.cpp.o.d"
+  "libmaopt_core.a"
+  "libmaopt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maopt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

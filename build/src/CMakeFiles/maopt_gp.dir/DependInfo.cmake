@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gp/acquisition.cpp" "src/CMakeFiles/maopt_gp.dir/gp/acquisition.cpp.o" "gcc" "src/CMakeFiles/maopt_gp.dir/gp/acquisition.cpp.o.d"
+  "/root/repo/src/gp/bo_optimizer.cpp" "src/CMakeFiles/maopt_gp.dir/gp/bo_optimizer.cpp.o" "gcc" "src/CMakeFiles/maopt_gp.dir/gp/bo_optimizer.cpp.o.d"
+  "/root/repo/src/gp/gp_regression.cpp" "src/CMakeFiles/maopt_gp.dir/gp/gp_regression.cpp.o" "gcc" "src/CMakeFiles/maopt_gp.dir/gp/gp_regression.cpp.o.d"
+  "/root/repo/src/gp/kernel.cpp" "src/CMakeFiles/maopt_gp.dir/gp/kernel.cpp.o" "gcc" "src/CMakeFiles/maopt_gp.dir/gp/kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maopt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

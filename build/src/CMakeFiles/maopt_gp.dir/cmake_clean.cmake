@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maopt_gp.dir/gp/acquisition.cpp.o"
+  "CMakeFiles/maopt_gp.dir/gp/acquisition.cpp.o.d"
+  "CMakeFiles/maopt_gp.dir/gp/bo_optimizer.cpp.o"
+  "CMakeFiles/maopt_gp.dir/gp/bo_optimizer.cpp.o.d"
+  "CMakeFiles/maopt_gp.dir/gp/gp_regression.cpp.o"
+  "CMakeFiles/maopt_gp.dir/gp/gp_regression.cpp.o.d"
+  "CMakeFiles/maopt_gp.dir/gp/kernel.cpp.o"
+  "CMakeFiles/maopt_gp.dir/gp/kernel.cpp.o.d"
+  "libmaopt_gp.a"
+  "libmaopt_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maopt_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

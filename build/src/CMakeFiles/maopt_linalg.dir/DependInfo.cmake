@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cpp" "src/CMakeFiles/maopt_linalg.dir/linalg/cholesky.cpp.o" "gcc" "src/CMakeFiles/maopt_linalg.dir/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/CMakeFiles/maopt_linalg.dir/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/maopt_linalg.dir/linalg/lu.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/maopt_linalg.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/maopt_linalg.dir/linalg/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maopt_linalg.dir/linalg/cholesky.cpp.o"
+  "CMakeFiles/maopt_linalg.dir/linalg/cholesky.cpp.o.d"
+  "CMakeFiles/maopt_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/maopt_linalg.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/maopt_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/maopt_linalg.dir/linalg/matrix.cpp.o.d"
+  "libmaopt_linalg.a"
+  "libmaopt_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maopt_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/CMakeFiles/maopt_nn.dir/nn/adam.cpp.o" "gcc" "src/CMakeFiles/maopt_nn.dir/nn/adam.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/CMakeFiles/maopt_nn.dir/nn/layer.cpp.o" "gcc" "src/CMakeFiles/maopt_nn.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/maopt_nn.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/maopt_nn.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/normalizer.cpp" "src/CMakeFiles/maopt_nn.dir/nn/normalizer.cpp.o" "gcc" "src/CMakeFiles/maopt_nn.dir/nn/normalizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/maopt_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/maopt_nn.dir/nn/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maopt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maopt_nn.dir/nn/adam.cpp.o"
+  "CMakeFiles/maopt_nn.dir/nn/adam.cpp.o.d"
+  "CMakeFiles/maopt_nn.dir/nn/layer.cpp.o"
+  "CMakeFiles/maopt_nn.dir/nn/layer.cpp.o.d"
+  "CMakeFiles/maopt_nn.dir/nn/mlp.cpp.o"
+  "CMakeFiles/maopt_nn.dir/nn/mlp.cpp.o.d"
+  "CMakeFiles/maopt_nn.dir/nn/normalizer.cpp.o"
+  "CMakeFiles/maopt_nn.dir/nn/normalizer.cpp.o.d"
+  "CMakeFiles/maopt_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/maopt_nn.dir/nn/serialize.cpp.o.d"
+  "libmaopt_nn.a"
+  "libmaopt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maopt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

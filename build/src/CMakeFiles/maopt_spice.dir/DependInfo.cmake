@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac_analysis.cpp" "src/CMakeFiles/maopt_spice.dir/spice/ac_analysis.cpp.o" "gcc" "src/CMakeFiles/maopt_spice.dir/spice/ac_analysis.cpp.o.d"
+  "/root/repo/src/spice/dc_analysis.cpp" "src/CMakeFiles/maopt_spice.dir/spice/dc_analysis.cpp.o" "gcc" "src/CMakeFiles/maopt_spice.dir/spice/dc_analysis.cpp.o.d"
+  "/root/repo/src/spice/dc_sweep.cpp" "src/CMakeFiles/maopt_spice.dir/spice/dc_sweep.cpp.o" "gcc" "src/CMakeFiles/maopt_spice.dir/spice/dc_sweep.cpp.o.d"
+  "/root/repo/src/spice/devices.cpp" "src/CMakeFiles/maopt_spice.dir/spice/devices.cpp.o" "gcc" "src/CMakeFiles/maopt_spice.dir/spice/devices.cpp.o.d"
+  "/root/repo/src/spice/measure.cpp" "src/CMakeFiles/maopt_spice.dir/spice/measure.cpp.o" "gcc" "src/CMakeFiles/maopt_spice.dir/spice/measure.cpp.o.d"
+  "/root/repo/src/spice/mosfet.cpp" "src/CMakeFiles/maopt_spice.dir/spice/mosfet.cpp.o" "gcc" "src/CMakeFiles/maopt_spice.dir/spice/mosfet.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "src/CMakeFiles/maopt_spice.dir/spice/netlist.cpp.o" "gcc" "src/CMakeFiles/maopt_spice.dir/spice/netlist.cpp.o.d"
+  "/root/repo/src/spice/noise_analysis.cpp" "src/CMakeFiles/maopt_spice.dir/spice/noise_analysis.cpp.o" "gcc" "src/CMakeFiles/maopt_spice.dir/spice/noise_analysis.cpp.o.d"
+  "/root/repo/src/spice/op_report.cpp" "src/CMakeFiles/maopt_spice.dir/spice/op_report.cpp.o" "gcc" "src/CMakeFiles/maopt_spice.dir/spice/op_report.cpp.o.d"
+  "/root/repo/src/spice/parser.cpp" "src/CMakeFiles/maopt_spice.dir/spice/parser.cpp.o" "gcc" "src/CMakeFiles/maopt_spice.dir/spice/parser.cpp.o.d"
+  "/root/repo/src/spice/tran_analysis.cpp" "src/CMakeFiles/maopt_spice.dir/spice/tran_analysis.cpp.o" "gcc" "src/CMakeFiles/maopt_spice.dir/spice/tran_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maopt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maopt_spice.dir/spice/ac_analysis.cpp.o"
+  "CMakeFiles/maopt_spice.dir/spice/ac_analysis.cpp.o.d"
+  "CMakeFiles/maopt_spice.dir/spice/dc_analysis.cpp.o"
+  "CMakeFiles/maopt_spice.dir/spice/dc_analysis.cpp.o.d"
+  "CMakeFiles/maopt_spice.dir/spice/dc_sweep.cpp.o"
+  "CMakeFiles/maopt_spice.dir/spice/dc_sweep.cpp.o.d"
+  "CMakeFiles/maopt_spice.dir/spice/devices.cpp.o"
+  "CMakeFiles/maopt_spice.dir/spice/devices.cpp.o.d"
+  "CMakeFiles/maopt_spice.dir/spice/measure.cpp.o"
+  "CMakeFiles/maopt_spice.dir/spice/measure.cpp.o.d"
+  "CMakeFiles/maopt_spice.dir/spice/mosfet.cpp.o"
+  "CMakeFiles/maopt_spice.dir/spice/mosfet.cpp.o.d"
+  "CMakeFiles/maopt_spice.dir/spice/netlist.cpp.o"
+  "CMakeFiles/maopt_spice.dir/spice/netlist.cpp.o.d"
+  "CMakeFiles/maopt_spice.dir/spice/noise_analysis.cpp.o"
+  "CMakeFiles/maopt_spice.dir/spice/noise_analysis.cpp.o.d"
+  "CMakeFiles/maopt_spice.dir/spice/op_report.cpp.o"
+  "CMakeFiles/maopt_spice.dir/spice/op_report.cpp.o.d"
+  "CMakeFiles/maopt_spice.dir/spice/parser.cpp.o"
+  "CMakeFiles/maopt_spice.dir/spice/parser.cpp.o.d"
+  "CMakeFiles/maopt_spice.dir/spice/tran_analysis.cpp.o"
+  "CMakeFiles/maopt_spice.dir/spice/tran_analysis.cpp.o.d"
+  "libmaopt_spice.a"
+  "libmaopt_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maopt_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_bench.dir/bench/test_exp_common.cpp.o"
+  "CMakeFiles/tests_bench.dir/bench/test_exp_common.cpp.o.d"
+  "tests_bench"
+  "tests_bench.pdb"
+  "tests_bench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuits/test_analytic.cpp" "tests/CMakeFiles/tests_circuits.dir/circuits/test_analytic.cpp.o" "gcc" "tests/CMakeFiles/tests_circuits.dir/circuits/test_analytic.cpp.o.d"
+  "/root/repo/tests/circuits/test_corners.cpp" "tests/CMakeFiles/tests_circuits.dir/circuits/test_corners.cpp.o" "gcc" "tests/CMakeFiles/tests_circuits.dir/circuits/test_corners.cpp.o.d"
+  "/root/repo/tests/circuits/test_folded_cascode.cpp" "tests/CMakeFiles/tests_circuits.dir/circuits/test_folded_cascode.cpp.o" "gcc" "tests/CMakeFiles/tests_circuits.dir/circuits/test_folded_cascode.cpp.o.d"
+  "/root/repo/tests/circuits/test_fom.cpp" "tests/CMakeFiles/tests_circuits.dir/circuits/test_fom.cpp.o" "gcc" "tests/CMakeFiles/tests_circuits.dir/circuits/test_fom.cpp.o.d"
+  "/root/repo/tests/circuits/test_ldo.cpp" "tests/CMakeFiles/tests_circuits.dir/circuits/test_ldo.cpp.o" "gcc" "tests/CMakeFiles/tests_circuits.dir/circuits/test_ldo.cpp.o.d"
+  "/root/repo/tests/circuits/test_ota.cpp" "tests/CMakeFiles/tests_circuits.dir/circuits/test_ota.cpp.o" "gcc" "tests/CMakeFiles/tests_circuits.dir/circuits/test_ota.cpp.o.d"
+  "/root/repo/tests/circuits/test_process_variation.cpp" "tests/CMakeFiles/tests_circuits.dir/circuits/test_process_variation.cpp.o" "gcc" "tests/CMakeFiles/tests_circuits.dir/circuits/test_process_variation.cpp.o.d"
+  "/root/repo/tests/circuits/test_robust_problem.cpp" "tests/CMakeFiles/tests_circuits.dir/circuits/test_robust_problem.cpp.o" "gcc" "tests/CMakeFiles/tests_circuits.dir/circuits/test_robust_problem.cpp.o.d"
+  "/root/repo/tests/circuits/test_sensitivity.cpp" "tests/CMakeFiles/tests_circuits.dir/circuits/test_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/tests_circuits.dir/circuits/test_sensitivity.cpp.o.d"
+  "/root/repo/tests/circuits/test_sizing_problem.cpp" "tests/CMakeFiles/tests_circuits.dir/circuits/test_sizing_problem.cpp.o" "gcc" "tests/CMakeFiles/tests_circuits.dir/circuits/test_sizing_problem.cpp.o.d"
+  "/root/repo/tests/circuits/test_tia.cpp" "tests/CMakeFiles/tests_circuits.dir/circuits/test_tia.cpp.o" "gcc" "tests/CMakeFiles/tests_circuits.dir/circuits/test_tia.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maopt_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_circuits.dir/circuits/test_analytic.cpp.o"
+  "CMakeFiles/tests_circuits.dir/circuits/test_analytic.cpp.o.d"
+  "CMakeFiles/tests_circuits.dir/circuits/test_corners.cpp.o"
+  "CMakeFiles/tests_circuits.dir/circuits/test_corners.cpp.o.d"
+  "CMakeFiles/tests_circuits.dir/circuits/test_folded_cascode.cpp.o"
+  "CMakeFiles/tests_circuits.dir/circuits/test_folded_cascode.cpp.o.d"
+  "CMakeFiles/tests_circuits.dir/circuits/test_fom.cpp.o"
+  "CMakeFiles/tests_circuits.dir/circuits/test_fom.cpp.o.d"
+  "CMakeFiles/tests_circuits.dir/circuits/test_ldo.cpp.o"
+  "CMakeFiles/tests_circuits.dir/circuits/test_ldo.cpp.o.d"
+  "CMakeFiles/tests_circuits.dir/circuits/test_ota.cpp.o"
+  "CMakeFiles/tests_circuits.dir/circuits/test_ota.cpp.o.d"
+  "CMakeFiles/tests_circuits.dir/circuits/test_process_variation.cpp.o"
+  "CMakeFiles/tests_circuits.dir/circuits/test_process_variation.cpp.o.d"
+  "CMakeFiles/tests_circuits.dir/circuits/test_robust_problem.cpp.o"
+  "CMakeFiles/tests_circuits.dir/circuits/test_robust_problem.cpp.o.d"
+  "CMakeFiles/tests_circuits.dir/circuits/test_sensitivity.cpp.o"
+  "CMakeFiles/tests_circuits.dir/circuits/test_sensitivity.cpp.o.d"
+  "CMakeFiles/tests_circuits.dir/circuits/test_sizing_problem.cpp.o"
+  "CMakeFiles/tests_circuits.dir/circuits/test_sizing_problem.cpp.o.d"
+  "CMakeFiles/tests_circuits.dir/circuits/test_tia.cpp.o"
+  "CMakeFiles/tests_circuits.dir/circuits/test_tia.cpp.o.d"
+  "tests_circuits"
+  "tests_circuits.pdb"
+  "tests_circuits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

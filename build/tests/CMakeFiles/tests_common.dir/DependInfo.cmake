@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_cli.cpp" "tests/CMakeFiles/tests_common.dir/common/test_cli.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_cli.cpp.o.d"
+  "/root/repo/tests/common/test_log.cpp" "tests/CMakeFiles/tests_common.dir/common/test_log.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_log.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/tests_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_statistics.cpp" "tests/CMakeFiles/tests_common.dir/common/test_statistics.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_statistics.cpp.o.d"
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/CMakeFiles/tests_common.dir/common/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maopt_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_common.dir/common/test_cli.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_cli.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_log.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_log.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_statistics.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_statistics.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_thread_pool.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_thread_pool.cpp.o.d"
+  "tests_common"
+  "tests_common.pdb"
+  "tests_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

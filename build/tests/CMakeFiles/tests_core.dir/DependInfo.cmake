@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_actor.cpp" "tests/CMakeFiles/tests_core.dir/core/test_actor.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_actor.cpp.o.d"
+  "/root/repo/tests/core/test_critic.cpp" "tests/CMakeFiles/tests_core.dir/core/test_critic.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_critic.cpp.o.d"
+  "/root/repo/tests/core/test_critic_ensemble.cpp" "tests/CMakeFiles/tests_core.dir/core/test_critic_ensemble.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_critic_ensemble.cpp.o.d"
+  "/root/repo/tests/core/test_elite_set.cpp" "tests/CMakeFiles/tests_core.dir/core/test_elite_set.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_elite_set.cpp.o.d"
+  "/root/repo/tests/core/test_history.cpp" "tests/CMakeFiles/tests_core.dir/core/test_history.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_history.cpp.o.d"
+  "/root/repo/tests/core/test_history_io.cpp" "tests/CMakeFiles/tests_core.dir/core/test_history_io.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_history_io.cpp.o.d"
+  "/root/repo/tests/core/test_integration.cpp" "tests/CMakeFiles/tests_core.dir/core/test_integration.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_integration.cpp.o.d"
+  "/root/repo/tests/core/test_ma_optimizer.cpp" "tests/CMakeFiles/tests_core.dir/core/test_ma_optimizer.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_ma_optimizer.cpp.o.d"
+  "/root/repo/tests/core/test_near_sampling.cpp" "tests/CMakeFiles/tests_core.dir/core/test_near_sampling.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_near_sampling.cpp.o.d"
+  "/root/repo/tests/core/test_population_baselines.cpp" "tests/CMakeFiles/tests_core.dir/core/test_population_baselines.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_population_baselines.cpp.o.d"
+  "/root/repo/tests/core/test_pseudo_samples.cpp" "tests/CMakeFiles/tests_core.dir/core/test_pseudo_samples.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_pseudo_samples.cpp.o.d"
+  "/root/repo/tests/core/test_random_search.cpp" "tests/CMakeFiles/tests_core.dir/core/test_random_search.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_random_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maopt_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/test_actor.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_actor.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_critic.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_critic.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_critic_ensemble.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_critic_ensemble.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_elite_set.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_elite_set.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_history.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_history.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_history_io.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_history_io.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_integration.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_integration.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_ma_optimizer.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_ma_optimizer.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_near_sampling.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_near_sampling.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_population_baselines.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_population_baselines.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_pseudo_samples.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_pseudo_samples.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_random_search.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_random_search.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

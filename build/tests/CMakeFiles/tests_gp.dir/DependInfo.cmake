@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gp/test_acquisition.cpp" "tests/CMakeFiles/tests_gp.dir/gp/test_acquisition.cpp.o" "gcc" "tests/CMakeFiles/tests_gp.dir/gp/test_acquisition.cpp.o.d"
+  "/root/repo/tests/gp/test_bo.cpp" "tests/CMakeFiles/tests_gp.dir/gp/test_bo.cpp.o" "gcc" "tests/CMakeFiles/tests_gp.dir/gp/test_bo.cpp.o.d"
+  "/root/repo/tests/gp/test_gp_regression.cpp" "tests/CMakeFiles/tests_gp.dir/gp/test_gp_regression.cpp.o" "gcc" "tests/CMakeFiles/tests_gp.dir/gp/test_gp_regression.cpp.o.d"
+  "/root/repo/tests/gp/test_kernel.cpp" "tests/CMakeFiles/tests_gp.dir/gp/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/tests_gp.dir/gp/test_kernel.cpp.o.d"
+  "/root/repo/tests/gp/test_matern.cpp" "tests/CMakeFiles/tests_gp.dir/gp/test_matern.cpp.o" "gcc" "tests/CMakeFiles/tests_gp.dir/gp/test_matern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maopt_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

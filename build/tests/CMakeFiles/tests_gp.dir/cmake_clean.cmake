@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_gp.dir/gp/test_acquisition.cpp.o"
+  "CMakeFiles/tests_gp.dir/gp/test_acquisition.cpp.o.d"
+  "CMakeFiles/tests_gp.dir/gp/test_bo.cpp.o"
+  "CMakeFiles/tests_gp.dir/gp/test_bo.cpp.o.d"
+  "CMakeFiles/tests_gp.dir/gp/test_gp_regression.cpp.o"
+  "CMakeFiles/tests_gp.dir/gp/test_gp_regression.cpp.o.d"
+  "CMakeFiles/tests_gp.dir/gp/test_kernel.cpp.o"
+  "CMakeFiles/tests_gp.dir/gp/test_kernel.cpp.o.d"
+  "CMakeFiles/tests_gp.dir/gp/test_matern.cpp.o"
+  "CMakeFiles/tests_gp.dir/gp/test_matern.cpp.o.d"
+  "tests_gp"
+  "tests_gp.pdb"
+  "tests_gp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_linalg.dir/linalg/test_cholesky.cpp.o"
+  "CMakeFiles/tests_linalg.dir/linalg/test_cholesky.cpp.o.d"
+  "CMakeFiles/tests_linalg.dir/linalg/test_lu.cpp.o"
+  "CMakeFiles/tests_linalg.dir/linalg/test_lu.cpp.o.d"
+  "CMakeFiles/tests_linalg.dir/linalg/test_matrix.cpp.o"
+  "CMakeFiles/tests_linalg.dir/linalg/test_matrix.cpp.o.d"
+  "tests_linalg"
+  "tests_linalg.pdb"
+  "tests_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

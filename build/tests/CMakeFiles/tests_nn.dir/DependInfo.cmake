@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_adam.cpp" "tests/CMakeFiles/tests_nn.dir/nn/test_adam.cpp.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/test_adam.cpp.o.d"
+  "/root/repo/tests/nn/test_layers.cpp" "tests/CMakeFiles/tests_nn.dir/nn/test_layers.cpp.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/test_layers.cpp.o.d"
+  "/root/repo/tests/nn/test_mlp.cpp" "tests/CMakeFiles/tests_nn.dir/nn/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/test_mlp.cpp.o.d"
+  "/root/repo/tests/nn/test_normalizer.cpp" "tests/CMakeFiles/tests_nn.dir/nn/test_normalizer.cpp.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/test_normalizer.cpp.o.d"
+  "/root/repo/tests/nn/test_serialize.cpp" "tests/CMakeFiles/tests_nn.dir/nn/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/test_serialize.cpp.o.d"
+  "/root/repo/tests/nn/test_training_properties.cpp" "tests/CMakeFiles/tests_nn.dir/nn/test_training_properties.cpp.o" "gcc" "tests/CMakeFiles/tests_nn.dir/nn/test_training_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maopt_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

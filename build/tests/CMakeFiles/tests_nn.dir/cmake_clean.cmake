@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_nn.dir/nn/test_adam.cpp.o"
+  "CMakeFiles/tests_nn.dir/nn/test_adam.cpp.o.d"
+  "CMakeFiles/tests_nn.dir/nn/test_layers.cpp.o"
+  "CMakeFiles/tests_nn.dir/nn/test_layers.cpp.o.d"
+  "CMakeFiles/tests_nn.dir/nn/test_mlp.cpp.o"
+  "CMakeFiles/tests_nn.dir/nn/test_mlp.cpp.o.d"
+  "CMakeFiles/tests_nn.dir/nn/test_normalizer.cpp.o"
+  "CMakeFiles/tests_nn.dir/nn/test_normalizer.cpp.o.d"
+  "CMakeFiles/tests_nn.dir/nn/test_serialize.cpp.o"
+  "CMakeFiles/tests_nn.dir/nn/test_serialize.cpp.o.d"
+  "CMakeFiles/tests_nn.dir/nn/test_training_properties.cpp.o"
+  "CMakeFiles/tests_nn.dir/nn/test_training_properties.cpp.o.d"
+  "tests_nn"
+  "tests_nn.pdb"
+  "tests_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spice/test_ac.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_ac.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_ac.cpp.o.d"
+  "/root/repo/tests/spice/test_ac_extra.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_ac_extra.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_ac_extra.cpp.o.d"
+  "/root/repo/tests/spice/test_body_effect.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_body_effect.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_body_effect.cpp.o.d"
+  "/root/repo/tests/spice/test_dc.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_dc.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_dc.cpp.o.d"
+  "/root/repo/tests/spice/test_loads.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_loads.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_loads.cpp.o.d"
+  "/root/repo/tests/spice/test_measure.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_measure.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_measure.cpp.o.d"
+  "/root/repo/tests/spice/test_measure_extra.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_measure_extra.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_measure_extra.cpp.o.d"
+  "/root/repo/tests/spice/test_mosfet.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_mosfet.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_mosfet.cpp.o.d"
+  "/root/repo/tests/spice/test_mosfet_properties.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_mosfet_properties.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_mosfet_properties.cpp.o.d"
+  "/root/repo/tests/spice/test_netlist.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_netlist.cpp.o.d"
+  "/root/repo/tests/spice/test_noise.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_noise.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_noise.cpp.o.d"
+  "/root/repo/tests/spice/test_op_report.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_op_report.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_op_report.cpp.o.d"
+  "/root/repo/tests/spice/test_parser.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_parser.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_parser.cpp.o.d"
+  "/root/repo/tests/spice/test_subthreshold.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_subthreshold.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_subthreshold.cpp.o.d"
+  "/root/repo/tests/spice/test_tran.cpp" "tests/CMakeFiles/tests_spice.dir/spice/test_tran.cpp.o" "gcc" "tests/CMakeFiles/tests_spice.dir/spice/test_tran.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maopt_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
