@@ -166,4 +166,34 @@ void print_ascii_fom_plot(const std::vector<AlgoSummary>& summaries) {
   std::printf("%6.2f +%s\n", lo, std::string(kCols, '-').c_str());
 }
 
+void write_bench_json(const std::string& path, const std::vector<BenchMetric>& metrics) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  out << "{\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    // Metric names/units are code-controlled identifiers; escape the two
+    // characters that could still break the quoting.
+    auto escaped = [](const std::string& s) {
+      std::string e;
+      for (const char c : s) {
+        if (c == '"' || c == '\\') e.push_back('\\');
+        e.push_back(c);
+      }
+      return e;
+    };
+    char value[64];
+    std::snprintf(value, sizeof value, "%.6g", metrics[i].value);
+    out << "  \"" << escaped(metrics[i].name) << "\": {\"value\": " << value << ", \"unit\": \""
+        << escaped(metrics[i].unit) << "\"}";
+    if (i + 1 < metrics.size()) out << ",";
+    out << "\n";
+  }
+  out << "}\n";
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return;
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace maopt::bench

@@ -77,4 +77,18 @@ void write_trajectories_csv(const std::string& path, const std::vector<AlgoSumma
 /// Renders trajectories as a coarse ASCII plot (Fig. 5-style, log10 scale).
 void print_ascii_fom_plot(const std::vector<AlgoSummary>& summaries);
 
+/// One entry of a benchmark regression record (e.g. {"kernel_gflops", 12.3,
+/// "GFLOP/s"}).
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+/// Writes `metrics` to `path` as a flat JSON object
+///   {"<name>": {"value": <v>, "unit": "<unit>"}, ...}
+/// so successive runs can be diffed for performance regressions
+/// (BENCH_train.json is the training-hot-path record).
+void write_bench_json(const std::string& path, const std::vector<BenchMetric>& metrics);
+
 }  // namespace maopt::bench

@@ -4,7 +4,9 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "linalg/cholesky.hpp"
+#include "linalg/gemm.hpp"
 #include "linalg/lu.hpp"
 
 namespace {
@@ -67,6 +69,34 @@ void BM_Matmul(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b));
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128);
+
+void BM_MatmulBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Mat a = random_dd_matrix(n, 4);
+  const Mat b = random_dd_matrix(n, 5);
+  Mat c;
+  for (auto _ : state) {
+    matmul_blocked(a, b, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(n) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_MatmulBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Mat a = random_dd_matrix(n, 4);
+  const Mat b = random_dd_matrix(n, 5);
+  ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  Mat c;
+  for (auto _ : state) {
+    matmul_parallel(a, b, c, pool, /*min_flops=*/0.0);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_MatmulParallel)->Args({256, 2})->Args({256, 4});
 
 }  // namespace
 

@@ -34,9 +34,22 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Chunked dispatch: one task per worker covering a contiguous index range,
+  // so tiny per-index bodies pay queue/future overhead once per chunk rather
+  // than once per index.
+  const std::size_t chunks = std::min(n, workers_.size());
+  const std::size_t per_chunk = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * per_chunk;
+    const std::size_t hi = std::min(n, lo + per_chunk);
+    if (lo >= hi) break;
+    futures.push_back(submit([&fn, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
   for (auto& f : futures) f.get();
 }
 

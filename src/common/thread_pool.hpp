@@ -40,7 +40,9 @@ class ThreadPool {
   }
 
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
-  /// Exceptions from tasks are rethrown (the first one encountered).
+  /// Indices are dispatched as ceil(n / workers) contiguous chunks (one task
+  /// per worker). Exceptions from tasks are rethrown (the first encountered);
+  /// a throwing index skips the remainder of its own chunk only.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -70,7 +70,7 @@ double Actor::train_round(Surrogate& critic, const FomEvaluator& fom,
       }
     }
 
-    mlp_.backward(d_action);
+    mlp_.backward_params(d_action);
     adam_.step();
     total_loss += batch_loss / static_cast<double>(nb);
   }

@@ -34,14 +34,13 @@ void Critic::fit_normalizer(const std::vector<SimRecord>& records) {
 }
 
 double Critic::train_round(const PseudoSampleBatcher& batcher, Rng& rng) {
-  nn::Mat x, y_raw, grad;
   double total = 0.0;
   for (int s = 0; s < config_.steps_per_round; ++s) {
-    batcher.sample(config_.batch_size, rng, x, y_raw);
-    const nn::Mat y = norm_.transform(y_raw);
-    const nn::Mat pred = mlp_.forward(x);
-    total += nn::mse_loss(pred, y, &grad);
-    mlp_.backward(grad);
+    batcher.sample(config_.batch_size, rng, batch_x_, batch_y_raw_);
+    norm_.transform_into(batch_y_raw_, batch_y_);
+    const nn::Mat& pred = mlp_.forward(batch_x_);
+    total += nn::mse_loss(pred, batch_y_, &batch_grad_);
+    mlp_.backward_params(batch_grad_);
     adam_.step();
   }
   return total / std::max(1, config_.steps_per_round);
@@ -79,14 +78,34 @@ CriticEnsemble::CriticEnsemble(std::size_t num_critics, std::size_t dim,
   for (std::size_t i = 0; i < num_critics; ++i) members_.emplace_back(dim, num_metrics, config, rng);
 }
 
-double CriticEnsemble::train_round(const PseudoSampleBatcher& batcher, Rng& rng) {
+double CriticEnsemble::train_round(const PseudoSampleBatcher& batcher, Rng& rng,
+                                   ThreadPool* pool) {
+  // One draw keys every member's private stream: the caller's rng advances
+  // the same amount regardless of member count, and member i's minibatch
+  // sequence is independent of who else trains when — so parallel and serial
+  // execution produce bit-identical parameters.
+  const std::uint64_t round_key = rng.next();
+  std::vector<double> losses(members_.size(), 0.0);
+  auto train_member = [&](std::size_t i) {
+    Rng member_rng(derive_seed(round_key, i));
+    losses[i] = members_[i].train_round(batcher, member_rng);
+  };
+  if (pool != nullptr && pool->size() > 1 && members_.size() > 1) {
+    pool->parallel_for(members_.size(), train_member);
+  } else {
+    for (std::size_t i = 0; i < members_.size(); ++i) train_member(i);
+  }
   double total = 0.0;
-  for (auto& m : members_) total += m.train_round(batcher, rng);
+  for (const double l : losses) total += l;  // fixed order: thread-count invariant
   return total / static_cast<double>(members_.size());
 }
 
-void CriticEnsemble::fit_normalizer(const std::vector<SimRecord>& records) {
-  for (auto& m : members_) m.fit_normalizer(records);
+void CriticEnsemble::fit_normalizer(const std::vector<SimRecord>& records, ThreadPool* pool) {
+  if (pool != nullptr && pool->size() > 1 && members_.size() > 1) {
+    pool->parallel_for(members_.size(), [&](std::size_t i) { members_[i].fit_normalizer(records); });
+  } else {
+    for (auto& m : members_) m.fit_normalizer(records);
+  }
 }
 
 nn::Mat CriticEnsemble::predict(const nn::Mat& x_dx) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "circuits/fom.hpp"
+#include "common/thread_pool.hpp"
 #include "core/pseudo_samples.hpp"
 #include "nn/adam.hpp"
 #include "nn/mlp.hpp"
@@ -68,6 +69,8 @@ class Critic final : public Surrogate {
   nn::Mlp mlp_;
   nn::Adam adam_;
   nn::ZScoreNormalizer norm_;
+  // Minibatch scratch reused across all train_round calls (not copied).
+  nn::Mat batch_x_, batch_y_raw_, batch_y_, batch_grad_;
 };
 
 /// Ensemble of independently initialized critics whose predictions (and
@@ -80,8 +83,12 @@ class CriticEnsemble final : public Surrogate {
                  const CriticConfig& config, Rng& rng);
   CriticEnsemble(const CriticEnsemble& other) = default;
 
-  double train_round(const PseudoSampleBatcher& batcher, Rng& rng);
-  void fit_normalizer(const std::vector<SimRecord>& records);
+  /// Trains every member for one round, across `pool` when given (nullptr or
+  /// a 1-worker pool trains serially). Each member draws from its own
+  /// derive_seed-derived stream keyed off a single draw from `rng`, so the
+  /// resulting parameters are bit-identical for every thread count.
+  double train_round(const PseudoSampleBatcher& batcher, Rng& rng, ThreadPool* pool = nullptr);
+  void fit_normalizer(const std::vector<SimRecord>& records, ThreadPool* pool = nullptr);
 
   nn::Mat predict(const nn::Mat& x_dx) override;
   nn::Mat action_gradient(const nn::Mat& d_loss_d_raw_metrics) override;
@@ -89,6 +96,7 @@ class CriticEnsemble final : public Surrogate {
   std::size_t num_metrics() const override { return members_.front().num_metrics(); }
 
   std::size_t size() const { return members_.size(); }
+  Critic& member(std::size_t i) { return members_[i]; }
   /// Total trainable parameters across members (the memory-cost axis).
   std::size_t num_parameters() const;
 

@@ -134,8 +134,8 @@ RunHistory MaOptimizer::run(const SizingProblem& problem, const std::vector<SimR
     // --- Algorithm 1: critic training, then parallel actor rounds ---
     Stopwatch train_clock;
     const PseudoSampleBatcher batcher(history.records, scaler);
-    critic.fit_normalizer(history.records);
-    critic.train_round(batcher, critic_rng);
+    critic.fit_normalizer(history.records, &pool);
+    critic.train_round(batcher, critic_rng, &pool);
     critic_trained = true;
     history.train_seconds += train_clock.elapsed_seconds();
 

@@ -1,34 +1,43 @@
 #include "core/pseudo_samples.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace maopt::core {
 
 PseudoSampleBatcher::PseudoSampleBatcher(const std::vector<SimRecord>& records,
-                                         const nn::RangeScaler& scaler)
-    : records_(&records), scaler_(&scaler) {
+                                         const nn::RangeScaler& scaler) {
   if (records.empty()) throw std::invalid_argument("PseudoSampleBatcher: empty population");
+  const std::size_t n = records.size();
+  const std::size_t d = records.front().x.size();
+  const std::size_t m1 = records.front().metrics.size();
+  unit_.ensure_shape(n, d);
+  metrics_.ensure_shape(n, m1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec u = scaler.to_unit(records[i].x);
+    std::copy(u.begin(), u.end(), unit_.row(i).begin());
+    std::copy(records[i].metrics.begin(), records[i].metrics.end(), metrics_.row(i).begin());
+  }
 }
 
 void PseudoSampleBatcher::sample(std::size_t batch, Rng& rng, nn::Mat& x, nn::Mat& y) const {
-  const auto& recs = *records_;
-  const std::size_t n = recs.size();
-  const std::size_t d = recs.front().x.size();
-  const std::size_t m1 = recs.front().metrics.size();
-  x.resize(batch, 2 * d);
-  y.resize(batch, m1);
+  const std::size_t n = unit_.rows();
+  const std::size_t d = unit_.cols();
+  const std::size_t m1 = metrics_.cols();
+  x.ensure_shape(batch, 2 * d);
+  y.ensure_shape(batch, m1);
   for (std::size_t k = 0; k < batch; ++k) {
     const auto i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
     const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
-    const Vec ui = scaler_->to_unit(recs[i].x);
-    const Vec uj = scaler_->to_unit(recs[j].x);
+    const auto ui = unit_.row(i);
+    const auto uj = unit_.row(j);
     auto row = x.row(k);
     for (std::size_t c = 0; c < d; ++c) {
       row[c] = ui[c];
       row[d + c] = uj[c] - ui[c];
     }
-    auto yrow = y.row(k);
-    for (std::size_t c = 0; c < m1; ++c) yrow[c] = recs[j].metrics[c];
+    const auto mj = metrics_.row(j);
+    std::copy(mj.begin(), mj.end(), y.row(k).begin());
   }
 }
 

@@ -13,20 +13,24 @@ namespace maopt::core {
 
 class PseudoSampleBatcher {
  public:
-  /// `records` must outlive the batcher. Inputs are expressed in the unit
-  /// design space defined by `scaler`; targets are raw metric vectors.
+  /// Inputs are expressed in the unit design space defined by `scaler`;
+  /// targets are raw metric vectors. The unit-scaled design matrix and the
+  /// metric matrix are precomputed here — O(n*(d+m)) once — so sample() is
+  /// pure row copies. Neither `records` nor `scaler` is retained.
   PseudoSampleBatcher(const std::vector<SimRecord>& records, const nn::RangeScaler& scaler);
 
   /// Draws `batch` (i, j) pairs uniformly with replacement and fills
   /// X (batch x 2d) = [unit(x_i), unit(x_j) - unit(x_i)] and
-  /// Y (batch x (m+1)) = metrics(x_j).
+  /// Y (batch x (m+1)) = metrics(x_j). X and Y reuse capacity across calls:
+  /// zero allocations once warmed. Thread-safe for concurrent callers with
+  /// distinct `rng`/`x`/`y` (all shared state is read-only).
   void sample(std::size_t batch, Rng& rng, nn::Mat& x, nn::Mat& y) const;
 
-  std::size_t population() const { return records_->size(); }
+  std::size_t population() const { return unit_.rows(); }
 
  private:
-  const std::vector<SimRecord>* records_;
-  const nn::RangeScaler* scaler_;
+  nn::Mat unit_;     ///< (n x d) unit-space designs
+  nn::Mat metrics_;  ///< (n x (m+1)) raw metric vectors
 };
 
 }  // namespace maopt::core

@@ -1,0 +1,56 @@
+// Cache-blocked dense GEMM kernels for the neural-network training hot path.
+//
+// The naive matmul in matrix.cpp streams all of B through cache for every
+// row of A; at the sizes the critic/actor MLPs use (batch x 100 x 100 and
+// larger near-sampling batches) that is memory-bound. The kernels here tile
+// the i-k-j loop nest so a panel of B rows stays resident while four A
+// scalars at a time are broadcast against it, and every kernel *accumulates*
+// into a caller-owned C so the surrounding code can reuse buffers instead of
+// constructing fresh matrices per call.
+//
+// Three transpose variants cover the whole backprop triangle without ever
+// materializing a transpose:
+//   gemm_nn: C += A B        (forward:  Y += X W)
+//   gemm_tn: C += A^T B      (weights:  dW += X^T dY)
+//   gemm_nt: C += A B^T      (inputs:   dX += dY W^T)
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace maopt {
+class ThreadPool;
+}
+
+namespace maopt::linalg {
+
+/// C (m x n) += A (m x k) * B (k x n); all row-major, C pre-sized.
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a, const double* b,
+             double* c);
+
+/// C (m x n) += A^T * B where A is stored (k x m) row-major.
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a, const double* b,
+             double* c);
+
+/// C (m x n) += A * B^T where B is stored (n x k) row-major.
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a, const double* b,
+             double* c);
+
+/// c = a * b via the blocked serial kernel; c is reshaped (capacity reused).
+void matmul_blocked(const Mat& a, const Mat& b, Mat& c);
+Mat matmul_blocked(const Mat& a, const Mat& b);
+
+/// Below this many FLOPs (2*m*n*k) a parallel dispatch costs more than it
+/// saves and matmul_parallel falls back to the serial blocked kernel.
+inline constexpr double kParallelMinFlops = 4e6;
+
+/// c = a * b with row panels of A split across `pool`. Falls back to the
+/// serial blocked kernel for small shapes (see `min_flops`) or a 1-worker
+/// pool. Results are identical to matmul_blocked for every thread count.
+void matmul_parallel(const Mat& a, const Mat& b, Mat& c, ThreadPool& pool,
+                     double min_flops = kParallelMinFlops);
+Mat matmul_parallel(const Mat& a, const Mat& b, ThreadPool& pool,
+                    double min_flops = kParallelMinFlops);
+
+}  // namespace maopt::linalg

@@ -13,7 +13,6 @@ Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const T aik = a(i, k);
-      if (aik == T{}) continue;
       const auto brow = b.row(k);
       auto crow = c.row(i);
       for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];

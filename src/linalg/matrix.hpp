@@ -57,6 +57,14 @@ class Matrix {
     cols_ = cols;
     data_.assign(rows * cols, fill);
   }
+  /// Reshape without clearing retained elements; reuses capacity, so a
+  /// buffer reshaped to the same (or smaller) size never reallocates.
+  /// Contents are unspecified — callers must overwrite every entry.
+  void ensure_shape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
 
   static Matrix identity(std::size_t n) {
     Matrix m(n, n);

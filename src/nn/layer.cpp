@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/gemm.hpp"
+
 namespace maopt::nn {
 
 Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
@@ -11,45 +13,45 @@ Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
   for (auto& w : w_) w = rng.uniform(-limit, limit);
 }
 
-Mat Linear::forward(const Mat& x) {
+const Mat& Linear::forward(const Mat& x) {
   if (x.cols() != in_) throw std::invalid_argument("Linear::forward: feature size mismatch");
-  last_x_ = x;
-  Mat y(x.rows(), out_);
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    const auto xrow = x.row(r);
+  last_x_ = &x;  // borrowed: callers keep the input alive until backward
+  Mat& y = ws_.acquire(kFwdSlot, x.rows(), out_);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
     auto yrow = y.row(r);
     for (std::size_t j = 0; j < out_; ++j) yrow[j] = b_[j];
-    for (std::size_t i = 0; i < in_; ++i) {
-      const double xi = xrow[i];
-      if (xi == 0.0) continue;
-      const double* wrow = &w_[i * out_];
-      for (std::size_t j = 0; j < out_; ++j) yrow[j] += xi * wrow[j];
-    }
   }
+  linalg::gemm_nn(x.rows(), out_, in_, x.data().data(), w_.data(), y.data().data());
   return y;
 }
 
-Mat Linear::backward(const Mat& dy) {
-  if (dy.rows() != last_x_.rows() || dy.cols() != out_)
+const Mat& Linear::backward(const Mat& dy) {
+  param_gradient(dy);
+  return input_gradient_into(dy);
+}
+
+void Linear::param_gradient(const Mat& dy) {
+  if (last_x_ == nullptr || dy.rows() != last_x_->rows() || dy.cols() != out_)
     throw std::invalid_argument("Linear::backward: shape mismatch");
-  Mat dx(last_x_.rows(), in_);
   for (std::size_t r = 0; r < dy.rows(); ++r) {
     const auto dyrow = dy.row(r);
-    const auto xrow = last_x_.row(r);
-    auto dxrow = dx.row(r);
     for (std::size_t j = 0; j < out_; ++j) db_[j] += dyrow[j];
-    for (std::size_t i = 0; i < in_; ++i) {
-      const double* wrow = &w_[i * out_];
-      double* dwrow = &dw_[i * out_];
-      double s = 0.0;
-      const double xi = xrow[i];
-      for (std::size_t j = 0; j < out_; ++j) {
-        s += wrow[j] * dyrow[j];
-        dwrow[j] += xi * dyrow[j];
-      }
-      dxrow[i] = s;
-    }
   }
+  // dW += X^T dY
+  linalg::gemm_tn(in_, out_, dy.rows(), last_x_->data().data(), dy.data().data(), dw_.data());
+}
+
+const Mat& Linear::input_gradient(const Mat& dy) {
+  if (last_x_ == nullptr || dy.rows() != last_x_->rows() || dy.cols() != out_)
+    throw std::invalid_argument("Linear::input_gradient: shape mismatch");
+  return input_gradient_into(dy);
+}
+
+const Mat& Linear::input_gradient_into(const Mat& dy) {
+  // dX = dY W^T
+  Mat& dx = ws_.acquire(kBwdSlot, dy.rows(), in_);
+  dx.fill(0.0);
+  linalg::gemm_nt(dy.rows(), in_, out_, dy.data().data(), w_.data(), dx.data().data());
   return dx;
 }
 
@@ -66,34 +68,41 @@ std::unique_ptr<Layer> Linear::clone() const {
   return copy;
 }
 
-Mat Tanh::forward(const Mat& x) {
-  Mat y = x;
-  for (auto& v : y.data()) v = std::tanh(v);
-  last_y_ = y;
+const Mat& Tanh::forward(const Mat& x) {
+  Mat& y = ws_.acquire(kFwdSlot, x.rows(), x.cols());
+  const auto& xv = x.data();
+  auto& yv = y.data();
+  for (std::size_t i = 0; i < xv.size(); ++i) yv[i] = std::tanh(xv[i]);
   return y;
 }
 
-Mat Tanh::backward(const Mat& dy) {
-  Mat dx = dy;
-  const auto& y = last_y_.data();
-  auto& d = dx.data();
-  for (std::size_t i = 0; i < d.size(); ++i) d[i] *= 1.0 - y[i] * y[i];
+const Mat& Tanh::backward(const Mat& dy) {
+  // The cached forward output doubles as the derivative source: 1 - y^2.
+  const Mat& y = ws_.acquire(kFwdSlot, dy.rows(), dy.cols());
+  Mat& dx = ws_.acquire(kBwdSlot, dy.rows(), dy.cols());
+  const auto& yv = y.data();
+  const auto& dyv = dy.data();
+  auto& dv = dx.data();
+  for (std::size_t i = 0; i < dv.size(); ++i) dv[i] = dyv[i] * (1.0 - yv[i] * yv[i]);
   return dx;
 }
 
-Mat Relu::forward(const Mat& x) {
-  last_x_ = x;
-  Mat y = x;
-  for (auto& v : y.data()) v = v > 0.0 ? v : 0.0;
+const Mat& Relu::forward(const Mat& x) {
+  Mat& y = ws_.acquire(kFwdSlot, x.rows(), x.cols());
+  const auto& xv = x.data();
+  auto& yv = y.data();
+  for (std::size_t i = 0; i < xv.size(); ++i) yv[i] = xv[i] > 0.0 ? xv[i] : 0.0;
   return y;
 }
 
-Mat Relu::backward(const Mat& dy) {
-  Mat dx = dy;
-  const auto& x = last_x_.data();
-  auto& d = dx.data();
-  for (std::size_t i = 0; i < d.size(); ++i)
-    if (x[i] <= 0.0) d[i] = 0.0;
+const Mat& Relu::backward(const Mat& dy) {
+  // y > 0 <=> x > 0, so the forward output is its own activation mask.
+  const Mat& y = ws_.acquire(kFwdSlot, dy.rows(), dy.cols());
+  Mat& dx = ws_.acquire(kBwdSlot, dy.rows(), dy.cols());
+  const auto& yv = y.data();
+  const auto& dyv = dy.data();
+  auto& dv = dx.data();
+  for (std::size_t i = 0; i < dv.size(); ++i) dv[i] = yv[i] > 0.0 ? dyv[i] : 0.0;
   return dx;
 }
 

@@ -5,6 +5,14 @@
 // which requires (1) parameter gradients and (2) gradients with respect to
 // the *input* of a network (`backward` returns dL/dX for exactly this).
 // Batches are row-major: X is (batch x features).
+//
+// forward/backward return references into the layer's Workspace: buffers are
+// pre-sized once and reused across the thousands of Adam steps per run, so
+// the steady-state training loop never touches the allocator. The returned
+// matrix stays valid until the same layer's next forward/backward call; copy
+// it if you need it longer. Layers borrow (not copy) the forward input, so
+// the matrix passed to forward() must stay alive until the matching
+// backward-family call completes.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +21,7 @@
 
 #include "common/rng.hpp"
 #include "linalg/matrix.hpp"
+#include "nn/workspace.hpp"
 
 namespace maopt::nn {
 
@@ -31,11 +40,19 @@ class Layer {
   virtual ~Layer() = default;
 
   /// Computes the layer output; caches whatever backward() needs.
-  virtual Mat forward(const Mat& x) = 0;
+  virtual const Mat& forward(const Mat& x) = 0;
 
   /// Given dL/dY, accumulates parameter gradients and returns dL/dX.
   /// Must be called after forward() with a matching batch.
-  virtual Mat backward(const Mat& dy) = 0;
+  virtual const Mat& backward(const Mat& dy) = 0;
+
+  /// dL/dX WITHOUT touching parameter gradients; same contract as backward().
+  /// Stateless layers share the backward() implementation.
+  virtual const Mat& input_gradient(const Mat& dy) { return backward(dy); }
+
+  /// Parameter gradients WITHOUT producing dL/dX — the cheaper backward for
+  /// the bottom layer of a stack, where the input gradient is discarded.
+  virtual void param_gradient(const Mat& dy) { backward(dy); }
 
   /// Parameter (value, grad) pairs; empty for stateless layers.
   virtual std::vector<ParamRef> params() { return {}; }
@@ -46,6 +63,13 @@ class Layer {
 
   virtual std::size_t input_size() const = 0;
   virtual std::size_t output_size() const = 0;
+
+ protected:
+  // Workspace slot ids shared by all layer types.
+  static constexpr std::size_t kFwdSlot = 0;
+  static constexpr std::size_t kBwdSlot = 1;
+
+  Workspace ws_;
 };
 
 /// Fully connected layer: Y = X W + 1 b^T, W is (in x out).
@@ -54,8 +78,10 @@ class Linear final : public Layer {
   /// Xavier-uniform initialization from `rng`.
   Linear(std::size_t in, std::size_t out, Rng& rng);
 
-  Mat forward(const Mat& x) override;
-  Mat backward(const Mat& dy) override;
+  const Mat& forward(const Mat& x) override;
+  const Mat& backward(const Mat& dy) override;
+  const Mat& input_gradient(const Mat& dy) override;
+  void param_gradient(const Mat& dy) override;
   std::vector<ParamRef> params() override;
   std::unique_ptr<Layer> clone() const override;
 
@@ -67,41 +93,46 @@ class Linear final : public Layer {
   Vec& bias() { return b_; }
 
  private:
+  const Mat& input_gradient_into(const Mat& dy);
+
   std::size_t in_;
   std::size_t out_;
   Vec w_, b_;
   Vec dw_, db_;
-  Mat last_x_;
+  // Borrowed view of the last forward() input, consumed by the backward
+  // family. Valid because every caller keeps the input alive until after
+  // backward: inside an Mlp each layer's input is the previous layer's
+  // workspace buffer (stable until that layer's next forward), and the
+  // bottom layer's input is the caller's batch matrix.
+  const Mat* last_x_ = nullptr;
 };
 
 /// Elementwise tanh.
 class Tanh final : public Layer {
  public:
   explicit Tanh(std::size_t size) : size_(size) {}
-  Mat forward(const Mat& x) override;
-  Mat backward(const Mat& dy) override;
+  const Mat& forward(const Mat& x) override;
+  const Mat& backward(const Mat& dy) override;
   std::unique_ptr<Layer> clone() const override { return std::make_unique<Tanh>(size_); }
   std::size_t input_size() const override { return size_; }
   std::size_t output_size() const override { return size_; }
 
  private:
   std::size_t size_;
-  Mat last_y_;
 };
 
 /// Elementwise max(0, x).
 class Relu final : public Layer {
  public:
   explicit Relu(std::size_t size) : size_(size) {}
-  Mat forward(const Mat& x) override;
-  Mat backward(const Mat& dy) override;
+  const Mat& forward(const Mat& x) override;
+  const Mat& backward(const Mat& dy) override;
   std::unique_ptr<Layer> clone() const override { return std::make_unique<Relu>(size_); }
   std::size_t input_size() const override { return size_; }
   std::size_t output_size() const override { return size_; }
 
  private:
   std::size_t size_;
-  Mat last_x_;
 };
 
 }  // namespace maopt::nn

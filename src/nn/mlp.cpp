@@ -1,5 +1,6 @@
 #include "nn/mlp.hpp"
 
+#include <iterator>
 #include <stdexcept>
 
 namespace maopt::nn {
@@ -37,29 +38,35 @@ Mlp Mlp::make_paper_net(std::size_t in, std::size_t out, Rng& rng, bool output_t
   return Mlp(in, {100, 100}, out, rng, Activation::Relu, output_tanh);
 }
 
-Mat Mlp::forward(const Mat& x) {
-  Mat h = x;
-  for (auto& layer : layers_) h = layer->forward(h);
-  return h;
+const Mat& Mlp::forward(const Mat& x) {
+  const Mat* h = &x;
+  for (auto& layer : layers_) h = &layer->forward(*h);
+  return *h;
 }
 
-Mat Mlp::backward(const Mat& dy) {
-  Mat g = dy;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
-  return g;
+const Mat& Mlp::backward(const Mat& dy) {
+  const Mat* g = &dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = &(*it)->backward(*g);
+  return *g;
 }
 
-Mat Mlp::input_gradient(const Mat& dy) {
-  // backward() accumulates into parameter grads; to leave them untouched we
-  // run backward and then subtract nothing — instead we save/restore grads.
-  // Cheaper: snapshot grads, backward, restore.
-  std::vector<Vec> saved;
-  auto ps = params();
-  saved.reserve(ps.size());
-  for (const auto& p : ps) saved.push_back(*p.grad);
-  Mat g = backward(dy);
-  for (std::size_t i = 0; i < ps.size(); ++i) *ps[i].grad = std::move(saved[i]);
-  return g;
+void Mlp::backward_params(const Mat& dy) {
+  const Mat* g = &dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    if (std::next(it) == layers_.rend()) {
+      (*it)->param_gradient(*g);  // bottom layer: dL/dX is never read
+      return;
+    }
+    g = &(*it)->backward(*g);
+  }
+}
+
+const Mat& Mlp::input_gradient(const Mat& dy) {
+  // Each layer's input_gradient skips parameter-gradient accumulation, so no
+  // grad snapshot/restore is needed (Linear also skips the dW/db GEMMs).
+  const Mat* g = &dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = &(*it)->input_gradient(*g);
+  return *g;
 }
 
 void Mlp::zero_grad() {
@@ -87,7 +94,7 @@ double mse_loss(const Mat& pred, const Mat& target, Mat* grad) {
     throw std::invalid_argument("mse_loss: shape mismatch");
   const double n = static_cast<double>(pred.data().size());
   double loss = 0.0;
-  if (grad) grad->resize(pred.rows(), pred.cols());
+  if (grad) grad->ensure_shape(pred.rows(), pred.cols());  // every entry written below
   for (std::size_t i = 0; i < pred.data().size(); ++i) {
     const double d = pred.data()[i] - target.data()[i];
     loss += d * d;

@@ -27,12 +27,18 @@ class Mlp {
   /// The paper's configuration: 2 hidden layers x 100 nodes.
   static Mlp make_paper_net(std::size_t in, std::size_t out, Rng& rng, bool output_tanh);
 
-  Mat forward(const Mat& x);
+  /// Returned references point into per-layer Workspace buffers reused
+  /// across calls: valid until this network's next forward/backward-family
+  /// call; copy the result to keep it longer.
+  const Mat& forward(const Mat& x);
   /// Accumulates parameter grads, returns dL/dX.
-  Mat backward(const Mat& dy);
+  const Mat& backward(const Mat& dy);
+  /// Accumulates parameter grads only — the bottom layer skips its dL/dX
+  /// GEMM. Use on training paths that discard backward()'s return value.
+  void backward_params(const Mat& dy);
   /// Input gradient WITHOUT touching parameter grads (used when the critic
   /// only serves as a differentiable surrogate during actor training).
-  Mat input_gradient(const Mat& dy);
+  const Mat& input_gradient(const Mat& dy);
 
   void zero_grad();
   std::vector<ParamRef> params();

@@ -76,10 +76,15 @@ void ZScoreNormalizer::fit(const Mat& samples) {
 }
 
 Mat ZScoreNormalizer::transform(const Mat& x) const {
-  Mat z(x.rows(), x.cols());
+  Mat z;
+  transform_into(x, z);
+  return z;
+}
+
+void ZScoreNormalizer::transform_into(const Mat& x, Mat& z) const {
+  z.ensure_shape(x.rows(), x.cols());
   for (std::size_t r = 0; r < x.rows(); ++r)
     for (std::size_t c = 0; c < x.cols(); ++c) z(r, c) = (x(r, c) - mean_[c]) / std_[c];
-  return z;
 }
 
 Mat ZScoreNormalizer::inverse(const Mat& z) const {

@@ -44,6 +44,9 @@ class ZScoreNormalizer {
   bool fitted() const { return !mean_.empty(); }
 
   Mat transform(const Mat& x) const;
+  /// Allocation-free variant for hot loops: `z` is reshaped (capacity
+  /// reused) and fully overwritten.
+  void transform_into(const Mat& x, Mat& z) const;
   Mat inverse(const Mat& z) const;
   Vec transform(const Vec& x) const;
   Vec inverse(const Vec& z) const;

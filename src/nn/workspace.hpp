@@ -1,0 +1,35 @@
+// Scratch-buffer arena for the training hot path.
+//
+// Every Layer owns a Workspace whose numbered Mat slots persist across
+// forward/backward calls: after the first minibatch of a given shape, the
+// thousands of Adam steps in a run touch the allocator zero times. Slots are
+// reshaped with Matrix::ensure_shape, which reuses capacity and leaves
+// contents unspecified — acquirers must overwrite every entry.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace maopt::nn {
+
+using linalg::Mat;
+
+class Workspace {
+ public:
+  /// Slot `id` reshaped to (rows x cols); grows the slot table on demand.
+  Mat& acquire(std::size_t id, std::size_t rows, std::size_t cols) {
+    if (id >= slots_.size()) slots_.resize(id + 1);
+    slots_[id].ensure_shape(rows, cols);
+    return slots_[id];
+  }
+
+  /// Releases all slot storage (shapes and capacity).
+  void clear() { slots_.clear(); }
+
+ private:
+  std::vector<Mat> slots_;
+};
+
+}  // namespace maopt::nn

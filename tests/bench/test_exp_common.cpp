@@ -108,6 +108,24 @@ TEST(ExpCommon, TrajectoriesCsvWellFormed) {
   std::remove(path.c_str());
 }
 
+TEST(ExpCommon, BenchJsonWellFormed) {
+  const std::string path = "/tmp/maopt_bench_json_test.json";
+  write_bench_json(path, {{"kernel_gflops", 12.5, "GFLOP/s"},
+                          {"train_round_ms", 3.25, "ms"},
+                          {"odd\"name\\", 1.0, "unit"}});
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"kernel_gflops\": {\"value\": 12.5, \"unit\": \"GFLOP/s\"}"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"train_round_ms\": {\"value\": 3.25, \"unit\": \"ms\"}"), std::string::npos);
+  // Quotes and backslashes in names must be escaped so the file stays JSON.
+  EXPECT_NE(text.find("\"odd\\\"name\\\\\""), std::string::npos) << text;
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_EQ(text.back(), '\n');
+  std::remove(path.c_str());
+}
+
 TEST(ExpCommon, PaperRosterHasFiveAlgorithmsInTableOrder) {
   const auto roster = paper_roster();
   ASSERT_EQ(roster.size(), 5u);

@@ -103,6 +103,51 @@ TEST_F(EnsembleFixture, ActionGradientAveragesMatchFiniteDifference) {
   }
 }
 
+TEST_F(EnsembleFixture, TrainRoundBitIdenticalAcrossThreadCounts) {
+  // Each member trains on its own derive_seed-derived stream, so the pooled
+  // and serial paths must produce *identical* parameters — not just close.
+  Rng rng_a(11), rng_b(11);
+  CriticEnsemble serial(3, 3, 3, config, rng_a);
+  CriticEnsemble pooled(3, 3, 3, config, rng_b);
+  PseudoSampleBatcher batcher(records, scaler);
+  ThreadPool pool1(1), pool4(4);
+  serial.fit_normalizer(records, &pool1);
+  pooled.fit_normalizer(records, &pool4);
+
+  Rng trng_a(12), trng_b(12);
+  double loss_a = 0.0, loss_b = 0.0;
+  for (int round = 0; round < 3; ++round) {
+    loss_a = serial.train_round(batcher, trng_a, &pool1);
+    loss_b = pooled.train_round(batcher, trng_b, &pool4);
+  }
+  EXPECT_DOUBLE_EQ(loss_a, loss_b);
+  for (std::size_t m = 0; m < serial.size(); ++m) {
+    const auto pa = serial.member(m).network().params();
+    const auto pb = pooled.member(m).network().params();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t p = 0; p < pa.size(); ++p) {
+      ASSERT_EQ(pa[p].value->size(), pb[p].value->size());
+      for (std::size_t i = 0; i < pa[p].value->size(); ++i)
+        ASSERT_EQ((*pa[p].value)[i], (*pb[p].value)[i]) << "member " << m << " param " << p;
+    }
+  }
+}
+
+TEST_F(EnsembleFixture, TrainRoundAdvancesCallerRngIndependentlyOfMemberCount) {
+  // The caller's rng must advance identically whether the ensemble has 1 or
+  // 4 members, so optimizer runs stay reproducible across ablation configs.
+  Rng rng_a(13), rng_b(13);
+  CriticEnsemble small(1, 3, 3, config, rng_a);
+  CriticEnsemble large(4, 3, 3, config, rng_b);
+  small.fit_normalizer(records);
+  large.fit_normalizer(records);
+  PseudoSampleBatcher batcher(records, scaler);
+  Rng trng_a(14), trng_b(14);
+  small.train_round(batcher, trng_a);
+  large.train_round(batcher, trng_b);
+  EXPECT_EQ(trng_a.next(), trng_b.next());
+}
+
 TEST_F(EnsembleFixture, ParameterCountScalesLinearly) {
   Rng rng(9);
   CriticEnsemble one(1, 3, 3, config, rng);
