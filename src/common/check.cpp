@@ -1,0 +1,26 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace maopt::detail {
+
+void contract_fail(const char* cond, const char* file, int line, const std::string& msg) {
+  std::string what = msg;
+  what += " (check `";
+  what += cond;
+  what += "` failed at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  what += ")";
+  throw ContractViolation(what);
+}
+
+void dcheck_fail(const char* cond, const char* file, int line, const char* msg) noexcept {
+  std::fprintf(stderr, "MAOPT_DCHECK failed: %s — `%s` at %s:%d\n", msg, cond, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace maopt::detail

@@ -35,6 +35,7 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  MAOPT_CHECK(static_cast<bool>(fn), "ThreadPool::parallel_for: null function");
   // Chunked dispatch: one task per worker covering a contiguous index range,
   // so tiny per-index bodies pay queue/future overhead once per chunk rather
   // than once per index.
@@ -50,7 +51,20 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  // Drain EVERY chunk before propagating a failure: the tasks capture `fn`
+  // by reference, so returning (or throwing) while any chunk is still
+  // queued or running would leave workers touching a dead object. The first
+  // exception (in chunk order, which is deterministic) wins; later ones are
+  // swallowed after their chunks finish.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace maopt

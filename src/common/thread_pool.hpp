@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace maopt {
 
 class ThreadPool {
@@ -26,6 +28,8 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueue a task; the returned future yields its result (or exception).
+  /// Submitting to a pool whose destructor has begun is a contract
+  /// violation (the task could never run).
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -33,6 +37,7 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mutex_);
+      MAOPT_CHECK(!stop_, "ThreadPool::submit: pool is shutting down");
       tasks_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -41,8 +46,11 @@ class ThreadPool {
 
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
   /// Indices are dispatched as ceil(n / workers) contiguous chunks (one task
-  /// per worker). Exceptions from tasks are rethrown (the first encountered);
-  /// a throwing index skips the remainder of its own chunk only.
+  /// per worker). Exceptions from tasks are rethrown (the first encountered,
+  /// in chunk order); a throwing index skips the remainder of its own chunk
+  /// only. All chunks — including ones that threw — are waited on before
+  /// this returns or rethrows, so `fn` and everything it captures are
+  /// guaranteed unreferenced afterwards.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -1,6 +1,6 @@
 #include "core/critic.hpp"
 
-#include <stdexcept>
+#include "common/check.hpp"
 
 namespace maopt::core {
 
@@ -27,13 +27,19 @@ Critic::Critic(const Critic& other)
       norm_(other.norm_) {}
 
 void Critic::fit_normalizer(const std::vector<SimRecord>& records) {
+  MAOPT_CHECK(!records.empty(), "Critic::fit_normalizer: empty population");
   nn::Mat metrics(records.size(), num_metrics_);
-  for (std::size_t i = 0; i < records.size(); ++i)
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    MAOPT_CHECK(records[i].metrics.size() == num_metrics_,
+                "Critic::fit_normalizer: record metric count != num_metrics");
     for (std::size_t j = 0; j < num_metrics_; ++j) metrics(i, j) = records[i].metrics[j];
+  }
   norm_.fit(metrics);
 }
 
 double Critic::train_round(const PseudoSampleBatcher& batcher, Rng& rng) {
+  MAOPT_CHECK(norm_.fitted(), "Critic::train_round: fit_normalizer must run first");
+  MAOPT_CHECK(config_.batch_size > 0, "Critic::train_round: batch_size must be >= 1");
   double total = 0.0;
   for (int s = 0; s < config_.steps_per_round; ++s) {
     batcher.sample(config_.batch_size, rng, batch_x_, batch_y_raw_);
@@ -46,7 +52,11 @@ double Critic::train_round(const PseudoSampleBatcher& batcher, Rng& rng) {
   return total / std::max(1, config_.steps_per_round);
 }
 
-nn::Mat Critic::predict(const nn::Mat& x_dx) { return norm_.inverse(mlp_.forward(x_dx)); }
+nn::Mat Critic::predict(const nn::Mat& x_dx) {
+  MAOPT_CHECK(x_dx.cols() == 2 * dim_, "Critic::predict: input must be (batch x 2*dim)");
+  MAOPT_CHECK(norm_.fitted(), "Critic::predict: fit_normalizer must run first");
+  return norm_.inverse(mlp_.forward(x_dx));
+}
 
 Vec Critic::predict_one(const Vec& x_unit, const Vec& dx_unit) {
   nn::Mat in(1, 2 * dim_);
@@ -59,6 +69,8 @@ Vec Critic::predict_one(const Vec& x_unit, const Vec& dx_unit) {
 }
 
 nn::Mat Critic::action_gradient(const nn::Mat& d_loss_d_raw_metrics) {
+  MAOPT_CHECK(d_loss_d_raw_metrics.cols() == num_metrics_,
+              "Critic::action_gradient: gradient width != num_metrics");
   // Chain through the inverse z-score: raw = z * std + mean  =>  dz = draw * std.
   nn::Mat dz = d_loss_d_raw_metrics;
   const Vec& std = norm_.std();
@@ -73,7 +85,8 @@ nn::Mat Critic::action_gradient(const nn::Mat& d_loss_d_raw_metrics) {
 
 CriticEnsemble::CriticEnsemble(std::size_t num_critics, std::size_t dim,
                                std::size_t num_metrics, const CriticConfig& config, Rng& rng) {
-  if (num_critics == 0) throw std::invalid_argument("CriticEnsemble: need >= 1 member");
+  MAOPT_CHECK(num_critics > 0, "CriticEnsemble: need >= 1 member");
+  MAOPT_CHECK(dim > 0 && num_metrics > 0, "CriticEnsemble: zero-dimensional surrogate");
   members_.reserve(num_critics);
   for (std::size_t i = 0; i < num_critics; ++i) members_.emplace_back(dim, num_metrics, config, rng);
 }

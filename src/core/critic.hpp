@@ -59,7 +59,7 @@ class Critic final : public Surrogate {
   bool normalizer_ready() const { return norm_.fitted(); }
   std::size_t dim() const override { return dim_; }
   std::size_t num_metrics() const override { return num_metrics_; }
-  std::size_t num_parameters() const { return const_cast<nn::Mlp&>(mlp_).num_parameters(); }
+  std::size_t num_parameters() const { return mlp_.num_parameters(); }
   nn::Mlp& network() { return mlp_; }
 
  private:

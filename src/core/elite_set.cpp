@@ -1,17 +1,25 @@
 #include "core/elite_set.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+#include <cmath>
+
+#include "common/check.hpp"
 
 namespace maopt::core {
 
 EliteSet::EliteSet(std::size_t capacity) : capacity_(capacity) {
-  if (capacity == 0) throw std::invalid_argument("EliteSet: capacity must be >= 1");
+  MAOPT_CHECK(capacity > 0, "EliteSet: capacity must be >= 1");
   entries_.reserve(capacity);
 }
 
 bool EliteSet::try_insert(const Vec& x, double fom) {
+  // A NaN FoM would violate the strict weak ordering the sorted vector
+  // relies on and silently corrupt the ranking.
+  MAOPT_CHECK(!std::isnan(fom), "EliteSet::try_insert: NaN FoM");
+  MAOPT_CHECK(!x.empty(), "EliteSet::try_insert: empty design vector");
   std::lock_guard lock(mutex_);
+  MAOPT_CHECK(entries_.empty() || x.size() == entries_.front().x.size(),
+              "EliteSet::try_insert: design dimension differs from existing members");
   if (entries_.size() >= capacity_ && fom >= entries_.back().fom) return false;
   const auto pos = std::upper_bound(entries_.begin(), entries_.end(), fom,
                                     [](double f, const Entry& e) { return f < e.fom; });
@@ -27,13 +35,13 @@ std::vector<EliteSet::Entry> EliteSet::snapshot() const {
 
 EliteSet::Entry EliteSet::best() const {
   std::lock_guard lock(mutex_);
-  if (entries_.empty()) throw std::logic_error("EliteSet: empty");
+  MAOPT_CHECK(!entries_.empty(), "EliteSet::best: empty");
   return entries_.front();
 }
 
 void EliteSet::bounds(Vec& lower, Vec& upper) const {
   std::lock_guard lock(mutex_);
-  if (entries_.empty()) throw std::logic_error("EliteSet: empty");
+  MAOPT_CHECK(!entries_.empty(), "EliteSet::bounds: empty");
   const std::size_t d = entries_.front().x.size();
   lower.assign(d, 1e300);
   upper.assign(d, -1e300);

@@ -2,17 +2,23 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace maopt::core {
 
 Vec near_sampling_candidate(const ckt::SizingProblem& problem, const FomEvaluator& fom,
                             Surrogate& critic, const nn::RangeScaler& scaler, const Vec& x_opt_raw,
                             const NearSamplingConfig& config, Rng& rng) {
   const std::size_t d = problem.dim();
+  MAOPT_CHECK(x_opt_raw.size() == d, "near_sampling: x_opt dimension != problem dim");
+  MAOPT_CHECK(critic.dim() == d, "near_sampling: critic dimension != problem dim");
+  MAOPT_CHECK(config.num_samples >= 1, "near_sampling: num_samples must be >= 1");
+  MAOPT_CHECK(config.delta_frac > 0.0, "near_sampling: delta_frac must be positive");
   const Vec& lo = problem.lower_bounds();
   const Vec& hi = problem.upper_bounds();
   const Vec x_opt_unit = scaler.to_unit(x_opt_raw);
 
-  const auto n = static_cast<std::size_t>(std::max(1, config.num_samples));
+  const auto n = static_cast<std::size_t>(config.num_samples);
   std::vector<Vec> raw_samples;
   raw_samples.reserve(n);
   nn::Mat critic_in(n, 2 * d);

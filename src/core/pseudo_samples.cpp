@@ -1,19 +1,23 @@
 #include "core/pseudo_samples.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "common/check.hpp"
 
 namespace maopt::core {
 
 PseudoSampleBatcher::PseudoSampleBatcher(const std::vector<SimRecord>& records,
                                          const nn::RangeScaler& scaler) {
-  if (records.empty()) throw std::invalid_argument("PseudoSampleBatcher: empty population");
+  MAOPT_CHECK(!records.empty(), "PseudoSampleBatcher: empty population");
   const std::size_t n = records.size();
   const std::size_t d = records.front().x.size();
   const std::size_t m1 = records.front().metrics.size();
+  MAOPT_CHECK(d > 0 && m1 > 0, "PseudoSampleBatcher: zero-dimensional records");
   unit_.ensure_shape(n, d);
   metrics_.ensure_shape(n, m1);
   for (std::size_t i = 0; i < n; ++i) {
+    MAOPT_CHECK(records[i].x.size() == d && records[i].metrics.size() == m1,
+                "PseudoSampleBatcher: inconsistent record dimensions");
     const Vec u = scaler.to_unit(records[i].x);
     std::copy(u.begin(), u.end(), unit_.row(i).begin());
     std::copy(records[i].metrics.begin(), records[i].metrics.end(), metrics_.row(i).begin());
@@ -21,6 +25,7 @@ PseudoSampleBatcher::PseudoSampleBatcher(const std::vector<SimRecord>& records,
 }
 
 void PseudoSampleBatcher::sample(std::size_t batch, Rng& rng, nn::Mat& x, nn::Mat& y) const {
+  MAOPT_CHECK(batch > 0, "PseudoSampleBatcher::sample: batch must be >= 1");
   const std::size_t n = unit_.rows();
   const std::size_t d = unit_.cols();
   const std::size_t m1 = metrics_.cols();

@@ -1,8 +1,8 @@
 #include "linalg/gemm.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
+#include "common/check.hpp"
 #include "common/thread_pool.hpp"
 
 namespace maopt::linalg {
@@ -22,16 +22,39 @@ constexpr std::size_t kColsTile = 256;
 // ifunc resolver picks a 4-wide FMA clone of the same source at load time,
 // so the plain build still gets vector throughput without -march=native.
 // (With MAOPT_NATIVE=ON the whole TU is already compiled for the host and
-// cloning would be redundant.)
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && !defined(__AVX2__)
+// cloning would be redundant.) Sanitizer builds must not clone: the ifunc
+// resolver runs before the sanitizer runtime initializes, and the clones
+// hide reports behind uninstrumented dispatch — MAOPT_SAN defines
+// MAOPT_NO_TARGET_CLONES (and GCC's own __SANITIZE_* macros back it up for
+// ASan/TSan).
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && !defined(__AVX2__) && \
+    !defined(MAOPT_NO_TARGET_CLONES) && !defined(__SANITIZE_ADDRESS__) &&                    \
+    !defined(__SANITIZE_THREAD__)
 #define MAOPT_GEMM_CLONES __attribute__((target_clones("default", "arch=x86-64-v3")))
 #else
 #define MAOPT_GEMM_CLONES
 #endif
 
+namespace {
+// Shared precondition of the three raw kernels: when any work is implied,
+// all panels must be real memory (a null here was silent UB before).
+inline void dcheck_gemm_args(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                             const double* b, const double* c) {
+  MAOPT_DCHECK(m == 0 || n == 0 || k == 0 || (a != nullptr && b != nullptr && c != nullptr),
+               "gemm: null operand with nonzero extents");
+  (void)m;
+  (void)n;
+  (void)k;
+  (void)a;
+  (void)b;
+  (void)c;
+}
+}  // namespace
+
 MAOPT_GEMM_CLONES
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a, const double* b,
              double* c) {
+  dcheck_gemm_args(m, n, k, a, b, c);
   for (std::size_t jj = 0; jj < n; jj += kColsTile) {
     const std::size_t jend = std::min(n, jj + kColsTile);
     for (std::size_t kk = 0; kk < k; kk += kDepthTile) {
@@ -98,6 +121,7 @@ void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a, const
 MAOPT_GEMM_CLONES
 void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a, const double* b,
              double* c) {
+  dcheck_gemm_args(m, n, k, a, b, c);
   // A is (k x m): column i of A^T is the stride-m column i of A.
   for (std::size_t kk = 0; kk < k; kk += kDepthTile) {
     const std::size_t kend = std::min(k, kk + kDepthTile);
@@ -162,6 +186,7 @@ void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a, const
 MAOPT_GEMM_CLONES
 void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a, const double* b,
              double* c) {
+  dcheck_gemm_args(m, n, k, a, b, c);
   // c(i, j) = dot(A.row(i), B.row(j)): both operands contiguous. A 2x4 block
   // of dot products per pass shares each quartet of B loads between two A
   // rows, halving the streamed bytes per flop.
@@ -243,7 +268,8 @@ void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a, const
 }
 
 void matmul_blocked(const Mat& a, const Mat& b, Mat& c) {
-  if (a.cols() != b.rows()) throw std::invalid_argument("matmul_blocked: dimension mismatch");
+  MAOPT_CHECK(a.cols() == b.rows(), "matmul_blocked: dimension mismatch");
+  MAOPT_CHECK(&c != &a && &c != &b, "matmul_blocked: c must not alias an operand");
   c.ensure_shape(a.rows(), b.cols());
   c.fill(0.0);
   gemm_nn(a.rows(), b.cols(), a.cols(), a.data().data(), b.data().data(), c.data().data());
@@ -256,7 +282,8 @@ Mat matmul_blocked(const Mat& a, const Mat& b) {
 }
 
 void matmul_parallel(const Mat& a, const Mat& b, Mat& c, ThreadPool& pool, double min_flops) {
-  if (a.cols() != b.rows()) throw std::invalid_argument("matmul_parallel: dimension mismatch");
+  MAOPT_CHECK(a.cols() == b.rows(), "matmul_parallel: dimension mismatch");
+  MAOPT_CHECK(&c != &a && &c != &b, "matmul_parallel: c must not alias an operand");
   const std::size_t m = a.rows(), n = b.cols(), k = a.cols();
   const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
                        static_cast<double>(k);

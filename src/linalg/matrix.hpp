@@ -3,12 +3,14 @@
 // and the Gaussian-process baseline (real, SPD systems).
 #pragma once
 
-#include <cassert>
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <span>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace maopt::linalg {
 
@@ -23,7 +25,7 @@ class Matrix {
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
   Matrix(std::size_t rows, std::size_t cols, std::initializer_list<T> values)
       : rows_(rows), cols_(cols), data_(values) {
-    assert(data_.size() == rows * cols);
+    MAOPT_CHECK(data_.size() == rows * cols, "Matrix: initializer size != rows * cols");
   }
 
   std::size_t rows() const { return rows_; }
@@ -31,20 +33,32 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   T& operator()(std::size_t r, std::size_t c) {
-    assert(r < rows_ && c < cols_);
+    MAOPT_DCHECK(r < rows_ && c < cols_, "Matrix: index out of range");
     return data_[r * cols_ + c];
   }
   const T& operator()(std::size_t r, std::size_t c) const {
-    assert(r < rows_ && c < cols_);
+    MAOPT_DCHECK(r < rows_ && c < cols_, "Matrix: index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access: like operator() but the range check is
+  /// compiled into every build flavor (throws ContractViolation). Use on
+  /// cold paths and anywhere indices come from external input.
+  T& at(std::size_t r, std::size_t c) {
+    MAOPT_CHECK(r < rows_ && c < cols_, "Matrix::at: index out of range");
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    MAOPT_CHECK(r < rows_ && c < cols_, "Matrix::at: index out of range");
     return data_[r * cols_ + c];
   }
 
   std::span<T> row(std::size_t r) {
-    assert(r < rows_);
+    MAOPT_DCHECK(r < rows_, "Matrix::row: index out of range");
     return {data_.data() + r * cols_, cols_};
   }
   std::span<const T> row(std::size_t r) const {
-    assert(r < rows_);
+    MAOPT_DCHECK(r < rows_, "Matrix::row: index out of range");
     return {data_.data() + r * cols_, cols_};
   }
 
@@ -56,6 +70,7 @@ class Matrix {
     rows_ = rows;
     cols_ = cols;
     data_.assign(rows * cols, fill);
+    ++generation_;
   }
   /// Reshape without clearing retained elements; reuses capacity, so a
   /// buffer reshaped to the same (or smaller) size never reallocates.
@@ -64,7 +79,16 @@ class Matrix {
     rows_ = rows;
     cols_ = cols;
     data_.resize(rows * cols);
+    ++generation_;
   }
+
+  /// Buffer-reuse generation: bumped by every reshape (ensure_shape /
+  /// resize), i.e. whenever previously read contents become unspecified.
+  /// Consumers that borrow a matrix across calls (Linear's forward input)
+  /// snapshot this and verify it unchanged when they finally read — the
+  /// machine-checked form of the "keep the input alive until backward"
+  /// lifetime contract in nn/layer.hpp.
+  std::uint64_t generation() const { return generation_; }
 
   static Matrix identity(std::size_t n) {
     Matrix m(n, n);
@@ -83,6 +107,7 @@ class Matrix {
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<T> data_;
+  std::uint64_t generation_ = 0;
 };
 
 using Mat = Matrix<double>;

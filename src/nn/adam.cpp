@@ -8,7 +8,10 @@ namespace {
 
 // Same runtime dispatch as the GEMM kernels: the sqrt/divide chain here is
 // the second-hottest loop in training, and the AVX2 clone retires it 4-wide.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && !defined(__AVX2__)
+// Cloning is disabled under sanitizers for the same reasons as in gemm.cpp.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && !defined(__AVX2__) && \
+    !defined(MAOPT_NO_TARGET_CLONES) && !defined(__SANITIZE_ADDRESS__) &&                    \
+    !defined(__SANITIZE_THREAD__)
 __attribute__((target_clones("default", "arch=x86-64-v3")))
 #endif
 void adam_update(double* value, double* grad, double* m, double* v, std::size_t size,

@@ -1,21 +1,23 @@
 #include "nn/layer.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
+#include "common/check.hpp"
 #include "linalg/gemm.hpp"
 
 namespace maopt::nn {
 
 Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
     : in_(in), out_(out), w_(in * out), b_(out, 0.0), dw_(in * out, 0.0), db_(out, 0.0) {
+  MAOPT_CHECK(in > 0 && out > 0, "Linear: zero-sized layer");
   const double limit = std::sqrt(6.0 / static_cast<double>(in + out));
   for (auto& w : w_) w = rng.uniform(-limit, limit);
 }
 
 const Mat& Linear::forward(const Mat& x) {
-  if (x.cols() != in_) throw std::invalid_argument("Linear::forward: feature size mismatch");
+  MAOPT_CHECK(x.cols() == in_, "Linear::forward: feature size mismatch");
   last_x_ = &x;  // borrowed: callers keep the input alive until backward
+  last_x_gen_ = x.generation();
   Mat& y = ws_.acquire(kFwdSlot, x.rows(), out_);
   for (std::size_t r = 0; r < y.rows(); ++r) {
     auto yrow = y.row(r);
@@ -25,14 +27,23 @@ const Mat& Linear::forward(const Mat& x) {
   return y;
 }
 
+void Linear::check_backward_input(const Mat& dy, const char* who) const {
+  MAOPT_CHECK(last_x_ != nullptr, std::string(who) + ": backward before forward");
+  MAOPT_CHECK(dy.rows() == last_x_->rows() && dy.cols() == out_,
+              std::string(who) + ": shape mismatch");
+  // Borrow guard: the forward input must not have been reshaped (its
+  // contents made unspecified) between forward() and this read.
+  MAOPT_DCHECK(last_x_->generation() == last_x_gen_,
+               "Linear: borrowed forward input was invalidated before backward");
+}
+
 const Mat& Linear::backward(const Mat& dy) {
   param_gradient(dy);
   return input_gradient_into(dy);
 }
 
 void Linear::param_gradient(const Mat& dy) {
-  if (last_x_ == nullptr || dy.rows() != last_x_->rows() || dy.cols() != out_)
-    throw std::invalid_argument("Linear::backward: shape mismatch");
+  check_backward_input(dy, "Linear::backward");
   for (std::size_t r = 0; r < dy.rows(); ++r) {
     const auto dyrow = dy.row(r);
     for (std::size_t j = 0; j < out_; ++j) db_[j] += dyrow[j];
@@ -42,8 +53,7 @@ void Linear::param_gradient(const Mat& dy) {
 }
 
 const Mat& Linear::input_gradient(const Mat& dy) {
-  if (last_x_ == nullptr || dy.rows() != last_x_->rows() || dy.cols() != out_)
-    throw std::invalid_argument("Linear::input_gradient: shape mismatch");
+  check_backward_input(dy, "Linear::input_gradient");
   return input_gradient_into(dy);
 }
 
@@ -59,6 +69,10 @@ std::vector<ParamRef> Linear::params() {
   return {{&w_, &dw_}, {&b_, &db_}};
 }
 
+std::vector<ConstParamRef> Linear::params() const {
+  return {{&w_, &dw_}, {&b_, &db_}};
+}
+
 std::unique_ptr<Layer> Linear::clone() const {
   // Bypass the rng-initializing constructor, then copy the weights.
   Rng dummy(0);
@@ -69,6 +83,7 @@ std::unique_ptr<Layer> Linear::clone() const {
 }
 
 const Mat& Tanh::forward(const Mat& x) {
+  MAOPT_CHECK(x.cols() == size_, "Tanh::forward: feature size mismatch");
   Mat& y = ws_.acquire(kFwdSlot, x.rows(), x.cols());
   const auto& xv = x.data();
   auto& yv = y.data();
@@ -78,7 +93,9 @@ const Mat& Tanh::forward(const Mat& x) {
 
 const Mat& Tanh::backward(const Mat& dy) {
   // The cached forward output doubles as the derivative source: 1 - y^2.
-  const Mat& y = ws_.acquire(kFwdSlot, dy.rows(), dy.cols());
+  // peek() verifies the cached shape matches dy instead of re-acquiring
+  // (which would mark the cached values unspecified).
+  const Mat& y = ws_.peek(kFwdSlot, dy.rows(), dy.cols());
   Mat& dx = ws_.acquire(kBwdSlot, dy.rows(), dy.cols());
   const auto& yv = y.data();
   const auto& dyv = dy.data();
@@ -88,6 +105,7 @@ const Mat& Tanh::backward(const Mat& dy) {
 }
 
 const Mat& Relu::forward(const Mat& x) {
+  MAOPT_CHECK(x.cols() == size_, "Relu::forward: feature size mismatch");
   Mat& y = ws_.acquire(kFwdSlot, x.rows(), x.cols());
   const auto& xv = x.data();
   auto& yv = y.data();
@@ -97,7 +115,7 @@ const Mat& Relu::forward(const Mat& x) {
 
 const Mat& Relu::backward(const Mat& dy) {
   // y > 0 <=> x > 0, so the forward output is its own activation mask.
-  const Mat& y = ws_.acquire(kFwdSlot, dy.rows(), dy.cols());
+  const Mat& y = ws_.peek(kFwdSlot, dy.rows(), dy.cols());
   Mat& dx = ws_.acquire(kBwdSlot, dy.rows(), dy.cols());
   const auto& yv = y.data();
   const auto& dyv = dy.data();

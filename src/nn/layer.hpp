@@ -11,11 +11,15 @@
 // the steady-state training loop never touches the allocator. The returned
 // matrix stays valid until the same layer's next forward/backward call; copy
 // it if you need it longer. Layers borrow (not copy) the forward input, so
-// the matrix passed to forward() must stay alive until the matching
-// backward-family call completes.
+// the matrix passed to forward() must stay alive — and keep its contents —
+// until the matching backward-family call completes. Checked builds
+// (MAOPT_CHECKED / Debug) enforce this with a borrow guard: the layer
+// snapshots the input's Matrix::generation() at forward() and aborts if the
+// buffer was reshaped before backward read it.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -33,6 +37,13 @@ using linalg::Vec;
 struct ParamRef {
   Vec* value;
   Vec* grad;
+};
+
+/// Read-only view of a layer's parameters — what const inspection paths
+/// (parameter counting, serialization probes) get from params() const.
+struct ConstParamRef {
+  const Vec* value;
+  const Vec* grad;
 };
 
 class Layer {
@@ -56,6 +67,10 @@ class Layer {
 
   /// Parameter (value, grad) pairs; empty for stateless layers.
   virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Read-only parameter views for const inspection; empty for stateless
+  /// layers. Overridden together with the mutable overload.
+  virtual std::vector<ConstParamRef> params() const { return {}; }
 
   /// Deep copy (weights copied, gradients and caches reset) — used to hand
   /// each worker thread a private critic during parallel actor training.
@@ -83,6 +98,7 @@ class Linear final : public Layer {
   const Mat& input_gradient(const Mat& dy) override;
   void param_gradient(const Mat& dy) override;
   std::vector<ParamRef> params() override;
+  std::vector<ConstParamRef> params() const override;
   std::unique_ptr<Layer> clone() const override;
 
   std::size_t input_size() const override { return in_; }
@@ -94,6 +110,7 @@ class Linear final : public Layer {
 
  private:
   const Mat& input_gradient_into(const Mat& dy);
+  void check_backward_input(const Mat& dy, const char* who) const;
 
   std::size_t in_;
   std::size_t out_;
@@ -103,8 +120,11 @@ class Linear final : public Layer {
   // family. Valid because every caller keeps the input alive until after
   // backward: inside an Mlp each layer's input is the previous layer's
   // workspace buffer (stable until that layer's next forward), and the
-  // bottom layer's input is the caller's batch matrix.
+  // bottom layer's input is the caller's batch matrix. `last_x_gen_` is the
+  // borrow guard: checked builds verify the buffer was not reshaped between
+  // forward() and the backward-family read.
   const Mat* last_x_ = nullptr;
+  std::uint64_t last_x_gen_ = 0;
 };
 
 /// Elementwise tanh.

@@ -1,7 +1,9 @@
 #include "nn/mlp.hpp"
 
 #include <iterator>
-#include <stdexcept>
+#include <utility>
+
+#include "common/check.hpp"
 
 namespace maopt::nn {
 
@@ -80,18 +82,23 @@ std::vector<ParamRef> Mlp::params() {
   return out;
 }
 
+std::vector<ConstParamRef> Mlp::params() const {
+  std::vector<ConstParamRef> out;
+  for (const auto& layer : layers_)
+    for (const auto& p : std::as_const(*layer).params()) out.push_back(p);
+  return out;
+}
+
 std::size_t Mlp::num_parameters() const {
   std::size_t n = 0;
-  for (const auto& layer : layers_) {
-    // params() is non-const on Layer; const_cast is safe (read-only use).
-    for (const auto& p : const_cast<Layer&>(*layer).params()) n += p.value->size();
-  }
+  for (const auto& p : params()) n += p.value->size();
   return n;
 }
 
 double mse_loss(const Mat& pred, const Mat& target, Mat* grad) {
-  if (pred.rows() != target.rows() || pred.cols() != target.cols())
-    throw std::invalid_argument("mse_loss: shape mismatch");
+  MAOPT_CHECK(pred.rows() == target.rows() && pred.cols() == target.cols(),
+              "mse_loss: shape mismatch");
+  MAOPT_CHECK(!pred.empty(), "mse_loss: empty prediction");
   const double n = static_cast<double>(pred.data().size());
   double loss = 0.0;
   if (grad) grad->ensure_shape(pred.rows(), pred.cols());  // every entry written below

@@ -42,6 +42,7 @@ class Mlp {
 
   void zero_grad();
   std::vector<ParamRef> params();
+  std::vector<ConstParamRef> params() const;
 
   std::size_t input_size() const { return layers_.front()->input_size(); }
   std::size_t output_size() const { return layers_.back()->output_size(); }

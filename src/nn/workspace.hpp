@@ -4,12 +4,24 @@
 // forward/backward calls: after the first minibatch of a given shape, the
 // thousands of Adam steps in a run touch the allocator zero times. Slots are
 // reshaped with Matrix::ensure_shape, which reuses capacity and leaves
-// contents unspecified — acquirers must overwrite every entry.
+// contents unspecified — acquirers must overwrite every entry. Reading a
+// value cached by an earlier acquire goes through peek(), which verifies
+// the slot still has the expected shape instead of silently handing back a
+// reshaped buffer.
+//
+// Slots are heap-allocated individually so the references returned by
+// acquire()/peek() stay valid until clear(), even when a later acquire
+// grows the slot table. (A flat vector<Mat> would reallocate on growth and
+// dangle every outstanding reference — caught by ASan the moment a layer
+// held its forward slot across the first backward-slot acquire.)
 #pragma once
 
 #include <cstddef>
+#include <limits>
+#include <memory>
 #include <vector>
 
+#include "common/check.hpp"
 #include "linalg/matrix.hpp"
 
 namespace maopt::nn {
@@ -18,18 +30,45 @@ using linalg::Mat;
 
 class Workspace {
  public:
+  /// Any id at or above this is a corrupted or miscomputed slot id, not a
+  /// legitimate scratch buffer (layers use single-digit ids).
+  static constexpr std::size_t kMaxSlots = 64;
+
   /// Slot `id` reshaped to (rows x cols); grows the slot table on demand.
+  /// Contents are unspecified — the acquirer must overwrite every entry
+  /// before any read (checked builds enforce this for borrowed inputs via
+  /// Matrix::generation()). The returned reference stays valid until
+  /// clear(), regardless of later acquires.
   Mat& acquire(std::size_t id, std::size_t rows, std::size_t cols) {
+    MAOPT_CHECK(id < kMaxSlots, "Workspace::acquire: slot id out of range");
+    MAOPT_CHECK(cols == 0 || rows <= std::numeric_limits<std::size_t>::max() / cols,
+                "Workspace::acquire: rows * cols overflows");
     if (id >= slots_.size()) slots_.resize(id + 1);
-    slots_[id].ensure_shape(rows, cols);
-    return slots_[id];
+    if (!slots_[id]) slots_[id] = std::make_unique<Mat>();
+    slots_[id]->ensure_shape(rows, cols);
+    return *slots_[id];
   }
+
+  /// Read-only access to the values an earlier acquire() left in slot `id`.
+  /// Unlike re-acquiring, this neither reshapes nor invalidates the buffer;
+  /// it checks the slot exists and still has the expected shape (catches
+  /// backward calls whose batch does not match the cached forward).
+  const Mat& peek(std::size_t id, std::size_t rows, std::size_t cols) const {
+    MAOPT_CHECK(id < slots_.size() && slots_[id], "Workspace::peek: slot never acquired");
+    const Mat& m = *slots_[id];
+    MAOPT_CHECK(m.rows() == rows && m.cols() == cols,
+                "Workspace::peek: cached slot shape does not match");
+    return m;
+  }
+
+  std::size_t num_slots() const { return slots_.size(); }
 
   /// Releases all slot storage (shapes and capacity).
   void clear() { slots_.clear(); }
 
  private:
-  std::vector<Mat> slots_;
+  // unique_ptr per slot = address stability across slot-table growth.
+  std::vector<std::unique_ptr<Mat>> slots_;
 };
 
 }  // namespace maopt::nn

@@ -1,0 +1,64 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace maopt {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(MAOPT_CHECK(1 + 1 == 2, "arithmetic broke"));
+}
+
+TEST(Check, FailingCheckThrowsContractViolation) {
+  EXPECT_THROW(MAOPT_CHECK(false, "always fails"), ContractViolation);
+}
+
+TEST(Check, ContractViolationIsInvalidArgument) {
+  // Call sites migrated from `throw std::invalid_argument` must keep their
+  // existing catch behavior (and std::invalid_argument is-a logic_error).
+  EXPECT_THROW(MAOPT_CHECK(false, "x"), std::invalid_argument);
+  EXPECT_THROW(MAOPT_CHECK(false, "x"), std::logic_error);
+}
+
+TEST(Check, MessageCarriesConditionAndLocation) {
+  try {
+    MAOPT_CHECK(2 < 1, "ordering violated");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ordering violated"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageExpressionOnlyEvaluatedOnFailure) {
+  int evaluations = 0;
+  auto msg = [&evaluations] {
+    ++evaluations;
+    return std::string("expensive");
+  };
+  MAOPT_CHECK(true, msg());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(MAOPT_CHECK(false, msg()), ContractViolation);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckDeathTest, DcheckAbortsWhenEnabled) {
+#if MAOPT_DCHECK_ENABLED
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(MAOPT_DCHECK(false, "hot-loop invariant"), "hot-loop invariant");
+#else
+  // Release flavor: the check must compile away entirely.
+  EXPECT_NO_FATAL_FAILURE(MAOPT_DCHECK(false, "hot-loop invariant"));
+#endif
+}
+
+TEST(Check, DcheckPassesSilently) {
+  EXPECT_NO_FATAL_FAILURE(MAOPT_DCHECK(true, "fine"));
+}
+
+}  // namespace
+}  // namespace maopt

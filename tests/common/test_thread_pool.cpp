@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+
+#include "common/check.hpp"
 
 namespace maopt {
 namespace {
@@ -58,6 +62,76 @@ TEST(ThreadPool, ManyTasksAllComplete) {
   for (int i = 1; i <= 500; ++i) futs.push_back(pool.submit([&sum, i] { sum += i; }));
   for (auto& f : futs) f.get();
   EXPECT_EQ(sum.load(), 500L * 501 / 2);
+}
+
+TEST(ThreadPool, ParallelForDrainsAllChunksBeforeRethrow) {
+  // Regression: parallel_for used to rethrow from the first failed future
+  // while later chunks could still be queued or running — and those chunks
+  // reference `fn`, which dies when parallel_for unwinds. The contract is
+  // now: every chunk (even after a failure) completes before the rethrow,
+  // so no index is ever visited after parallel_for returns.
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  std::atomic<bool> returned{false};
+  std::atomic<bool> late_visit{false};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (returned.load()) late_visit = true;
+                          if (i == 0) throw std::runtime_error("first chunk fails fast");
+                          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                          visited.fetch_add(1);
+                        }),
+      std::runtime_error);
+  returned = true;
+  // Give any (incorrectly) still-running chunk time to trip the flag.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(late_visit.load());
+  // 4 workers x 16-index chunks, one index threw and skipped its chunk tail.
+  EXPECT_EQ(visited.load(), 48);
+}
+
+TEST(ThreadPool, ThrowingWorkerUnderConcurrentSubmits) {
+  // A worker throwing from parallel_for must not poison unrelated tasks
+  // that race with it through the same queue, and the pool must stay
+  // usable afterwards.
+  constexpr int kSideTasks = 50;
+  ThreadPool pool(3);
+  std::atomic<bool> submitter_done{false};
+  std::atomic<int> side_tasks_ok{0};
+  std::thread submitter([&] {
+    std::vector<std::future<int>> futs;
+    futs.reserve(kSideTasks);
+    for (int i = 0; i < kSideTasks; ++i) {
+      futs.push_back(pool.submit([] { return 1; }));
+      std::this_thread::yield();
+    }
+    for (auto& f : futs) side_tasks_ok += f.get();
+    submitter_done = true;
+  });
+  // Keep throwing parallel_for rounds racing through the queue until every
+  // side task made it (at least 10 rounds even if the submitter wins the
+  // race outright; hard cap so a wedged pool fails instead of hanging).
+  for (int round = 0; round < 10 || (!submitter_done.load() && round < 10000); ++round) {
+    EXPECT_THROW(
+        pool.parallel_for(24,
+                          [&](std::size_t i) {
+                            if (i % 8 == 3) throw std::runtime_error("worker failure");
+                          }),
+        std::runtime_error);
+  }
+  submitter.join();
+  EXPECT_EQ(side_tasks_ok.load(), kSideTasks);
+  // Pool still fully functional after repeated failures.
+  std::atomic<int> hits{0};
+  pool.parallel_for(10, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForRejectsNullFunction) {
+  ThreadPool pool(2);
+  std::function<void(std::size_t)> null_fn;
+  EXPECT_THROW(pool.parallel_for(4, null_fn), ContractViolation);
 }
 
 TEST(ThreadPool, TasksRunConcurrently) {

@@ -18,6 +18,35 @@ TEST(Matrix, ConstructAndIndex) {
   EXPECT_EQ(m.cols(), 3u);
 }
 
+TEST(Matrix, CheckedAtMatchesOperatorAndRejectsOutOfRange) {
+  Mat m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 6.0);
+  m.at(0, 1) = 9.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 9.0);
+  const Mat& cm = m;
+  EXPECT_DOUBLE_EQ(cm.at(0, 1), 9.0);
+  EXPECT_THROW(m.at(2, 0), std::invalid_argument);
+  EXPECT_THROW(m.at(0, 3), std::invalid_argument);
+  EXPECT_THROW(cm.at(2, 3), std::invalid_argument);
+}
+
+TEST(Matrix, GenerationBumpsOnReshapeNotOnReadOrWrite) {
+  Mat m(2, 2, 1.0);
+  const auto g0 = m.generation();
+  m(0, 0) = 5.0;          // element writes do not invalidate borrows
+  (void)m.row(1);
+  EXPECT_EQ(m.generation(), g0);
+  m.ensure_shape(2, 2);   // reshape (even same-shape) marks contents unspecified
+  EXPECT_GT(m.generation(), g0);
+  const auto g1 = m.generation();
+  m.resize(3, 3);
+  EXPECT_GT(m.generation(), g1);
+}
+
+TEST(Matrix, InitializerListSizeMismatchThrows) {
+  EXPECT_THROW(Mat(2, 2, {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
 TEST(Matrix, InitializerListLayoutIsRowMajor) {
   Mat m(2, 2, {1.0, 2.0, 3.0, 4.0});
   EXPECT_DOUBLE_EQ(m(0, 1), 2.0);

@@ -27,6 +27,22 @@ TEST(Mlp, PaperNetHasTwoHiddenHundredUnitLayers) {
   EXPECT_EQ(net.num_parameters(), 16u * 100 + 100 + 100 * 100 + 100 + 100 * 9 + 9);
 }
 
+TEST(Mlp, ConstParamsViewMatchesMutableParams) {
+  Rng rng(3);
+  Mlp net(4, {8, 8}, 2, rng);
+  const Mlp& cnet = net;
+  const auto mut = net.params();
+  const auto ro = cnet.params();
+  ASSERT_EQ(mut.size(), ro.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < mut.size(); ++i) {
+    EXPECT_EQ(ro[i].value, mut[i].value);  // same underlying storage
+    EXPECT_EQ(ro[i].grad, mut[i].grad);
+    total += ro[i].value->size();
+  }
+  EXPECT_EQ(cnet.num_parameters(), total);
+}
+
 TEST(Mlp, FullGradientCheck) {
   Rng rng(1);
   Mlp net(2, {5}, 2, rng, Activation::Tanh, false);

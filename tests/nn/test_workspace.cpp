@@ -1,0 +1,129 @@
+#include "nn/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace maopt::nn {
+namespace {
+
+TEST(Workspace, AcquireGrowsSlotTableOnDemand) {
+  Workspace ws;
+  EXPECT_EQ(ws.num_slots(), 0u);
+  ws.acquire(0, 2, 3);
+  EXPECT_EQ(ws.num_slots(), 1u);
+  ws.acquire(5, 1, 1);
+  EXPECT_EQ(ws.num_slots(), 6u);
+  // Re-acquiring a low slot does not shrink the table.
+  ws.acquire(1, 4, 4);
+  EXPECT_EQ(ws.num_slots(), 6u);
+}
+
+TEST(Workspace, AcquireRejectsOutOfRangeSlotId) {
+  Workspace ws;
+  EXPECT_THROW(ws.acquire(Workspace::kMaxSlots, 1, 1), ContractViolation);
+  EXPECT_THROW(ws.acquire(static_cast<std::size_t>(-1), 1, 1), ContractViolation);
+}
+
+TEST(Workspace, AcquireRejectsOverflowingShape) {
+  Workspace ws;
+  const auto big = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_THROW(ws.acquire(0, big, 4), ContractViolation);
+}
+
+TEST(Workspace, EnsureShapeReusesCapacityAcrossReacquires) {
+  Workspace ws;
+  Mat& m = ws.acquire(0, 8, 16);
+  const double* storage = m.data().data();
+  const std::size_t cap = m.data().capacity();
+  // Same shape, then smaller shapes: same slot object, no reallocation.
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes = {{8, 16}, {4, 16}, {2, 8}};
+  for (const auto& [r, c] : shapes) {
+    Mat& again = ws.acquire(0, r, c);
+    EXPECT_EQ(&again, &m);
+    EXPECT_EQ(again.rows(), r);
+    EXPECT_EQ(again.cols(), c);
+    EXPECT_EQ(again.data().data(), storage);
+    EXPECT_EQ(again.data().capacity(), cap);
+  }
+}
+
+// Regression for an ASan-caught use-after-free: slot references must stay
+// valid when a later acquire grows the slot table (the exact pattern of
+// activation backward — peek the forward slot, then acquire the backward
+// slot for the first time).
+TEST(Workspace, SlotReferencesStableAcrossTableGrowth) {
+  Workspace ws;
+  Mat& fwd = ws.acquire(0, 2, 2);
+  fwd.fill(1.5);
+  const Mat& peeked = ws.peek(0, 2, 2);
+  Mat& bwd = ws.acquire(7, 3, 3);  // grows the table — must not move slot 0
+  bwd.fill(0.0);
+  EXPECT_EQ(&peeked, &fwd);
+  EXPECT_EQ(&ws.peek(0, 2, 2), &fwd);
+  EXPECT_EQ(fwd(0, 0), 1.5);
+  EXPECT_EQ(peeked(1, 1), 1.5);
+}
+
+TEST(Workspace, AcquireBumpsGenerationPeekDoesNot) {
+  Workspace ws;
+  const Mat& m = ws.acquire(0, 2, 2);
+  const auto gen = m.generation();
+  EXPECT_EQ(ws.peek(0, 2, 2).generation(), gen);  // peek: pure read
+  ws.acquire(0, 2, 2);                            // re-acquire invalidates contents
+  EXPECT_GT(m.generation(), gen);
+}
+
+TEST(Workspace, PeekRejectsMissingSlotAndShapeMismatch) {
+  Workspace ws;
+  EXPECT_THROW(ws.peek(0, 1, 1), ContractViolation);
+  ws.acquire(0, 3, 4);
+  EXPECT_THROW(ws.peek(0, 4, 3), ContractViolation);
+  EXPECT_THROW(ws.peek(1, 3, 4), ContractViolation);
+  EXPECT_NO_THROW(ws.peek(0, 3, 4));
+}
+
+TEST(Workspace, ClearReleasesSlots) {
+  Workspace ws;
+  ws.acquire(2, 4, 4);
+  ws.clear();
+  EXPECT_EQ(ws.num_slots(), 0u);
+  EXPECT_THROW(ws.peek(2, 4, 4), ContractViolation);
+}
+
+// The borrow-guard death test: Linear borrows its forward input; reshaping
+// that input (which marks its contents unspecified) before backward must be
+// caught in checked builds instead of silently training on garbage.
+TEST(WorkspaceBorrowGuardDeathTest, StaleBorrowedForwardInputAborts) {
+#if MAOPT_DCHECK_ENABLED
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng rng(7);
+  Linear lin(3, 2, rng);
+  Mat x(4, 3, 0.5);
+  Mat dy(4, 2, 1.0);
+  lin.forward(x);
+  x.ensure_shape(4, 3);  // same shape, but contents now unspecified
+  EXPECT_DEATH(lin.backward(dy), "borrowed forward input was invalidated");
+#else
+  GTEST_SKIP() << "MAOPT_DCHECK disabled in this build flavor";
+#endif
+}
+
+TEST(WorkspaceBorrowGuard, IntactBorrowPassesThroughBackward) {
+  Rng rng(7);
+  Linear lin(3, 2, rng);
+  Mat x(4, 3, 0.5);
+  Mat dy(4, 2, 1.0);
+  lin.forward(x);
+  EXPECT_NO_THROW(lin.backward(dy));
+  // A fresh forward re-borrows the reshaped buffer: legal again.
+  x.ensure_shape(4, 3);
+  x.fill(0.25);
+  lin.forward(x);
+  EXPECT_NO_THROW(lin.backward(dy));
+}
+
+}  // namespace
+}  // namespace maopt::nn

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# clang-tidy gate over src/ using the committed .clang-tidy config.
+#
+# Usage:
+#   tools/lint.sh                 # lint every .cpp under src/
+#   tools/lint.sh src/nn          # lint a subtree
+#   tools/lint.sh --fix [path]    # apply clang-tidy fixits
+#
+# Needs a compile_commands.json; one is configured into build-tidy/ on first
+# run (any generator, no compilation required). Exits 0 with a SKIPPED
+# notice when clang-tidy is not installed (the sanitizer matrix still runs),
+# so the script is safe to call unconditionally from hooks and CI shims.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+find_tool() {
+  for candidate in "$@"; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      echo "${candidate}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+tidy="$(find_tool clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15)" || {
+  echo "lint.sh: SKIPPED — clang-tidy not installed (apt install clang-tidy)."
+  exit 0
+}
+
+fix_args=()
+if [[ "${1:-}" == "--fix" ]]; then
+  fix_args=(--fix --fix-errors)
+  shift
+fi
+target="${1:-src}"
+
+build_dir="${repo_root}/build-tidy"
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "lint.sh: configuring ${build_dir} for compile_commands.json"
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+mapfile -t files < <(find "${target}" -name '*.cpp' | sort)
+if [[ "${#files[@]}" -eq 0 ]]; then
+  echo "lint.sh: no .cpp files under '${target}'" >&2
+  exit 1
+fi
+
+echo "lint.sh: ${tidy} over ${#files[@]} files (config .clang-tidy, warnings are errors)"
+status=0
+"${tidy}" -p "${build_dir}" --quiet "${fix_args[@]}" "${files[@]}" || status=$?
+if [[ ${status} -eq 0 ]]; then
+  echo "lint.sh: OK — zero warnings"
+else
+  echo "lint.sh: FAILED — fix the warnings above (or run tools/lint.sh --fix)" >&2
+fi
+exit ${status}

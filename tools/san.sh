@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# One-command sanitizer run: configure, build, and ctest under a sanitizer.
+#
+# Usage:
+#   tools/san.sh address             # ASan
+#   tools/san.sh undefined           # UBSan
+#   tools/san.sh thread              # TSan
+#   tools/san.sh address,undefined   # combined ASan+UBSan (the CI pairing)
+#
+# Extra args after the sanitizer are forwarded to ctest, e.g.
+#   tools/san.sh thread -R ThreadPool
+# Builds land in build-san-<name>/ so the flavors don't clobber each other
+# or the main build/.
+set -euo pipefail
+
+san="${1:?usage: tools/san.sh address|undefined|thread|address,undefined [ctest args...]}"
+shift || true
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-san-${san//,/-}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DMAOPT_SAN="${san}" -DMAOPT_CHECKED=ON
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# Halt-on-error so ctest reports the first finding instead of burying it;
+# TSan's second_deadlock_stack improves lock-inversion reports.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_stack_use_after_return=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+ctest --test-dir "${build_dir}" --output-on-failure "$@"
