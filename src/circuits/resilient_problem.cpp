@@ -1,0 +1,254 @@
+#include "circuits/resilient_problem.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace maopt::ckt {
+
+namespace {
+
+/// Deterministic 64-bit hash of a design vector's bit pattern: fault and
+/// jitter decisions depend on (seed, x), never on call order, so they
+/// survive threading and checkpoint/resume replay.
+std::uint64_t hash_design(const Vec& x) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const double v : x) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h ^= bits + 0x9E3779B97F4A7C15ULL + (h << 6U) + (h >> 2U);
+  }
+  return h;
+}
+
+bool all_plausible(const Vec& v, double max_magnitude) {
+  for (const double m : v)
+    if (!std::isfinite(m) || std::abs(m) > max_magnitude) return false;
+  return true;
+}
+
+std::chrono::nanoseconds to_duration(double seconds) {
+  return std::chrono::nanoseconds(static_cast<long long>(seconds * 1e9));
+}
+
+}  // namespace
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::Timeout: return "timeout";
+    case FailureKind::NonConvergence: return "non-convergence";
+    case FailureKind::NonFinite: return "non-finite";
+    case FailureKind::Exception: return "exception";
+  }
+  return "unknown";
+}
+
+std::string FailureStats::report() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%llu evals, %llu failed (%llu timeout, %llu non-convergence, "
+                "%llu non-finite, %llu exception), %llu retries",
+                static_cast<unsigned long long>(evaluations),
+                static_cast<unsigned long long>(failures),
+                static_cast<unsigned long long>(by_kind[0]),
+                static_cast<unsigned long long>(by_kind[1]),
+                static_cast<unsigned long long>(by_kind[2]),
+                static_cast<unsigned long long>(by_kind[3]),
+                static_cast<unsigned long long>(retries));
+  return buf;
+}
+
+ResilientEvaluator::ResilientEvaluator(const SizingProblem& inner, ResilientConfig config)
+    : inner_(&inner), config_(config) {
+  MAOPT_CHECK(config_.max_retries >= 0, "ResilientEvaluator: max_retries must be >= 0");
+  MAOPT_CHECK(config_.retry_jitter_frac >= 0.0,
+              "ResilientEvaluator: retry_jitter_frac must be >= 0");
+  MAOPT_CHECK(config_.max_metric_magnitude > 0.0,
+              "ResilientEvaluator: max_metric_magnitude must be > 0");
+}
+
+ResilientEvaluator::~ResilientEvaluator() {
+  // An abandoned attempt still references the inner problem; give it time to
+  // finish before the inner problem can be torn down by our caller.
+  while (inflight_.load(std::memory_order_acquire) > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+ResilientEvaluator::Attempt ResilientEvaluator::run_attempt(const Vec& x) const {
+  attempts_.fetch_add(1, std::memory_order_relaxed);
+
+  auto classify = [this](EvalResult result, const std::exception_ptr& error) {
+    Attempt a;
+    if (error) {
+      a.kind = FailureKind::Exception;
+    } else if (!result.simulation_ok) {
+      a.kind = FailureKind::NonConvergence;
+    } else if (result.metrics.size() != num_metrics() ||
+               !all_plausible(result.metrics, config_.max_metric_magnitude)) {
+      a.kind = FailureKind::NonFinite;
+    } else {
+      a.ok = true;
+      a.result = std::move(result);
+    }
+    return a;
+  };
+
+  if (config_.deadline_seconds <= 0.0) {
+    EvalResult result;
+    std::exception_ptr error;
+    try {
+      result = inner_->evaluate(x);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    return classify(std::move(result), error);
+  }
+
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    EvalResult result;
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  std::thread worker([inner = inner_, x, shared, &inflight = inflight_] {
+    EvalResult result;
+    std::exception_ptr error;
+    try {
+      result = inner->evaluate(x);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(shared->mutex);
+      shared->result = std::move(result);
+      shared->error = error;
+      shared->done = true;
+    }
+    shared->cv.notify_one();
+    // Must be the thread's last action: once inflight hits zero the
+    // ResilientEvaluator (and with it this reference) may be destroyed.
+    inflight.fetch_sub(1, std::memory_order_release);
+  });
+
+  std::unique_lock lock(shared->mutex);
+  const bool finished = shared->cv.wait_for(lock, to_duration(config_.deadline_seconds),
+                                            [&shared] { return shared->done; });
+  if (!finished) {
+    lock.unlock();
+    worker.detach();  // cannot kill a thread portably; result is discarded
+    Attempt a;
+    a.kind = FailureKind::Timeout;
+    return a;
+  }
+  lock.unlock();
+  worker.join();
+  return classify(std::move(shared->result), shared->error);
+}
+
+EvalResult ResilientEvaluator::evaluate(const Vec& x) const {
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  const Vec& lo = lower_bounds();
+  const Vec& hi = upper_bounds();
+
+  const int attempts_allowed = 1 + config_.max_retries;
+  Vec attempt_x = x;
+  for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      // Deterministic jittered restart: a tiny perturbation often steps a
+      // solver off a singular Jacobian, like re-seeding the operating point.
+      Rng jitter(derive_seed(config_.seed,
+                             hash_design(x) ^ static_cast<std::uint64_t>(attempt)));
+      attempt_x = x;
+      for (std::size_t j = 0; j < attempt_x.size(); ++j)
+        attempt_x[j] += config_.retry_jitter_frac * (hi[j] - lo[j]) * jitter.normal();
+      attempt_x = clip(std::move(attempt_x));
+    }
+    Attempt a = run_attempt(attempt_x);
+    if (a.ok) return std::move(a.result);
+    by_kind_[static_cast<std::size_t>(a.kind)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  EvalResult fail;
+  fail.metrics = inner_->failure_metrics();
+  fail.simulation_ok = false;
+  return fail;
+}
+
+FailureStats ResilientEvaluator::stats() const {
+  FailureStats s;
+  s.evaluations = evaluations_.load(std::memory_order_relaxed);
+  s.attempts = attempts_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.failures = failures_.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < kNumFailureKinds; ++k)
+    s.by_kind[k] = by_kind_[k].load(std::memory_order_relaxed);
+  return s;
+}
+
+FaultInjectionConfig FaultInjectionConfig::mixed(double total_rate, std::uint64_t seed,
+                                                 double hang_seconds) {
+  FaultInjectionConfig c;
+  c.throw_rate = c.hang_rate = c.nan_rate = c.garbage_rate = total_rate / 4.0;
+  c.seed = seed;
+  c.hang_seconds = hang_seconds;
+  return c;
+}
+
+FaultInjectingProblem::FaultInjectingProblem(const SizingProblem& inner,
+                                             FaultInjectionConfig config)
+    : inner_(&inner), config_(config) {
+  MAOPT_CHECK(config_.throw_rate >= 0 && config_.hang_rate >= 0 && config_.nan_rate >= 0 &&
+                  config_.garbage_rate >= 0,
+              "FaultInjectingProblem: rates must be >= 0");
+  MAOPT_CHECK(config_.throw_rate + config_.hang_rate + config_.nan_rate + config_.garbage_rate <=
+                  1.0 + 1e-12,
+              "FaultInjectingProblem: rates must sum to <= 1");
+}
+
+EvalResult FaultInjectingProblem::evaluate(const Vec& x) const {
+  Rng rng(derive_seed(config_.seed, hash_design(x)));
+  double u = rng.uniform();
+
+  if ((u -= config_.throw_rate) < 0.0) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    throw std::runtime_error("injected fault: Newton iteration diverged");
+  }
+  if ((u -= config_.hang_rate) < 0.0) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(to_duration(config_.hang_seconds));
+    return inner_->evaluate(x);
+  }
+  if ((u -= config_.nan_rate) < 0.0) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    EvalResult r;
+    r.metrics.assign(num_metrics(), std::numeric_limits<double>::quiet_NaN());
+    r.simulation_ok = true;  // the dangerous case: failure not flagged
+    return r;
+  }
+  if ((u -= config_.garbage_rate) < 0.0) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    EvalResult r;
+    r.metrics.resize(num_metrics());
+    for (auto& m : r.metrics) m = (rng.uniform() < 0.5 ? -1.0 : 1.0) * 1e12 * rng.uniform();
+    r.simulation_ok = true;
+    return r;
+  }
+  return inner_->evaluate(x);
+}
+
+}  // namespace maopt::ckt

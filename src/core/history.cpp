@@ -1,12 +1,25 @@
 #include "core/history.hpp"
 
+#include <cmath>
+
 namespace maopt::core {
 
 const SimRecord* RunHistory::best() const {
+  // Failed simulations carry a penalty FoM; they must never become the
+  // anchor Algorithm 2 samples around, so only clean finite records count.
   const SimRecord* best = nullptr;
-  for (const auto& r : records)
+  for (const auto& r : records) {
+    if (!r.simulation_ok || !std::isfinite(r.fom)) continue;
     if (!best || r.fom < best->fom) best = &r;
+  }
   return best;
+}
+
+std::size_t RunHistory::failures() const {
+  std::size_t n = 0;
+  for (const auto& r : records)
+    if (!r.simulation_ok) ++n;
+  return n;
 }
 
 const SimRecord* RunHistory::best_feasible() const {
@@ -61,12 +74,42 @@ std::vector<SimRecord> sample_initial_set_lhs(const SizingProblem& problem, std:
   return records;
 }
 
+bool annotate_record(SimRecord& record, const SizingProblem& problem, const FomEvaluator& fom) {
+  bool ok = record.simulation_ok && record.metrics.size() == problem.num_metrics();
+  for (std::size_t i = 0; ok && i < record.metrics.size(); ++i)
+    ok = std::isfinite(record.metrics[i]);
+  if (ok) {
+    record.fom = fom(record.metrics);
+    ok = std::isfinite(record.fom);
+  }
+  if (!ok) {
+    record.metrics = problem.failure_metrics();
+    record.fom = fom(record.metrics);
+    record.simulation_ok = false;
+    record.feasible = false;
+    return false;
+  }
+  record.feasible = problem.feasible(record.metrics);
+  return true;
+}
+
 void annotate_foms(std::vector<SimRecord>& records, const SizingProblem& problem,
                    const FomEvaluator& fom) {
-  for (auto& r : records) {
-    r.fom = fom(r.metrics);
-    r.feasible = r.simulation_ok && problem.feasible(r.metrics);
+  for (auto& r : records) annotate_record(r, problem, fom);
+}
+
+SimRecord evaluate_record(const SizingProblem& problem, Vec x) {
+  SimRecord rec;
+  try {
+    ckt::EvalResult eval = problem.evaluate(x);
+    rec.metrics = std::move(eval.metrics);
+    rec.simulation_ok = eval.simulation_ok;
+  } catch (...) {
+    rec.metrics = problem.failure_metrics();
+    rec.simulation_ok = false;
   }
+  rec.x = std::move(x);
+  return rec;
 }
 
 }  // namespace maopt::core

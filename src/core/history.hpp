@@ -38,12 +38,20 @@ struct RunHistory {
   double train_seconds = 0.0;  ///< critic + actor training time
   double ns_seconds = 0.0;     ///< near-sampling scan time
 
+  bool aborted = false;      ///< circuit breaker tripped; the history is partial
+  std::string abort_reason;  ///< human-readable cause when aborted
+
   /// Record with the lowest FoM (feasibility folds into FoM by construction).
+  /// Failed simulations carry a penalty FoM and are skipped, so the result
+  /// is safe to use as a near-sampling anchor; nullptr if every record
+  /// failed (or the history is empty).
   const SimRecord* best() const;
   /// Best record that satisfies all constraints; nullptr if none.
   const SimRecord* best_feasible() const;
   /// Number of post-initial simulations performed.
   std::size_t simulations_used() const { return records.size() - num_initial; }
+  /// Number of failed (simulation_ok = false) records, initial included.
+  std::size_t failures() const;
 };
 
 /// Evaluates `n` uniform random designs (the paper's X_init protocol:
@@ -56,10 +64,24 @@ std::vector<SimRecord> sample_initial_set(const SizingProblem& problem, std::siz
 std::vector<SimRecord> sample_initial_set_lhs(const SizingProblem& problem, std::size_t n,
                                               Rng& rng);
 
+/// Fills fom / feasible for one record, scrubbing failures: when the
+/// simulation failed or produced non-finite metrics or a non-finite FoM, the
+/// metrics are replaced by problem.failure_metrics(), the FoM by the finite
+/// penalty FoM of those metrics, and the record is marked
+/// simulation_ok = false / infeasible. Returns true for a clean simulation.
+bool annotate_record(SimRecord& record, const SizingProblem& problem, const FomEvaluator& fom);
+
 /// Fills fom / feasible fields using `fom` (initial records are created
-/// before the FoM reference exists).
+/// before the FoM reference exists). Applies annotate_record per record, so
+/// NaN/Inf metrics never survive into a history.
 void annotate_foms(std::vector<SimRecord>& records, const SizingProblem& problem,
                    const FomEvaluator& fom);
+
+/// Evaluates `x`, capturing solver exceptions: a throw from
+/// SizingProblem::evaluate becomes a {failure_metrics, simulation_ok=false}
+/// record instead of propagating (fom / feasible are left for
+/// annotate_record). Safe to call from parallel_for workers.
+SimRecord evaluate_record(const SizingProblem& problem, Vec x);
 
 /// Abstract optimizer: consumes a pre-evaluated initial set and a simulation
 /// budget, produces the full run history. Implementations: MaOptimizer

@@ -1,6 +1,9 @@
 #include "core/history_io.hpp"
 
+#include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <istream>
 #include <ostream>
 #include <stdexcept>
 
@@ -11,6 +14,59 @@ std::ofstream open_or_throw(const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
   return out;
+}
+
+// --- checkpoint binary primitives -----------------------------------------
+// Fixed-width little-endian-as-stored POD fields; strings and vectors are
+// u64 length + payload. Every read is checked so truncated or corrupted
+// files fail loudly instead of yielding a garbage history.
+
+constexpr char kCheckpointMagic[8] = {'M', 'A', 'O', 'P', 'T', 'C', 'K', 'P'};
+constexpr std::uint64_t kMaxCheckpointElems = 1ULL << 32U;  ///< corruption guard
+
+template <typename T>
+void put_pod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put_pod<std::uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void put_vec(std::ostream& out, const linalg::Vec& v) {
+  put_pod<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+template <typename T>
+T get_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  return value;
+}
+
+std::uint64_t get_count(std::istream& in) {
+  const auto n = get_pod<std::uint64_t>(in);
+  if (n > kMaxCheckpointElems) throw std::runtime_error("checkpoint: corrupt element count");
+  return n;
+}
+
+std::string get_string(std::istream& in) {
+  std::string s(get_count(in), '\0');
+  in.read(s.data(), static_cast<std::streamsize>(s.size()));
+  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  return s;
+}
+
+linalg::Vec get_vec(std::istream& in) {
+  linalg::Vec v(get_count(in));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  return v;
 }
 }  // namespace
 
@@ -47,6 +103,85 @@ void write_trajectory_csv(std::ostream& out, const RunHistory& history) {
 void write_trajectory_csv(const std::string& path, const RunHistory& history) {
   auto out = open_or_throw(path);
   write_trajectory_csv(out, history);
+}
+
+void save_checkpoint(const std::string& path, const RunHistory& history, std::uint64_t seed) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot open '" + tmp + "' for writing");
+    out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+    put_pod<std::uint32_t>(out, kCheckpointFormatVersion);
+    put_pod<std::uint64_t>(out, seed);
+    put_string(out, history.algorithm);
+    put_pod<std::uint64_t>(out, history.num_initial);
+    put_pod<std::uint8_t>(out, history.aborted ? 1 : 0);
+    put_string(out, history.abort_reason);
+    put_pod<double>(out, history.wall_seconds);
+    put_pod<double>(out, history.sim_seconds);
+    put_pod<double>(out, history.train_seconds);
+    put_pod<double>(out, history.ns_seconds);
+    put_pod<std::uint64_t>(out, history.records.size());
+    for (const auto& r : history.records) {
+      put_vec(out, r.x);
+      put_vec(out, r.metrics);
+      put_pod<double>(out, r.fom);
+      put_pod<std::uint8_t>(out, r.feasible ? 1 : 0);
+      put_pod<std::uint8_t>(out, r.simulation_ok ? 1 : 0);
+    }
+    put_pod<std::uint64_t>(out, history.best_fom_after.size());
+    out.write(reinterpret_cast<const char*>(history.best_fom_after.data()),
+              static_cast<std::streamsize>(history.best_fom_after.size() * sizeof(double)));
+    out.flush();
+    if (!out) throw std::runtime_error("checkpoint: write failed for '" + tmp + "'");
+  }
+  // The rename is the commit point: a crash before it leaves any previous
+  // checkpoint untouched; after it the new snapshot is fully visible.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("checkpoint: rename '" + tmp + "' -> '" + path + "' failed");
+}
+
+RunCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open '" + path + "'");
+  char magic[sizeof(kCheckpointMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0)
+    throw std::runtime_error("checkpoint: '" + path + "' is not a MA-Opt checkpoint");
+
+  RunCheckpoint ckpt;
+  ckpt.version = get_pod<std::uint32_t>(in);
+  if (ckpt.version != kCheckpointFormatVersion)
+    throw std::runtime_error("checkpoint: unsupported format version " +
+                             std::to_string(ckpt.version));
+  ckpt.seed = get_pod<std::uint64_t>(in);
+  RunHistory& h = ckpt.history;
+  h.algorithm = get_string(in);
+  h.num_initial = get_pod<std::uint64_t>(in);
+  h.aborted = get_pod<std::uint8_t>(in) != 0;
+  h.abort_reason = get_string(in);
+  h.wall_seconds = get_pod<double>(in);
+  h.sim_seconds = get_pod<double>(in);
+  h.train_seconds = get_pod<double>(in);
+  h.ns_seconds = get_pod<double>(in);
+  const std::uint64_t num_records = get_count(in);
+  h.records.reserve(num_records);
+  for (std::uint64_t i = 0; i < num_records; ++i) {
+    SimRecord r;
+    r.x = get_vec(in);
+    r.metrics = get_vec(in);
+    r.fom = get_pod<double>(in);
+    r.feasible = get_pod<std::uint8_t>(in) != 0;
+    r.simulation_ok = get_pod<std::uint8_t>(in) != 0;
+    h.records.push_back(std::move(r));
+  }
+  h.best_fom_after.resize(get_count(in));
+  in.read(reinterpret_cast<char*>(h.best_fom_after.data()),
+          static_cast<std::streamsize>(h.best_fom_after.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  if (h.num_initial > h.records.size())
+    throw std::runtime_error("checkpoint: corrupt header (num_initial > records)");
+  return ckpt;
 }
 
 }  // namespace maopt::core

@@ -1,8 +1,10 @@
-// CSV export of optimization runs: per-simulation design/metric records and
-// best-FoM trajectories, for offline analysis or plotting Fig. 5-style
-// curves with external tools.
+// Run persistence: CSV export of per-simulation records and best-FoM
+// trajectories (offline analysis, Fig. 5-style plots), plus versioned binary
+// checkpoints that let a killed run resume mid-budget instead of losing
+// hundreds of simulations (see MaOptimizer::resume).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -20,5 +22,30 @@ void write_records_csv(const std::string& path, const RunHistory& history,
 /// One row per post-initial simulation: index, best-FoM-so-far.
 void write_trajectory_csv(std::ostream& out, const RunHistory& history);
 void write_trajectory_csv(const std::string& path, const RunHistory& history);
+
+/// Current on-disk checkpoint format version (bumped on layout changes;
+/// load_checkpoint rejects other versions).
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// A resumable snapshot of a run: the full history plus the master seed the
+/// run's RNG streams derive from. Because every optimizer RNG stream is
+/// re-derived from (seed, stream-id, iteration), history + seed is enough to
+/// deterministically replay surrogate state without re-simulating — see
+/// MaOptimizer::resume.
+struct RunCheckpoint {
+  std::uint32_t version = kCheckpointFormatVersion;
+  std::uint64_t seed = 0;
+  RunHistory history;
+};
+
+/// Writes the snapshot atomically: the payload goes to `path` + ".tmp" and
+/// is renamed over `path`, so readers never observe a torn file and a crash
+/// mid-write leaves any previous checkpoint intact. Throws std::runtime_error
+/// on I/O failure.
+void save_checkpoint(const std::string& path, const RunHistory& history, std::uint64_t seed);
+
+/// Loads a snapshot written by save_checkpoint. Throws std::runtime_error on
+/// a missing file, bad magic, unsupported version, or truncation.
+RunCheckpoint load_checkpoint(const std::string& path);
 
 }  // namespace maopt::core

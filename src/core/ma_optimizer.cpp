@@ -1,8 +1,11 @@
 #include "core/ma_optimizer.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <deque>
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
 
@@ -47,11 +50,39 @@ MaOptConfig MaOptConfig::ma_opt() {
 RunHistory MaOptimizer::run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
                             const FomEvaluator& fom, std::uint64_t seed,
                             std::size_t simulation_budget) {
+  return run_impl(problem, initial, {}, fom, seed, simulation_budget,
+                  /*checkpoint_timers=*/nullptr);
+}
+
+RunHistory MaOptimizer::resume(const SizingProblem& problem, const RunCheckpoint& checkpoint,
+                               const FomEvaluator& fom, std::size_t simulation_budget) {
+  const RunHistory& h = checkpoint.history;
+  MAOPT_CHECK(h.num_initial <= h.records.size(),
+              "MaOptimizer::resume: corrupt checkpoint (num_initial > records)");
+  const auto split = h.records.begin() + static_cast<std::ptrdiff_t>(h.num_initial);
+  std::vector<SimRecord> initial(h.records.begin(), split);
+  std::vector<SimRecord> replay(split, h.records.end());
+  return run_impl(problem, std::move(initial), std::move(replay), fom, checkpoint.seed,
+                  simulation_budget, &h);
+}
+
+RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRecord> initial,
+                                 std::vector<SimRecord> replay, const FomEvaluator& fom,
+                                 std::uint64_t seed, std::size_t simulation_budget,
+                                 const RunHistory* checkpoint_timers) {
   RunHistory history;
   history.algorithm = config_.name;
-  history.records = initial;
-  history.num_initial = initial.size();
+  history.records = std::move(initial);
+  history.num_initial = history.records.size();
   annotate_foms(history.records, problem, fom);
+  if (checkpoint_timers != nullptr) {
+    // Replayed iterations retrain but do not simulate; carry the original
+    // run's cost accounting and add only post-resume work on top.
+    history.sim_seconds = checkpoint_timers->sim_seconds;
+    history.train_seconds = checkpoint_timers->train_seconds;
+    history.ns_seconds = checkpoint_timers->ns_seconds;
+    history.wall_seconds = checkpoint_timers->wall_seconds;
+  }
 
   const std::size_t d = problem.dim();
   const std::size_t m1 = problem.num_metrics();
@@ -69,15 +100,30 @@ RunHistory MaOptimizer::run(const SizingProblem& problem, const std::vector<SimR
     actors.emplace_back(d, config_.actor, actor_rng);
   }
 
-  // Elite sets: one shared, or one per actor (Fig. 2a vs 2b).
+  // Elite sets: one shared, or one per actor (Fig. 2a vs 2b). Only clean
+  // simulations may enter: a failed record's penalty FoM would anchor the
+  // elite bounding box to a garbage design.
   const std::size_t n_sets = config_.shared_elite_set ? 1 : n_act;
   std::deque<EliteSet> elites;  // deque: EliteSet holds a mutex (immovable)
   for (std::size_t i = 0; i < n_sets; ++i) elites.emplace_back(config_.elite_size);
   for (const auto& r : history.records)
-    for (auto& es : elites) es.try_insert(r.x, r.fom);
+    if (r.simulation_ok)
+      for (auto& es : elites) es.try_insert(r.x, r.fom);
 
   bool specs_met = false;
   for (const auto& r : history.records) specs_met = specs_met || r.feasible;
+
+  // Surrogate training set: clean records only (failed simulations would
+  // teach the critic penalty plateaus instead of circuit behaviour). The
+  // scrubbed full history is the fallback for the all-failed degenerate case
+  // so batching stays well-posed.
+  std::vector<SimRecord> ok_records;
+  ok_records.reserve(history.records.size() + simulation_budget);
+  for (const auto& r : history.records)
+    if (r.simulation_ok) ok_records.push_back(r);
+
+  // Finite stand-in used by the trajectory until a clean design exists.
+  const double penalty_fom = fom(problem.failure_metrics());
 
   ThreadPool pool(config_.num_threads == 0 ? n_act : config_.num_threads);
   Rng ns_rng(derive_seed(seed, 0x45));
@@ -85,107 +131,149 @@ RunHistory MaOptimizer::run(const SizingProblem& problem, const std::vector<SimR
   Stopwatch total;
   std::size_t sims = 0;
   bool critic_trained = false;
+  int consecutive_failures = 0;
+  double running_best = penalty_fom;
+  bool have_best = false;
+  for (const auto& r : history.records)
+    if (r.simulation_ok) {
+      running_best = have_best ? std::min(running_best, r.fom) : r.fom;
+      have_best = true;
+    }
 
-  auto append_record = [&](SimRecord rec, bool insert_all_sets) {
-    rec.fom = fom(rec.metrics);
-    rec.feasible = rec.simulation_ok && problem.feasible(rec.metrics);
+  std::size_t replay_pos = 0;
+  const std::size_t replay_count = replay.size();
+  std::atomic<bool> replay_diverged{false};
+  const bool checkpointing = config_.checkpoint_every > 0 && !config_.checkpoint_path.empty();
+
+  auto append_record = [&](SimRecord rec, std::ptrdiff_t actor_set) {
+    const bool ok = annotate_record(rec, problem, fom);
     specs_met = specs_met || rec.feasible;
-    if (config_.shared_elite_set) {
-      elites[0].try_insert(rec.x, rec.fom);
-    } else if (insert_all_sets) {
-      // Near-sampling results are not tied to one actor; refresh every set.
-      for (auto& es : elites) es.try_insert(rec.x, rec.fom);
+    if (ok) {
+      consecutive_failures = 0;
+      if (config_.shared_elite_set) {
+        elites[0].try_insert(rec.x, rec.fom);
+      } else if (actor_set >= 0) {
+        // Individual sets: actor i's result refreshes only its own set.
+        elites[static_cast<std::size_t>(actor_set)].try_insert(rec.x, rec.fom);
+      } else {
+        // Near-sampling results are not tied to one actor; refresh every set.
+        for (auto& es : elites) es.try_insert(rec.x, rec.fom);
+      }
+      ok_records.push_back(rec);
+      running_best = have_best ? std::min(running_best, rec.fom) : rec.fom;
+      have_best = true;
+    } else {
+      ++consecutive_failures;
     }
     history.records.push_back(std::move(rec));
-    double best;
-    if (history.best_fom_after.empty()) {
-      best = history.records[0].fom;
-      for (const auto& r : history.records) best = std::min(best, r.fom);
-    } else {
-      best = std::min(history.best_fom_after.back(), history.records.back().fom);
-    }
-    history.best_fom_after.push_back(best);
+    // Failed records never improve the trajectory: their penalty FoM is
+    // budget bookkeeping, not a design the run could return.
+    history.best_fom_after.push_back(running_best);
     ++sims;
   };
 
   for (int t = 1; sims < simulation_budget; ++t) {
+    if (config_.max_consecutive_failures > 0 &&
+        consecutive_failures >= config_.max_consecutive_failures) {
+      history.aborted = true;
+      history.abort_reason = std::to_string(consecutive_failures) +
+                             " consecutive failed simulations (circuit breaker)";
+      log_warn() << config_.name << ": aborting run after " << history.abort_reason;
+      break;
+    }
+
+    const bool replaying = replay_pos < replay_count;
     const bool ns_turn = specs_met && config_.use_near_sampling && critic_trained &&
                          (t % std::max(1, config_.t_ns) == 0);
-    if (ns_turn) {
+    const SimRecord* anchor = ns_turn ? history.best() : nullptr;
+    if (ns_turn && anchor != nullptr) {
       // --- Algorithm 2: near-sampling, one simulation, no training ---
       Stopwatch ns_clock;
-      const SimRecord* best = history.best();
-      const Vec candidate = near_sampling_candidate(problem, fom, critic, scaler, best->x,
+      const Vec candidate = near_sampling_candidate(problem, fom, critic, scaler, anchor->x,
                                                     config_.near_sampling, ns_rng);
-      history.ns_seconds += ns_clock.elapsed_seconds();
-
-      Stopwatch sim_clock;
-      const ckt::EvalResult eval = problem.evaluate(candidate);
-      history.sim_seconds += sim_clock.elapsed_seconds();
+      if (!replaying) history.ns_seconds += ns_clock.elapsed_seconds();
 
       SimRecord rec;
-      rec.x = candidate;
-      rec.metrics = eval.metrics;
-      rec.simulation_ok = eval.simulation_ok;
-      append_record(std::move(rec), /*insert_all_sets=*/true);
-      continue;
-    }
-
-    // --- Algorithm 1: critic training, then parallel actor rounds ---
-    Stopwatch train_clock;
-    const PseudoSampleBatcher batcher(history.records, scaler);
-    critic.fit_normalizer(history.records, &pool);
-    critic.train_round(batcher, critic_rng, &pool);
-    critic_trained = true;
-    history.train_seconds += train_clock.elapsed_seconds();
-
-    const std::size_t workers = std::min(n_act, simulation_budget - sims);
-    std::vector<SimRecord> results(workers);
-    std::vector<double> worker_train_s(workers, 0.0), worker_sim_s(workers, 0.0);
-
-    pool.parallel_for(workers, [&](std::size_t i) {
-      Rng rng(derive_seed(seed, 0x1000 + static_cast<std::uint64_t>(t) * 64 + i));
-      EliteSet& elite = config_.shared_elite_set ? elites[0] : elites[i];
-
-      ThreadCpuTimer tclock;
-      CriticEnsemble local_critic(critic);  // private forward/backward workspace
-      Vec lb_raw, ub_raw;
-      elite.bounds(lb_raw, ub_raw);
-      // Map the elite box to unit space (degenerate boxes stay degenerate:
-      // the violation term then pins proposals to the elite's column values).
-      const Vec lb_unit = scaler.to_unit(lb_raw);
-      const Vec ub_unit = scaler.to_unit(ub_raw);
-      actors[i].train_round(local_critic, fom, history.records, scaler, lb_unit, ub_unit, rng);
-      const Vec proposal_unit =
-          actors[i].select_candidate_unit(local_critic, fom, elite.snapshot(), scaler);
-      worker_train_s[i] = tclock.elapsed_seconds();
-
-      Vec candidate(d);
-      for (std::size_t c = 0; c < d; ++c) candidate[c] = std::clamp(proposal_unit[c], -1.0, 1.0);
-      candidate = problem.clip(scaler.from_unit(candidate));
-
-      ThreadCpuTimer sclock;
-      const ckt::EvalResult eval = problem.evaluate(candidate);
-      worker_sim_s[i] = sclock.elapsed_seconds();
-
-      results[i].x = std::move(candidate);
-      results[i].metrics = eval.metrics;
-      results[i].simulation_ok = eval.simulation_ok;
-    });
-
-    for (std::size_t i = 0; i < workers; ++i) {
-      history.train_seconds += worker_train_s[i];
-      history.sim_seconds += worker_sim_s[i];
-      // Individual sets: actor i's result refreshes only its own set.
-      if (!config_.shared_elite_set) {
-        const double f = fom(results[i].metrics);
-        elites[i].try_insert(results[i].x, f);
+      if (replaying) {
+        rec = std::move(replay[replay_pos++]);
+        if (rec.x != candidate) replay_diverged.store(true, std::memory_order_relaxed);
+      } else {
+        Stopwatch sim_clock;
+        rec = evaluate_record(problem, candidate);
+        history.sim_seconds += sim_clock.elapsed_seconds();
       }
-      append_record(std::move(results[i]), /*insert_all_sets=*/false);
+      append_record(std::move(rec), /*actor_set=*/-1);
+    } else {
+      // --- Algorithm 1: critic training, then parallel actor rounds ---
+      Stopwatch train_clock;
+      const std::vector<SimRecord>& training_set =
+          ok_records.empty() ? history.records : ok_records;
+      const PseudoSampleBatcher batcher(training_set, scaler);
+      critic.fit_normalizer(training_set, &pool);
+      critic.train_round(batcher, critic_rng, &pool);
+      critic_trained = true;
+      if (!replaying) history.train_seconds += train_clock.elapsed_seconds();
+
+      const std::size_t workers = std::min(n_act, simulation_budget - sims);
+      std::vector<SimRecord> results(workers);
+      std::vector<double> worker_train_s(workers, 0.0), worker_sim_s(workers, 0.0);
+
+      pool.parallel_for(workers, [&](std::size_t i) {
+        Rng rng(derive_seed(seed, 0x1000 + static_cast<std::uint64_t>(t) * 64 + i));
+        EliteSet& elite = config_.shared_elite_set ? elites[0] : elites[i];
+
+        ThreadCpuTimer tclock;
+        CriticEnsemble local_critic(critic);  // private forward/backward workspace
+        Vec lb_raw, ub_raw;
+        elite.bounds(lb_raw, ub_raw);
+        // Map the elite box to unit space (degenerate boxes stay degenerate:
+        // the violation term then pins proposals to the elite's column values).
+        const Vec lb_unit = scaler.to_unit(lb_raw);
+        const Vec ub_unit = scaler.to_unit(ub_raw);
+        actors[i].train_round(local_critic, fom, training_set, scaler, lb_unit, ub_unit, rng);
+        const Vec proposal_unit =
+            actors[i].select_candidate_unit(local_critic, fom, elite.snapshot(), scaler);
+        worker_train_s[i] = tclock.elapsed_seconds();
+
+        Vec candidate(d);
+        for (std::size_t c = 0; c < d; ++c) candidate[c] = std::clamp(proposal_unit[c], -1.0, 1.0);
+        candidate = problem.clip(scaler.from_unit(candidate));
+
+        if (replay_pos + i < replay_count) {
+          results[i] = replay[replay_pos + i];
+          if (results[i].x != candidate) replay_diverged.store(true, std::memory_order_relaxed);
+        } else {
+          ThreadCpuTimer sclock;
+          results[i] = evaluate_record(problem, std::move(candidate));
+          worker_sim_s[i] = sclock.elapsed_seconds();
+        }
+      });
+
+      for (std::size_t i = 0; i < workers; ++i) {
+        if (replay_pos + i >= replay_count) {
+          history.train_seconds += worker_train_s[i];
+          history.sim_seconds += worker_sim_s[i];
+        }
+        append_record(std::move(results[i]),
+                      config_.shared_elite_set ? 0 : static_cast<std::ptrdiff_t>(i));
+      }
+      replay_pos += std::min(workers, replay_count - replay_pos);
     }
+
+    // Snapshot at iteration boundaries only (records are consistent there);
+    // replayed iterations are skipped — the on-disk state already covers them.
+    if (checkpointing && replay_pos >= replay_count && t % config_.checkpoint_every == 0)
+      save_checkpoint(config_.checkpoint_path, history, seed);
   }
 
-  history.wall_seconds = total.elapsed_seconds();
+  if (replay_diverged.load(std::memory_order_relaxed))
+    log_warn() << config_.name
+               << ": resume replay diverged from the checkpointed trajectory (different "
+                  "problem/config/budget?); the recorded simulations were kept";
+  // A final snapshot on abort lets the operator inspect (or resume) the
+  // partial run the circuit breaker saved.
+  if (history.aborted && checkpointing) save_checkpoint(config_.checkpoint_path, history, seed);
+  history.wall_seconds += total.elapsed_seconds();
   return history;
 }
 

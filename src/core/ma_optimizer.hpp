@@ -17,6 +17,7 @@
 #include "core/actor.hpp"
 #include "core/critic.hpp"
 #include "core/history.hpp"
+#include "core/history_io.hpp"
 #include "core/near_sampling.hpp"
 
 namespace maopt::core {
@@ -33,6 +34,14 @@ struct MaOptConfig {
   CriticConfig critic{};
   ActorConfig actor{};
   std::size_t num_threads = 0;  ///< 0 -> num_actors
+
+  // Fault tolerance / checkpointing (see README "Fault tolerance"). Failed
+  // simulations always count against the budget (the paper budgets runs in
+  // simulations, successful or not); the breaker only guards against a
+  // simulator that stops producing usable results altogether.
+  int max_consecutive_failures = 100;  ///< circuit breaker; 0 disables
+  std::string checkpoint_path;         ///< snapshot target; empty disables
+  int checkpoint_every = 0;            ///< snapshot every K iterations; 0 disables
 
   /// Paper configurations.
   static MaOptConfig dnn_opt();
@@ -52,7 +61,21 @@ class MaOptimizer final : public Optimizer {
                  const FomEvaluator& fom, std::uint64_t seed,
                  std::size_t simulation_budget) override;
 
+  /// Resumes a run from a snapshot written via MaOptConfig::checkpoint_path
+  /// (or save_checkpoint): the recorded post-initial trajectory is replayed
+  /// — critic/actor/elite/RNG state is rebuilt by re-running the training
+  /// side deterministically while simulations are taken from the record —
+  /// then the run continues live until `simulation_budget`. Called with the
+  /// same problem, FoM, config, and budget as the original run, the resumed
+  /// run reproduces the uninterrupted trajectory exactly.
+  RunHistory resume(const SizingProblem& problem, const RunCheckpoint& checkpoint,
+                    const FomEvaluator& fom, std::size_t simulation_budget);
+
  private:
+  RunHistory run_impl(const SizingProblem& problem, std::vector<SimRecord> initial,
+                      std::vector<SimRecord> replay, const FomEvaluator& fom, std::uint64_t seed,
+                      std::size_t simulation_budget, const RunHistory* checkpoint_timers);
+
   MaOptConfig config_;
 };
 

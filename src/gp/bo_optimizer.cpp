@@ -2,15 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/log.hpp"
 #include "gp/acquisition.hpp"
 
 namespace maopt::gp {
-
-namespace {
-
-}  // namespace
 
 core::RunHistory BoOptimizer::run(const core::SizingProblem& problem,
                                   const std::vector<core::SimRecord>& initial,
@@ -28,58 +25,81 @@ core::RunHistory BoOptimizer::run(const core::SizingProblem& problem,
 
   Stopwatch total;
   GpHyperparams hp;
+  int consecutive_failures = 0;
   for (std::size_t it = 0; it < simulation_budget; ++it) {
-    // Assemble training data in [0,1]^d.
-    const std::size_t n = history.records.size();
+    if (config_.max_consecutive_failures > 0 &&
+        consecutive_failures >= config_.max_consecutive_failures) {
+      history.aborted = true;
+      history.abort_reason = std::to_string(consecutive_failures) +
+                             " consecutive failed simulations (circuit breaker)";
+      log_warn() << name() << ": aborting run after " << history.abort_reason;
+      break;
+    }
+
+    // Assemble training data in [0,1]^d from clean simulations only: failed
+    // records carry a penalty FoM that is budget bookkeeping, not circuit
+    // behaviour the GP should interpolate.
+    std::size_t n = 0;
+    for (const auto& r : history.records) n += r.simulation_ok ? 1 : 0;
     Mat x(n, d);
     Vec y(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const Vec u = scaler.to_unit(history.records[i].x);
-      for (std::size_t j = 0; j < d; ++j) x(i, j) = 0.5 * (u[j] + 1.0);
-      y[i] = config_.log_fom ? std::log10(std::max(history.records[i].fom, 1e-12))
-                              : history.records[i].fom;
+    std::size_t row = 0;
+    for (const auto& r : history.records) {
+      if (!r.simulation_ok) continue;
+      const Vec u = scaler.to_unit(r.x);
+      for (std::size_t j = 0; j < d; ++j) x(row, j) = 0.5 * (u[j] + 1.0);
+      y[row] = config_.log_fom ? std::log10(std::max(r.fom, 1e-12)) : r.fom;
+      ++row;
     }
 
     Stopwatch train;
-    if (it % static_cast<std::size_t>(std::max(1, config_.refit_period)) == 0 ||
-        hp.lengthscales.empty()) {
-      hp = GpRegression::fit_hyperparams(x, y, rng, config_.hyperfit_restarts,
-                                         /*isotropic=*/!config_.ard);
-      hp.kernel = config_.kernel;
-    }
-    double best_fom_y = y[0];
-    for (const double v : y) best_fom_y = std::min(best_fom_y, v);
-
     Vec next_unit01;
-    try {
-      const GpRegression gp(std::move(x), std::move(y), hp);
-      next_unit01 = maximize_ei(gp, best_fom_y, d, rng, config_.random_candidates,
-                                config_.local_candidates);
-    } catch (const std::runtime_error&) {
-      // Degenerate kernel matrix: fall back to a random probe.
+    if (n == 0) {
+      // Every simulation so far failed: no surrogate to fit, probe randomly.
       next_unit01.resize(d);
       for (auto& v : next_unit01) v = rng.uniform();
+    } else {
+      if (it % static_cast<std::size_t>(std::max(1, config_.refit_period)) == 0 ||
+          hp.lengthscales.empty()) {
+        hp = GpRegression::fit_hyperparams(x, y, rng, config_.hyperfit_restarts,
+                                           /*isotropic=*/!config_.ard);
+        hp.kernel = config_.kernel;
+      }
+      double best_fom_y = y[0];
+      for (const double v : y) best_fom_y = std::min(best_fom_y, v);
+
+      try {
+        const GpRegression gp(std::move(x), std::move(y), hp);
+        next_unit01 = maximize_ei(gp, best_fom_y, d, rng, config_.random_candidates,
+                                  config_.local_candidates);
+      } catch (const std::runtime_error&) {
+        // Degenerate kernel matrix: fall back to a random probe.
+        next_unit01.resize(d);
+        for (auto& v : next_unit01) v = rng.uniform();
+      }
     }
     history.train_seconds += train.elapsed_seconds();
 
     Vec u(d);
     for (std::size_t j = 0; j < d; ++j) u[j] = 2.0 * next_unit01[j] - 1.0;
-    const Vec candidate = problem.clip(scaler.from_unit(u));
+    Vec candidate = problem.clip(scaler.from_unit(u));
 
     Stopwatch sim;
-    const ckt::EvalResult eval = problem.evaluate(candidate);
+    core::SimRecord rec = core::evaluate_record(problem, std::move(candidate));
     history.sim_seconds += sim.elapsed_seconds();
-
-    core::SimRecord rec;
-    rec.x = candidate;
-    rec.metrics = eval.metrics;
-    rec.simulation_ok = eval.simulation_ok;
-    rec.fom = fom(rec.metrics);
-    rec.feasible = eval.simulation_ok && problem.feasible(rec.metrics);
+    const bool ok = core::annotate_record(rec, problem, fom);
+    consecutive_failures = ok ? 0 : consecutive_failures + 1;
     history.records.push_back(std::move(rec));
 
-    double best = history.records[0].fom;
-    for (const auto& r : history.records) best = std::min(best, r.fom);
+    // Best-so-far over clean records only; failed sims never improve it.
+    double best = std::numeric_limits<double>::infinity();
+    bool have_best = false;
+    for (const auto& r : history.records) {
+      if (!r.simulation_ok) continue;
+      best = have_best ? std::min(best, r.fom) : r.fom;
+      have_best = true;
+    }
+    if (!have_best) best = fom(problem.failure_metrics());
     history.best_fom_after.push_back(best);
   }
   history.wall_seconds = total.elapsed_seconds();

@@ -21,6 +21,11 @@ struct BoConfig {
   bool ard = false;        ///< per-dimension lengthscales
   KernelKind kernel = KernelKind::SquaredExponential;
   std::string name = "BO";
+  /// Circuit breaker: abort (with RunHistory::aborted set) after this many
+  /// consecutive failed simulations; 0 disables. Failed simulations get a
+  /// penalty FoM, are excluded from GP training, and count against the
+  /// budget.
+  int max_consecutive_failures = 100;
 
   /// Modernized variant used in the extended-baselines bench.
   static BoConfig tuned() {

@@ -16,6 +16,7 @@
 #include "circuits/folded_cascode_ota.hpp"
 #include "circuits/ldo_regulator.hpp"
 #include "circuits/process_variation.hpp"
+#include "circuits/resilient_problem.hpp"
 #include "circuits/robust_problem.hpp"
 #include "circuits/sensitivity.hpp"
 #include "circuits/sizing_problem.hpp"

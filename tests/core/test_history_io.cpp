@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "circuits/analytic_problems.hpp"
@@ -98,6 +100,76 @@ TEST_F(IoFixture, FileVariantWritesAndFailsOnBadPath) {
   write_records_csv(path, history, problem);
   std::ifstream check(path);
   EXPECT_TRUE(check.good());
+}
+
+TEST_F(IoFixture, CheckpointRoundTripPreservesEverything) {
+  history.aborted = true;
+  history.abort_reason = "circuit breaker";
+  history.records[1].simulation_ok = false;
+  history.records[1].feasible = false;
+  const std::string path = "/tmp/maopt_checkpoint_roundtrip.ckpt";
+  save_checkpoint(path, history, 0xDEADBEEFu);
+
+  const RunCheckpoint loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.version, kCheckpointFormatVersion);
+  EXPECT_EQ(loaded.seed, 0xDEADBEEFu);
+  const RunHistory& h = loaded.history;
+  EXPECT_EQ(h.algorithm, history.algorithm);
+  EXPECT_EQ(h.num_initial, history.num_initial);
+  EXPECT_TRUE(h.aborted);
+  EXPECT_EQ(h.abort_reason, "circuit breaker");
+  EXPECT_DOUBLE_EQ(h.wall_seconds, history.wall_seconds);
+  EXPECT_DOUBLE_EQ(h.sim_seconds, history.sim_seconds);
+  ASSERT_EQ(h.records.size(), history.records.size());
+  for (std::size_t i = 0; i < h.records.size(); ++i) {
+    EXPECT_EQ(h.records[i].x, history.records[i].x);
+    EXPECT_EQ(h.records[i].metrics, history.records[i].metrics);
+    EXPECT_DOUBLE_EQ(h.records[i].fom, history.records[i].fom);
+    EXPECT_EQ(h.records[i].feasible, history.records[i].feasible);
+    EXPECT_EQ(h.records[i].simulation_ok, history.records[i].simulation_ok);
+  }
+  EXPECT_EQ(h.best_fom_after, history.best_fom_after);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoFixture, CheckpointSaveIsAtomicNoTempFileLeftBehind) {
+  const std::string path = "/tmp/maopt_checkpoint_atomic.ckpt";
+  save_checkpoint(path, history, 1);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());  // the temp file was renamed away
+  std::ifstream real(path);
+  EXPECT_TRUE(real.good());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoFixture, CheckpointLoadRejectsMissingAndCorruptFiles) {
+  EXPECT_THROW(load_checkpoint("/tmp/maopt_no_such_file.ckpt"), std::runtime_error);
+
+  const std::string bad_magic = "/tmp/maopt_checkpoint_badmagic.ckpt";
+  {
+    std::ofstream out(bad_magic, std::ios::binary);
+    out << "NOTMAOPT-garbage-garbage-garbage";
+  }
+  EXPECT_THROW(load_checkpoint(bad_magic), std::runtime_error);
+  std::remove(bad_magic.c_str());
+
+  // Truncation anywhere in the payload must throw, never crash or return
+  // a partially-filled history.
+  const std::string full = "/tmp/maopt_checkpoint_full.ckpt";
+  save_checkpoint(full, history, 9);
+  std::ifstream in(full, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  const std::string cut = "/tmp/maopt_checkpoint_cut.ckpt";
+  for (const double frac : {0.3, 0.6, 0.95}) {
+    {
+      std::ofstream out(cut, std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() * frac));
+    }
+    EXPECT_THROW(load_checkpoint(cut), std::runtime_error) << "frac " << frac;
+  }
+  std::remove(full.c_str());
+  std::remove(cut.c_str());
 }
 
 }  // namespace

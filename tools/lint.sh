@@ -2,9 +2,10 @@
 # clang-tidy gate over src/ using the committed .clang-tidy config.
 #
 # Usage:
-#   tools/lint.sh                 # lint every .cpp under src/
-#   tools/lint.sh src/nn          # lint a subtree
-#   tools/lint.sh --fix [path]    # apply clang-tidy fixits
+#   tools/lint.sh                     # lint every .cpp under src/
+#   tools/lint.sh src/nn              # lint a subtree
+#   tools/lint.sh src examples        # lint several trees
+#   tools/lint.sh --fix [path...]     # apply clang-tidy fixits
 #
 # Needs a compile_commands.json; one is configured into build-tidy/ on first
 # run (any generator, no compilation required). Exits 0 with a SKIPPED
@@ -35,7 +36,10 @@ if [[ "${1:-}" == "--fix" ]]; then
   fix_args=(--fix --fix-errors)
   shift
 fi
-target="${1:-src}"
+targets=("$@")
+if [[ "${#targets[@]}" -eq 0 ]]; then
+  targets=(src)
+fi
 
 build_dir="${repo_root}/build-tidy"
 if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
@@ -43,9 +47,9 @@ if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
   cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 fi
 
-mapfile -t files < <(find "${target}" -name '*.cpp' | sort)
+mapfile -t files < <(find "${targets[@]}" -name '*.cpp' | sort)
 if [[ "${#files[@]}" -eq 0 ]]; then
-  echo "lint.sh: no .cpp files under '${target}'" >&2
+  echo "lint.sh: no .cpp files under '${targets[*]}'" >&2
   exit 1
 fi
 
