@@ -29,6 +29,18 @@ std::vector<AlgoSummary> run_comparison(const ckt::SizingProblem& problem,
     summaries[a].runs = static_cast<int>(config.runs);
   }
 
+  // Every run is observed through the unified telemetry path: the RunReport
+  // supplies the per-phase split and failure/retry counters for the tables,
+  // the optional JSONL sink records the full event stream of the comparison.
+  obs::RunReport report;
+  obs::MulticastObserver observer;
+  observer.add(&report);
+  std::unique_ptr<obs::JsonlObserver> jsonl;
+  if (!config.jsonl_path.empty()) {
+    jsonl = std::make_unique<obs::JsonlObserver>(config.jsonl_path);
+    observer.add(jsonl.get());
+  }
+
   for (std::size_t run = 0; run < config.runs; ++run) {
     const std::uint64_t seed = config.seed0 + run;
     // Shared X_init for every method (paper protocol).
@@ -39,10 +51,14 @@ std::vector<AlgoSummary> run_comparison(const ckt::SizingProblem& problem,
     for (const auto& r : initial) rows.push_back(r.metrics);
     const auto fom = ckt::FomEvaluator::fit_reference(problem, rows);
 
+    core::RunOptions options;
+    options.simulation_budget = config.sims;
+    options.observer = &observer;
     for (std::size_t a = 0; a < roster.size(); ++a) {
       log_info() << problem.spec().name << " run " << (run + 1) << "/" << config.runs << " "
                  << roster[a]->name();
-      const core::RunHistory h = roster[a]->run(problem, initial, fom, seed, config.sims);
+      options.seed = seed;
+      const core::RunHistory h = roster[a]->run(problem, initial, fom, options);
       auto& s = summaries[a];
       const core::SimRecord* bf = h.best_feasible();
       if (bf != nullptr) {
@@ -52,10 +68,17 @@ std::vector<AlgoSummary> run_comparison(const ckt::SizingProblem& problem,
       }
       final_foms[a].push_back(h.best_fom_after.back());
       trajectories[a].push_back(h.best_fom_after);
-      s.avg_runtime_s += h.wall_seconds / static_cast<double>(config.runs);
-      s.avg_train_s += h.train_seconds / static_cast<double>(config.runs);
-      s.avg_sim_s += h.sim_seconds / static_cast<double>(config.runs);
-      s.avg_ns_s += h.ns_seconds / static_cast<double>(config.runs);
+      const double runs_d = static_cast<double>(config.runs);
+      s.avg_runtime_s += h.wall_seconds / runs_d;
+      s.avg_train_s += h.train_seconds / runs_d;
+      s.avg_sim_s += h.sim_seconds / runs_d;
+      s.avg_ns_s += h.ns_seconds / runs_d;
+      const obs::RunReport::Row& row = report.rows().back();
+      s.avg_critic_s += row.phase(obs::Phase::CriticTrain) / runs_d;
+      s.avg_actor_s += row.phase(obs::Phase::ActorTrain) / runs_d;
+      s.avg_elite_s += row.phase(obs::Phase::EliteUpdate) / runs_d;
+      s.failures += row.counters.failures;
+      s.retries += row.counters.retries;
     }
   }
 
@@ -90,10 +113,20 @@ void print_table(const std::string& title, const std::string& target_label,
   for (const auto& s : summaries) std::printf("%12.1f", s.avg_runtime_s);
   std::printf("\n%-28s", "  train (s)");
   for (const auto& s : summaries) std::printf("%12.1f", s.avg_train_s);
+  std::printf("\n%-28s", "    critic train (s)");
+  for (const auto& s : summaries) std::printf("%12.2f", s.avg_critic_s);
+  std::printf("\n%-28s", "    actor train (s)");
+  for (const auto& s : summaries) std::printf("%12.2f", s.avg_actor_s);
   std::printf("\n%-28s", "  simulate (s)");
   for (const auto& s : summaries) std::printf("%12.1f", s.avg_sim_s);
   std::printf("\n%-28s", "  near-sampling (s)");
   for (const auto& s : summaries) std::printf("%12.2f", s.avg_ns_s);
+  std::printf("\n%-28s", "  elite update (s)");
+  for (const auto& s : summaries) std::printf("%12.2f", s.avg_elite_s);
+  std::printf("\n%-28s", "Failed simulations");
+  for (const auto& s : summaries) std::printf("%12llu", static_cast<unsigned long long>(s.failures));
+  std::printf("\n%-28s", "Simulator retries");
+  for (const auto& s : summaries) std::printf("%12llu", static_cast<unsigned long long>(s.retries));
   std::printf("\n");
 }
 

@@ -22,7 +22,8 @@ struct ExperimentConfig {
   std::size_t init = 40;
   bool full = false;
   std::uint64_t seed0 = 0;
-  std::string csv_path;  ///< optional: per-simulation trajectories
+  std::string csv_path;    ///< optional: per-simulation trajectories
+  std::string jsonl_path;  ///< optional: telemetry event stream of every run
 
   static ExperimentConfig from_cli(const CliArgs& args) {
     ExperimentConfig c;
@@ -37,6 +38,7 @@ struct ExperimentConfig {
     c.init = static_cast<std::size_t>(args.get_int("init", static_cast<std::int64_t>(c.init)));
     c.seed0 = static_cast<std::uint64_t>(args.get_int("seed", 0));
     c.csv_path = args.get("csv", "");
+    c.jsonl_path = args.get("jsonl", "");
     return c;
   }
 };
@@ -52,6 +54,14 @@ struct AlgoSummary {
   double avg_train_s = 0.0;
   double avg_sim_s = 0.0;
   double avg_ns_s = 0.0;
+  // Telemetry-driven phase split (obs::RunReport, wall-clock summed over
+  // lanes) — finer than the history timers: critic vs actor training and the
+  // elite-set bookkeeping are separated.
+  double avg_critic_s = 0.0;
+  double avg_actor_s = 0.0;
+  double avg_elite_s = 0.0;
+  std::uint64_t failures = 0;  ///< failed simulations, total over runs
+  std::uint64_t retries = 0;   ///< ResilientEvaluator retries, total over runs
   /// mean-over-runs best-FoM trajectory (per post-initial simulation).
   std::vector<double> avg_trajectory;
 };

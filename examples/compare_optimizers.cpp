@@ -1,8 +1,10 @@
-// Compare the paper's five algorithms head-to-head on one circuit with a
-// shared initial population, printing the best-FoM trajectory of each —
-// a miniature of the Table II/IV/VI + Fig. 5 experiment.
+// Compare the paper's algorithms head-to-head on one circuit with a shared
+// initial population, printing the telemetry summary of each run — a
+// miniature of the Table II/IV/VI + Fig. 5 experiment, driven entirely
+// through the unified Optimizer::run(RunOptions) API.
 //
 //   ./examples/compare_optimizers [--circuit tia|ota] [--sims 60] [--seed 1]
+//                                 [--jsonl run.jsonl]
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -14,6 +16,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const auto sims = static_cast<std::size_t>(args.get_int("sims", 60));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string jsonl_path = args.get("jsonl", "");
 
   std::unique_ptr<ckt::SizingProblem> problem;
   if (args.get("circuit", "tia") == "ota")
@@ -29,22 +32,35 @@ int main(int argc, char** argv) {
 
   std::vector<std::unique_ptr<core::Optimizer>> roster;
   roster.push_back(std::make_unique<core::RandomSearch>());
+  roster.push_back(std::make_unique<core::PsoOptimizer>());
+  roster.push_back(std::make_unique<core::DeOptimizer>());
   roster.push_back(std::make_unique<gp::BoOptimizer>());
   roster.push_back(std::make_unique<core::MaOptimizer>(core::MaOptConfig::dnn_opt()));
   roster.push_back(std::make_unique<core::MaOptimizer>(core::MaOptConfig::ma_opt2()));
   roster.push_back(std::make_unique<core::MaOptimizer>(core::MaOptConfig::ma_opt()));
 
+  // One report across the whole roster gives one summary row per run; the
+  // optional JSONL sink receives the full event stream of every run.
+  obs::RunReport report;
+  obs::MulticastObserver observer;
+  observer.add(&report);
+  std::unique_ptr<obs::JsonlObserver> jsonl;
+  if (!jsonl_path.empty()) {
+    jsonl = std::make_unique<obs::JsonlObserver>(jsonl_path);
+    observer.add(jsonl.get());
+  }
+
+  core::RunOptions options;
+  options.seed = seed;
+  options.simulation_budget = sims;
+  options.observer = &observer;
+
   std::printf("%s, %zu simulations each, shared initial set of %zu\n\n",
               problem->spec().name.c_str(), sims, initial.size());
-  std::printf("%-10s %14s %14s %10s %10s\n", "Algorithm", "final FoM", "log10(FoM)", "feasible",
-              "wall (s)");
-  for (auto& opt : roster) {
-    const core::RunHistory h = opt->run(*problem, initial, fom, seed, sims);
-    const double final_fom = h.best_fom_after.back();
-    std::printf("%-10s %14.5g %14.2f %10s %10.1f\n", opt->name().c_str(), final_fom,
-                std::log10(std::max(final_fom, 1e-12)),
-                h.best_feasible() ? "yes" : "no", h.wall_seconds);
-  }
-  std::printf("\nExpected ordering (paper): MA-Opt <= MA-Opt2 < DNN-Opt < BO ~ Random.\n");
+  for (auto& opt : roster) opt->run(*problem, initial, fom, options);
+
+  std::printf("%s\n", report.table().c_str());
+  if (jsonl != nullptr) std::printf("event stream: %s\n", jsonl->path().c_str());
+  std::printf("Expected ordering (paper): MA-Opt <= MA-Opt2 < DNN-Opt < BO ~ Random.\n");
   return 0;
 }

@@ -158,16 +158,25 @@ ResilientEvaluator::Attempt ResilientEvaluator::run_attempt(const Vec& x) const 
   return classify(std::move(shared->result), shared->error);
 }
 
+namespace {
+// Per-thread record of the most recent evaluate() (see last_call_stats()).
+thread_local ResilientEvaluator::CallStats tl_last_call;
+}  // namespace
+
+ResilientEvaluator::CallStats ResilientEvaluator::last_call_stats() { return tl_last_call; }
+
 EvalResult ResilientEvaluator::evaluate(const Vec& x) const {
   evaluations_.fetch_add(1, std::memory_order_relaxed);
   const Vec& lo = lower_bounds();
   const Vec& hi = upper_bounds();
 
+  CallStats call;
   const int attempts_allowed = 1 + config_.max_retries;
   Vec attempt_x = x;
   for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
     if (attempt > 0) {
       retries_.fetch_add(1, std::memory_order_relaxed);
+      ++call.retries;
       // Deterministic jittered restart: a tiny perturbation often steps a
       // solver off a singular Jacobian, like re-seeding the operating point.
       Rng jitter(derive_seed(config_.seed,
@@ -178,11 +187,17 @@ EvalResult ResilientEvaluator::evaluate(const Vec& x) const {
       attempt_x = clip(std::move(attempt_x));
     }
     Attempt a = run_attempt(attempt_x);
-    if (a.ok) return std::move(a.result);
+    if (a.ok) {
+      tl_last_call = call;
+      return std::move(a.result);
+    }
+    call.last_kind = a.kind;
     by_kind_[static_cast<std::size_t>(a.kind)].fetch_add(1, std::memory_order_relaxed);
   }
 
   failures_.fetch_add(1, std::memory_order_relaxed);
+  call.failed = true;
+  tl_last_call = call;
   EvalResult fail;
   fail.metrics = inner_->failure_metrics();
   fail.simulation_ok = false;

@@ -104,6 +104,22 @@ class ResilientEvaluator final : public SizingProblem {
   FailureStats stats() const;
   const ResilientConfig& config() const { return config_; }
 
+  /// Telemetry for one evaluate() call: retries it consumed and, when it
+  /// failed (or retried), the kind of the last failed attempt.
+  struct CallStats {
+    std::uint32_t retries = 0;
+    bool failed = false;  ///< every attempt failed; the caller got failure_metrics
+    FailureKind last_kind = FailureKind::NonConvergence;  ///< valid when failed or retries > 0
+  };
+
+  /// The CallStats of the most recent evaluate() on the *calling thread*
+  /// (thread-local, shared across ResilientEvaluator instances). Optimizers
+  /// read it right after the evaluation they just issued to attribute retry
+  /// counts and failure kinds to individual SimulationCompleted events —
+  /// exact even when actor workers evaluate concurrently, which a diff of
+  /// the global stats() could not be.
+  static CallStats last_call_stats();
+
  private:
   struct Attempt {
     EvalResult result;

@@ -2,6 +2,7 @@
 // per-iteration progress at Debug; experiment harnesses log at Info.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -14,19 +15,30 @@ LogLevel log_level();
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {
+/// One log statement. Formatting is lazy: below the global threshold the
+/// stream is never materialized and every operator<< is a no-op, so hot-path
+/// log_debug() calls cost a level check instead of ostringstream traffic.
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, stream_.str()); }
+  explicit LogLine(LogLevel level) : level_(level) {
+    if (level >= log_level()) stream_.emplace();
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  LogLine(LogLine&&) = delete;
+  LogLine& operator=(LogLine&&) = delete;
+  ~LogLine() {
+    if (stream_.has_value()) log_message(level_, stream_->str());
+  }
   template <typename T>
   LogLine& operator<<(const T& v) {
-    stream_ << v;
+    if (stream_.has_value()) *stream_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
-  std::ostringstream stream_;
+  std::optional<std::ostringstream> stream_;
 };
 }  // namespace detail
 

@@ -1,22 +1,24 @@
 #include "core/de.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/log.hpp"
 
 namespace maopt::core {
 
-RunHistory DeOptimizer::run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
-                            const FomEvaluator& fom, std::uint64_t seed,
-                            std::size_t simulation_budget) {
+RunHistory DeOptimizer::do_run(const SizingProblem& problem,
+                               const std::vector<SimRecord>& initial, const FomEvaluator& fom,
+                               const RunOptions& options, obs::RunTelemetry& telemetry) {
   RunHistory history;
   history.algorithm = name();
   history.records = initial;
   history.num_initial = initial.size();
   annotate_foms(history.records, problem, fom);
 
-  Rng rng(derive_seed(seed, 0xDE01));
+  Rng rng(derive_seed(options.seed, 0xDE01));
   const std::size_t d = problem.dim();
+  const std::size_t simulation_budget = options.simulation_budget;
 
   std::vector<const SimRecord*> sorted;
   for (const auto& r : history.records) sorted.push_back(&r);
@@ -39,9 +41,19 @@ RunHistory DeOptimizer::run(const SizingProblem& problem, const std::vector<SimR
   }
 
   Stopwatch total;
+  bool feasible_found = false;
+  for (const auto& r : history.records) feasible_found = feasible_found || r.feasible;
   std::size_t sims = 0;
+  std::uint64_t iteration = 0;
+  // One iteration = one generation; mutation/crossover reports as an
+  // ActorTrain span (candidate selection), evaluations as Simulate spans.
   while (sims < simulation_budget) {
+    ++iteration;
+    Stopwatch iter_clock;
+    std::vector<obs::PhaseSpan> spans;
+    double select_s = 0.0;
     for (std::size_t i = 0; i < np && sims < simulation_budget; ++i) {
+      Stopwatch select;
       // Mutation: three distinct partners, none equal to i.
       std::size_t a, b, c;
       do a = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(np) - 1));
@@ -59,26 +71,29 @@ RunHistory DeOptimizer::run(const SizingProblem& problem, const std::vector<SimR
         if (k == forced || rng.uniform() < config_.cr)
           trial[k] = pop[a][k] + config_.f * (pop[b][k] - pop[c][k]);
       trial = problem.clip(std::move(trial));
+      select_s += select.elapsed_seconds();
 
       Stopwatch sim;
-      const ckt::EvalResult eval = problem.evaluate(trial);
-      history.sim_seconds += sim.elapsed_seconds();
-      ++sims;
+      SimRecord rec = evaluate_record(problem, std::move(trial));
+      const double sim_s = sim.elapsed_seconds();
+      history.sim_seconds += sim_s;
+      annotate_record(rec, problem, fom);
 
-      SimRecord rec;
-      rec.x = trial;
-      rec.metrics = eval.metrics;
-      rec.simulation_ok = eval.simulation_ok;
-      rec.fom = fom(rec.metrics);
-      rec.feasible = eval.simulation_ok && problem.feasible(rec.metrics);
       if (rec.fom < pop_fom[i]) {  // greedy selection
         pop_fom[i] = rec.fom;
         pop[i] = rec.x;
       }
       best = std::min(best, rec.fom);
+      feasible_found = feasible_found || rec.feasible;
       history.records.push_back(std::move(rec));
       history.best_fom_after.push_back(best);
+      emit_simulation(telemetry, history.records.back(), sims, iteration, -1, sim_s, problem);
+      if (telemetry.enabled()) spans.push_back({obs::Phase::Simulate, -1, sim_s});
+      ++sims;
     }
+    if (telemetry.enabled()) spans.push_back({obs::Phase::ActorTrain, -1, select_s});
+    emit_iteration(telemetry, iteration, sims, best, feasible_found,
+                   iter_clock.elapsed_seconds(), std::move(spans));
   }
   history.wall_seconds = total.elapsed_seconds();
   return history;

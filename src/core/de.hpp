@@ -4,7 +4,7 @@
 // initial set.
 #pragma once
 
-#include "core/history.hpp"
+#include "core/optimizer.hpp"
 
 namespace maopt::core {
 
@@ -19,9 +19,11 @@ class DeOptimizer final : public Optimizer {
   explicit DeOptimizer(DeConfig config = {}) : config_(config) {}
 
   std::string name() const override { return "DE"; }
-  RunHistory run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
-                 const FomEvaluator& fom, std::uint64_t seed,
-                 std::size_t simulation_budget) override;
+
+ protected:
+  RunHistory do_run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                    const FomEvaluator& fom, const RunOptions& options,
+                    obs::RunTelemetry& telemetry) override;
 
  private:
   DeConfig config_;

@@ -83,16 +83,4 @@ void annotate_foms(std::vector<SimRecord>& records, const SizingProblem& problem
 /// annotate_record). Safe to call from parallel_for workers.
 SimRecord evaluate_record(const SizingProblem& problem, Vec x);
 
-/// Abstract optimizer: consumes a pre-evaluated initial set and a simulation
-/// budget, produces the full run history. Implementations: MaOptimizer
-/// (DNN-Opt / MA-Opt variants), BoOptimizer, RandomSearch.
-class Optimizer {
- public:
-  virtual ~Optimizer() = default;
-  virtual std::string name() const = 0;
-  virtual RunHistory run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
-                         const FomEvaluator& fom, std::uint64_t seed,
-                         std::size_t simulation_budget) = 0;
-};
-
 }  // namespace maopt::core

@@ -105,8 +105,10 @@ void write_trajectory_csv(const std::string& path, const RunHistory& history) {
   write_trajectory_csv(out, history);
 }
 
-void save_checkpoint(const std::string& path, const RunHistory& history, std::uint64_t seed) {
+std::uint64_t save_checkpoint(const std::string& path, const RunHistory& history,
+                              std::uint64_t seed) {
   const std::string tmp = path + ".tmp";
+  std::uint64_t bytes = 0;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw std::runtime_error("checkpoint: cannot open '" + tmp + "' for writing");
@@ -134,11 +136,13 @@ void save_checkpoint(const std::string& path, const RunHistory& history, std::ui
               static_cast<std::streamsize>(history.best_fom_after.size() * sizeof(double)));
     out.flush();
     if (!out) throw std::runtime_error("checkpoint: write failed for '" + tmp + "'");
+    bytes = static_cast<std::uint64_t>(out.tellp());
   }
   // The rename is the commit point: a crash before it leaves any previous
   // checkpoint untouched; after it the new snapshot is fully visible.
   if (std::rename(tmp.c_str(), path.c_str()) != 0)
     throw std::runtime_error("checkpoint: rename '" + tmp + "' -> '" + path + "' failed");
+  return bytes;
 }
 
 RunCheckpoint load_checkpoint(const std::string& path) {

@@ -40,9 +40,11 @@ struct RunCheckpoint {
 
 /// Writes the snapshot atomically: the payload goes to `path` + ".tmp" and
 /// is renamed over `path`, so readers never observe a torn file and a crash
-/// mid-write leaves any previous checkpoint intact. Throws std::runtime_error
-/// on I/O failure.
-void save_checkpoint(const std::string& path, const RunHistory& history, std::uint64_t seed);
+/// mid-write leaves any previous checkpoint intact. Returns the snapshot
+/// size in bytes (reported in obs::CheckpointWritten). Throws
+/// std::runtime_error on I/O failure.
+std::uint64_t save_checkpoint(const std::string& path, const RunHistory& history,
+                              std::uint64_t seed);
 
 /// Loads a snapshot written by save_checkpoint. Throws std::runtime_error on
 /// a missing file, bad magic, unsupported version, or truncation.

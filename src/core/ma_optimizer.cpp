@@ -5,6 +5,7 @@
 #include <cmath>
 #include <deque>
 
+#include "circuits/resilient_problem.hpp"
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
@@ -47,29 +48,45 @@ MaOptConfig MaOptConfig::ma_opt() {
   return c;
 }
 
-RunHistory MaOptimizer::run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
-                            const FomEvaluator& fom, std::uint64_t seed,
-                            std::size_t simulation_budget) {
-  return run_impl(problem, initial, {}, fom, seed, simulation_budget,
-                  /*checkpoint_timers=*/nullptr);
+RunHistory MaOptimizer::do_run(const SizingProblem& problem,
+                               const std::vector<SimRecord>& initial, const FomEvaluator& fom,
+                               const RunOptions& options, obs::RunTelemetry& telemetry) {
+  return run_impl(problem, initial, {}, fom, options.seed, options.simulation_budget,
+                  /*checkpoint_timers=*/nullptr, telemetry);
 }
 
 RunHistory MaOptimizer::resume(const SizingProblem& problem, const RunCheckpoint& checkpoint,
-                               const FomEvaluator& fom, std::size_t simulation_budget) {
+                               const FomEvaluator& fom, const RunOptions& options) {
   const RunHistory& h = checkpoint.history;
   MAOPT_CHECK(h.num_initial <= h.records.size(),
               "MaOptimizer::resume: corrupt checkpoint (num_initial > records)");
   const auto split = h.records.begin() + static_cast<std::ptrdiff_t>(h.num_initial);
   std::vector<SimRecord> initial(h.records.begin(), split);
   std::vector<SimRecord> replay(split, h.records.end());
-  return run_impl(problem, std::move(initial), std::move(replay), fom, checkpoint.seed,
-                  simulation_budget, &h);
+
+  // Same telemetry bracketing as Optimizer::run — a resumed run is a run.
+  obs::RunTelemetry telemetry(options.observer);
+  RunOptions effective = options;
+  effective.seed = checkpoint.seed;
+  emit_run_started(telemetry, name(), problem, initial.size(), effective);
+  RunHistory history = run_impl(problem, std::move(initial), std::move(replay), fom,
+                                checkpoint.seed, options.simulation_budget, &h, telemetry);
+  emit_run_finished(telemetry, history);
+  return history;
+}
+
+RunHistory MaOptimizer::resume(const SizingProblem& problem, const RunCheckpoint& checkpoint,
+                               const FomEvaluator& fom, std::size_t simulation_budget) {
+  RunOptions options;
+  options.simulation_budget = simulation_budget;
+  return resume(problem, checkpoint, fom, options);
 }
 
 RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRecord> initial,
                                  std::vector<SimRecord> replay, const FomEvaluator& fom,
                                  std::uint64_t seed, std::size_t simulation_budget,
-                                 const RunHistory* checkpoint_timers) {
+                                 const RunHistory* checkpoint_timers,
+                                 obs::RunTelemetry& telemetry) {
   RunHistory history;
   history.algorithm = config_.name;
   history.records = std::move(initial);
@@ -145,11 +162,39 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
   std::atomic<bool> replay_diverged{false};
   const bool checkpointing = config_.checkpoint_every > 0 && !config_.checkpoint_path.empty();
 
-  auto append_record = [&](SimRecord rec, std::ptrdiff_t actor_set) {
+  // Telemetry plumbing: spans collected per iteration (actor workers report
+  // into their own lanes), per-simulation retry/failure detail probed from a
+  // ResilientEvaluator when the problem is one. With no observer every emit
+  // below is a single branch on null.
+  obs::SpanCollector spans(telemetry.enabled());
+  const auto* resilient = dynamic_cast<const ckt::ResilientEvaluator*>(&problem);
+  int current_iter = 0;
+
+  struct SimMeta {
+    int lane = -1;
+    double seconds = 0.0;
+    ckt::ResilientEvaluator::CallStats call;
+  };
+
+  auto emit_checkpoint = [&](std::uint64_t bytes, int iteration) {
+    ++telemetry.counters().checkpoints;
+    telemetry.counters().checkpoint_bytes += bytes;
+    if (telemetry.enabled()) {
+      obs::CheckpointWritten event;
+      event.path = config_.checkpoint_path;
+      event.iteration = static_cast<std::uint64_t>(iteration);
+      event.simulations_done = sims;
+      event.bytes = bytes;
+      telemetry.emit(event);
+    }
+  };
+
+  auto append_record = [&](SimRecord rec, std::ptrdiff_t actor_set, const SimMeta& meta) {
     const bool ok = annotate_record(rec, problem, fom);
     specs_met = specs_met || rec.feasible;
     if (ok) {
       consecutive_failures = 0;
+      const obs::ScopedSpan elite_span(spans, obs::Phase::EliteUpdate);
       if (config_.shared_elite_set) {
         elites[0].try_insert(rec.x, rec.fom);
       } else if (actor_set >= 0) {
@@ -169,6 +214,22 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
     // Failed records never improve the trajectory: their penalty FoM is
     // budget bookkeeping, not a design the run could return.
     history.best_fom_after.push_back(running_best);
+    if (telemetry.enabled()) {
+      const SimRecord& stored = history.records.back();
+      obs::SimulationCompleted event;
+      event.index = sims;
+      event.iteration = static_cast<std::uint64_t>(current_iter);
+      event.lane = meta.lane;
+      event.ok = stored.simulation_ok;
+      event.feasible = stored.feasible;
+      event.fom = stored.fom;
+      event.seconds = meta.seconds;
+      event.retries = meta.call.retries;
+      if (!stored.simulation_ok && meta.call.failed)
+        event.failure_kind = ckt::to_string(meta.call.last_kind);
+      telemetry.emit(event);
+    }
+    telemetry.counters().retries += meta.call.retries;
     ++sims;
   };
 
@@ -182,27 +243,37 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
       break;
     }
 
+    current_iter = t;
+    Stopwatch iter_clock;
     const bool replaying = replay_pos < replay_count;
     const bool ns_turn = specs_met && config_.use_near_sampling && critic_trained &&
                          (t % std::max(1, config_.t_ns) == 0);
     const SimRecord* anchor = ns_turn ? history.best() : nullptr;
-    if (ns_turn && anchor != nullptr) {
+    const bool ns_iteration = ns_turn && anchor != nullptr;
+    if (ns_iteration) {
       // --- Algorithm 2: near-sampling, one simulation, no training ---
       Stopwatch ns_clock;
       const Vec candidate = near_sampling_candidate(problem, fom, critic, scaler, anchor->x,
                                                     config_.near_sampling, ns_rng);
       if (!replaying) history.ns_seconds += ns_clock.elapsed_seconds();
+      spans.add(obs::Phase::NearSample, -1, ns_clock.elapsed_seconds());
 
       SimRecord rec;
+      SimMeta meta;
       if (replaying) {
         rec = std::move(replay[replay_pos++]);
         if (rec.x != candidate) replay_diverged.store(true, std::memory_order_relaxed);
       } else {
         Stopwatch sim_clock;
         rec = evaluate_record(problem, candidate);
-        history.sim_seconds += sim_clock.elapsed_seconds();
+        const double sim_s = sim_clock.elapsed_seconds();
+        history.sim_seconds += sim_s;
+        meta.seconds = sim_s;
+        spans.add(obs::Phase::Simulate, -1, sim_s);
+        if (resilient != nullptr) meta.call = ckt::ResilientEvaluator::last_call_stats();
       }
-      append_record(std::move(rec), /*actor_set=*/-1);
+      append_record(std::move(rec), /*actor_set=*/-1, meta);
+      ++telemetry.counters().ns_iterations;
     } else {
       // --- Algorithm 1: critic training, then parallel actor rounds ---
       Stopwatch train_clock;
@@ -213,16 +284,19 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
       critic.train_round(batcher, critic_rng, &pool);
       critic_trained = true;
       if (!replaying) history.train_seconds += train_clock.elapsed_seconds();
+      spans.add(obs::Phase::CriticTrain, -1, train_clock.elapsed_seconds());
 
       const std::size_t workers = std::min(n_act, simulation_budget - sims);
       std::vector<SimRecord> results(workers);
       std::vector<double> worker_train_s(workers, 0.0), worker_sim_s(workers, 0.0);
+      std::vector<SimMeta> worker_meta(workers);
 
       pool.parallel_for(workers, [&](std::size_t i) {
         Rng rng(derive_seed(seed, 0x1000 + static_cast<std::uint64_t>(t) * 64 + i));
         EliteSet& elite = config_.shared_elite_set ? elites[0] : elites[i];
 
         ThreadCpuTimer tclock;
+        Stopwatch train_wall;
         CriticEnsemble local_critic(critic);  // private forward/backward workspace
         Vec lb_raw, ub_raw;
         elite.bounds(lb_raw, ub_raw);
@@ -234,6 +308,8 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
         const Vec proposal_unit =
             actors[i].select_candidate_unit(local_critic, fom, elite.snapshot(), scaler);
         worker_train_s[i] = tclock.elapsed_seconds();
+        spans.add(obs::Phase::ActorTrain, static_cast<int>(i), train_wall.elapsed_seconds());
+        worker_meta[i].lane = static_cast<int>(i);
 
         Vec candidate(d);
         for (std::size_t c = 0; c < d; ++c) candidate[c] = std::clamp(proposal_unit[c], -1.0, 1.0);
@@ -244,8 +320,13 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
           if (results[i].x != candidate) replay_diverged.store(true, std::memory_order_relaxed);
         } else {
           ThreadCpuTimer sclock;
+          Stopwatch sim_wall;
           results[i] = evaluate_record(problem, std::move(candidate));
           worker_sim_s[i] = sclock.elapsed_seconds();
+          worker_meta[i].seconds = sim_wall.elapsed_seconds();
+          spans.add(obs::Phase::Simulate, static_cast<int>(i), worker_meta[i].seconds);
+          if (resilient != nullptr)
+            worker_meta[i].call = ckt::ResilientEvaluator::last_call_stats();
         }
       });
 
@@ -255,15 +336,29 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
           history.sim_seconds += worker_sim_s[i];
         }
         append_record(std::move(results[i]),
-                      config_.shared_elite_set ? 0 : static_cast<std::ptrdiff_t>(i));
+                      config_.shared_elite_set ? 0 : static_cast<std::ptrdiff_t>(i),
+                      worker_meta[i]);
       }
       replay_pos += std::min(workers, replay_count - replay_pos);
+    }
+
+    ++telemetry.counters().iterations;
+    if (telemetry.enabled()) {
+      obs::IterationCompleted event;
+      event.iteration = static_cast<std::uint64_t>(t);
+      event.simulations_done = sims;
+      event.best_fom = running_best;
+      event.feasible_found = specs_met;
+      event.near_sampling = ns_iteration;
+      event.wall_seconds = iter_clock.elapsed_seconds();
+      event.spans = spans.take();
+      telemetry.emit(event);
     }
 
     // Snapshot at iteration boundaries only (records are consistent there);
     // replayed iterations are skipped — the on-disk state already covers them.
     if (checkpointing && replay_pos >= replay_count && t % config_.checkpoint_every == 0)
-      save_checkpoint(config_.checkpoint_path, history, seed);
+      emit_checkpoint(save_checkpoint(config_.checkpoint_path, history, seed), t);
   }
 
   if (replay_diverged.load(std::memory_order_relaxed))
@@ -272,7 +367,8 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
                   "problem/config/budget?); the recorded simulations were kept";
   // A final snapshot on abort lets the operator inspect (or resume) the
   // partial run the circuit breaker saved.
-  if (history.aborted && checkpointing) save_checkpoint(config_.checkpoint_path, history, seed);
+  if (history.aborted && checkpointing)
+    emit_checkpoint(save_checkpoint(config_.checkpoint_path, history, seed), current_iter);
   history.wall_seconds += total.elapsed_seconds();
   return history;
 }

@@ -19,6 +19,7 @@
 #include "core/history.hpp"
 #include "core/history_io.hpp"
 #include "core/near_sampling.hpp"
+#include "core/optimizer.hpp"
 
 namespace maopt::core {
 
@@ -57,24 +58,30 @@ class MaOptimizer final : public Optimizer {
   std::string name() const override { return config_.name; }
   const MaOptConfig& config() const { return config_; }
 
-  RunHistory run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
-                 const FomEvaluator& fom, std::uint64_t seed,
-                 std::size_t simulation_budget) override;
-
   /// Resumes a run from a snapshot written via MaOptConfig::checkpoint_path
   /// (or save_checkpoint): the recorded post-initial trajectory is replayed
   /// — critic/actor/elite/RNG state is rebuilt by re-running the training
   /// side deterministically while simulations are taken from the record —
-  /// then the run continues live until `simulation_budget`. Called with the
-  /// same problem, FoM, config, and budget as the original run, the resumed
-  /// run reproduces the uninterrupted trajectory exactly.
+  /// then the run continues live until `options.simulation_budget`
+  /// (options.seed is ignored: the checkpoint carries the run's seed).
+  /// Called with the same problem, FoM, config, and budget as the original
+  /// run, the resumed run reproduces the uninterrupted trajectory exactly.
+  /// Emits the same telemetry bracketing as run().
+  RunHistory resume(const SizingProblem& problem, const RunCheckpoint& checkpoint,
+                    const FomEvaluator& fom, const RunOptions& options);
   RunHistory resume(const SizingProblem& problem, const RunCheckpoint& checkpoint,
                     const FomEvaluator& fom, std::size_t simulation_budget);
+
+ protected:
+  RunHistory do_run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                    const FomEvaluator& fom, const RunOptions& options,
+                    obs::RunTelemetry& telemetry) override;
 
  private:
   RunHistory run_impl(const SizingProblem& problem, std::vector<SimRecord> initial,
                       std::vector<SimRecord> replay, const FomEvaluator& fom, std::uint64_t seed,
-                      std::size_t simulation_budget, const RunHistory* checkpoint_timers);
+                      std::size_t simulation_budget, const RunHistory* checkpoint_timers,
+                      obs::RunTelemetry& telemetry);
 
   MaOptConfig config_;
 };

@@ -1,0 +1,100 @@
+#include "core/optimizer.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "circuits/resilient_problem.hpp"
+
+namespace maopt::core {
+
+RunHistory Optimizer::run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                          const FomEvaluator& fom, const RunOptions& options) {
+  obs::RunTelemetry telemetry(options.observer);
+  emit_run_started(telemetry, name(), problem, initial.size(), options);
+  RunHistory history = do_run(problem, initial, fom, options, telemetry);
+  emit_run_finished(telemetry, history);
+  return history;
+}
+
+RunHistory Optimizer::run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                          const FomEvaluator& fom, std::uint64_t seed,
+                          std::size_t simulation_budget) {
+  RunOptions options;
+  options.seed = seed;
+  options.simulation_budget = simulation_budget;
+  return run(problem, initial, fom, options);
+}
+
+void Optimizer::emit_run_started(obs::RunTelemetry& telemetry, const std::string& algorithm,
+                                 const SizingProblem& problem, std::size_t num_initial,
+                                 const RunOptions& options) {
+  if (!telemetry.enabled()) return;
+  obs::RunStarted event;
+  event.algorithm = algorithm;
+  event.problem = problem.spec().name;
+  event.seed = options.seed;
+  event.simulation_budget = options.simulation_budget;
+  event.num_initial = num_initial;
+  event.dim = problem.dim();
+  telemetry.emit(event);
+}
+
+void Optimizer::emit_run_finished(obs::RunTelemetry& telemetry, const RunHistory& history) {
+  if (!telemetry.enabled()) return;
+  obs::RunCounters& counters = telemetry.counters();
+  counters.simulations = history.simulations_used();
+  counters.failures = 0;
+  for (std::size_t i = history.num_initial; i < history.records.size(); ++i)
+    counters.failures += history.records[i].simulation_ok ? 0 : 1;
+
+  obs::RunFinished event;
+  event.algorithm = history.algorithm;
+  event.simulations = history.simulations_used();
+  event.best_fom = history.best_fom_after.empty() ? std::numeric_limits<double>::quiet_NaN()
+                                                  : history.best_fom_after.back();
+  event.feasible = history.best_feasible() != nullptr;
+  event.aborted = history.aborted;
+  event.abort_reason = history.abort_reason;
+  event.wall_seconds = history.wall_seconds;
+  event.counters = counters;
+  telemetry.emit(event);
+}
+
+void Optimizer::emit_simulation(obs::RunTelemetry& telemetry, const SimRecord& record,
+                                std::uint64_t index, std::uint64_t iteration, int lane,
+                                double seconds, const SizingProblem& problem) {
+  if (!telemetry.enabled()) return;
+  obs::SimulationCompleted event;
+  event.index = index;
+  event.iteration = iteration;
+  event.lane = lane;
+  event.ok = record.simulation_ok;
+  event.feasible = record.feasible;
+  event.fom = record.fom;
+  event.seconds = seconds;
+  if (dynamic_cast<const ckt::ResilientEvaluator*>(&problem) != nullptr) {
+    const auto call = ckt::ResilientEvaluator::last_call_stats();
+    event.retries = call.retries;
+    telemetry.counters().retries += call.retries;
+    if (!record.simulation_ok && call.failed) event.failure_kind = ckt::to_string(call.last_kind);
+  }
+  telemetry.emit(event);
+}
+
+void Optimizer::emit_iteration(obs::RunTelemetry& telemetry, std::uint64_t iteration,
+                               std::size_t simulations_done, double best_fom, bool feasible_found,
+                               double wall_seconds, std::vector<obs::PhaseSpan> spans) {
+  ++telemetry.counters().iterations;
+  if (!telemetry.enabled()) return;
+  obs::IterationCompleted event;
+  event.iteration = iteration;
+  event.simulations_done = simulations_done;
+  event.best_fom = best_fom;
+  event.feasible_found = feasible_found;
+  event.wall_seconds = wall_seconds;
+  event.spans = std::move(spans);
+  telemetry.emit(event);
+}
+
+}  // namespace maopt::core

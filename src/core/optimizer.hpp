@@ -1,0 +1,83 @@
+// The unified optimizer-facing run API (PR 4). Every optimizer — MaOptimizer
+// (DNN-Opt / MA-Opt variants), BoOptimizer, DeOptimizer, PsoOptimizer,
+// RandomSearch — is driven through Optimizer::run(problem, initial, fom,
+// RunOptions) and instrumented through the obs:: telemetry layer behind it:
+// the non-virtual entry point emits RunStarted / RunFinished around the
+// optimizer-specific loop, which reports IterationCompleted /
+// SimulationCompleted / CheckpointWritten as it goes. With no observer
+// attached the instrumentation reduces to a branch on a null pointer.
+#pragma once
+
+#include "core/history.hpp"
+#include "obs/observer.hpp"
+
+namespace maopt::core {
+
+/// Per-run parameters for Optimizer::run. Aggregates what used to be loose
+/// (seed, budget) trailing arguments so adding a knob no longer churns every
+/// optimizer signature.
+struct RunOptions {
+  std::uint64_t seed = 0;
+  std::size_t simulation_budget = 0;
+  /// Telemetry sink; not owned, may be nullptr (disables all emission).
+  obs::RunObserver* observer = nullptr;
+};
+
+/// Abstract optimizer: consumes a pre-evaluated initial set and a simulation
+/// budget, produces the full run history. Implementations: MaOptimizer
+/// (DNN-Opt / MA-Opt variants), BoOptimizer, DeOptimizer, PsoOptimizer,
+/// RandomSearch.
+class Optimizer {
+ public:
+  Optimizer() = default;
+  Optimizer(const Optimizer&) = default;
+  Optimizer& operator=(const Optimizer&) = default;
+  Optimizer(Optimizer&&) = default;
+  Optimizer& operator=(Optimizer&&) = default;
+  virtual ~Optimizer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The single entry point: brackets the optimizer-specific loop with
+  /// RunStarted / RunFinished and threads options.observer through it.
+  RunHistory run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                 const FomEvaluator& fom, const RunOptions& options);
+
+  /// Legacy 5-argument form, kept as a thin delegating overload so existing
+  /// callers compile unchanged.
+  RunHistory run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                 const FomEvaluator& fom, std::uint64_t seed, std::size_t simulation_budget);
+
+ protected:
+  /// Optimizer-specific loop. Implementations emit IterationCompleted /
+  /// SimulationCompleted / CheckpointWritten through `telemetry` and bump
+  /// the counters the base class cannot see (iterations, ns_iterations,
+  /// retries, checkpoints); simulations / failures / RunStarted /
+  /// RunFinished are handled by the caller.
+  virtual RunHistory do_run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                            const FomEvaluator& fom, const RunOptions& options,
+                            obs::RunTelemetry& telemetry) = 0;
+
+  /// RunStarted / RunFinished bracketing, factored out so instrumented
+  /// side entries (MaOptimizer::resume) reuse the exact run() semantics.
+  static void emit_run_started(obs::RunTelemetry& telemetry, const std::string& algorithm,
+                               const SizingProblem& problem, std::size_t num_initial,
+                               const RunOptions& options);
+  static void emit_run_finished(obs::RunTelemetry& telemetry, const RunHistory& history);
+
+  /// Emits SimulationCompleted for `record`, probing retry / failure-kind
+  /// detail when `problem` is a ckt::ResilientEvaluator. Must run on the
+  /// thread that performed the evaluation (the per-call stats are
+  /// thread-local). No-op without an observer.
+  static void emit_simulation(obs::RunTelemetry& telemetry, const SimRecord& record,
+                              std::uint64_t index, std::uint64_t iteration, int lane,
+                              double seconds, const SizingProblem& problem);
+
+  /// Bumps the iteration counter and emits IterationCompleted; `spans` is
+  /// consumed. The event itself is skipped without an observer.
+  static void emit_iteration(obs::RunTelemetry& telemetry, std::uint64_t iteration,
+                             std::size_t simulations_done, double best_fom, bool feasible_found,
+                             double wall_seconds, std::vector<obs::PhaseSpan> spans);
+};
+
+}  // namespace maopt::core

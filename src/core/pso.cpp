@@ -1,24 +1,26 @@
 #include "core/pso.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/log.hpp"
 
 namespace maopt::core {
 
-RunHistory PsoOptimizer::run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
-                             const FomEvaluator& fom, std::uint64_t seed,
-                             std::size_t simulation_budget) {
+RunHistory PsoOptimizer::do_run(const SizingProblem& problem,
+                                const std::vector<SimRecord>& initial, const FomEvaluator& fom,
+                                const RunOptions& options, obs::RunTelemetry& telemetry) {
   RunHistory history;
   history.algorithm = name();
   history.records = initial;
   history.num_initial = initial.size();
   annotate_foms(history.records, problem, fom);
 
-  Rng rng(derive_seed(seed, 0x9507));
+  Rng rng(derive_seed(options.seed, 0x9507));
   const std::size_t d = problem.dim();
   const Vec& lo = problem.lower_bounds();
   const Vec& hi = problem.upper_bounds();
+  const std::size_t simulation_budget = options.simulation_budget;
 
   // Seed the swarm with the best initial designs (fill with random if the
   // initial set is smaller than the swarm).
@@ -44,9 +46,20 @@ RunHistory PsoOptimizer::run(const SizingProblem& problem, const std::vector<Sim
 
   Stopwatch total;
   double best = gbest_fom;
+  bool feasible_found = false;
+  for (const auto& r : history.records) feasible_found = feasible_found || r.feasible;
   std::size_t sims = 0;
+  std::uint64_t iteration = 0;
+  // One iteration = one sweep over the swarm; the velocity/position updates
+  // report as an ActorTrain span (candidate selection), evaluations as
+  // per-simulation Simulate spans.
   while (sims < simulation_budget) {
+    ++iteration;
+    Stopwatch iter_clock;
+    std::vector<obs::PhaseSpan> spans;
+    double select_s = 0.0;
     for (std::size_t i = 0; i < n && sims < simulation_budget; ++i) {
+      Stopwatch select;
       // Velocity / position update with per-dimension velocity clamp.
       for (std::size_t c = 0; c < d; ++c) {
         const double span = hi[c] - lo[c];
@@ -58,18 +71,14 @@ RunHistory PsoOptimizer::run(const SizingProblem& problem, const std::vector<Sim
         pos[i][c] = pos[i][c] + vel[i][c];
       }
       pos[i] = problem.clip(std::move(pos[i]));
+      select_s += select.elapsed_seconds();
 
       Stopwatch sim;
-      const ckt::EvalResult eval = problem.evaluate(pos[i]);
-      history.sim_seconds += sim.elapsed_seconds();
-      ++sims;
+      SimRecord rec = evaluate_record(problem, pos[i]);
+      const double sim_s = sim.elapsed_seconds();
+      history.sim_seconds += sim_s;
+      annotate_record(rec, problem, fom);
 
-      SimRecord rec;
-      rec.x = pos[i];
-      rec.metrics = eval.metrics;
-      rec.simulation_ok = eval.simulation_ok;
-      rec.fom = fom(rec.metrics);
-      rec.feasible = eval.simulation_ok && problem.feasible(rec.metrics);
       if (rec.fom < pbest_fom[i]) {
         pbest_fom[i] = rec.fom;
         pbest[i] = rec.x;
@@ -79,9 +88,16 @@ RunHistory PsoOptimizer::run(const SizingProblem& problem, const std::vector<Sim
         gbest = rec.x;
       }
       best = std::min(best, rec.fom);
+      feasible_found = feasible_found || rec.feasible;
       history.records.push_back(std::move(rec));
       history.best_fom_after.push_back(best);
+      emit_simulation(telemetry, history.records.back(), sims, iteration, -1, sim_s, problem);
+      if (telemetry.enabled()) spans.push_back({obs::Phase::Simulate, -1, sim_s});
+      ++sims;
     }
+    if (telemetry.enabled()) spans.push_back({obs::Phase::ActorTrain, -1, select_s});
+    emit_iteration(telemetry, iteration, sims, best, feasible_found,
+                   iter_clock.elapsed_seconds(), std::move(spans));
   }
   history.wall_seconds = total.elapsed_seconds();
   return history;

@@ -5,7 +5,7 @@
 // initial set so every method starts from the same information.
 #pragma once
 
-#include "core/history.hpp"
+#include "core/optimizer.hpp"
 
 namespace maopt::core {
 
@@ -22,9 +22,11 @@ class PsoOptimizer final : public Optimizer {
   explicit PsoOptimizer(PsoConfig config = {}) : config_(config) {}
 
   std::string name() const override { return "PSO"; }
-  RunHistory run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
-                 const FomEvaluator& fom, std::uint64_t seed,
-                 std::size_t simulation_budget) override;
+
+ protected:
+  RunHistory do_run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                    const FomEvaluator& fom, const RunOptions& options,
+                    obs::RunTelemetry& telemetry) override;
 
  private:
   PsoConfig config_;

@@ -1,38 +1,47 @@
 #include "core/random_search.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/log.hpp"
 
 namespace maopt::core {
 
-RunHistory RandomSearch::run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
-                             const FomEvaluator& fom, std::uint64_t seed,
-                             std::size_t simulation_budget) {
+RunHistory RandomSearch::do_run(const SizingProblem& problem,
+                                const std::vector<SimRecord>& initial, const FomEvaluator& fom,
+                                const RunOptions& options, obs::RunTelemetry& telemetry) {
   RunHistory history;
   history.algorithm = name();
   history.records = initial;
   history.num_initial = initial.size();
   annotate_foms(history.records, problem, fom);
 
-  Rng rng(derive_seed(seed, 0x7A));
+  Rng rng(derive_seed(options.seed, 0x7A));
   Stopwatch total;
   double best = 1e300;
-  for (const auto& r : history.records) best = std::min(best, r.fom);
+  bool feasible_found = false;
+  for (const auto& r : history.records) {
+    best = std::min(best, r.fom);
+    feasible_found = feasible_found || r.feasible;
+  }
 
-  for (std::size_t i = 0; i < simulation_budget; ++i) {
-    SimRecord rec;
-    rec.x = problem.random_design(rng);
+  // Every simulation is its own iteration: there is no training phase, so
+  // the iteration event carries a single Simulate span.
+  for (std::size_t i = 0; i < options.simulation_budget; ++i) {
     Stopwatch sim;
-    const ckt::EvalResult eval = problem.evaluate(rec.x);
-    history.sim_seconds += sim.elapsed_seconds();
-    rec.metrics = eval.metrics;
-    rec.simulation_ok = eval.simulation_ok;
-    rec.fom = fom(rec.metrics);
-    rec.feasible = eval.simulation_ok && problem.feasible(rec.metrics);
+    SimRecord rec = evaluate_record(problem, problem.random_design(rng));
+    const double sim_s = sim.elapsed_seconds();
+    history.sim_seconds += sim_s;
+    annotate_record(rec, problem, fom);
     best = std::min(best, rec.fom);
+    feasible_found = feasible_found || rec.feasible;
     history.records.push_back(std::move(rec));
     history.best_fom_after.push_back(best);
+
+    emit_simulation(telemetry, history.records.back(), i, i + 1, -1, sim_s, problem);
+    std::vector<obs::PhaseSpan> spans;
+    if (telemetry.enabled()) spans.push_back({obs::Phase::Simulate, -1, sim_s});
+    emit_iteration(telemetry, i + 1, i + 1, best, feasible_found, sim_s, std::move(spans));
   }
   history.wall_seconds = total.elapsed_seconds();
   return history;

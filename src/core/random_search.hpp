@@ -2,16 +2,18 @@
 // any learned method must beat it for the comparison to mean anything).
 #pragma once
 
-#include "core/history.hpp"
+#include "core/optimizer.hpp"
 
 namespace maopt::core {
 
 class RandomSearch final : public Optimizer {
  public:
   std::string name() const override { return "Random"; }
-  RunHistory run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
-                 const FomEvaluator& fom, std::uint64_t seed,
-                 std::size_t simulation_budget) override;
+
+ protected:
+  RunHistory do_run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
+                    const FomEvaluator& fom, const RunOptions& options,
+                    obs::RunTelemetry& telemetry) override;
 };
 
 }  // namespace maopt::core

@@ -3,29 +3,36 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/log.hpp"
 #include "gp/acquisition.hpp"
 
 namespace maopt::gp {
 
-core::RunHistory BoOptimizer::run(const core::SizingProblem& problem,
-                                  const std::vector<core::SimRecord>& initial,
-                                  const core::FomEvaluator& fom, std::uint64_t seed,
-                                  std::size_t simulation_budget) {
+core::RunHistory BoOptimizer::do_run(const core::SizingProblem& problem,
+                                     const std::vector<core::SimRecord>& initial,
+                                     const core::FomEvaluator& fom,
+                                     const core::RunOptions& options,
+                                     obs::RunTelemetry& telemetry) {
   core::RunHistory history;
   history.algorithm = name();
   history.records = initial;
   history.num_initial = initial.size();
   core::annotate_foms(history.records, problem, fom);
 
-  Rng rng(derive_seed(seed, 0xB0));
+  const std::size_t simulation_budget = options.simulation_budget;
+  Rng rng(derive_seed(options.seed, 0xB0));
   const nn::RangeScaler scaler(problem.lower_bounds(), problem.upper_bounds());
   const std::size_t d = problem.dim();
 
   Stopwatch total;
   GpHyperparams hp;
   int consecutive_failures = 0;
+  bool feasible_found = false;
+  for (const auto& r : history.records) feasible_found = feasible_found || r.feasible;
+  // One iteration = one simulation. GP (re)fitting reports as a CriticTrain
+  // span, the EI acquisition search as ActorTrain, evaluation as Simulate.
   for (std::size_t it = 0; it < simulation_budget; ++it) {
     if (config_.max_consecutive_failures > 0 &&
         consecutive_failures >= config_.max_consecutive_failures) {
@@ -52,13 +59,17 @@ core::RunHistory BoOptimizer::run(const core::SizingProblem& problem,
       ++row;
     }
 
+    Stopwatch iter_clock;
     Stopwatch train;
+    double fit_s = 0.0;
+    double select_s = 0.0;
     Vec next_unit01;
     if (n == 0) {
       // Every simulation so far failed: no surrogate to fit, probe randomly.
       next_unit01.resize(d);
       for (auto& v : next_unit01) v = rng.uniform();
     } else {
+      Stopwatch fit_clock;
       if (it % static_cast<std::size_t>(std::max(1, config_.refit_period)) == 0 ||
           hp.lengthscales.empty()) {
         hp = GpRegression::fit_hyperparams(x, y, rng, config_.hyperfit_restarts,
@@ -70,10 +81,14 @@ core::RunHistory BoOptimizer::run(const core::SizingProblem& problem,
 
       try {
         const GpRegression gp(std::move(x), std::move(y), hp);
+        fit_s = fit_clock.elapsed_seconds();
+        Stopwatch select_clock;
         next_unit01 = maximize_ei(gp, best_fom_y, d, rng, config_.random_candidates,
                                   config_.local_candidates);
+        select_s = select_clock.elapsed_seconds();
       } catch (const std::runtime_error&) {
         // Degenerate kernel matrix: fall back to a random probe.
+        fit_s = fit_clock.elapsed_seconds();
         next_unit01.resize(d);
         for (auto& v : next_unit01) v = rng.uniform();
       }
@@ -86,9 +101,11 @@ core::RunHistory BoOptimizer::run(const core::SizingProblem& problem,
 
     Stopwatch sim;
     core::SimRecord rec = core::evaluate_record(problem, std::move(candidate));
-    history.sim_seconds += sim.elapsed_seconds();
+    const double sim_s = sim.elapsed_seconds();
+    history.sim_seconds += sim_s;
     const bool ok = core::annotate_record(rec, problem, fom);
     consecutive_failures = ok ? 0 : consecutive_failures + 1;
+    feasible_found = feasible_found || rec.feasible;
     history.records.push_back(std::move(rec));
 
     // Best-so-far over clean records only; failed sims never improve it.
@@ -101,6 +118,16 @@ core::RunHistory BoOptimizer::run(const core::SizingProblem& problem,
     }
     if (!have_best) best = fom(problem.failure_metrics());
     history.best_fom_after.push_back(best);
+
+    emit_simulation(telemetry, history.records.back(), it, it + 1, -1, sim_s, problem);
+    std::vector<obs::PhaseSpan> spans;
+    if (telemetry.enabled()) {
+      spans.push_back({obs::Phase::CriticTrain, -1, fit_s});
+      spans.push_back({obs::Phase::ActorTrain, -1, select_s});
+      spans.push_back({obs::Phase::Simulate, -1, sim_s});
+    }
+    emit_iteration(telemetry, it + 1, history.simulations_used(), best, feasible_found,
+                   iter_clock.elapsed_seconds(), std::move(spans));
   }
   history.wall_seconds = total.elapsed_seconds();
   return history;

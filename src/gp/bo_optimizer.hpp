@@ -3,7 +3,7 @@
 // Expected Improvement selects the next simulation.
 #pragma once
 
-#include "core/history.hpp"
+#include "core/optimizer.hpp"
 #include "gp/gp_regression.hpp"
 #include "nn/normalizer.hpp"
 
@@ -42,10 +42,13 @@ class BoOptimizer final : public core::Optimizer {
   explicit BoOptimizer(BoConfig config = {}) : config_(config) {}
 
   std::string name() const override { return config_.name; }
-  core::RunHistory run(const core::SizingProblem& problem,
-                       const std::vector<core::SimRecord>& initial,
-                       const core::FomEvaluator& fom, std::uint64_t seed,
-                       std::size_t simulation_budget) override;
+  const BoConfig& config() const { return config_; }
+
+ protected:
+  core::RunHistory do_run(const core::SizingProblem& problem,
+                          const std::vector<core::SimRecord>& initial,
+                          const core::FomEvaluator& fom, const core::RunOptions& options,
+                          obs::RunTelemetry& telemetry) override;
 
  private:
   BoConfig config_;

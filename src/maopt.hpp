@@ -34,6 +34,7 @@
 #include "core/history_io.hpp"
 #include "core/ma_optimizer.hpp"
 #include "core/near_sampling.hpp"
+#include "core/optimizer.hpp"
 #include "core/pseudo_samples.hpp"
 #include "core/de.hpp"
 #include "core/pso.hpp"
@@ -47,6 +48,10 @@
 #include "nn/mlp.hpp"
 #include "nn/normalizer.hpp"
 #include "nn/serialize.hpp"
+#include "obs/events.hpp"
+#include "obs/jsonl_writer.hpp"
+#include "obs/observer.hpp"
+#include "obs/run_report.hpp"
 #include "spice/ac_analysis.hpp"
 #include "spice/dc_analysis.hpp"
 #include "spice/dc_sweep.hpp"

@@ -1,0 +1,103 @@
+// Typed run-telemetry events (PR 4). Every optimizer run driven through
+// core::Optimizer::run emits these through a RunObserver: one RunStarted,
+// per-iteration IterationCompleted (with per-phase wall-clock spans, actor
+// threads reporting into per-actor lanes), one SimulationCompleted per
+// budgeted simulation, CheckpointWritten when a snapshot lands on disk, and
+// one RunFinished carrying the monotonic counters. The payloads are plain
+// data on purpose: observers (JSONL writer, RunReport, user sinks) need no
+// knowledge of the optimizer internals, and the events mirror exactly the
+// quantities the paper's Section V runtime analysis is built from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace maopt::obs {
+
+/// The phases of one optimizer iteration (Section III-C cost model). For
+/// non-MA optimizers the mapping is: surrogate/GP fitting reports as
+/// CriticTrain, candidate selection as ActorTrain, evaluation as Simulate.
+enum class Phase : std::uint8_t {
+  CriticTrain = 0,  ///< critic / surrogate training (main lane)
+  ActorTrain = 1,   ///< per-actor DNN training + candidate selection
+  Simulate = 2,     ///< SizingProblem::evaluate
+  NearSample = 3,   ///< Algorithm 3 near-sampling scan
+  EliteUpdate = 4,  ///< elite-set insertion / bookkeeping
+};
+inline constexpr std::size_t kNumPhases = 5;
+
+const char* to_string(Phase phase);
+
+/// One timed region. `lane` identifies the reporting thread's role: actor
+/// worker i reports into lane i; -1 is the run's driving thread.
+struct PhaseSpan {
+  Phase phase = Phase::Simulate;
+  int lane = -1;
+  double seconds = 0.0;
+};
+
+/// Monotonic per-run counters, delivered with RunFinished. `simulations` /
+/// `failures` cover post-initial simulations only (the budgeted ones).
+struct RunCounters {
+  std::uint64_t simulations = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t retries = 0;  ///< ResilientEvaluator retry attempts consumed
+  std::uint64_t iterations = 0;
+  std::uint64_t ns_iterations = 0;  ///< iterations spent in near-sampling
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_bytes = 0;
+};
+
+struct RunStarted {
+  std::string algorithm;
+  std::string problem;
+  std::uint64_t seed = 0;
+  std::uint64_t simulation_budget = 0;
+  std::uint64_t num_initial = 0;
+  std::uint64_t dim = 0;
+};
+
+/// One budgeted simulation finished (annotated and appended to the history).
+struct SimulationCompleted {
+  std::uint64_t index = 0;      ///< 0-based post-initial simulation index
+  std::uint64_t iteration = 0;  ///< 1-based optimizer iteration it belongs to
+  int lane = -1;                ///< actor lane that proposed it; -1 otherwise
+  bool ok = false;              ///< SimRecord::simulation_ok after scrubbing
+  bool feasible = false;
+  double fom = 0.0;          ///< annotated FoM (penalty FoM when !ok)
+  double seconds = 0.0;      ///< wall-clock spent inside evaluate
+  std::uint32_t retries = 0; ///< ResilientEvaluator retries for this call
+  std::string failure_kind;  ///< ckt::to_string(FailureKind); empty when ok
+                             ///< or the problem reports no failure detail
+};
+
+struct IterationCompleted {
+  std::uint64_t iteration = 0;  ///< 1-based
+  std::uint64_t simulations_done = 0;
+  double best_fom = 0.0;  ///< running best (trajectory semantics)
+  bool feasible_found = false;
+  bool near_sampling = false;  ///< iteration ran Algorithm 3 instead of 1
+  double wall_seconds = 0.0;   ///< this iteration's wall clock
+  std::vector<PhaseSpan> spans;
+};
+
+struct CheckpointWritten {
+  std::string path;
+  std::uint64_t iteration = 0;
+  std::uint64_t simulations_done = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct RunFinished {
+  std::string algorithm;
+  std::uint64_t simulations = 0;  ///< post-initial simulations performed
+  double best_fom = 0.0;          ///< final trajectory value (NaN if none)
+  bool feasible = false;          ///< a spec-meeting design was found
+  bool aborted = false;
+  std::string abort_reason;
+  double wall_seconds = 0.0;
+  RunCounters counters;
+};
+
+}  // namespace maopt::obs

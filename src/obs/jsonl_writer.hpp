@@ -1,0 +1,41 @@
+// JSONL event-stream observer: one JSON object per line, appended and
+// flushed per event so a crashed run leaves a valid prefix that tooling
+// (tools/check_telemetry.py, pandas.read_json(lines=True)) can still parse.
+// The schema is documented in README.md ("Observability").
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "common/log.hpp"
+#include "obs/observer.hpp"
+
+namespace maopt::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+std::string json_escape(const std::string& s);
+
+class JsonlObserver final : public RunObserver {
+ public:
+  /// Opens `path` for appending (parent directory must exist); throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit JsonlObserver(const std::string& path);
+
+  const std::string& path() const { return path_; }
+
+  void on_run_started(const RunStarted& event) override;
+  void on_simulation_completed(const SimulationCompleted& event) override;
+  void on_iteration_completed(const IterationCompleted& event) override;
+  void on_checkpoint_written(const CheckpointWritten& event) override;
+  void on_run_finished(const RunFinished& event) override;
+
+ private:
+  /// Appends one line and flushes (the crash-safety contract).
+  void write_line(const std::string& line);
+
+  std::string path_;
+  std::ofstream out_;
+  Stopwatch since_open_;  ///< source of the per-event "t" timestamp
+};
+
+}  // namespace maopt::obs

@@ -1,0 +1,36 @@
+#include "obs/observer.hpp"
+
+namespace maopt::obs {
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::CriticTrain: return "critic-train";
+    case Phase::ActorTrain: return "actor-train";
+    case Phase::Simulate: return "simulate";
+    case Phase::NearSample: return "near-sample";
+    case Phase::EliteUpdate: return "elite-update";
+  }
+  return "unknown";
+}
+
+void MulticastObserver::on_run_started(const RunStarted& event) {
+  for (RunObserver* sink : sinks_) sink->on_run_started(event);
+}
+
+void MulticastObserver::on_simulation_completed(const SimulationCompleted& event) {
+  for (RunObserver* sink : sinks_) sink->on_simulation_completed(event);
+}
+
+void MulticastObserver::on_iteration_completed(const IterationCompleted& event) {
+  for (RunObserver* sink : sinks_) sink->on_iteration_completed(event);
+}
+
+void MulticastObserver::on_checkpoint_written(const CheckpointWritten& event) {
+  for (RunObserver* sink : sinks_) sink->on_checkpoint_written(event);
+}
+
+void MulticastObserver::on_run_finished(const RunFinished& event) {
+  for (RunObserver* sink : sinks_) sink->on_run_finished(event);
+}
+
+}  // namespace maopt::obs

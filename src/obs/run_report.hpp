@@ -1,0 +1,53 @@
+// In-memory telemetry aggregator: one Row per observed run, accumulating
+// per-phase seconds (summed over lanes) and the run counters, and rendering
+// the EXPERIMENTS.md-style summary table the bench harnesses print. Attach
+// one RunReport across several sequential runs (e.g. a whole optimizer
+// roster) to get one table row per run.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "obs/observer.hpp"
+
+namespace maopt::obs {
+
+class RunReport final : public RunObserver {
+ public:
+  struct Row {
+    std::string algorithm;
+    std::string problem;
+    std::uint64_t seed = 0;
+    std::uint64_t budget = 0;
+    std::uint64_t simulations = 0;
+    std::uint64_t iterations = 0;
+    double best_fom = 0.0;
+    bool feasible = false;
+    bool aborted = false;
+    double wall_seconds = 0.0;
+    /// Wall-clock seconds per Phase, indexed by static_cast<size_t>(Phase),
+    /// summed over lanes (so parallel actor lanes add up; on one core this
+    /// equals elapsed time, on N cores it is the aggregate lane time).
+    std::array<double, kNumPhases> phase_seconds{};
+    RunCounters counters;
+    bool finished = false;  ///< run_finished arrived (row is complete)
+
+    double phase(Phase p) const { return phase_seconds[static_cast<std::size_t>(p)]; }
+  };
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Renders the summary table (one line per run); empty string when no runs
+  /// were observed.
+  std::string table() const;
+
+  void on_run_started(const RunStarted& event) override;
+  void on_iteration_completed(const IterationCompleted& event) override;
+  void on_run_finished(const RunFinished& event) override;
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace maopt::obs

@@ -27,6 +27,29 @@ TEST(Log, StreamingAcceptsMixedTypes) {
   set_log_level(saved);
 }
 
+// Streamed into a suppressed LogLine, formatting must never run: the lazy
+// LogLine only materializes its stream above the threshold, so operator<<
+// on the payload type is the observable side effect to count.
+struct FormatProbe {
+  int* formats;
+  friend std::ostream& operator<<(std::ostream& os, const FormatProbe& p) {
+    ++*p.formats;
+    return os << "probe";
+  }
+};
+
+TEST(Log, SuppressedLinesSkipFormattingEntirely) {
+  int formats = 0;
+  const FormatProbe probe{&formats};
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Warn);
+  log_debug() << probe << probe;
+  EXPECT_EQ(formats, 0);  // below threshold: no ostringstream, no formatting
+  log_warn() << probe;
+  EXPECT_EQ(formats, 1);  // at threshold: formatted exactly once
+  set_log_level(saved);
+}
+
 TEST(Stopwatch, MeasuresElapsedWallTime) {
   Stopwatch sw;
   std::this_thread::sleep_for(std::chrono::milliseconds(20));

@@ -1,0 +1,124 @@
+// Unit tests of the telemetry primitives: RunTelemetry null-safety,
+// SpanCollector / ScopedSpan, and MulticastObserver fan-out.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/observer.hpp"
+
+namespace maopt::obs {
+namespace {
+
+struct CountingObserver final : RunObserver {
+  int started = 0, sims = 0, iterations = 0, checkpoints = 0, finished = 0;
+  void on_run_started(const RunStarted&) override { ++started; }
+  void on_simulation_completed(const SimulationCompleted&) override { ++sims; }
+  void on_iteration_completed(const IterationCompleted&) override { ++iterations; }
+  void on_checkpoint_written(const CheckpointWritten&) override { ++checkpoints; }
+  void on_run_finished(const RunFinished&) override { ++finished; }
+};
+
+TEST(RunTelemetry, NullObserverDisablesEmission) {
+  RunTelemetry telemetry(nullptr);
+  EXPECT_FALSE(telemetry.enabled());
+  // Emitting into a null telemetry must be a harmless no-op.
+  telemetry.emit(RunStarted{});
+  telemetry.emit(SimulationCompleted{});
+  telemetry.emit(IterationCompleted{});
+  telemetry.emit(CheckpointWritten{});
+  telemetry.emit(RunFinished{});
+  telemetry.counters().simulations = 3;
+  EXPECT_EQ(telemetry.counters().simulations, 3u);
+}
+
+TEST(RunTelemetry, ForwardsEveryEventKind) {
+  CountingObserver sink;
+  RunTelemetry telemetry(&sink);
+  EXPECT_TRUE(telemetry.enabled());
+  telemetry.emit(RunStarted{});
+  telemetry.emit(SimulationCompleted{});
+  telemetry.emit(SimulationCompleted{});
+  telemetry.emit(IterationCompleted{});
+  telemetry.emit(CheckpointWritten{});
+  telemetry.emit(RunFinished{});
+  EXPECT_EQ(sink.started, 1);
+  EXPECT_EQ(sink.sims, 2);
+  EXPECT_EQ(sink.iterations, 1);
+  EXPECT_EQ(sink.checkpoints, 1);
+  EXPECT_EQ(sink.finished, 1);
+}
+
+TEST(MulticastObserver, FansOutToEverySink) {
+  CountingObserver a, b;
+  MulticastObserver multicast;
+  multicast.add(&a);
+  multicast.add(&b);
+  RunTelemetry telemetry(&multicast);
+  telemetry.emit(RunStarted{});
+  telemetry.emit(SimulationCompleted{});
+  telemetry.emit(IterationCompleted{});
+  telemetry.emit(CheckpointWritten{});
+  telemetry.emit(RunFinished{});
+  for (const CountingObserver* sink : {&a, &b}) {
+    EXPECT_EQ(sink->started, 1);
+    EXPECT_EQ(sink->sims, 1);
+    EXPECT_EQ(sink->iterations, 1);
+    EXPECT_EQ(sink->checkpoints, 1);
+    EXPECT_EQ(sink->finished, 1);
+  }
+}
+
+TEST(SpanCollector, DisabledCollectorDropsSpans) {
+  SpanCollector spans(false);
+  spans.add(Phase::Simulate, -1, 1.0);
+  { const ScopedSpan span(spans, Phase::CriticTrain); }
+  EXPECT_TRUE(spans.take().empty());
+}
+
+TEST(SpanCollector, CollectsFromConcurrentLanes) {
+  SpanCollector spans(true);
+  std::vector<std::thread> workers;
+  workers.reserve(4);
+  for (int lane = 0; lane < 4; ++lane)
+    workers.emplace_back([&spans, lane] {
+      spans.add(Phase::ActorTrain, lane, 0.25);
+      spans.add(Phase::Simulate, lane, 0.5);
+    });
+  for (auto& w : workers) w.join();
+  const auto collected = spans.take();
+  EXPECT_EQ(collected.size(), 8u);
+  double actor = 0.0, sim = 0.0;
+  for (const PhaseSpan& s : collected) {
+    if (s.phase == Phase::ActorTrain) actor += s.seconds;
+    if (s.phase == Phase::Simulate) sim += s.seconds;
+  }
+  EXPECT_DOUBLE_EQ(actor, 1.0);
+  EXPECT_DOUBLE_EQ(sim, 2.0);
+  EXPECT_TRUE(spans.take().empty());  // take() drains
+}
+
+TEST(ScopedSpan, RecordsNonNegativeDurationOnce) {
+  SpanCollector spans(true);
+  {
+    ScopedSpan span(spans, Phase::EliteUpdate, 2);
+    span.stop();
+    span.stop();  // idempotent: the second stop must not add a span
+  }
+  const auto collected = spans.take();
+  ASSERT_EQ(collected.size(), 1u);
+  EXPECT_EQ(collected[0].phase, Phase::EliteUpdate);
+  EXPECT_EQ(collected[0].lane, 2);
+  EXPECT_GE(collected[0].seconds, 0.0);
+}
+
+TEST(Phase, NamesAreStable) {
+  EXPECT_STREQ(to_string(Phase::CriticTrain), "critic-train");
+  EXPECT_STREQ(to_string(Phase::ActorTrain), "actor-train");
+  EXPECT_STREQ(to_string(Phase::Simulate), "simulate");
+  EXPECT_STREQ(to_string(Phase::NearSample), "near-sample");
+  EXPECT_STREQ(to_string(Phase::EliteUpdate), "elite-update");
+}
+
+}  // namespace
+}  // namespace maopt::obs

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate a MA-Opt telemetry JSONL stream (see README "Observability").
+
+Checks, per run bracket (run_started .. run_finished):
+  * every line is a standalone JSON object with an "event" and a "t" key;
+  * event kinds are from the documented set;
+  * simulation_completed count equals the run_finished "simulations" field
+    and the counters agree with the events observed;
+  * iteration numbers are strictly increasing;
+  * span phases are from the documented set and non-negative.
+
+Usage: tools/check_telemetry.py run.jsonl [--expect-runs N]
+Exit code 0 = valid, 1 = violations found (printed to stderr).
+"""
+
+import argparse
+import json
+import sys
+
+EVENT_KINDS = {
+    "run_started",
+    "simulation_completed",
+    "iteration_completed",
+    "checkpoint_written",
+    "run_finished",
+}
+PHASES = {"critic-train", "actor-train", "simulate", "near-sample", "elite-update"}
+
+REQUIRED_KEYS = {
+    "run_started": {"algorithm", "problem", "seed", "budget", "num_initial", "dim", "t"},
+    "simulation_completed": {
+        "index", "iteration", "lane", "ok", "feasible", "fom", "seconds",
+        "retries", "failure_kind", "t",
+    },
+    "iteration_completed": {
+        "iteration", "simulations", "best_fom", "feasible_found", "near_sampling",
+        "wall_seconds", "spans", "t",
+    },
+    "checkpoint_written": {"path", "iteration", "simulations", "bytes", "t"},
+    "run_finished": {
+        "algorithm", "simulations", "best_fom", "feasible", "aborted",
+        "abort_reason", "wall_seconds", "counters", "t",
+    },
+}
+
+
+class Checker:
+    def __init__(self):
+        self.errors = []
+        self.runs = 0
+        self.in_run = False
+        self.sims = 0
+        self.iterations = 0
+        self.last_iteration = 0
+
+    def error(self, lineno, msg):
+        self.errors.append(f"line {lineno}: {msg}")
+
+    def check_line(self, lineno, line):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            self.error(lineno, f"not valid JSON: {exc}")
+            return
+        if not isinstance(event, dict):
+            self.error(lineno, "line is not a JSON object")
+            return
+        kind = event.get("event")
+        if kind not in EVENT_KINDS:
+            self.error(lineno, f"unknown event kind {kind!r}")
+            return
+        missing = REQUIRED_KEYS[kind] - event.keys()
+        if missing:
+            self.error(lineno, f"{kind} missing keys {sorted(missing)}")
+        getattr(self, "on_" + kind)(lineno, event)
+
+    def on_run_started(self, lineno, event):
+        if self.in_run:
+            self.error(lineno, "run_started before previous run_finished")
+        self.in_run = True
+        self.sims = 0
+        self.iterations = 0
+        self.last_iteration = 0
+
+    def on_simulation_completed(self, lineno, event):
+        if not self.in_run:
+            self.error(lineno, "simulation_completed outside a run bracket")
+        self.sims += 1
+        if event.get("seconds", 0) < 0:
+            self.error(lineno, "negative simulation seconds")
+
+    def on_iteration_completed(self, lineno, event):
+        if not self.in_run:
+            self.error(lineno, "iteration_completed outside a run bracket")
+        self.iterations += 1
+        iteration = event.get("iteration", 0)
+        if iteration <= self.last_iteration:
+            self.error(lineno, f"iteration {iteration} not increasing")
+        self.last_iteration = iteration
+        for span in event.get("spans", []):
+            if span.get("phase") not in PHASES:
+                self.error(lineno, f"unknown span phase {span.get('phase')!r}")
+            if span.get("seconds", 0) < 0:
+                self.error(lineno, "negative span seconds")
+
+    def on_checkpoint_written(self, lineno, event):
+        if not self.in_run:
+            self.error(lineno, "checkpoint_written outside a run bracket")
+
+    def on_run_finished(self, lineno, event):
+        if not self.in_run:
+            self.error(lineno, "run_finished without run_started")
+        self.in_run = False
+        self.runs += 1
+        if event.get("simulations") != self.sims:
+            self.error(
+                lineno,
+                f"run_finished says {event.get('simulations')} simulations, "
+                f"stream has {self.sims} simulation_completed events",
+            )
+        counters = event.get("counters", {})
+        if counters.get("simulations") != self.sims:
+            self.error(lineno, "counters.simulations disagrees with the event stream")
+        if counters.get("iterations") != self.iterations:
+            self.error(lineno, "counters.iterations disagrees with the event stream")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("jsonl", help="telemetry stream to validate")
+    parser.add_argument("--expect-runs", type=int, default=None,
+                        help="require exactly N run brackets")
+    args = parser.parse_args()
+
+    checker = Checker()
+    with open(args.jsonl, encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if line:
+                checker.check_line(lineno, line)
+    if checker.in_run:
+        checker.error("EOF", "stream ends inside a run bracket (no run_finished)")
+    if args.expect_runs is not None and checker.runs != args.expect_runs:
+        checker.error("EOF", f"expected {args.expect_runs} runs, found {checker.runs}")
+
+    if checker.errors:
+        for err in checker.errors:
+            print(err, file=sys.stderr)
+        print(f"FAIL: {len(checker.errors)} violation(s) in {args.jsonl}", file=sys.stderr)
+        return 1
+    print(f"OK: {checker.runs} run(s) valid in {args.jsonl}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
