@@ -1,0 +1,145 @@
+// Evaluation-service benchmark (writes BENCH_eval.json): measures what the
+// service is for — cache hits replacing simulations and batches replacing
+// serial point calls. The inner problem is an analytic quadratic wrapped in a
+// fixed synthetic delay, standing in for a SPICE run whose cost dwarfs the
+// service overhead (the regime the paper's Section III-C runtime split puts
+// real sizing runs in).
+//
+// Rows:
+//   cold_sims_per_s    point path, empty cache (every request simulates)
+//   warm_sims_per_s    point path, same designs again (every request hits)
+//   warm_speedup       warm / cold
+//   point_sims_per_s   serial evaluate() over fresh designs
+//   batch_sims_per_s   one evaluate_batch() over the same count of fresh designs
+//   batch_speedup      batch / point
+//
+// Flags:
+//   --smoke        tiny sizes (CTest wiring; well under a second)
+//   --threads N    service batch pool size (default 4)
+//   --designs N    designs per measurement (default 128; smoke 24)
+//   --sim-us N     synthetic simulation cost in microseconds (default 500; smoke 100)
+//   --json PATH    output path (default BENCH_eval.json)
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "exp_common.hpp"
+
+namespace {
+
+using namespace maopt;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Adds a fixed delay to every evaluation — a stand-in simulator cost.
+class SlowProblem final : public ckt::SizingProblem {
+ public:
+  SlowProblem(const ckt::SizingProblem& inner, int micros) : inner_(&inner), micros_(micros) {}
+
+  const ckt::ProblemSpec& spec() const override { return inner_->spec(); }
+  std::size_t dim() const override { return inner_->dim(); }
+  const linalg::Vec& lower_bounds() const override { return inner_->lower_bounds(); }
+  const linalg::Vec& upper_bounds() const override { return inner_->upper_bounds(); }
+  const std::vector<bool>& integer_mask() const override { return inner_->integer_mask(); }
+  std::vector<std::string> parameter_names() const override { return inner_->parameter_names(); }
+  ckt::EvalResult evaluate(const linalg::Vec& x) const override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros_));
+    return inner_->evaluate(x);
+  }
+
+ private:
+  const ckt::SizingProblem* inner_;
+  int micros_;
+};
+
+std::vector<linalg::Vec> make_designs(const ckt::SizingProblem& problem, std::size_t n,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<linalg::Vec> designs;
+  designs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) designs.push_back(problem.random_design(rng));
+  return designs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool smoke = args.get_bool("smoke");
+  const auto threads =
+      std::max<std::size_t>(1, static_cast<std::size_t>(args.get_int("threads", 4)));
+  const auto designs_n = static_cast<std::size_t>(args.get_int("designs", smoke ? 24 : 128));
+  const int sim_us = static_cast<int>(args.get_int("sim-us", smoke ? 100 : 500));
+  const std::string json_path = args.get("json", "BENCH_eval.json");
+
+  ckt::ConstrainedQuadratic quad(16);
+  SlowProblem problem(quad, sim_us);
+  std::vector<bench::BenchMetric> metrics;
+
+  const auto cache_dir = std::filesystem::temp_directory_path() / "maopt_bench_eval_cache";
+  std::filesystem::remove_all(cache_dir);
+
+  // --- 1) cold vs warm point-path throughput over a persistent journal ---
+  double cold_rate = 0.0;
+  {
+    eval::EvalServiceConfig config;
+    config.num_threads = threads;
+    config.cache_dir = cache_dir.string();
+    const auto designs = make_designs(problem, designs_n, 11);
+
+    double cold_s = 0.0;
+    {
+      eval::EvalService service(problem, config);
+      const auto t0 = Clock::now();
+      for (const auto& x : designs) service.evaluate(x);
+      cold_s = seconds_since(t0);
+    }
+    double warm_s = 0.0;
+    {
+      eval::EvalService service(problem, config);  // fresh process stand-in, same journal
+      const auto t0 = Clock::now();
+      for (const auto& x : designs) service.evaluate(x);
+      warm_s = seconds_since(t0);
+      const auto c = service.counters();
+      if (c.hits != designs.size())
+        std::fprintf(stderr, "warning: warm pass expected %zu hits, got %llu\n", designs.size(),
+                     static_cast<unsigned long long>(c.hits));
+    }
+    cold_rate = static_cast<double>(designs.size()) / cold_s;
+    const double warm_rate = static_cast<double>(designs.size()) / warm_s;
+    std::printf("point path, %zu designs @ %d us: cold %.0f sims/s, warm %.0f sims/s (%.1fx)\n",
+                designs_n, sim_us, cold_rate, warm_rate, warm_rate / cold_rate);
+    metrics.push_back({"cold_sims_per_s", cold_rate, "sims/s"});
+    metrics.push_back({"warm_sims_per_s", warm_rate, "sims/s"});
+    metrics.push_back({"warm_speedup", warm_rate / cold_rate, "x"});
+  }
+  std::filesystem::remove_all(cache_dir);
+
+  // --- 2) batch vs point throughput on fresh (uncached) designs ---
+  {
+    eval::EvalServiceConfig config;
+    config.num_threads = threads;
+    eval::EvalService service(problem, config);  // memory-only
+
+    const auto batch_designs = make_designs(problem, designs_n, 23);
+    const auto t0 = Clock::now();
+    service.evaluate_batch(batch_designs);
+    const double batch_s = seconds_since(t0);
+    const double batch_rate = static_cast<double>(designs_n) / batch_s;
+
+    // The cold point rate above is the serial baseline for the same cost.
+    std::printf("batch path, %zu designs over %zu threads: %.0f sims/s (%.1fx vs point)\n",
+                designs_n, threads, batch_rate, batch_rate / cold_rate);
+    metrics.push_back({"point_sims_per_s", cold_rate, "sims/s"});
+    metrics.push_back({"batch_sims_per_s", batch_rate, "sims/s"});
+    metrics.push_back({"batch_speedup", batch_rate / cold_rate, "x"});
+  }
+
+  bench::write_bench_json(json_path, metrics);
+  return 0;
+}

@@ -4,7 +4,14 @@
 // through the unified Optimizer::run(RunOptions) API.
 //
 //   ./examples/compare_optimizers [--circuit tia|ota] [--sims 60] [--seed 1]
-//                                 [--jsonl run.jsonl]
+//                                 [--jsonl run.jsonl] [--cache-dir DIR]
+//                                 [--warm-start]
+//
+// With --cache-dir every simulation goes through an eval::EvalService backed
+// by a persistent result journal in DIR: rerunning the same command yields
+// cache hits (the hit/miss/coal columns of the table) and a bit-identical
+// trajectory. --warm-start additionally seeds each run's initial set from
+// the cached results of prior runs.
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -17,6 +24,8 @@ int main(int argc, char** argv) {
   const auto sims = static_cast<std::size_t>(args.get_int("sims", 60));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const std::string jsonl_path = args.get("jsonl", "");
+  const std::string cache_dir = args.get("cache-dir", "");
+  const bool warm_start = args.has("warm-start");
 
   std::unique_ptr<ckt::SizingProblem> problem;
   if (args.get("circuit", "tia") == "ota")
@@ -24,8 +33,19 @@ int main(int argc, char** argv) {
   else
     problem = std::make_unique<ckt::ThreeStageTia>();
 
+  // With a cache dir the whole roster shares one EvalService (and one result
+  // journal): later optimizers hit designs earlier ones already simulated.
+  std::unique_ptr<eval::EvalService> service;
+  const ckt::SizingProblem* eval_target = problem.get();
+  if (!cache_dir.empty() || warm_start) {
+    eval::EvalServiceConfig service_config;
+    service_config.cache_dir = cache_dir;
+    service = std::make_unique<eval::EvalService>(*problem, service_config);
+    eval_target = service.get();
+  }
+
   Rng rng(seed);
-  auto initial = core::sample_initial_set(*problem, 40, rng);
+  auto initial = core::sample_initial_set(*eval_target, 40, rng);
   std::vector<linalg::Vec> rows;
   for (const auto& r : initial) rows.push_back(r.metrics);
   const auto fom = ckt::FomEvaluator::fit_reference(*problem, rows);
@@ -54,12 +74,24 @@ int main(int argc, char** argv) {
   options.seed = seed;
   options.simulation_budget = sims;
   options.observer = &observer;
+  options.warm_start = warm_start;
 
   std::printf("%s, %zu simulations each, shared initial set of %zu\n\n",
               problem->spec().name.c_str(), sims, initial.size());
-  for (auto& opt : roster) opt->run(*problem, initial, fom, options);
+  for (auto& opt : roster) opt->run(*eval_target, initial, fom, options);
 
   std::printf("%s\n", report.table().c_str());
+  if (service != nullptr) {
+    const auto c = service->counters();
+    std::printf("eval service: %llu requested, %llu hits, %llu misses, %llu coalesced, "
+                "%llu simulations (cache: %zu entries%s%s)\n",
+                static_cast<unsigned long long>(c.requested),
+                static_cast<unsigned long long>(c.hits),
+                static_cast<unsigned long long>(c.misses),
+                static_cast<unsigned long long>(c.coalesced),
+                static_cast<unsigned long long>(c.simulations), service->cache().size(),
+                cache_dir.empty() ? ", memory-only" : ", journal in ", cache_dir.c_str());
+  }
   if (jsonl != nullptr) std::printf("event stream: %s\n", jsonl->path().c_str());
   std::printf("Expected ordering (paper): MA-Opt <= MA-Opt2 < DNN-Opt < BO ~ Random.\n");
   return 0;

@@ -1,0 +1,56 @@
+#include "common/hash.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace maopt {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+}  // namespace
+
+std::uint64_t hash_bytes(const void* data, std::size_t len, std::uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t hash_u64(std::uint64_t value, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xFFU;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::int64_t quantize_coord(double v, double epsilon) {
+  MAOPT_CHECK(!std::isnan(v), "quantize_coord: NaN coordinate cannot be content-addressed");
+  if (epsilon <= 0.0) {
+    // Exact addressing: the IEEE bit pattern, with -0.0 canonicalized so the
+    // two zeros (which compare equal) share an address.
+    if (v == 0.0) v = 0.0;
+    return static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(v));
+  }
+  const double q = v / epsilon;
+  // Saturate instead of invoking the UB of an out-of-range llround.
+  constexpr double kMax = 9.2233720368547672e18;  // just below 2^63 - 1
+  if (q >= kMax) return INT64_MAX;
+  if (q <= -kMax) return INT64_MIN;
+  return std::llround(q);
+}
+
+std::uint64_t hash_design(std::span<const double> x, double epsilon, std::uint64_t seed) {
+  std::uint64_t h = hash_u64(static_cast<std::uint64_t>(x.size()), seed);
+  for (const double v : x)
+    h = hash_u64(static_cast<std::uint64_t>(quantize_coord(v, epsilon)), h);
+  return h;
+}
+
+}  // namespace maopt

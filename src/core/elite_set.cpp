@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 
 namespace maopt::core {
 
@@ -21,9 +22,19 @@ bool EliteSet::try_insert(const Vec& x, double fom) {
   MAOPT_CHECK(entries_.empty() || x.size() == entries_.front().x.size(),
               "EliteSet::try_insert: design dimension differs from existing members");
   if (entries_.size() >= capacity_ && fom >= entries_.back().fom) return false;
+  // Exact-duplicate screen (epsilon 0: bit-identical designs). The hash
+  // filters candidates; the coordinate compare rules out collisions. A
+  // duplicate with a better FoM re-ranks the existing member in place.
+  const std::uint64_t h = hash_design(x);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->hash != h || it->x != x) continue;
+    if (fom >= it->fom) return false;
+    entries_.erase(it);
+    break;
+  }
   const auto pos = std::upper_bound(entries_.begin(), entries_.end(), fom,
                                     [](double f, const Entry& e) { return f < e.fom; });
-  entries_.insert(pos, Entry{x, fom});
+  entries_.insert(pos, Entry{x, fom, h});
   if (entries_.size() > capacity_) entries_.pop_back();
   return true;
 }

@@ -8,6 +8,7 @@
 // individual sets (MA-Opt^1).
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
@@ -22,12 +23,19 @@ class EliteSet {
   struct Entry {
     Vec x;
     double fom;
+    std::uint64_t hash = 0;  ///< hash_design(x) — duplicate screen
   };
 
   explicit EliteSet(std::size_t capacity);
 
   /// Inserts if the set is not full or `fom` beats the current worst.
-  /// Returns true when the design entered the set.
+  /// Returns true when the design entered the set. A design identical to an
+  /// existing member (same hash_design + same coordinates) never occupies a
+  /// second slot: with a result cache in the loop the same elite design can
+  /// be re-proposed and re-reported many times, and duplicates would shrink
+  /// the effective set — in the extreme collapsing its bounding box to a
+  /// point. A duplicate with a better FoM re-ranks the existing member; one
+  /// with an equal-or-worse FoM is rejected.
   bool try_insert(const Vec& x, double fom);
 
   /// Snapshot of the members (ascending FoM).

@@ -9,6 +9,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
+#include "eval/eval_service.hpp"
 
 namespace maopt::core {
 
@@ -168,12 +169,26 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
   // below is a single branch on null.
   obs::SpanCollector spans(telemetry.enabled());
   const auto* resilient = dynamic_cast<const ckt::ResilientEvaluator*>(&problem);
+  // When the problem is an EvalService, per-iteration proposals are routed
+  // through evaluate_batch (one batch per iteration) and the per-request
+  // EvalOutcome supplies cache/coalesce telemetry.
+  const auto* service = dynamic_cast<const eval::EvalService*>(&problem);
   int current_iter = 0;
 
   struct SimMeta {
     int lane = -1;
     double seconds = 0.0;
     ckt::ResilientEvaluator::CallStats call;
+    bool cache_hit = false;
+    bool coalesced = false;
+    bool via_service = false;  ///< evaluated through the EvalService this run
+  };
+
+  auto meta_from_outcome = [](SimMeta& meta, const eval::EvalOutcome& outcome) {
+    meta.call = outcome.call;
+    meta.cache_hit = outcome.cache_hit;
+    meta.coalesced = outcome.coalesced;
+    meta.via_service = true;
   };
 
   auto emit_checkpoint = [&](std::uint64_t bytes, int iteration) {
@@ -225,11 +240,18 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
       event.fom = stored.fom;
       event.seconds = meta.seconds;
       event.retries = meta.call.retries;
+      event.cache_hit = meta.cache_hit;
+      event.coalesced = meta.coalesced;
       if (!stored.simulation_ok && meta.call.failed)
         event.failure_kind = ckt::to_string(meta.call.last_kind);
       telemetry.emit(event);
     }
     telemetry.counters().retries += meta.call.retries;
+    if (meta.via_service) {
+      obs::RunCounters& counters = telemetry.counters();
+      ++(meta.cache_hit ? counters.cache_hits : counters.cache_misses);
+      if (meta.coalesced) ++counters.cache_coalesced;
+    }
     ++sims;
   };
 
@@ -270,7 +292,11 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
         history.sim_seconds += sim_s;
         meta.seconds = sim_s;
         spans.add(obs::Phase::Simulate, -1, sim_s);
-        if (resilient != nullptr) meta.call = ckt::ResilientEvaluator::last_call_stats();
+        if (service != nullptr) {
+          meta_from_outcome(meta, eval::EvalService::last_outcome());
+        } else if (resilient != nullptr) {
+          meta.call = ckt::ResilientEvaluator::last_call_stats();
+        }
       }
       append_record(std::move(rec), /*actor_set=*/-1, meta);
       ++telemetry.counters().ns_iterations;
@@ -290,6 +316,10 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
       std::vector<SimRecord> results(workers);
       std::vector<double> worker_train_s(workers, 0.0), worker_sim_s(workers, 0.0);
       std::vector<SimMeta> worker_meta(workers);
+      // Batched path: workers only *propose*; the proposals are evaluated
+      // below as one evaluate_batch call (in-batch duplicates coalesce).
+      std::vector<Vec> pending(workers);
+      std::vector<unsigned char> needs_sim(workers, 0);
 
       pool.parallel_for(workers, [&](std::size_t i) {
         Rng rng(derive_seed(seed, 0x1000 + static_cast<std::uint64_t>(t) * 64 + i));
@@ -318,6 +348,9 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
         if (replay_pos + i < replay_count) {
           results[i] = replay[replay_pos + i];
           if (results[i].x != candidate) replay_diverged.store(true, std::memory_order_relaxed);
+        } else if (service != nullptr) {
+          pending[i] = std::move(candidate);
+          needs_sim[i] = 1;
         } else {
           ThreadCpuTimer sclock;
           Stopwatch sim_wall;
@@ -329,6 +362,45 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
             worker_meta[i].call = ckt::ResilientEvaluator::last_call_stats();
         }
       });
+
+      if (service != nullptr) {
+        // One batch per iteration: the N_act proposals fan over the service
+        // pool, sharing the cache and coalescing duplicates.
+        std::vector<Vec> batch;
+        std::vector<std::size_t> owner;
+        for (std::size_t i = 0; i < workers; ++i) {
+          if (needs_sim[i] == 0) continue;
+          batch.push_back(std::move(pending[i]));
+          owner.push_back(i);
+        }
+        if (!batch.empty()) {
+          std::vector<eval::EvalOutcome> outcomes;
+          std::vector<ckt::EvalResult> batch_results;
+          bool batch_ok = true;
+          try {
+            batch_results = service->evaluate_batch(batch, &outcomes);
+          } catch (...) {
+            batch_ok = false;  // fall back to per-item exception capture below
+          }
+          for (std::size_t k = 0; k < owner.size(); ++k) {
+            const std::size_t i = owner[k];
+            eval::EvalOutcome outcome;
+            if (batch_ok) {
+              results[i].x = std::move(batch[k]);
+              results[i].metrics = std::move(batch_results[k].metrics);
+              results[i].simulation_ok = batch_results[k].simulation_ok;
+              outcome = outcomes[k];
+            } else {
+              results[i] = evaluate_record(problem, std::move(batch[k]));
+              outcome = eval::EvalService::last_outcome();
+            }
+            worker_sim_s[i] = outcome.seconds;
+            worker_meta[i].seconds = outcome.seconds;
+            meta_from_outcome(worker_meta[i], outcome);
+            spans.add(obs::Phase::Simulate, static_cast<int>(i), outcome.seconds);
+          }
+        }
+      }
 
       for (std::size_t i = 0; i < workers; ++i) {
         if (replay_pos + i >= replay_count) {

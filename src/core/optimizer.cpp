@@ -1,20 +1,66 @@
 #include "core/optimizer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_set>
 #include <utility>
 
 #include "circuits/resilient_problem.hpp"
+#include "eval/eval_service.hpp"
 
 namespace maopt::core {
 
 RunHistory Optimizer::run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
                           const FomEvaluator& fom, const RunOptions& options) {
   obs::RunTelemetry telemetry(options.observer);
-  emit_run_started(telemetry, name(), problem, initial.size(), options);
-  RunHistory history = do_run(problem, initial, fom, options, telemetry);
+  const std::vector<SimRecord>* initial_set = &initial;
+  std::vector<SimRecord> seeded;
+  if (options.warm_start) {
+    std::vector<SimRecord> warm = warm_start_records(problem, initial, fom, options);
+    if (!warm.empty()) {
+      seeded = initial;
+      seeded.insert(seeded.end(), std::make_move_iterator(warm.begin()),
+                    std::make_move_iterator(warm.end()));
+      initial_set = &seeded;
+    }
+  }
+  emit_run_started(telemetry, name(), problem, initial_set->size(), options);
+  RunHistory history = do_run(problem, *initial_set, fom, options, telemetry);
   emit_run_finished(telemetry, history);
   return history;
+}
+
+std::vector<SimRecord> Optimizer::warm_start_records(const SizingProblem& problem,
+                                                     const std::vector<SimRecord>& initial,
+                                                     const FomEvaluator& fom,
+                                                     const RunOptions& options) {
+  const auto* service = dynamic_cast<const eval::EvalService*>(&problem);
+  if (service == nullptr || options.warm_start_max == 0) return {};
+  const double epsilon = service->config().quant_epsilon;
+
+  // Designs already present in the initial set must not be duplicated: a
+  // duplicate would bias the critic pseudo-pool toward them for free.
+  std::unordered_set<eval::CacheKey, eval::CacheKeyHash> seen;
+  seen.reserve(initial.size());
+  for (const SimRecord& r : initial)
+    seen.insert(eval::make_cache_key(service->fingerprint(), r.x, epsilon));
+
+  std::vector<SimRecord> warm;
+  for (eval::CachedEval& cached : service->cached()) {
+    const eval::CacheKey key = eval::make_cache_key(service->fingerprint(), cached.x, epsilon);
+    if (!seen.insert(key).second) continue;
+    SimRecord record;
+    record.x = std::move(cached.x);
+    record.metrics = std::move(cached.metrics);
+    record.simulation_ok = true;
+    annotate_record(record, problem, fom);
+    warm.push_back(std::move(record));
+  }
+  std::sort(warm.begin(), warm.end(),
+            [](const SimRecord& a, const SimRecord& b) { return a.fom < b.fom; });
+  if (warm.size() > options.warm_start_max) warm.resize(options.warm_start_max);
+  return warm;
 }
 
 RunHistory Optimizer::run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
@@ -63,7 +109,8 @@ void Optimizer::emit_run_finished(obs::RunTelemetry& telemetry, const RunHistory
 
 void Optimizer::emit_simulation(obs::RunTelemetry& telemetry, const SimRecord& record,
                                 std::uint64_t index, std::uint64_t iteration, int lane,
-                                double seconds, const SizingProblem& problem) {
+                                double seconds, const SizingProblem& problem,
+                                const eval::EvalOutcome* outcome) {
   if (!telemetry.enabled()) return;
   obs::SimulationCompleted event;
   event.index = index;
@@ -73,7 +120,22 @@ void Optimizer::emit_simulation(obs::RunTelemetry& telemetry, const SimRecord& r
   event.feasible = record.feasible;
   event.fom = record.fom;
   event.seconds = seconds;
-  if (dynamic_cast<const ckt::ResilientEvaluator*>(&problem) != nullptr) {
+  eval::EvalOutcome local;
+  if (outcome == nullptr && dynamic_cast<const eval::EvalService*>(&problem) != nullptr) {
+    local = eval::EvalService::last_outcome();
+    outcome = &local;
+  }
+  if (outcome != nullptr) {
+    event.cache_hit = outcome->cache_hit;
+    event.coalesced = outcome->coalesced;
+    event.retries = outcome->call.retries;
+    obs::RunCounters& counters = telemetry.counters();
+    counters.retries += outcome->call.retries;
+    ++(outcome->cache_hit ? counters.cache_hits : counters.cache_misses);
+    if (outcome->coalesced) ++counters.cache_coalesced;
+    if (!record.simulation_ok && outcome->call.failed)
+      event.failure_kind = ckt::to_string(outcome->call.last_kind);
+  } else if (dynamic_cast<const ckt::ResilientEvaluator*>(&problem) != nullptr) {
     const auto call = ckt::ResilientEvaluator::last_call_stats();
     event.retries = call.retries;
     telemetry.counters().retries += call.retries;

@@ -11,6 +11,10 @@
 #include "core/history.hpp"
 #include "obs/observer.hpp"
 
+namespace maopt::eval {
+struct EvalOutcome;
+}
+
 namespace maopt::core {
 
 /// Per-run parameters for Optimizer::run. Aggregates what used to be loose
@@ -21,6 +25,15 @@ struct RunOptions {
   std::size_t simulation_budget = 0;
   /// Telemetry sink; not owned, may be nullptr (disables all emission).
   obs::RunObserver* observer = nullptr;
+  /// Seed the run from cached prior-run results: when `problem` is an
+  /// eval::EvalService, its cached evaluations for this problem (deduplicated
+  /// against `initial`, best FoM first, at most `warm_start_max`) are
+  /// appended to the initial set before the optimizer loop. They count as
+  /// initial samples, so the simulation budget is unchanged — the warm run
+  /// starts from strictly more information at the same cost. Ignored when
+  /// the problem is not a service.
+  bool warm_start = false;
+  std::size_t warm_start_max = 256;
 };
 
 /// Abstract optimizer: consumes a pre-evaluated initial set and a simulation
@@ -65,13 +78,27 @@ class Optimizer {
                                const RunOptions& options);
   static void emit_run_finished(obs::RunTelemetry& telemetry, const RunHistory& history);
 
-  /// Emits SimulationCompleted for `record`, probing retry / failure-kind
-  /// detail when `problem` is a ckt::ResilientEvaluator. Must run on the
-  /// thread that performed the evaluation (the per-call stats are
-  /// thread-local). No-op without an observer.
+  /// Emits SimulationCompleted for `record`. With `outcome == nullptr` the
+  /// per-call detail is probed from `problem`: an eval::EvalService yields
+  /// cache/coalesce flags + inner retry stats via last_outcome(), a bare
+  /// ckt::ResilientEvaluator yields retry stats via last_call_stats() — both
+  /// thread-local, so the call must run on the thread that performed the
+  /// evaluation. Batched callers pass the EvalOutcome captured per request
+  /// instead. No-op without an observer.
   static void emit_simulation(obs::RunTelemetry& telemetry, const SimRecord& record,
                               std::uint64_t index, std::uint64_t iteration, int lane,
-                              double seconds, const SizingProblem& problem);
+                              double seconds, const SizingProblem& problem,
+                              const eval::EvalOutcome* outcome = nullptr);
+
+  /// The warm-start records for this run: cached prior-run results of
+  /// `problem` (when it is an eval::EvalService), annotated with `fom`,
+  /// deduplicated against `initial`, sorted best FoM first and capped at
+  /// options.warm_start_max. Empty when the problem is not a service or the
+  /// cache holds nothing new.
+  static std::vector<SimRecord> warm_start_records(const SizingProblem& problem,
+                                                   const std::vector<SimRecord>& initial,
+                                                   const FomEvaluator& fom,
+                                                   const RunOptions& options);
 
   /// Bumps the iteration counter and emits IterationCompleted; `spans` is
   /// consumed. The event itself is skipped without an observer.

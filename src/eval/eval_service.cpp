@@ -1,0 +1,191 @@
+#include "eval/eval_service.hpp"
+
+#include <filesystem>
+#include <thread>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+
+namespace maopt::eval {
+
+namespace {
+
+thread_local EvalOutcome t_last_outcome;  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+
+std::string journal_path_for(const std::string& cache_dir) {
+  if (cache_dir.empty()) return {};
+  return (std::filesystem::path(cache_dir) / "eval_cache.bin").string();
+}
+
+}  // namespace
+
+EvalService::EvalService(const ckt::SizingProblem& inner, EvalServiceConfig config)
+    : inner_(&inner),
+      resilient_(dynamic_cast<const ckt::ResilientEvaluator*>(&inner)),
+      config_(std::move(config)),
+      problem_fp_(problem_fingerprint(inner)) {
+  ResultCache::Config cache_config;
+  cache_config.memory_capacity = config_.memory_capacity;
+  cache_config.journal_path = journal_path_for(config_.cache_dir);
+  cache_config.quant_epsilon = config_.quant_epsilon;
+  cache_ = std::make_unique<ResultCache>(std::move(cache_config));
+}
+
+EvalService::~EvalService() = default;
+
+ThreadPool& EvalService::batch_pool() const {
+  const std::lock_guard lock(pool_mutex_);
+  if (!pool_) {
+    std::size_t n = config_.num_threads;
+    if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    pool_ = std::make_unique<ThreadPool>(n);
+  }
+  return *pool_;
+}
+
+EvalOutcome EvalService::last_outcome() { return t_last_outcome; }
+
+EvalCounters EvalService::counters() const {
+  EvalCounters c;
+  c.requested = requested_.load(std::memory_order_relaxed);
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.coalesced = coalesced_.load(std::memory_order_relaxed);
+  c.simulations = simulations_.load(std::memory_order_relaxed);
+  return c;
+}
+
+ckt::EvalResult EvalService::evaluate(const Vec& x) const {
+  t_last_outcome = EvalOutcome{};  // a throwing call must not leave a stale outcome
+  EvalOutcome outcome;
+  ckt::EvalResult result = evaluate_impl(x, outcome);
+  t_last_outcome = outcome;
+  return result;
+}
+
+ckt::EvalResult EvalService::evaluate_impl(const Vec& x, EvalOutcome& outcome) const {
+  requested_.fetch_add(1, std::memory_order_relaxed);
+  const CacheKey key = make_cache_key(problem_fp_, x, config_.quant_epsilon);
+
+  // Fast path: already cached.
+  if (auto metrics = cache_->lookup(key)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    outcome = EvalOutcome{};
+    outcome.cache_hit = true;
+    return ckt::EvalResult{std::move(*metrics), /*simulation_ok=*/true};
+  }
+
+  std::shared_ptr<InFlight> flight;
+  bool producer = false;
+  {
+    const std::lock_guard lock(inflight_mutex_);
+    // Re-check under the lock: a producer may have published between our
+    // lookup above and here (publishers insert into the cache *before*
+    // erasing their in-flight entry, so this pair of checks has no gap).
+    if (auto metrics = cache_->lookup(key)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      outcome = EvalOutcome{};
+      outcome.cache_hit = true;
+      return ckt::EvalResult{std::move(*metrics), /*simulation_ok=*/true};
+    }
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      flight = it->second;  // join the running simulation
+    } else {
+      flight = std::make_shared<InFlight>();
+      flight->future = flight->promise.get_future().share();
+      inflight_.emplace(key, flight);
+      producer = true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  if (!producer) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    ckt::EvalResult result = flight->future.get();
+    // The producer wrote its outcome before resolving the promise, so this
+    // read is ordered-after the write.
+    outcome = flight->outcome;
+    outcome.coalesced = true;
+    outcome.seconds = 0.0;  // no new simulation ran for this request
+    return result;
+  }
+
+  // Producer: run the simulation on this thread, publish, then resolve.
+  simulations_.fetch_add(1, std::memory_order_relaxed);
+  ckt::EvalResult result;
+  Stopwatch timer;
+  try {
+    result = inner_->evaluate(x);
+  } catch (...) {
+    // Keep the waiters and the in-flight map consistent even when the inner
+    // problem throws (possible when the service wraps a raw problem rather
+    // than a ResilientEvaluator).
+    outcome = EvalOutcome{};
+    outcome.seconds = timer.elapsed_seconds();
+    outcome.call.failed = true;
+    outcome.call.last_kind = ckt::FailureKind::Exception;
+    flight->outcome = outcome;
+    {
+      const std::lock_guard lock(inflight_mutex_);
+      inflight_.erase(key);
+    }
+    flight->promise.set_exception(std::current_exception());
+    throw;
+  }
+  outcome = EvalOutcome{};
+  outcome.seconds = timer.elapsed_seconds();
+  if (resilient_ != nullptr) outcome.call = ckt::ResilientEvaluator::last_call_stats();
+
+  if (result.simulation_ok) cache_->insert(key, problem_fp_, x, result.metrics);
+  flight->outcome = outcome;
+  {
+    const std::lock_guard lock(inflight_mutex_);
+    inflight_.erase(key);
+  }
+  flight->promise.set_value(result);
+  return result;
+}
+
+std::vector<ckt::EvalResult> EvalService::evaluate_batch(
+    std::span<const Vec> xs, std::vector<EvalOutcome>* outcomes) const {
+  std::vector<ckt::EvalResult> results(xs.size());
+  if (outcomes != nullptr) {
+    outcomes->clear();
+    outcomes->resize(xs.size());
+  }
+  if (xs.empty()) return results;
+  if (xs.size() == 1) {
+    EvalOutcome outcome;
+    results[0] = evaluate_impl(xs[0], outcome);
+    t_last_outcome = outcome;
+    if (outcomes != nullptr) (*outcomes)[0] = outcome;
+    return results;
+  }
+
+  ThreadPool& pool = batch_pool();
+  std::vector<std::future<void>> futures;
+  futures.reserve(xs.size());
+  std::vector<EvalOutcome> local(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    futures.push_back(pool.submit([this, &xs, &results, &local, i] {
+      results[i] = evaluate_impl(xs[i], local[i]);
+    }));
+  }
+  // Wait on everything before rethrowing so the captured references above
+  // are dead when an exception propagates.
+  std::exception_ptr first_error;
+  for (auto& fut : futures) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  if (outcomes != nullptr) *outcomes = std::move(local);
+  return results;
+}
+
+}  // namespace maopt::eval

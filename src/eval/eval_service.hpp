@@ -1,0 +1,160 @@
+// EvalService — the single owner of simulator calls.
+//
+// A SizingProblem decorator (same shape as ResilientEvaluator, and designed
+// to wrap it) that gives every optimizer, point-path or batched, the same
+// three wins:
+//
+//   * Content-addressed result cache. Each request is keyed by
+//     (problem fingerprint, quantized design); a hit returns the stored
+//     metrics without touching the simulator. Two levels — in-memory LRU +
+//     optional on-disk journal (result_cache.hpp) — so results survive the
+//     process and warm-start later runs.
+//   * In-flight deduplication. Concurrent requests for the same key share
+//     one underlying simulation: the first becomes the producer, the rest
+//     block on its shared future and receive the identical result.
+//   * Batched evaluation. evaluate_batch() fans a span of designs over an
+//     internal ThreadPool, so the N_act proposals of one MA-Opt iteration
+//     (or an NS candidate ranking) become one parallel batch.
+//
+// Budget semantics: a cache hit still *counts* as a simulation for budget
+// purposes — callers consume budget per request exactly as before — the
+// service only removes the wall-clock cost. This keeps trajectories
+// bit-identical between cold and warm runs at the same seed, which is what
+// makes the persistence smoke test (same seed twice) meaningful.
+//
+// Only simulation_ok results are cached; failures may be transient and are
+// re-attempted on every request.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuits/resilient_problem.hpp"
+#include "circuits/sizing_problem.hpp"
+#include "eval/result_cache.hpp"
+
+namespace maopt {
+class ThreadPool;
+}
+
+namespace maopt::eval {
+
+struct EvalServiceConfig {
+  /// Workers for evaluate_batch(); 0 uses hardware_concurrency. The pool is
+  /// created lazily on the first batch call, so point-path users pay nothing.
+  std::size_t num_threads = 0;
+  std::size_t memory_capacity = 4096;  ///< L1 LRU entries
+  /// Directory for the persistent journal (`eval_cache.bin` inside it);
+  /// empty disables persistence (memory-only cache).
+  std::string cache_dir;
+  double quant_epsilon = 0.0;  ///< design quantization for cache keys
+};
+
+/// Monotonic service totals. Invariants (validated by check_telemetry.py):
+///   hits + misses == requested
+///   coalesced     <= misses
+///   simulations   == misses - coalesced   (underlying simulator calls)
+struct EvalCounters {
+  std::uint64_t requested = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t simulations = 0;
+};
+
+/// Per-request telemetry, mirroring ResilientEvaluator::CallStats: how the
+/// result the caller just received was produced.
+struct EvalOutcome {
+  bool cache_hit = false;  ///< served from the result cache
+  bool coalesced = false;  ///< shared a concurrent producer's simulation
+  double seconds = 0.0;    ///< wall-clock of the underlying simulation; 0 when
+                           ///< no new simulation ran (hit or coalesced)
+  ckt::ResilientEvaluator::CallStats call;  ///< inner resilient stats (producer's)
+};
+
+class EvalService final : public ckt::SizingProblem {
+ public:
+  /// `inner` is not owned and must outlive this service. When `inner` is a
+  /// ResilientEvaluator its per-call retry/failure stats are captured on the
+  /// executing thread and surfaced through EvalOutcome::call.
+  explicit EvalService(const ckt::SizingProblem& inner, EvalServiceConfig config = {});
+  ~EvalService() override;
+
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  const ckt::ProblemSpec& spec() const override { return inner_->spec(); }
+  std::size_t dim() const override { return inner_->dim(); }
+  const Vec& lower_bounds() const override { return inner_->lower_bounds(); }
+  const Vec& upper_bounds() const override { return inner_->upper_bounds(); }
+  const std::vector<bool>& integer_mask() const override { return inner_->integer_mask(); }
+  std::vector<std::string> parameter_names() const override {
+    return inner_->parameter_names();
+  }
+  Vec failure_metrics() const override { return inner_->failure_metrics(); }
+
+  /// Point path: cache lookup -> in-flight join -> simulate. Thread-safe
+  /// whenever the inner problem's evaluate() is.
+  ckt::EvalResult evaluate(const Vec& x) const override;
+
+  /// Batched path: evaluates every design over the internal pool (duplicates
+  /// within the batch coalesce onto one simulation). Results are positional.
+  /// When `outcomes` is non-null it is resized to xs.size() and filled with
+  /// the per-request telemetry — the batched analog of last_outcome().
+  std::vector<ckt::EvalResult> evaluate_batch(std::span<const Vec> xs,
+                                              std::vector<EvalOutcome>* outcomes = nullptr) const;
+
+  /// The EvalOutcome of the most recent evaluate() on the *calling thread*
+  /// (thread-local, shared across instances — the same idiom as
+  /// ResilientEvaluator::last_call_stats()).
+  static EvalOutcome last_outcome();
+
+  EvalCounters counters() const;
+
+  /// Stable identity of the wrapped problem (see problem_fingerprint()).
+  std::uint64_t fingerprint() const { return problem_fp_; }
+
+  /// Cached results for the wrapped problem, in insertion order — the feed
+  /// for warm starts.
+  std::vector<CachedEval> cached() const { return cache_->entries_for(problem_fp_); }
+
+  ResultCache& cache() const { return *cache_; }
+  const EvalServiceConfig& config() const { return config_; }
+
+ private:
+  struct InFlight {
+    std::promise<ckt::EvalResult> promise;
+    std::shared_future<ckt::EvalResult> future;
+    EvalOutcome outcome;  ///< written by the producer before the promise resolves
+  };
+
+  ckt::EvalResult evaluate_impl(const Vec& x, EvalOutcome& outcome) const;
+  ThreadPool& batch_pool() const;
+
+  const ckt::SizingProblem* inner_;
+  const ckt::ResilientEvaluator* resilient_;  ///< inner_ when it is resilient
+  EvalServiceConfig config_;
+  std::uint64_t problem_fp_;
+  std::unique_ptr<ResultCache> cache_;
+
+  mutable std::mutex inflight_mutex_;
+  mutable std::unordered_map<CacheKey, std::shared_ptr<InFlight>, CacheKeyHash> inflight_;
+
+  mutable std::mutex pool_mutex_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::atomic<std::uint64_t> requested_{0};
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> coalesced_{0};
+  mutable std::atomic<std::uint64_t> simulations_{0};
+};
+
+}  // namespace maopt::eval

@@ -23,6 +23,7 @@
 #include "circuits/three_stage_tia.hpp"
 #include "circuits/two_stage_ota.hpp"
 #include "common/cli.hpp"
+#include "common/hash.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/statistics.hpp"
@@ -39,6 +40,8 @@
 #include "core/de.hpp"
 #include "core/pso.hpp"
 #include "core/random_search.hpp"
+#include "eval/eval_service.hpp"
+#include "eval/result_cache.hpp"
 #include "gp/bo_optimizer.hpp"
 #include "gp/gp_regression.hpp"
 #include "linalg/cholesky.hpp"

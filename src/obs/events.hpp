@@ -47,6 +47,13 @@ struct RunCounters {
   std::uint64_t ns_iterations = 0;  ///< iterations spent in near-sampling
   std::uint64_t checkpoints = 0;
   std::uint64_t checkpoint_bytes = 0;
+  /// Evaluation-service cache totals (eval::EvalService); all zero when the
+  /// run is not routed through a service. Invariants:
+  ///   cache_hits + cache_misses == simulations (every budgeted request is
+  ///   one or the other), cache_coalesced <= cache_misses.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_coalesced = 0;
 };
 
 struct RunStarted {
@@ -70,6 +77,8 @@ struct SimulationCompleted {
   std::uint32_t retries = 0; ///< ResilientEvaluator retries for this call
   std::string failure_kind;  ///< ckt::to_string(FailureKind); empty when ok
                              ///< or the problem reports no failure detail
+  bool cache_hit = false;    ///< served from the eval-service result cache
+  bool coalesced = false;    ///< shared a concurrent request's simulation
 };
 
 struct IterationCompleted {

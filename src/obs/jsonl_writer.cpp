@@ -113,6 +113,10 @@ void JsonlObserver::on_simulation_completed(const SimulationCompleted& e) {
   append_u64(line, e.retries);
   line += ",\"failure_kind\":";
   append_string(line, e.failure_kind);
+  line += ",\"cache_hit\":";
+  append_bool(line, e.cache_hit);
+  line += ",\"coalesced\":";
+  append_bool(line, e.coalesced);
   line += ",\"t\":";
   append_double(line, since_open_.elapsed_seconds());
   line += '}';
@@ -196,6 +200,12 @@ void JsonlObserver::on_run_finished(const RunFinished& e) {
   append_u64(line, e.counters.checkpoints);
   line += ",\"checkpoint_bytes\":";
   append_u64(line, e.counters.checkpoint_bytes);
+  line += ",\"cache_hits\":";
+  append_u64(line, e.counters.cache_hits);
+  line += ",\"cache_misses\":";
+  append_u64(line, e.counters.cache_misses);
+  line += ",\"cache_coalesced\":";
+  append_u64(line, e.counters.cache_coalesced);
   line += "},\"t\":";
   append_double(line, since_open_.elapsed_seconds());
   line += '}';

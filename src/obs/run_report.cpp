@@ -42,20 +42,25 @@ std::string RunReport::table() const {
   std::string out;
   char buf[256];
   std::snprintf(buf, sizeof buf,
-                "%-12s %5s %5s %5s %6s %12s %5s %9s %9s %8s %8s %8s %8s\n", "Algorithm", "sims",
-                "fail", "retry", "iters", "best FoM", "feas", "critic(s)", "actor(s)", "sim(s)",
-                "ns(s)", "elite(s)", "wall(s)");
+                "%-12s %5s %5s %5s %6s %5s %5s %5s %12s %5s %9s %9s %8s %8s %8s %8s\n",
+                "Algorithm", "sims", "fail", "retry", "iters", "hit", "miss", "coal", "best FoM",
+                "feas", "critic(s)", "actor(s)", "sim(s)", "ns(s)", "elite(s)", "wall(s)");
   out += buf;
   for (const Row& r : rows_) {
-    std::snprintf(buf, sizeof buf,
-                  "%-12s %5llu %5llu %5llu %6llu %12.4g %5s %9.3f %9.3f %8.3f %8.3f %8.3f %8.2f%s\n",
-                  r.algorithm.c_str(), static_cast<unsigned long long>(r.simulations),
-                  static_cast<unsigned long long>(r.counters.failures),
-                  static_cast<unsigned long long>(r.counters.retries),
-                  static_cast<unsigned long long>(r.iterations), r.best_fom,
-                  r.feasible ? "yes" : "no", r.phase(Phase::CriticTrain),
-                  r.phase(Phase::ActorTrain), r.phase(Phase::Simulate), r.phase(Phase::NearSample),
-                  r.phase(Phase::EliteUpdate), r.wall_seconds, r.aborted ? "  [ABORTED]" : "");
+    std::snprintf(
+        buf, sizeof buf,
+        "%-12s %5llu %5llu %5llu %6llu %5llu %5llu %5llu %12.4g %5s %9.3f %9.3f %8.3f %8.3f "
+        "%8.3f %8.2f%s\n",
+        r.algorithm.c_str(), static_cast<unsigned long long>(r.simulations),
+        static_cast<unsigned long long>(r.counters.failures),
+        static_cast<unsigned long long>(r.counters.retries),
+        static_cast<unsigned long long>(r.iterations),
+        static_cast<unsigned long long>(r.counters.cache_hits),
+        static_cast<unsigned long long>(r.counters.cache_misses),
+        static_cast<unsigned long long>(r.counters.cache_coalesced), r.best_fom,
+        r.feasible ? "yes" : "no", r.phase(Phase::CriticTrain), r.phase(Phase::ActorTrain),
+        r.phase(Phase::Simulate), r.phase(Phase::NearSample), r.phase(Phase::EliteUpdate),
+        r.wall_seconds, r.aborted ? "  [ABORTED]" : "");
     out += buf;
   }
   return out;

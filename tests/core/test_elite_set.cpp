@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
+#include <utility>
 
 namespace maopt::core {
 namespace {
@@ -21,11 +23,31 @@ TEST(EliteSet, KeepsBestWhenFull) {
 
 TEST(EliteSet, SnapshotSortedAscending) {
   EliteSet es(5);
-  es.try_insert({0.0}, 2.0);
-  es.try_insert({0.0}, 1.0);
-  es.try_insert({0.0}, 3.0);
+  es.try_insert({1.0}, 2.0);
+  es.try_insert({2.0}, 1.0);
+  es.try_insert({3.0}, 3.0);
   const auto snap = es.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
   for (std::size_t i = 1; i < snap.size(); ++i) EXPECT_LE(snap[i - 1].fom, snap[i].fom);
+}
+
+TEST(EliteSet, DuplicateDesignNeverOccupiesSecondSlot) {
+  EliteSet es(5);
+  EXPECT_TRUE(es.try_insert({1.0, 2.0}, 3.0));
+  EXPECT_FALSE(es.try_insert({1.0, 2.0}, 3.0));  // identical design + fom
+  EXPECT_FALSE(es.try_insert({1.0, 2.0}, 4.0));  // identical design, worse fom
+  EXPECT_EQ(es.size(), 1u);
+}
+
+TEST(EliteSet, DuplicateWithBetterFomReranksInPlace) {
+  EliteSet es(5);
+  es.try_insert({1.0}, 3.0);
+  es.try_insert({2.0}, 2.0);
+  EXPECT_TRUE(es.try_insert({1.0}, 1.0));  // same design, better fom
+  const auto snap = es.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap[0].fom, 1.0);
+  EXPECT_DOUBLE_EQ(snap[0].x[0], 1.0);
 }
 
 TEST(EliteSet, BestReturnsLowestFom) {
@@ -76,14 +98,21 @@ TEST(EliteSet, ConcurrentInsertsKeepInvariant) {
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&es, t] {
+      // Each thread hammers 8 designs with varying FoMs; the duplicate
+      // screen must leave exactly one slot per unique design, holding the
+      // best FoM that design ever reported.
       for (int i = 0; i < 1000; ++i)
-        es.try_insert({static_cast<double>(t)}, static_cast<double>((i * 37 + t * 11) % 500));
+        es.try_insert({static_cast<double>(t), static_cast<double>(i % 8)},
+                      static_cast<double>((i * 37 + t * 11) % 500));
     });
   }
   for (auto& th : threads) th.join();
   const auto snap = es.snapshot();
   EXPECT_EQ(snap.size(), 16u);
   for (std::size_t i = 1; i < snap.size(); ++i) EXPECT_LE(snap[i - 1].fom, snap[i].fom);
+  std::set<std::pair<double, double>> unique_designs;
+  for (const auto& e : snap) unique_designs.emplace(e.x[0], e.x[1]);
+  EXPECT_EQ(unique_designs.size(), snap.size()) << "duplicate design occupies two slots";
   // The 4 threads each produced fom=0 at some point; the best must be 0.
   EXPECT_DOUBLE_EQ(snap[0].fom, 0.0);
 }

@@ -1,0 +1,318 @@
+#include "eval/eval_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "circuits/analytic_problems.hpp"
+#include "circuits/resilient_problem.hpp"
+
+namespace maopt::eval {
+namespace {
+
+/// Counts inner evaluate() calls and optionally runs a hook inside them —
+/// the instrument for "exactly one simulation per unique key" assertions.
+class CountingProblem final : public ckt::SizingProblem {
+ public:
+  explicit CountingProblem(const ckt::SizingProblem& inner) : inner_(&inner) {}
+
+  const ckt::ProblemSpec& spec() const override { return inner_->spec(); }
+  std::size_t dim() const override { return inner_->dim(); }
+  const Vec& lower_bounds() const override { return inner_->lower_bounds(); }
+  const Vec& upper_bounds() const override { return inner_->upper_bounds(); }
+  const std::vector<bool>& integer_mask() const override { return inner_->integer_mask(); }
+  std::vector<std::string> parameter_names() const override {
+    return inner_->parameter_names();
+  }
+
+  ckt::EvalResult evaluate(const Vec& x) const override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    if (hook) hook(x);
+    return inner_->evaluate(x);
+  }
+
+  mutable std::atomic<int> calls{0};
+  std::function<void(const Vec&)> hook;
+
+ private:
+  const ckt::SizingProblem* inner_;
+};
+
+/// Always reports simulation failure (to prove failures are never cached).
+class AlwaysFailing final : public ckt::SizingProblem {
+ public:
+  explicit AlwaysFailing(const ckt::SizingProblem& inner) : inner_(&inner) {}
+  const ckt::ProblemSpec& spec() const override { return inner_->spec(); }
+  std::size_t dim() const override { return inner_->dim(); }
+  const Vec& lower_bounds() const override { return inner_->lower_bounds(); }
+  const Vec& upper_bounds() const override { return inner_->upper_bounds(); }
+  const std::vector<bool>& integer_mask() const override { return inner_->integer_mask(); }
+  std::vector<std::string> parameter_names() const override {
+    return inner_->parameter_names();
+  }
+  ckt::EvalResult evaluate(const Vec&) const override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return {inner_->failure_metrics(), /*simulation_ok=*/false};
+  }
+  mutable std::atomic<int> calls{0};
+
+ private:
+  const ckt::SizingProblem* inner_;
+};
+
+struct ServiceFixture : ::testing::Test {
+  ckt::ConstrainedQuadratic quad{3};
+  CountingProblem counting{quad};
+};
+
+TEST_F(ServiceFixture, ForwardsProblemInterface) {
+  EvalService service(counting);
+  EXPECT_EQ(service.dim(), quad.dim());
+  EXPECT_EQ(service.spec().name, quad.spec().name);
+  EXPECT_EQ(service.lower_bounds(), quad.lower_bounds());
+  EXPECT_EQ(service.upper_bounds(), quad.upper_bounds());
+  EXPECT_EQ(service.parameter_names(), quad.parameter_names());
+  EXPECT_EQ(service.fingerprint(), problem_fingerprint(quad));
+}
+
+TEST_F(ServiceFixture, PointPathHitsOnRepeat) {
+  EvalService service(counting);
+  const Vec x = {0.1, 0.2, 0.3};
+
+  const auto first = service.evaluate(x);
+  const auto miss = EvalService::last_outcome();
+  EXPECT_TRUE(first.simulation_ok);
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_FALSE(miss.coalesced);
+  EXPECT_GE(miss.seconds, 0.0);
+
+  const auto second = service.evaluate(x);
+  const auto hit = EvalService::last_outcome();
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_FALSE(hit.coalesced);
+  EXPECT_EQ(hit.seconds, 0.0);
+  EXPECT_EQ(second.metrics, first.metrics);
+
+  EXPECT_EQ(counting.calls.load(), 1);
+  const auto c = service.counters();
+  EXPECT_EQ(c.requested, 2u);
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.coalesced, 0u);
+  EXPECT_EQ(c.simulations, 1u);
+}
+
+TEST_F(ServiceFixture, MatchesUnwrappedResults) {
+  EvalService service(counting);
+  const Vec x = {0.25, 0.5, 0.75};
+  EXPECT_EQ(service.evaluate(x).metrics, quad.evaluate(x).metrics);
+}
+
+TEST_F(ServiceFixture, FailuresAreNotCached) {
+  AlwaysFailing failing(quad);
+  EvalService service(failing);
+  const Vec x = {0.1, 0.2, 0.3};
+  EXPECT_FALSE(service.evaluate(x).simulation_ok);
+  EXPECT_FALSE(service.evaluate(x).simulation_ok);
+  EXPECT_EQ(failing.calls.load(), 2);  // the failure was re-attempted
+  const auto c = service.counters();
+  EXPECT_EQ(c.hits, 0u);
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(c.simulations, 2u);
+  EXPECT_EQ(service.cache().size(), 0u);
+}
+
+TEST_F(ServiceFixture, InnerExceptionPropagatesAndIsNotCached) {
+  struct Throwing final : ckt::SizingProblem {
+    explicit Throwing(const ckt::SizingProblem& inner) : inner_(&inner) {}
+    const ckt::ProblemSpec& spec() const override { return inner_->spec(); }
+    std::size_t dim() const override { return inner_->dim(); }
+    const Vec& lower_bounds() const override { return inner_->lower_bounds(); }
+    const Vec& upper_bounds() const override { return inner_->upper_bounds(); }
+    const std::vector<bool>& integer_mask() const override { return inner_->integer_mask(); }
+    std::vector<std::string> parameter_names() const override {
+      return inner_->parameter_names();
+    }
+    ckt::EvalResult evaluate(const Vec&) const override {
+      calls.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("solver exploded");
+    }
+    mutable std::atomic<int> calls{0};
+    const ckt::SizingProblem* inner_;
+  } throwing(quad);
+
+  EvalService service(throwing);
+  const Vec x = {0.1, 0.2, 0.3};
+  EXPECT_THROW(service.evaluate(x), std::runtime_error);
+  // The key must not be stuck in the in-flight map: a retry throws again
+  // (rather than deadlocking on a dead producer) and runs a fresh attempt.
+  EXPECT_THROW(service.evaluate(x), std::runtime_error);
+  EXPECT_EQ(throwing.calls.load(), 2);
+  EXPECT_EQ(service.cache().size(), 0u);
+}
+
+TEST_F(ServiceFixture, BatchIsPositionalAndDeduplicatesWithinBatch) {
+  EvalService service(counting);
+  const Vec a = {0.1, 0.2, 0.3};
+  const Vec b = {0.4, 0.5, 0.6};
+  const Vec c = {0.7, 0.8, 0.9};
+  const std::vector<Vec> xs = {a, b, a, c, b, a};
+
+  std::vector<EvalOutcome> outcomes;
+  const auto results = service.evaluate_batch(xs, &outcomes);
+  ASSERT_EQ(results.size(), xs.size());
+  ASSERT_EQ(outcomes.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_TRUE(results[i].simulation_ok);
+    EXPECT_EQ(results[i].metrics, quad.evaluate(xs[i]).metrics) << "position " << i;
+  }
+
+  EXPECT_EQ(counting.calls.load(), 3) << "one simulation per unique design";
+  const auto totals = service.counters();
+  EXPECT_EQ(totals.requested, xs.size());
+  EXPECT_EQ(totals.hits + totals.misses, xs.size());
+  EXPECT_EQ(totals.simulations, 3u);
+  EXPECT_EQ(totals.misses - totals.coalesced, 3u);
+
+  // Exactly three requests produced a fresh simulation; the duplicates were
+  // served by the cache or a concurrent producer (scheduling decides which).
+  std::size_t fresh = 0;
+  for (const auto& o : outcomes) fresh += (!o.cache_hit && !o.coalesced) ? 1 : 0;
+  EXPECT_EQ(fresh, 3u);
+}
+
+TEST_F(ServiceFixture, BatchHandlesEmptyAndSingle) {
+  EvalService service(counting);
+  EXPECT_TRUE(service.evaluate_batch({}).empty());
+  const std::vector<Vec> one = {{0.1, 0.2, 0.3}};
+  std::vector<EvalOutcome> outcomes;
+  const auto results = service.evaluate_batch(one, &outcomes);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(results[0].metrics, quad.evaluate(one[0]).metrics);
+  EXPECT_FALSE(outcomes[0].cache_hit);
+}
+
+// Satellite #3: N threads requesting overlapping keys must coalesce onto
+// exactly one underlying simulation per unique key, and every waiter must
+// receive the producer's result. Deterministic even under TSan: the producer
+// blocks *inside* the inner problem until all N waiters have registered
+// (counted via the service's own coalesced counter), so the schedule cannot
+// race the assertion.
+TEST_F(ServiceFixture, ConcurrentRequestsCoalesceOntoOneSimulation) {
+  constexpr int kWaiters = 4;
+  EvalService service(counting);
+  const Vec x = {0.3, 0.3, 0.3};
+
+  std::atomic<bool> producer_entered{false};
+  counting.hook = [&](const Vec&) {
+    producer_entered.store(true, std::memory_order_release);
+    while (service.counters().coalesced < kWaiters) std::this_thread::yield();
+  };
+
+  ckt::EvalResult producer_result;
+  std::thread producer([&] { producer_result = service.evaluate(x); });
+  while (!producer_entered.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  std::vector<ckt::EvalResult> waiter_results(kWaiters);
+  std::vector<EvalOutcome> waiter_outcomes(kWaiters);
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&, i] {
+      waiter_results[i] = service.evaluate(x);
+      waiter_outcomes[i] = EvalService::last_outcome();
+    });
+  }
+  for (auto& t : waiters) t.join();
+  producer.join();
+  counting.hook = nullptr;
+
+  EXPECT_EQ(counting.calls.load(), 1) << "exactly one simulation for the shared key";
+  for (int i = 0; i < kWaiters; ++i) {
+    EXPECT_EQ(waiter_results[i].metrics, producer_result.metrics);
+    EXPECT_TRUE(waiter_outcomes[i].coalesced);
+    EXPECT_FALSE(waiter_outcomes[i].cache_hit);
+    EXPECT_EQ(waiter_outcomes[i].seconds, 0.0);
+  }
+  const auto c = service.counters();
+  EXPECT_EQ(c.requested, static_cast<std::uint64_t>(kWaiters) + 1);
+  EXPECT_EQ(c.hits, 0u);
+  EXPECT_EQ(c.misses, static_cast<std::uint64_t>(kWaiters) + 1);
+  EXPECT_EQ(c.coalesced, static_cast<std::uint64_t>(kWaiters));
+  EXPECT_EQ(c.simulations, 1u);
+}
+
+// Overlapping keys across many free-running threads: whatever the schedule,
+// each unique design simulates exactly once (a requester either hits the
+// cache or joins the in-flight producer — the publish protocol has no gap).
+TEST_F(ServiceFixture, ManyThreadsManyKeysSimulateEachKeyOnce) {
+  constexpr int kThreads = 8;
+  constexpr int kUnique = 4;
+  EvalService service(counting);
+  std::vector<Vec> designs;
+  for (int k = 0; k < kUnique; ++k)
+    designs.push_back({0.1 + 0.2 * k, 0.5, 0.5});
+
+  std::vector<ckt::EvalResult> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] { results[i] = service.evaluate(designs[i % kUnique]); });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(counting.calls.load(), kUnique);
+  for (int i = 0; i < kThreads; ++i)
+    EXPECT_EQ(results[i].metrics, quad.evaluate(designs[i % kUnique]).metrics);
+  const auto c = service.counters();
+  EXPECT_EQ(c.requested, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(c.hits + c.misses, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(c.simulations, static_cast<std::uint64_t>(kUnique));
+  EXPECT_LE(c.coalesced, c.misses);
+}
+
+TEST_F(ServiceFixture, CapturesResilientCallStats) {
+  ckt::ResilientEvaluator resilient(quad);
+  EvalService service(resilient);
+  const Vec x = {0.2, 0.2, 0.2};
+  EXPECT_TRUE(service.evaluate(x).simulation_ok);
+  const auto outcome = EvalService::last_outcome();
+  EXPECT_FALSE(outcome.call.failed);
+  EXPECT_EQ(outcome.call.retries, 0u);
+  EXPECT_EQ(service.fingerprint(), problem_fingerprint(quad))
+      << "fingerprint must see through the resilient wrapper";
+}
+
+TEST_F(ServiceFixture, CachedExposesEvaluatedDesigns) {
+  EvalService service(counting);
+  const Vec a = {0.1, 0.2, 0.3};
+  const Vec b = {0.4, 0.5, 0.6};
+  service.evaluate(a);
+  service.evaluate(b);
+  service.evaluate(a);  // hit: no new entry
+  const auto cached = service.cached();
+  ASSERT_EQ(cached.size(), 2u);
+  EXPECT_EQ(cached[0].x, a);
+  EXPECT_EQ(cached[1].x, b);
+  EXPECT_EQ(cached[0].metrics, quad.evaluate(a).metrics);
+}
+
+TEST_F(ServiceFixture, QuantizationEpsilonMergesNearbyDesigns) {
+  EvalServiceConfig config;
+  config.quant_epsilon = 1e-3;
+  EvalService service(counting, config);
+  const Vec a = {0.10000, 0.2, 0.3};
+  const Vec b = {0.10004, 0.2, 0.3};  // same 1e-3 bucket
+  const auto ra = service.evaluate(a);
+  const auto rb = service.evaluate(b);
+  EXPECT_EQ(counting.calls.load(), 1);
+  EXPECT_EQ(rb.metrics, ra.metrics) << "b served from a's bucket";
+  EXPECT_EQ(service.counters().hits, 1u);
+}
+
+}  // namespace
+}  // namespace maopt::eval

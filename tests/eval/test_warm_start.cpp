@@ -1,0 +1,141 @@
+// Warm start end-to-end: a run seeded from a prior run's cached results must
+// match-or-beat a cold run at the same budget, and rerunning the same seed
+// over a populated cache must reproduce the cold trajectory bit-for-bit
+// (cache hits remove wall-clock, never change results).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuits/analytic_problems.hpp"
+#include "core/ma_optimizer.hpp"
+#include "eval/eval_service.hpp"
+
+namespace maopt::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+MaOptConfig test_config(MaOptConfig base) {
+  base.critic.hidden = {32, 32};
+  base.critic.steps_per_round = 20;
+  base.actor.hidden = {24, 24};
+  base.actor.steps_per_round = 10;
+  base.near_sampling.num_samples = 200;
+  return base;
+}
+
+struct WarmStartFixture : ::testing::Test {
+  void SetUp() override {
+    cache_dir = (fs::temp_directory_path() /
+                 ("maopt_warm_" +
+                  std::string(::testing::UnitTest::GetInstance()->current_test_info()->name())))
+                    .string();
+    fs::remove_all(cache_dir);
+
+    Rng rng(1);
+    initial = sample_initial_set(problem, 25, rng);
+    std::vector<linalg::Vec> rows;
+    for (const auto& r : initial) rows.push_back(r.metrics);
+    fom = std::make_unique<ckt::FomEvaluator>(ckt::FomEvaluator::fit_reference(problem, rows));
+  }
+  void TearDown() override { fs::remove_all(cache_dir); }
+
+  std::unique_ptr<eval::EvalService> make_service() {
+    eval::EvalServiceConfig config;
+    config.cache_dir = cache_dir;
+    return std::make_unique<eval::EvalService>(problem, config);
+  }
+
+  RunHistory run(const ckt::SizingProblem& target, std::uint64_t seed, std::size_t budget,
+                 bool warm = false) {
+    MaOptimizer opt(test_config(MaOptConfig::ma_opt()));
+    RunOptions options;
+    options.seed = seed;
+    options.simulation_budget = budget;
+    options.warm_start = warm;
+    return opt.run(target, initial, *fom, options);
+  }
+
+  ckt::ConstrainedQuadratic problem{4};
+  std::vector<SimRecord> initial;
+  std::unique_ptr<ckt::FomEvaluator> fom;
+  std::string cache_dir;
+};
+
+TEST_F(WarmStartFixture, WarmRunDominatesColdRunAtEqualBudget) {
+  // Prior run populates the journal with 40 evaluated designs.
+  {
+    auto service = make_service();
+    const RunHistory prior = run(*service, 7, 40);
+    EXPECT_EQ(prior.simulations_used(), 40u);
+    EXPECT_GT(service->cached().size(), 0u);
+  }
+
+  const RunHistory cold = run(problem, 21, 12);
+  auto service = make_service();  // fresh service, same journal on disk
+  const RunHistory warm = run(*service, 21, 12, /*warm=*/true);
+
+  // The cached results were absorbed as extra initial samples.
+  EXPECT_GT(warm.num_initial, cold.num_initial);
+  EXPECT_EQ(warm.simulations_used(), cold.simulations_used());
+
+  // Starting from a superset of the cold run's information, the warm run's
+  // best-so-far can never be behind at any point of the budget.
+  ASSERT_EQ(warm.best_fom_after.size(), cold.best_fom_after.size());
+  for (std::size_t k = 0; k < cold.best_fom_after.size(); ++k)
+    EXPECT_LE(warm.best_fom_after[k], cold.best_fom_after[k] + 1e-12) << "simulation " << k;
+}
+
+TEST_F(WarmStartFixture, SameSeedOverPopulatedCacheIsBitIdenticalWithHits) {
+  auto first_service = make_service();
+  const RunHistory first = run(*first_service, 33, 18);
+  const auto first_counters = first_service->counters();
+  EXPECT_EQ(first_counters.hits + first_counters.misses, first_counters.requested);
+
+  auto second_service = make_service();
+  const RunHistory second = run(*second_service, 33, 18);
+  const auto c = second_service->counters();
+  EXPECT_GT(c.hits, 0u) << "rerun over a populated journal must hit the cache";
+
+  // Hits replace simulations, not results: the trajectory is bit-identical.
+  ASSERT_EQ(second.records.size(), first.records.size());
+  for (std::size_t i = 0; i < first.records.size(); ++i) {
+    EXPECT_EQ(second.records[i].x, first.records[i].x) << "record " << i;
+    EXPECT_EQ(second.records[i].metrics, first.records[i].metrics) << "record " << i;
+  }
+  ASSERT_EQ(second.best_fom_after.size(), first.best_fom_after.size());
+  for (std::size_t k = 0; k < first.best_fom_after.size(); ++k)
+    EXPECT_EQ(second.best_fom_after[k], first.best_fom_after[k]);
+}
+
+TEST_F(WarmStartFixture, WarmStartIsNoOpOnBareProblem) {
+  const RunHistory plain = run(problem, 5, 10);
+  const RunHistory warmed = run(problem, 5, 10, /*warm=*/true);
+  EXPECT_EQ(warmed.num_initial, plain.num_initial);
+  ASSERT_EQ(warmed.records.size(), plain.records.size());
+  for (std::size_t i = 0; i < plain.records.size(); ++i)
+    EXPECT_EQ(warmed.records[i].x, plain.records[i].x);
+}
+
+TEST_F(WarmStartFixture, WarmStartRespectsCapAndDeduplicates) {
+  {
+    auto service = make_service();
+    run(*service, 11, 30);
+  }
+  auto service = make_service();
+  RunOptions options;
+  options.seed = 11;
+  options.simulation_budget = 8;
+  options.warm_start = true;
+  options.warm_start_max = 5;
+  MaOptimizer opt(test_config(MaOptConfig::ma_opt2()));
+  const RunHistory h = opt.run(*service, initial, *fom, options);
+  EXPECT_LE(h.num_initial, initial.size() + 5);
+  EXPECT_GT(h.num_initial, initial.size());
+}
+
+}  // namespace
+}  // namespace maopt::core

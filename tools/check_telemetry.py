@@ -30,7 +30,7 @@ REQUIRED_KEYS = {
     "run_started": {"algorithm", "problem", "seed", "budget", "num_initial", "dim", "t"},
     "simulation_completed": {
         "index", "iteration", "lane", "ok", "feasible", "fom", "seconds",
-        "retries", "failure_kind", "t",
+        "retries", "failure_kind", "cache_hit", "coalesced", "t",
     },
     "iteration_completed": {
         "iteration", "simulations", "best_fom", "feasible_found", "near_sampling",
@@ -52,6 +52,10 @@ class Checker:
         self.sims = 0
         self.iterations = 0
         self.last_iteration = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_coalesced = 0
+        self.total_cache_hits = 0  # across all runs, for --min-cache-hits
 
     def error(self, lineno, msg):
         self.errors.append(f"line {lineno}: {msg}")
@@ -81,6 +85,9 @@ class Checker:
         self.sims = 0
         self.iterations = 0
         self.last_iteration = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_coalesced = 0
 
     def on_simulation_completed(self, lineno, event):
         if not self.in_run:
@@ -88,6 +95,13 @@ class Checker:
         self.sims += 1
         if event.get("seconds", 0) < 0:
             self.error(lineno, "negative simulation seconds")
+        if event.get("cache_hit"):
+            self.cache_hits += 1
+            self.total_cache_hits += 1
+        if event.get("coalesced"):
+            self.cache_coalesced += 1
+        if event.get("cache_hit") and event.get("coalesced"):
+            self.error(lineno, "simulation both cache_hit and coalesced")
 
     def on_iteration_completed(self, lineno, event):
         if not self.in_run:
@@ -123,6 +137,24 @@ class Checker:
             self.error(lineno, "counters.simulations disagrees with the event stream")
         if counters.get("iterations") != self.iterations:
             self.error(lineno, "counters.iterations disagrees with the event stream")
+        # Evaluation-service cache invariants. All-zero counters mean the run
+        # was not routed through an EvalService; otherwise every budgeted
+        # simulation is exactly one of hit / miss, and only misses coalesce.
+        hits = counters.get("cache_hits", 0)
+        misses = counters.get("cache_misses", 0)
+        coalesced = counters.get("cache_coalesced", 0)
+        if hits != self.cache_hits:
+            self.error(lineno, "counters.cache_hits disagrees with the event stream")
+        if coalesced != self.cache_coalesced:
+            self.error(lineno, "counters.cache_coalesced disagrees with the event stream")
+        if hits + misses not in (0, self.sims):
+            self.error(
+                lineno,
+                f"cache_hits + cache_misses ({hits} + {misses}) must equal "
+                f"simulations ({self.sims}) or be zero",
+            )
+        if coalesced > misses:
+            self.error(lineno, f"cache_coalesced ({coalesced}) exceeds cache_misses ({misses})")
 
 
 def main():
@@ -130,6 +162,8 @@ def main():
     parser.add_argument("jsonl", help="telemetry stream to validate")
     parser.add_argument("--expect-runs", type=int, default=None,
                         help="require exactly N run brackets")
+    parser.add_argument("--min-cache-hits", type=int, default=None,
+                        help="require at least N cache-hit simulations across all runs")
     args = parser.parse_args()
 
     checker = Checker()
@@ -142,6 +176,11 @@ def main():
         checker.error("EOF", "stream ends inside a run bracket (no run_finished)")
     if args.expect_runs is not None and checker.runs != args.expect_runs:
         checker.error("EOF", f"expected {args.expect_runs} runs, found {checker.runs}")
+    if args.min_cache_hits is not None and checker.total_cache_hits < args.min_cache_hits:
+        checker.error(
+            "EOF",
+            f"expected >= {args.min_cache_hits} cache hits, found {checker.total_cache_hits}",
+        )
 
     if checker.errors:
         for err in checker.errors:
