@@ -58,6 +58,23 @@ void BM_Transient1kSteps(benchmark::State& state) {
 }
 BENCHMARK(BM_Transient1kSteps);
 
+void BM_AcSweepMulti3Rhs(benchmark::State& state) {
+  // Three excitations over one shared factorization per frequency — the
+  // shape of the OTA's differential/common-mode/supply measurement trio.
+  Netlist n;
+  build_cs_amp(n);
+  DcAnalysis dc;
+  const auto op = dc.solve(n);
+  AcAnalysis ac;
+  const auto freqs = log_frequency_grid(1.0, 10e9, 10);
+  CVec rhs;
+  n.build_ac_rhs(rhs);
+  const std::vector<CVec> excitations(3, rhs);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ac.run_multi(n, op.x, freqs, excitations).size());
+}
+BENCHMARK(BM_AcSweepMulti3Rhs);
+
 void BM_OtaFullEvaluation(benchmark::State& state) {
   ckt::TwoStageOta p;
   Rng rng(1);
@@ -65,6 +82,17 @@ void BM_OtaFullEvaluation(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(p.evaluate(x).simulation_ok);
 }
 BENCHMARK(BM_OtaFullEvaluation);
+
+void BM_OtaSessionEvaluation(benchmark::State& state) {
+  // Same design through a persistent EvalSession: benches, analysis
+  // workspaces, and netlist preparation amortized across evaluations.
+  ckt::TwoStageOta p;
+  const auto x = p.clip({1.0, 1.0, 1.0, 0.5, 0.5, 20, 10, 5, 40, 20, 2.0, 500, 1000, 4, 4, 4});
+  const auto session = p.make_session();
+  benchmark::DoNotOptimize(session->evaluate(x).simulation_ok);  // warm-up build
+  for (auto _ : state) benchmark::DoNotOptimize(session->evaluate(x).simulation_ok);
+}
+BENCHMARK(BM_OtaSessionEvaluation);
 
 void BM_TiaFullEvaluation(benchmark::State& state) {
   ckt::ThreeStageTia p;

@@ -36,6 +36,9 @@ class FoldedCascodeOta final : public SizingProblem {
 
   EvalResult evaluate(const Vec& x) const override;
 
+  /// Persistent-testbench session (see EvalSession).
+  std::unique_ptr<EvalSession> make_session() const override;
+
   /// Monte Carlo mismatch support (see process_variation.hpp).
   void set_process_variation(const ProcessVariation& pv) override { variation_ = pv; }
   bool supports_process_variation() const override { return true; }

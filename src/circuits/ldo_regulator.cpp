@@ -1,5 +1,6 @@
 #include "circuits/ldo_regulator.hpp"
 
+#include <array>
 #include <cmath>
 
 #include "circuits/process_variation.hpp"
@@ -41,10 +42,33 @@ LdoParams unpack(const Vec& x) {
   return p;
 }
 
+struct FetGeom {
+  double w, l, m;
+};
+
+/// Geometry of every Mosfet, in build order: bias diode, PMOS diode, tail,
+/// M1, M2, mirror diode, mirror out, CS driver, CS load, pass PMOS.
+std::array<FetGeom, 10> fet_geoms(const LdoParams& p) {
+  return {{{p.w[2], p.l[2], 1.0},
+           {p.w[1], p.l[1], 1.0},
+           {p.w[2], p.l[2], p.n[0]},
+           {p.w[0], p.l[0], 1.0},
+           {p.w[0], p.l[0], 1.0},
+           {p.w[1], p.l[1], 1.0},
+           {p.w[1], p.l[1], 1.0},
+           {p.w[3], p.l[3], p.n[1]},
+           {p.w[1], p.l[1], p.n[1]},
+           {p.w[4], p.l[4], p.n[2]}}};
+}
+
 struct LdoBench {
   Netlist net;
   VSource* vin = nullptr;
   CurrentSinkLoad* iload = nullptr;
+  std::array<Mosfet*, 10> fets{};
+  Resistor* r1 = nullptr;
+  Resistor* r2 = nullptr;
+  Capacitor* ccomp = nullptr;
   int vout = 0;
 };
 
@@ -73,29 +97,30 @@ LdoBench build(const LdoParams& p, const ProcessVariation& pv) {
   b.vin = n.add<VSource>(vin, gnd, Waveform::dc(kVinNom));
   n.add<VSource>(vref, gnd, Waveform::dc(kVref));
 
+  const auto fg = fet_geoms(p);
   // Bias chain: NMOS diode for the tail mirror, PMOS diode for the
   // second-stage current-source load.
   n.add<ISource>(vin, vbn, Waveform::dc(kIbias));
-  n.add<Mosfet>(vbn, vbn, gnd, gnd, vary(nm), p.w[2], p.l[2]);                  // bias diode
+  b.fets[0] = n.add<Mosfet>(vbn, vbn, gnd, gnd, vary(nm), fg[0].w, fg[0].l);            // bias diode
   n.add<ISource>(vbp, gnd, Waveform::dc(kIbias));
-  n.add<Mosfet>(vbp, vbp, vin, vin, vary(pm), p.w[1], p.l[1]);                  // PMOS diode
+  b.fets[1] = n.add<Mosfet>(vbp, vbp, vin, vin, vary(pm), fg[1].w, fg[1].l);            // PMOS diode
 
   // Error amplifier: M1 gate = vref, M2 gate = fb; output at n2.
-  n.add<Mosfet>(tail, vbn, gnd, gnd, vary(nm), p.w[2], p.l[2], p.n[0]);         // tail
-  n.add<Mosfet>(n1, vref, tail, gnd, vary(nm), p.w[0], p.l[0]);                 // M1
-  n.add<Mosfet>(n2, fb, tail, gnd, vary(nm), p.w[0], p.l[0]);                   // M2
-  n.add<Mosfet>(n1, n1, vin, vin, vary(pm), p.w[1], p.l[1]);                    // mirror diode
-  n.add<Mosfet>(n2, n1, vin, vin, vary(pm), p.w[1], p.l[1]);                    // mirror out
+  b.fets[2] = n.add<Mosfet>(tail, vbn, gnd, gnd, vary(nm), fg[2].w, fg[2].l, fg[2].m);  // tail
+  b.fets[3] = n.add<Mosfet>(n1, vref, tail, gnd, vary(nm), fg[3].w, fg[3].l);           // M1
+  b.fets[4] = n.add<Mosfet>(n2, fb, tail, gnd, vary(nm), fg[4].w, fg[4].l);             // M2
+  b.fets[5] = n.add<Mosfet>(n1, n1, vin, vin, vary(pm), fg[5].w, fg[5].l);              // mirror diode
+  b.fets[6] = n.add<Mosfet>(n2, n1, vin, vin, vary(pm), fg[6].w, fg[6].l);              // mirror out
 
   // Second stage drives the pass gate.
-  n.add<Mosfet>(gate, n2, gnd, gnd, vary(nm), p.w[3], p.l[3], p.n[1]);          // CS driver
-  n.add<Mosfet>(gate, vbp, vin, vin, vary(pm), p.w[1], p.l[1], p.n[1]);         // CS load
-  n.add<Capacitor>(gate, gnd, p.c);                                       // compensation
+  b.fets[7] = n.add<Mosfet>(gate, n2, gnd, gnd, vary(nm), fg[7].w, fg[7].l, fg[7].m);   // CS driver
+  b.fets[8] = n.add<Mosfet>(gate, vbp, vin, vin, vary(pm), fg[8].w, fg[8].l, fg[8].m);  // CS load
+  b.ccomp = n.add<Capacitor>(gate, gnd, p.c);                             // compensation
 
   // Pass device and output network.
-  n.add<Mosfet>(vout, gate, vin, vin, vary(pm), p.w[4], p.l[4], p.n[2]);        // pass PMOS
-  n.add<Resistor>(vout, fb, p.r1);
-  n.add<Resistor>(fb, gnd, p.r2);
+  b.fets[9] = n.add<Mosfet>(vout, gate, vin, vin, vary(pm), fg[9].w, fg[9].l, fg[9].m); // pass PMOS
+  b.r1 = n.add<Resistor>(vout, fb, p.r1);
+  b.r2 = n.add<Resistor>(fb, gnd, p.r2);
   n.add<Capacitor>(vout, gnd, kCout);
   b.iload = n.add<CurrentSinkLoad>(vout, gnd, Waveform::dc(kIloadNom));
 
@@ -103,6 +128,135 @@ LdoBench build(const LdoParams& p, const ProcessVariation& pv) {
   n.prepare();
   return b;
 }
+
+/// Re-targets an existing bench at a new design, resetting all mutable
+/// source state a previous evaluation may have left behind (load/line
+/// transient waveforms, AC magnitude — including after a failure).
+void apply(LdoBench& b, const LdoParams& p) {
+  const auto fg = fet_geoms(p);
+  for (std::size_t i = 0; i < fg.size(); ++i) b.fets[i]->set_geometry(fg[i].w, fg[i].l, fg[i].m);
+  b.r1->set_resistance(p.r1);
+  b.r2->set_resistance(p.r2);
+  b.ccomp->set_capacitance(p.c);
+  b.vin->set_dc(kVinNom);
+  b.vin->set_ac_magnitude(0.0);
+  b.iload->set_dc(kIloadNom);
+}
+
+/// Persistent evaluator: the testbench is built once and re-targeted per
+/// design; the DC/AC analyses keep their factorization workspaces across
+/// designs. One instance per thread.
+class LdoSession final : public EvalSession {
+ public:
+  LdoSession(const LdoRegulator& problem, const ProcessVariation& pv, LdoTranProfile profile)
+      : problem_(&problem), pv_(pv), profile_(profile) {}
+
+  EvalResult evaluate(const Vec& x) override {
+    EvalResult result;
+    result.metrics = problem_->failure_metrics();
+    result.simulation_ok = false;
+    try {
+      const LdoParams p = unpack(x);
+      if (!built_) {
+        b_ = build(p, pv_);
+        built_ = true;
+      }
+      apply(b_, p);
+      LdoBench& b = b_;
+      DcAnalysis& dc = dc_;
+
+      // Nominal OP: Vin = 3.3 V, Iload = 50 mA.
+      const DcResult op = dc.solve(b.net);
+      if (!op.converged) return result;
+      const double vout_nom = Netlist::voltage(op.x, b.vout);
+      const double iq_ma =
+          (std::abs(b.vin->branch_current(op.x)) - b.iload->current_at(op.x)) * 1e3;
+
+      // Load regulation (warm-started DC points).
+      Vec guess = op.x;
+      b.iload->set_dc(kIloadLight);
+      const DcResult op_light = dc.solve(b.net, &guess);
+      b.iload->set_dc(kIloadHeavy);
+      const DcResult op_heavy = dc.solve(b.net, &guess);
+      b.iload->set_dc(kIloadNom);
+      if (!op_light.converged || !op_heavy.converged) return result;
+      const double load_reg =
+          std::abs(Netlist::voltage(op_light.x, b.vout) - Netlist::voltage(op_heavy.x, b.vout)) /
+          ((kIloadHeavy - kIloadLight) * 1e3) * 1e3;  // mV/mA
+
+      // Line regulation at 50 mA: Vin 3.0 vs 3.6.
+      b.vin->set_dc(3.0);
+      const DcResult op_lo = dc.solve(b.net, &guess);
+      b.vin->set_dc(3.6);
+      const DcResult op_hi = dc.solve(b.net, &guess);
+      b.vin->set_dc(kVinNom);
+      if (!op_lo.converged || !op_hi.converged) return result;
+      const double line_reg =
+          std::abs(Netlist::voltage(op_hi.x, b.vout) - Netlist::voltage(op_lo.x, b.vout)) /
+          std::max(vout_nom, 0.1) / 0.6 * 100.0;  // %/V
+
+      // PSRR at 1 kHz.
+      b.vin->set_ac_magnitude(1.0);
+      const AcSweep ps = ac_.run(b.net, op.x, {1e3});
+      b.vin->set_ac_magnitude(0.0);
+      const double psrr_db = -20.0 * std::log10(std::max(std::abs(ps.voltage(0, b.vout)), 1e-12));
+
+      // Four settling transients. Helper runs one configured transient and
+      // returns the settling time in microseconds (sentinel on failure).
+      const double t0 = profile_.t_event;
+      const double te = profile_.t_edge;
+      auto run_settle = [&]() -> double {
+        TranOptions topt;
+        topt.t_stop = profile_.t_stop;
+        topt.dt = profile_.dt;
+        TranAnalysis tran(topt);
+        const TranResult tr = tran.run(b.net);
+        if (!tr.converged) return 1e3;
+        const auto wave = tr.node_waveform(b.vout);
+        const auto st = settling_time(tr.time, wave, t0, wave.back(), 0.010);
+        return st ? *st * 1e6 : 1e3;
+      };
+
+      b.iload->set_waveform(
+          Waveform::pwl({{0.0, kIloadLight}, {t0, kIloadLight}, {t0 + te, kIloadHeavy}}));
+      const double t_load_up = run_settle();
+      b.iload->set_waveform(
+          Waveform::pwl({{0.0, kIloadHeavy}, {t0, kIloadHeavy}, {t0 + te, kIloadLight}}));
+      const double t_load_down = run_settle();
+      b.iload->set_dc(kIloadNom);
+
+      b.vin->set_waveform(Waveform::pwl({{0.0, 2.0}, {t0, 2.0}, {t0 + te, 3.3}}));
+      const double t_line_up = run_settle();
+      b.vin->set_waveform(Waveform::pwl({{0.0, 3.3}, {t0, 3.3}, {t0 + te, 2.0}}));
+      const double t_line_down = run_settle();
+      b.vin->set_dc(kVinNom);
+
+      result.metrics[LdoRegulator::kQuiescentMa] = iq_ma;
+      result.metrics[LdoRegulator::kVoutMinV] = vout_nom;
+      result.metrics[LdoRegulator::kVoutMaxV] = vout_nom;
+      result.metrics[LdoRegulator::kLoadRegMvMa] = load_reg;
+      result.metrics[LdoRegulator::kLineRegPctV] = line_reg;
+      result.metrics[LdoRegulator::kTLoadUpUs] = t_load_up;
+      result.metrics[LdoRegulator::kTLoadDownUs] = t_load_down;
+      result.metrics[LdoRegulator::kTLineUpUs] = t_line_up;
+      result.metrics[LdoRegulator::kTLineDownUs] = t_line_down;
+      result.metrics[LdoRegulator::kPsrrDb] = psrr_db;
+      result.simulation_ok = true;
+      return result;
+    } catch (const std::exception&) {
+      return result;
+    }
+  }
+
+ private:
+  const LdoRegulator* problem_;
+  ProcessVariation pv_;
+  LdoTranProfile profile_;
+  bool built_ = false;
+  LdoBench b_;
+  DcAnalysis dc_;
+  AcAnalysis ac_;
+};
 
 }  // namespace
 
@@ -137,96 +291,12 @@ std::vector<std::string> LdoRegulator::parameter_names() const {
 }
 
 EvalResult LdoRegulator::evaluate(const Vec& x) const {
-  EvalResult result;
-  result.metrics = failure_metrics();
-  result.simulation_ok = false;
-  try {
-    const LdoParams p = unpack(x);
-    LdoBench b = build(p, variation_);
-    DcAnalysis dc;
+  // Fresh session per call: thread-safe, identical to a persistent session.
+  return LdoSession(*this, variation_, profile_).evaluate(x);
+}
 
-    // Nominal OP: Vin = 3.3 V, Iload = 50 mA.
-    const DcResult op = dc.solve(b.net);
-    if (!op.converged) return result;
-    const double vout_nom = Netlist::voltage(op.x, b.vout);
-    const double iq_ma =
-        (std::abs(b.vin->branch_current(op.x)) - b.iload->current_at(op.x)) * 1e3;
-
-    // Load regulation (warm-started DC points).
-    Vec guess = op.x;
-    b.iload->set_dc(kIloadLight);
-    const DcResult op_light = dc.solve(b.net, &guess);
-    b.iload->set_dc(kIloadHeavy);
-    const DcResult op_heavy = dc.solve(b.net, &guess);
-    b.iload->set_dc(kIloadNom);
-    if (!op_light.converged || !op_heavy.converged) return result;
-    const double load_reg =
-        std::abs(Netlist::voltage(op_light.x, b.vout) - Netlist::voltage(op_heavy.x, b.vout)) /
-        ((kIloadHeavy - kIloadLight) * 1e3) * 1e3;  // mV/mA
-
-    // Line regulation at 50 mA: Vin 3.0 vs 3.6.
-    b.vin->set_dc(3.0);
-    const DcResult op_lo = dc.solve(b.net, &guess);
-    b.vin->set_dc(3.6);
-    const DcResult op_hi = dc.solve(b.net, &guess);
-    b.vin->set_dc(kVinNom);
-    if (!op_lo.converged || !op_hi.converged) return result;
-    const double line_reg =
-        std::abs(Netlist::voltage(op_hi.x, b.vout) - Netlist::voltage(op_lo.x, b.vout)) /
-        std::max(vout_nom, 0.1) / 0.6 * 100.0;  // %/V
-
-    // PSRR at 1 kHz.
-    b.vin->set_ac_magnitude(1.0);
-    AcAnalysis ac;
-    const AcSweep ps = ac.run(b.net, op.x, {1e3});
-    b.vin->set_ac_magnitude(0.0);
-    const double psrr_db = -20.0 * std::log10(std::max(std::abs(ps.voltage(0, b.vout)), 1e-12));
-
-    // Four settling transients. Helper runs one configured transient and
-    // returns the settling time in microseconds (sentinel on failure).
-    const double t0 = profile_.t_event;
-    const double te = profile_.t_edge;
-    auto run_settle = [&]() -> double {
-      TranOptions topt;
-      topt.t_stop = profile_.t_stop;
-      topt.dt = profile_.dt;
-      TranAnalysis tran(topt);
-      const TranResult tr = tran.run(b.net);
-      if (!tr.converged) return 1e3;
-      const auto wave = tr.node_waveform(b.vout);
-      const auto st = settling_time(tr.time, wave, t0, wave.back(), 0.010);
-      return st ? *st * 1e6 : 1e3;
-    };
-
-    b.iload->set_waveform(
-        Waveform::pwl({{0.0, kIloadLight}, {t0, kIloadLight}, {t0 + te, kIloadHeavy}}));
-    const double t_load_up = run_settle();
-    b.iload->set_waveform(
-        Waveform::pwl({{0.0, kIloadHeavy}, {t0, kIloadHeavy}, {t0 + te, kIloadLight}}));
-    const double t_load_down = run_settle();
-    b.iload->set_dc(kIloadNom);
-
-    b.vin->set_waveform(Waveform::pwl({{0.0, 2.0}, {t0, 2.0}, {t0 + te, 3.3}}));
-    const double t_line_up = run_settle();
-    b.vin->set_waveform(Waveform::pwl({{0.0, 3.3}, {t0, 3.3}, {t0 + te, 2.0}}));
-    const double t_line_down = run_settle();
-    b.vin->set_dc(kVinNom);
-
-    result.metrics[kQuiescentMa] = iq_ma;
-    result.metrics[kVoutMinV] = vout_nom;
-    result.metrics[kVoutMaxV] = vout_nom;
-    result.metrics[kLoadRegMvMa] = load_reg;
-    result.metrics[kLineRegPctV] = line_reg;
-    result.metrics[kTLoadUpUs] = t_load_up;
-    result.metrics[kTLoadDownUs] = t_load_down;
-    result.metrics[kTLineUpUs] = t_line_up;
-    result.metrics[kTLineDownUs] = t_line_down;
-    result.metrics[kPsrrDb] = psrr_db;
-    result.simulation_ok = true;
-    return result;
-  } catch (const std::exception&) {
-    return result;
-  }
+std::unique_ptr<EvalSession> LdoRegulator::make_session() const {
+  return std::make_unique<LdoSession>(*this, variation_, profile_);
 }
 
 }  // namespace maopt::ckt

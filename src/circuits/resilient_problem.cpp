@@ -84,7 +84,8 @@ ResilientEvaluator::~ResilientEvaluator() {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
 }
 
-ResilientEvaluator::Attempt ResilientEvaluator::run_attempt(const Vec& x) const {
+ResilientEvaluator::Attempt ResilientEvaluator::run_attempt(const Vec& x,
+                                                            EvalSession* session) const {
   attempts_.fetch_add(1, std::memory_order_relaxed);
 
   auto classify = [this](EvalResult result, const std::exception_ptr& error) {
@@ -107,7 +108,7 @@ ResilientEvaluator::Attempt ResilientEvaluator::run_attempt(const Vec& x) const 
     EvalResult result;
     std::exception_ptr error;
     try {
-      result = inner_->evaluate(x);
+      result = session != nullptr ? session->evaluate(x) : inner_->evaluate(x);
     } catch (...) {
       error = std::current_exception();
     }
@@ -165,7 +166,9 @@ thread_local ResilientEvaluator::CallStats tl_last_call;
 
 ResilientEvaluator::CallStats ResilientEvaluator::last_call_stats() { return tl_last_call; }
 
-EvalResult ResilientEvaluator::evaluate(const Vec& x) const {
+EvalResult ResilientEvaluator::evaluate(const Vec& x) const { return evaluate_with(x, nullptr); }
+
+EvalResult ResilientEvaluator::evaluate_with(const Vec& x, EvalSession* session) const {
   evaluations_.fetch_add(1, std::memory_order_relaxed);
   const Vec& lo = lower_bounds();
   const Vec& hi = upper_bounds();
@@ -186,7 +189,7 @@ EvalResult ResilientEvaluator::evaluate(const Vec& x) const {
         attempt_x[j] += config_.retry_jitter_frac * (hi[j] - lo[j]) * jitter.normal();
       attempt_x = clip(std::move(attempt_x));
     }
-    Attempt a = run_attempt(attempt_x);
+    Attempt a = run_attempt(attempt_x, session);
     if (a.ok) {
       tl_last_call = call;
       return std::move(a.result);
@@ -202,6 +205,28 @@ EvalResult ResilientEvaluator::evaluate(const Vec& x) const {
   fail.metrics = inner_->failure_metrics();
   fail.simulation_ok = false;
   return fail;
+}
+
+/// Persistent session: holds the inner problem's session and routes every
+/// attempt through it, keeping the full retry/classification pipeline.
+class ResilientEvaluator::Session final : public EvalSession {
+ public:
+  Session(const ResilientEvaluator& outer, std::unique_ptr<EvalSession> inner)
+      : outer_(&outer), inner_(std::move(inner)) {}
+
+  EvalResult evaluate(const Vec& x) override { return outer_->evaluate_with(x, inner_.get()); }
+
+ private:
+  const ResilientEvaluator* outer_;
+  std::unique_ptr<EvalSession> inner_;
+};
+
+std::unique_ptr<EvalSession> ResilientEvaluator::make_session() const {
+  // With a deadline, abandoned attempts may still be running on detached
+  // threads; a reused inner session would race them. Fall back to the default
+  // forwarding session, which goes through the thread-per-attempt path.
+  if (config_.deadline_seconds > 0.0) return SizingProblem::make_session();
+  return std::make_unique<Session>(*this, inner_->make_session());
 }
 
 FailureStats ResilientEvaluator::stats() const {

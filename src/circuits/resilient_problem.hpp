@@ -101,6 +101,14 @@ class ResilientEvaluator final : public SizingProblem {
   /// metrics: every failure mode yields {failure_metrics(), ok=false}.
   EvalResult evaluate(const Vec& x) const override;
 
+  /// Persistent-session support: wraps the inner problem's session in the
+  /// same retry/scrub logic — but only when deadline_seconds <= 0, where
+  /// attempts run inline on the calling thread. With a deadline, a timed-out
+  /// attempt keeps running on a detached thread and would race any reused
+  /// session state, so the default per-call forwarding session is returned
+  /// instead (correct, just without amortization).
+  std::unique_ptr<EvalSession> make_session() const override;
+
   FailureStats stats() const;
   const ResilientConfig& config() const { return config_; }
 
@@ -121,12 +129,17 @@ class ResilientEvaluator final : public SizingProblem {
   static CallStats last_call_stats();
 
  private:
+  class Session;
+
   struct Attempt {
     EvalResult result;
     FailureKind kind = FailureKind::NonConvergence;
     bool ok = false;
   };
-  Attempt run_attempt(const Vec& x) const;
+  /// `session` (optional) is used for the inner evaluation; inline-attempt
+  /// mode only — the deadline path always evaluates through inner_.
+  Attempt run_attempt(const Vec& x, EvalSession* session) const;
+  EvalResult evaluate_with(const Vec& x, EvalSession* session) const;
 
   const SizingProblem* inner_;
   ResilientConfig config_;

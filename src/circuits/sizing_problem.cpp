@@ -5,6 +5,24 @@
 
 namespace maopt::ckt {
 
+namespace {
+
+/// Default session: no reusable state, every call is a plain evaluate().
+class ForwardingSession final : public EvalSession {
+ public:
+  explicit ForwardingSession(const SizingProblem& problem) : problem_(&problem) {}
+  EvalResult evaluate(const Vec& x) override { return problem_->evaluate(x); }
+
+ private:
+  const SizingProblem* problem_;
+};
+
+}  // namespace
+
+std::unique_ptr<EvalSession> SizingProblem::make_session() const {
+  return std::make_unique<ForwardingSession>(*this);
+}
+
 double normalized_violation(const ConstraintSpec& c, double value) {
   const double denom = std::max(std::abs(c.bound), 1e-30);
   if (c.kind == ConstraintKind::GreaterEqual) return std::max(0.0, (c.bound - value) / denom);

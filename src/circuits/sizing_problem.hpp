@@ -63,6 +63,22 @@ struct EvalResult {
   bool simulation_ok = true;
 };
 
+/// Reusable single-threaded evaluator for one problem. Circuit problems back
+/// this with persistent testbench netlists and solver workspaces, so that
+/// evaluating many same-topology designs amortizes everything that is
+/// design-independent (netlist construction, matrix/LU storage). Results
+/// must be identical to the owning problem's evaluate() for the same design
+/// and process-variation settings.
+///
+/// A session is NOT thread-safe — one session per worker thread. It
+/// snapshots the problem's process-variation settings at creation; create a
+/// fresh session after set_process_variation().
+class EvalSession {
+ public:
+  virtual ~EvalSession() = default;
+  virtual EvalResult evaluate(const Vec& x) = 0;
+};
+
 class SizingProblem {
  public:
   virtual ~SizingProblem() = default;
@@ -79,6 +95,11 @@ class SizingProblem {
   /// through clip()). Must be thread-safe: implementations build a fresh
   /// netlist per call.
   virtual EvalResult evaluate(const Vec& x) const = 0;
+
+  /// Creates a reusable evaluation session (see EvalSession). The default
+  /// forwards every call to evaluate() — correct for analytic problems and
+  /// for wrappers that add no per-call state of their own.
+  virtual std::unique_ptr<EvalSession> make_session() const;
 
   /// Metrics reported when the simulator fails to converge: a maximally
   /// violating, finite vector so surrogate training stays well-posed.

@@ -1,5 +1,6 @@
 #include "circuits/three_stage_tia.hpp"
 
+#include <array>
 #include <cmath>
 
 #include "spice/dc_analysis.hpp"
@@ -37,18 +38,39 @@ TiaParams unpack(const Vec& x) {
   return p;
 }
 
+struct FetGeom {
+  double w, l, m;
+};
+
+/// Geometry of the core amp's Mosfets, in build_amp order:
+/// M1, load1, M2, load2, M3, load3, follower.
+std::array<FetGeom, 7> fet_geoms(const TiaParams& p) {
+  return {{{p.w[0], p.l[0], p.n[0]},
+           {p.w[3], p.l[3], 1.0},
+           {p.w[1], p.l[1], p.n[1]},
+           {p.w[3], p.l[3], 1.0},
+           {p.w[2], p.l[2], p.n[2]},
+           {p.w[3], p.l[3], 1.0},
+           {p.w[4], p.l[4], 1.0}}};
+}
+
 struct TiaBench {
   Netlist net;
   VSource* vdd = nullptr;
   ISource* iin = nullptr;   // closed-loop bench only
   VSource* vin = nullptr;   // open-loop bench only
+  VSource* vrep = nullptr;  // open-loop bench only (replica bias)
+  std::array<Mosfet*, 7> fets{};
+  Resistor* rf = nullptr;
+  Capacitor* cf = nullptr;
   int in = 0;
   int out = 0;
 };
 
 /// Core amplifier shared by both benches; returns the (input, output) nodes.
-std::pair<int, int> build_amp(Netlist& n, const TiaParams& p, int vdd, int gnd,
+std::pair<int, int> build_amp(TiaBench& b, const TiaParams& p, int vdd, int gnd,
                               const ProcessVariation& pv) {
+  Netlist& n = b.net;
   const int in = n.node("in");
   const int s1 = n.node("s1");
   const int s2 = n.node("s2");
@@ -62,13 +84,14 @@ std::pair<int, int> build_amp(Netlist& n, const TiaParams& p, int vdd, int gnd,
   Rng var_rng(derive_seed(pv.seed, 0x5A5A));
   auto vary = [&](const MosModel& m) { return pv.enabled() ? vary_model(m, var_rng, pv) : m; };
 
-  n.add<Mosfet>(s1, in, gnd, gnd, vary(nm), p.w[0], p.l[0], p.n[0]);   // M1
-  n.add<Mosfet>(s1, s1, vdd, vdd, vary(pm), p.w[3], p.l[3]);           // load 1 (diode)
-  n.add<Mosfet>(s2, s1, gnd, gnd, vary(nm), p.w[1], p.l[1], p.n[1]);   // M2
-  n.add<Mosfet>(s2, s2, vdd, vdd, vary(pm), p.w[3], p.l[3]);           // load 2
-  n.add<Mosfet>(s3, s2, gnd, gnd, vary(nm), p.w[2], p.l[2], p.n[2]);   // M3
-  n.add<Mosfet>(s3, s3, vdd, vdd, vary(pm), p.w[3], p.l[3]);           // load 3
-  n.add<Mosfet>(vdd, s3, out, gnd, vary(nm), p.w[4], p.l[4]);          // follower
+  const auto fg = fet_geoms(p);
+  b.fets[0] = n.add<Mosfet>(s1, in, gnd, gnd, vary(nm), fg[0].w, fg[0].l, fg[0].m);   // M1
+  b.fets[1] = n.add<Mosfet>(s1, s1, vdd, vdd, vary(pm), fg[1].w, fg[1].l);            // load 1 (diode)
+  b.fets[2] = n.add<Mosfet>(s2, s1, gnd, gnd, vary(nm), fg[2].w, fg[2].l, fg[2].m);   // M2
+  b.fets[3] = n.add<Mosfet>(s2, s2, vdd, vdd, vary(pm), fg[3].w, fg[3].l);            // load 2
+  b.fets[4] = n.add<Mosfet>(s3, s2, gnd, gnd, vary(nm), fg[4].w, fg[4].l, fg[4].m);   // M3
+  b.fets[5] = n.add<Mosfet>(s3, s3, vdd, vdd, vary(pm), fg[5].w, fg[5].l);            // load 3
+  b.fets[6] = n.add<Mosfet>(vdd, s3, out, gnd, vary(nm), fg[6].w, fg[6].l);           // follower
   n.add<Resistor>(out, gnd, kRbuf);
   return {in, out};
 }
@@ -79,11 +102,11 @@ TiaBench build_closed_loop(const TiaParams& p, const ProcessVariation& pv) {
   const int vdd = n.node("vdd");
   const int gnd = n.node("0");
   b.vdd = n.add<VSource>(vdd, gnd, Waveform::dc(kVdd));
-  const auto [in, out] = build_amp(n, p, vdd, gnd, pv);
+  const auto [in, out] = build_amp(b, p, vdd, gnd, pv);
   b.in = in;
   b.out = out;
-  n.add<Resistor>(out, in, p.r);
-  n.add<Capacitor>(out, in, p.cf);
+  b.rf = n.add<Resistor>(out, in, p.r);
+  b.cf = n.add<Capacitor>(out, in, p.cf);
   n.add<Capacitor>(in, gnd, kCpd);
   b.iin = n.add<ISource>(gnd, in, Waveform::dc(0.0));
   n.prepare();
@@ -99,17 +122,112 @@ TiaBench build_open_loop(const TiaParams& p, double v_in_op, const ProcessVariat
   const int vdd = n.node("vdd");
   const int gnd = n.node("0");
   b.vdd = n.add<VSource>(vdd, gnd, Waveform::dc(kVdd));
-  const auto [in, out] = build_amp(n, p, vdd, gnd, pv);
+  const auto [in, out] = build_amp(b, p, vdd, gnd, pv);
   b.in = in;
   b.out = out;
   b.vin = n.add<VSource>(in, gnd, Waveform::dc(v_in_op));
   const int rep = n.node("replica");
-  n.add<VSource>(rep, gnd, Waveform::dc(v_in_op));
-  n.add<Resistor>(out, rep, p.r);
-  n.add<Capacitor>(out, rep, p.cf);
+  b.vrep = n.add<VSource>(rep, gnd, Waveform::dc(v_in_op));
+  b.rf = n.add<Resistor>(out, rep, p.r);
+  b.cf = n.add<Capacitor>(out, rep, p.cf);
   n.prepare();
   return b;
 }
+
+/// Re-targets an existing bench at a new design, resetting all mutable
+/// source state. The open-loop input/replica bias is design-dependent and is
+/// applied at the use site once the closed-loop OP is known.
+void apply(TiaBench& b, const TiaParams& p) {
+  const auto fg = fet_geoms(p);
+  for (std::size_t i = 0; i < fg.size(); ++i) b.fets[i]->set_geometry(fg[i].w, fg[i].l, fg[i].m);
+  b.rf->set_resistance(p.r);
+  b.cf->set_capacitance(p.cf);
+  b.vdd->set_dc(kVdd);
+  b.vdd->set_ac_magnitude(0.0);
+  if (b.iin != nullptr) {
+    b.iin->set_dc(0.0);
+    b.iin->set_ac_magnitude(0.0);
+  }
+  if (b.vin != nullptr) b.vin->set_ac_magnitude(0.0);
+}
+
+/// Persistent evaluator: testbenches built once, re-targeted per design;
+/// solver workspaces reused across designs. One instance per thread.
+class TiaSession final : public EvalSession {
+ public:
+  TiaSession(const ThreeStageTia& problem, const ProcessVariation& pv)
+      : problem_(&problem), pv_(pv) {}
+
+  EvalResult evaluate(const Vec& x) override {
+    EvalResult result;
+    result.metrics = problem_->failure_metrics();
+    result.simulation_ok = false;
+    try {
+      const TiaParams p = unpack(x);
+      if (!cl_built_) {
+        cl_ = build_closed_loop(p, pv_);
+        cl_built_ = true;
+      }
+      apply(cl_, p);
+
+      const DcResult op = dc_.solve(cl_.net);
+      if (!op.converged) return result;
+
+      const double power_mw = std::abs(cl_.vdd->branch_current(op.x)) * kVdd * 1e3;
+      const double v_in_op = Netlist::voltage(op.x, cl_.in);
+
+      // Transimpedance: 1 A AC input current -> V(out) is Z_T directly.
+      const auto freqs = log_frequency_grid(1e3, 100e9, 10);
+      cl_.iin->set_ac_magnitude(1.0);
+      const AcSweep zt = ac_.run(cl_.net, op.x, freqs);
+      const double zt_db = dc_gain_db(zt, cl_.out);
+
+      // Input-referred current noise at 10 MHz: S_in = S_out / |Z_T|^2.
+      const std::vector<double> nf = {10e6};
+      const NoiseResult nres = noise_.run(cl_.net, op.x, cl_.out, kGround, nf);
+      const double zt_10m = magnitude_at(zt, cl_.out, 10e6);
+      const double in_noise_pa =
+          std::sqrt(nres.output_psd[0]) / std::max(zt_10m, 1e-12) * 1e12;
+
+      // Open-loop amplifier UGF via the replica-bias bench. The bench is
+      // built lazily with the first design's bias; later designs re-point the
+      // input/replica sources at their own v_in_op.
+      if (!ol_built_) {
+        ol_ = build_open_loop(p, v_in_op, pv_);
+        ol_built_ = true;
+      }
+      apply(ol_, p);
+      ol_.vin->set_dc(v_in_op);
+      ol_.vrep->set_dc(v_in_op);
+      const DcResult ol_op = dc_.solve(ol_.net);
+      double ugf_ghz = 0.0;
+      if (ol_op.converged) {
+        ol_.vin->set_ac_magnitude(1.0);
+        const AcSweep av = ac_.run(ol_.net, ol_op.x, freqs);
+        ugf_ghz = unity_gain_frequency(av, ol_.out).value_or(0.0) * 1e-9;
+      }
+
+      result.metrics[ThreeStageTia::kPowerMw] = power_mw;
+      result.metrics[ThreeStageTia::kZtDbOhm] = zt_db;
+      result.metrics[ThreeStageTia::kUgfGhz] = ugf_ghz;
+      result.metrics[ThreeStageTia::kInputNoisePa] = in_noise_pa;
+      result.simulation_ok = true;
+      return result;
+    } catch (const std::exception&) {
+      return result;
+    }
+  }
+
+ private:
+  const ThreeStageTia* problem_;
+  ProcessVariation pv_;
+  bool cl_built_ = false;
+  bool ol_built_ = false;
+  TiaBench cl_, ol_;
+  DcAnalysis dc_;
+  AcAnalysis ac_;
+  NoiseAnalysis noise_;
+};
 
 }  // namespace
 
@@ -137,54 +255,12 @@ std::vector<std::string> ThreeStageTia::parameter_names() const {
 }
 
 EvalResult ThreeStageTia::evaluate(const Vec& x) const {
-  EvalResult result;
-  result.metrics = failure_metrics();
-  result.simulation_ok = false;
-  try {
-    const TiaParams p = unpack(x);
+  // Fresh session per call: thread-safe, identical to a persistent session.
+  return TiaSession(*this, variation_).evaluate(x);
+}
 
-    TiaBench cl = build_closed_loop(p, variation_);
-    DcAnalysis dc;
-    const DcResult op = dc.solve(cl.net);
-    if (!op.converged) return result;
-
-    const double power_mw = std::abs(cl.vdd->branch_current(op.x)) * kVdd * 1e3;
-    const double v_in_op = Netlist::voltage(op.x, cl.in);
-
-    // Transimpedance: 1 A AC input current -> V(out) is Z_T directly.
-    const auto freqs = log_frequency_grid(1e3, 100e9, 10);
-    AcAnalysis ac;
-    cl.iin->set_ac_magnitude(1.0);
-    const AcSweep zt = ac.run(cl.net, op.x, freqs);
-    const double zt_db = dc_gain_db(zt, cl.out);
-
-    // Input-referred current noise at 10 MHz: S_in = S_out / |Z_T|^2.
-    NoiseAnalysis noise;
-    const std::vector<double> nf = {10e6};
-    const NoiseResult nres = noise.run(cl.net, op.x, cl.out, kGround, nf);
-    const double zt_10m = magnitude_at(zt, cl.out, 10e6);
-    const double in_noise_pa =
-        std::sqrt(nres.output_psd[0]) / std::max(zt_10m, 1e-12) * 1e12;
-
-    // Open-loop amplifier UGF via the replica-bias bench.
-    TiaBench olb = build_open_loop(p, v_in_op, variation_);
-    const DcResult ol_op = dc.solve(olb.net);
-    double ugf_ghz = 0.0;
-    if (ol_op.converged) {
-      olb.vin->set_ac_magnitude(1.0);
-      const AcSweep av = ac.run(olb.net, ol_op.x, freqs);
-      ugf_ghz = unity_gain_frequency(av, olb.out).value_or(0.0) * 1e-9;
-    }
-
-    result.metrics[kPowerMw] = power_mw;
-    result.metrics[kZtDbOhm] = zt_db;
-    result.metrics[kUgfGhz] = ugf_ghz;
-    result.metrics[kInputNoisePa] = in_noise_pa;
-    result.simulation_ok = true;
-    return result;
-  } catch (const std::exception&) {
-    return result;
-  }
+std::unique_ptr<EvalSession> ThreeStageTia::make_session() const {
+  return std::make_unique<TiaSession>(*this, variation_);
 }
 
 }  // namespace maopt::ckt

@@ -1,5 +1,6 @@
 #include "circuits/two_stage_ota.hpp"
 
+#include <array>
 #include <cmath>
 
 #include "circuits/process_variation.hpp"
@@ -39,6 +40,22 @@ OtaParams unpack(const Vec& x) {
   return p;
 }
 
+struct FetGeom {
+  double w, l, m;
+};
+
+/// Geometry of every Mosfet, in build order: M8, M5, M1, M2, M3, M4, M6, M7.
+std::array<FetGeom, 8> fet_geoms(const OtaParams& p) {
+  return {{{p.w[2], p.l[2], 1.0},
+           {p.w[2], p.l[2], p.n[0]},
+           {p.w[0], p.l[0], 1.0},
+           {p.w[0], p.l[0], 1.0},
+           {p.w[1], p.l[1], 1.0},
+           {p.w[1], p.l[1], 1.0},
+           {p.w[3], p.l[3], p.n[1]},
+           {p.w[4], p.l[4], p.n[2]}}};
+}
+
 /// Handles to the sources we drive in the different measurement setups.
 ///
 /// Signal polarity in this topology: M2's gate (mirror-output side) is the
@@ -50,6 +67,10 @@ struct OtaBench {
   VSource* vdd = nullptr;
   VSource* vinp = nullptr;  ///< non-inverting input (M2 gate)
   VSource* vinn = nullptr;  ///< inverting input (M1 gate); null in unity-gain
+  std::array<Mosfet*, 8> fets{};
+  Resistor* rz = nullptr;
+  Capacitor* cmiller = nullptr;
+  Capacitor* cload = nullptr;
   int out = 0;
 };
 
@@ -79,27 +100,187 @@ OtaBench build(const OtaParams& p, bool unity_gain, const ProcessVariation& pv) 
   b.vinp = n.add<VSource>(inp, gnd, Waveform::dc(kVcm));
   if (!unity_gain) b.vinn = n.add<VSource>(inn, gnd, Waveform::dc(kVcm));
 
+  const auto fg = fet_geoms(p);
   // Bias: 20 uA into diode M8; M5 mirrors with multiplier N1.
   n.add<ISource>(vdd, vbn, Waveform::dc(kIbias));
-  n.add<Mosfet>(vbn, vbn, gnd, gnd, vary(nm), p.w[2], p.l[2]);               // M8
-  n.add<Mosfet>(tail, vbn, gnd, gnd, vary(nm), p.w[2], p.l[2], p.n[0]);      // M5
+  b.fets[0] = n.add<Mosfet>(vbn, vbn, gnd, gnd, vary(nm), fg[0].w, fg[0].l);            // M8
+  b.fets[1] = n.add<Mosfet>(tail, vbn, gnd, gnd, vary(nm), fg[1].w, fg[1].l, fg[1].m);  // M5
 
-  n.add<Mosfet>(n1, inn, tail, gnd, vary(nm), p.w[0], p.l[0]);               // M1 (inverting)
-  n.add<Mosfet>(n2, inp, tail, gnd, vary(nm), p.w[0], p.l[0]);               // M2 (non-inverting)
-  n.add<Mosfet>(n1, n1, vdd, vdd, vary(pm), p.w[1], p.l[1]);                 // M3 (diode)
-  n.add<Mosfet>(n2, n1, vdd, vdd, vary(pm), p.w[1], p.l[1]);                 // M4
+  b.fets[2] = n.add<Mosfet>(n1, inn, tail, gnd, vary(nm), fg[2].w, fg[2].l);   // M1 (inverting)
+  b.fets[3] = n.add<Mosfet>(n2, inp, tail, gnd, vary(nm), fg[3].w, fg[3].l);   // M2 (non-inverting)
+  b.fets[4] = n.add<Mosfet>(n1, n1, vdd, vdd, vary(pm), fg[4].w, fg[4].l);     // M3 (diode)
+  b.fets[5] = n.add<Mosfet>(n2, n1, vdd, vdd, vary(pm), fg[5].w, fg[5].l);     // M4
 
-  n.add<Mosfet>(out, n2, vdd, vdd, vary(pm), p.w[3], p.l[3], p.n[1]);        // M6
-  n.add<Mosfet>(out, vbn, gnd, gnd, vary(nm), p.w[4], p.l[4], p.n[2]);       // M7
+  b.fets[6] = n.add<Mosfet>(out, n2, vdd, vdd, vary(pm), fg[6].w, fg[6].l, fg[6].m);    // M6
+  b.fets[7] = n.add<Mosfet>(out, vbn, gnd, gnd, vary(nm), fg[7].w, fg[7].l, fg[7].m);   // M7
 
-  n.add<Resistor>(n2, nc, p.r);                                        // nulling R
-  n.add<Capacitor>(nc, out, p.cf);                                     // Miller cap
-  n.add<Capacitor>(out, gnd, p.c);                                     // load cap
+  b.rz = n.add<Resistor>(n2, nc, p.r);                                   // nulling R
+  b.cmiller = n.add<Capacitor>(nc, out, p.cf);                           // Miller cap
+  b.cload = n.add<Capacitor>(out, gnd, p.c);                             // load cap
 
   b.out = out;
   n.prepare();
   return b;
 }
+
+/// Re-targets an existing bench at a new design: sets every x-dependent
+/// device parameter and resets all source state a previous evaluation may
+/// have left behind (swing-sweep DC level, transient waveform, AC
+/// magnitudes — including after a mid-evaluation failure).
+void apply(OtaBench& b, const OtaParams& p) {
+  const auto fg = fet_geoms(p);
+  for (std::size_t i = 0; i < fg.size(); ++i) b.fets[i]->set_geometry(fg[i].w, fg[i].l, fg[i].m);
+  b.rz->set_resistance(p.r);
+  b.cmiller->set_capacitance(p.cf);
+  b.cload->set_capacitance(p.c);
+  b.vdd->set_dc(kVdd);
+  b.vdd->set_ac_magnitude(0.0);
+  b.vinp->set_dc(kVcm);
+  b.vinp->set_ac_magnitude(0.0);
+  if (b.vinn != nullptr) {
+    b.vinn->set_dc(kVcm);
+    b.vinn->set_ac_magnitude(0.0);
+  }
+}
+
+/// Persistent evaluator: testbenches are built once and re-targeted per
+/// design; the DC/AC/noise analyses keep their factorization workspaces
+/// across designs. One instance per thread.
+class OtaSession final : public EvalSession {
+ public:
+  OtaSession(const TwoStageOta& problem, const ProcessVariation& pv)
+      : problem_(&problem), pv_(pv) {}
+
+  EvalResult evaluate(const Vec& x) override {
+    EvalResult result;
+    result.metrics = problem_->failure_metrics();
+    result.simulation_ok = false;
+    try {
+      const OtaParams p = unpack(x);
+      if (!built_) {
+        ug_ = build(p, /*unity_gain=*/true, pv_);
+        ol_ = build(p, /*unity_gain=*/false, pv_);
+        built_ = true;
+      }
+      apply(ug_, p);
+      apply(ol_, p);
+
+      // --- Unity-gain bench first: its OP provides the replica bias for the
+      // open-loop AC measurements (a high-gain amp rails if both inputs sit at
+      // exactly mid-rail, so the inverting input is pinned at the closed-loop
+      // output voltage instead).
+      const DcResult ug_op = dc_.solve(ug_.net);
+      if (!ug_op.converged) return result;
+      const double v_out_op = Netlist::voltage(ug_op.x, ug_.out);
+
+      // --- Open-loop bench: OP, differential / common-mode / supply AC ---
+      ol_.vinn->set_dc(v_out_op);
+      const DcResult op = dc_.solve(ol_.net);
+      if (!op.converged) return result;
+
+      const double power_mw = std::abs(ol_.vdd->branch_current(op.x)) * kVdd * 1e3;
+
+      // The three AC measurements differ only in excitation, so they share
+      // one G/C assembly and one factorization per frequency: capture each
+      // excitation's rhs, then sweep all of them together.
+      const auto freqs = log_frequency_grid(1.0, 10e9, 10);
+      std::vector<CVec> excitations(3);
+      ol_.vinp->set_ac_magnitude(0.5);
+      ol_.vinn->set_ac_magnitude(-0.5);
+      ol_.net.build_ac_rhs(excitations[0]);  // differential
+      ol_.vinp->set_ac_magnitude(1.0);
+      ol_.vinn->set_ac_magnitude(1.0);
+      ol_.net.build_ac_rhs(excitations[1]);  // common mode
+      ol_.vinp->set_ac_magnitude(0.0);
+      ol_.vinn->set_ac_magnitude(0.0);
+      ol_.vdd->set_ac_magnitude(1.0);
+      ol_.net.build_ac_rhs(excitations[2]);  // supply
+      ol_.vdd->set_ac_magnitude(0.0);
+      const auto sweeps = ac_.run_multi(ol_.net, op.x, freqs, excitations);
+      const AcSweep& diff = sweeps[0];
+      const double adm_db = dc_gain_db(diff, ol_.out);
+      const auto ugf = unity_gain_frequency(diff, ol_.out);
+      const auto pm = phase_margin_deg(diff, ol_.out);
+      const double cmrr_db = adm_db - dc_gain_db(sweeps[1], ol_.out);
+      const double psrr_db = adm_db - dc_gain_db(sweeps[2], ol_.out);
+
+      // --- Unity-gain bench: settling, swing, noise ---
+      // Integrated output noise, 1 Hz .. 1 GHz.
+      const auto nfreqs = log_frequency_grid(1.0, 1e9, 8);
+      const NoiseResult nres = noise_.run(ug_.net, ug_op.x, ug_.out, kGround, nfreqs);
+      const double noise_mv = nres.total_rms * 1e3;
+
+      // Output swing: sweep the buffer input and find the contiguous tracking
+      // region (|vout - vin| < 150 mV) around mid-rail.
+      Vec guess = ug_op.x;
+      constexpr int kSweepPoints = 33;
+      std::vector<bool> tracks(kSweepPoints, false);
+      std::vector<double> vins(kSweepPoints);
+      for (int k = 0; k < kSweepPoints; ++k) {
+        const double vin = 0.05 + (kVdd - 0.1) * static_cast<double>(k) / (kSweepPoints - 1);
+        vins[static_cast<std::size_t>(k)] = vin;
+        ug_.vinp->set_dc(vin);
+        const DcResult pt = dc_.solve(ug_.net, &guess);
+        if (!pt.converged) continue;
+        guess = pt.x;
+        tracks[static_cast<std::size_t>(k)] =
+            std::abs(Netlist::voltage(pt.x, ug_.out) - vin) < 0.15;
+      }
+      ug_.vinp->set_dc(kVcm);
+      int mid = kSweepPoints / 2;
+      double swing = 0.0;
+      if (tracks[static_cast<std::size_t>(mid)]) {
+        int lo = mid, hi = mid;
+        while (lo > 0 && tracks[static_cast<std::size_t>(lo - 1)]) --lo;
+        while (hi < kSweepPoints - 1 && tracks[static_cast<std::size_t>(hi + 1)]) ++hi;
+        swing = vins[static_cast<std::size_t>(hi)] - vins[static_cast<std::size_t>(lo)];
+      }
+
+      // Settling: 100 mV input step in unity gain, 1% band.
+      constexpr double kStepT = 10e-9;
+      constexpr double kStepV = 0.1;
+      ug_.vinp->set_waveform(
+          Waveform::pwl({{0.0, kVcm}, {kStepT, kVcm}, {kStepT + 1e-9, kVcm + kStepV}}));
+      TranOptions topt;
+      topt.t_stop = 400e-9;
+      topt.dt = 0.5e-9;
+      TranAnalysis tran(topt);
+      const TranResult tr = tran.run(ug_.net);
+      double settling_ns = 1e4;  // fail sentinel: 10 us
+      if (tr.converged) {
+        const auto wave = tr.node_waveform(ug_.out);
+        const double final_v = wave.back();
+        if (std::abs(final_v - (kVcm + kStepV)) < 0.05) {
+          const auto st = settling_time(tr.time, wave, kStepT, final_v, 0.01 * kStepV);
+          if (st) settling_ns = *st * 1e9;
+        }
+      }
+
+      result.metrics[TwoStageOta::kPowerMw] = power_mw;
+      result.metrics[TwoStageOta::kDcGainDb] = adm_db;
+      result.metrics[TwoStageOta::kCmrrDb] = cmrr_db;
+      result.metrics[TwoStageOta::kPsrrDb] = psrr_db;
+      result.metrics[TwoStageOta::kPhaseMarginDeg] = pm.value_or(0.0);
+      result.metrics[TwoStageOta::kSettlingNs] = settling_ns;
+      result.metrics[TwoStageOta::kUgfMhz] = ugf.value_or(0.0) * 1e-6;
+      result.metrics[TwoStageOta::kSwingV] = swing;
+      result.metrics[TwoStageOta::kNoiseMvrms] = noise_mv;
+      result.simulation_ok = true;
+      return result;
+    } catch (const std::exception&) {
+      return result;  // failure metrics already set
+    }
+  }
+
+ private:
+  const TwoStageOta* problem_;
+  ProcessVariation pv_;
+  bool built_ = false;
+  OtaBench ug_, ol_;
+  DcAnalysis dc_;
+  AcAnalysis ac_;
+  NoiseAnalysis noise_;
+};
 
 }  // namespace
 
@@ -134,117 +315,13 @@ std::vector<std::string> TwoStageOta::parameter_names() const {
 }
 
 EvalResult TwoStageOta::evaluate(const Vec& x) const {
-  EvalResult result;
-  result.metrics = failure_metrics();
-  result.simulation_ok = false;
-  try {
-    const OtaParams p = unpack(x);
+  // A fresh session per call: thread-safe by construction, identical results
+  // to a persistent session (which only amortizes construction).
+  return OtaSession(*this, variation_).evaluate(x);
+}
 
-    // --- Unity-gain bench first: its OP provides the replica bias for the
-    // open-loop AC measurements (a high-gain amp rails if both inputs sit at
-    // exactly mid-rail, so the inverting input is pinned at the closed-loop
-    // output voltage instead).
-    OtaBench ug = build(p, /*unity_gain=*/true, variation_);
-    DcAnalysis dc;
-    const DcResult ug_op = dc.solve(ug.net);
-    if (!ug_op.converged) return result;
-    const double v_out_op = Netlist::voltage(ug_op.x, ug.out);
-
-    // --- Open-loop bench: OP, differential / common-mode / supply AC ---
-    OtaBench ol = build(p, /*unity_gain=*/false, variation_);
-    ol.vinn->set_dc(v_out_op);
-    const DcResult op = dc.solve(ol.net);
-    if (!op.converged) return result;
-
-    const double power_mw = std::abs(ol.vdd->branch_current(op.x)) * kVdd * 1e3;
-
-    const auto freqs = log_frequency_grid(1.0, 10e9, 10);
-    AcAnalysis ac;
-    ol.vinp->set_ac_magnitude(0.5);
-    ol.vinn->set_ac_magnitude(-0.5);
-    const AcSweep diff = ac.run(ol.net, op.x, freqs);
-    const double adm_db = dc_gain_db(diff, ol.out);
-    const auto ugf = unity_gain_frequency(diff, ol.out);
-    const auto pm = phase_margin_deg(diff, ol.out);
-
-    ol.vinp->set_ac_magnitude(1.0);
-    ol.vinn->set_ac_magnitude(1.0);
-    const AcSweep cm = ac.run(ol.net, op.x, freqs);
-    const double cmrr_db = adm_db - dc_gain_db(cm, ol.out);
-
-    ol.vinp->set_ac_magnitude(0.0);
-    ol.vinn->set_ac_magnitude(0.0);
-    ol.vdd->set_ac_magnitude(1.0);
-    const AcSweep ps = ac.run(ol.net, op.x, freqs);
-    const double psrr_db = adm_db - dc_gain_db(ps, ol.out);
-    ol.vdd->set_ac_magnitude(0.0);
-
-    // --- Unity-gain bench: settling, swing, noise ---
-    // Integrated output noise, 1 Hz .. 1 GHz.
-    NoiseAnalysis noise;
-    const auto nfreqs = log_frequency_grid(1.0, 1e9, 8);
-    const NoiseResult nres = noise.run(ug.net, ug_op.x, ug.out, kGround, nfreqs);
-    const double noise_mv = nres.total_rms * 1e3;
-
-    // Output swing: sweep the buffer input and find the contiguous tracking
-    // region (|vout - vin| < 150 mV) around mid-rail.
-    Vec guess = ug_op.x;
-    constexpr int kSweepPoints = 33;
-    std::vector<bool> tracks(kSweepPoints, false);
-    std::vector<double> vins(kSweepPoints);
-    for (int k = 0; k < kSweepPoints; ++k) {
-      const double vin = 0.05 + (kVdd - 0.1) * static_cast<double>(k) / (kSweepPoints - 1);
-      vins[static_cast<std::size_t>(k)] = vin;
-      ug.vinp->set_dc(vin);
-      const DcResult pt = dc.solve(ug.net, &guess);
-      if (!pt.converged) continue;
-      guess = pt.x;
-      tracks[static_cast<std::size_t>(k)] =
-          std::abs(Netlist::voltage(pt.x, ug.out) - vin) < 0.15;
-    }
-    ug.vinp->set_dc(kVcm);
-    int mid = kSweepPoints / 2;
-    double swing = 0.0;
-    if (tracks[static_cast<std::size_t>(mid)]) {
-      int lo = mid, hi = mid;
-      while (lo > 0 && tracks[static_cast<std::size_t>(lo - 1)]) --lo;
-      while (hi < kSweepPoints - 1 && tracks[static_cast<std::size_t>(hi + 1)]) ++hi;
-      swing = vins[static_cast<std::size_t>(hi)] - vins[static_cast<std::size_t>(lo)];
-    }
-
-    // Settling: 100 mV input step in unity gain, 1% band.
-    constexpr double kStepT = 10e-9;
-    constexpr double kStepV = 0.1;
-    ug.vinp->set_waveform(Waveform::pwl({{0.0, kVcm}, {kStepT, kVcm}, {kStepT + 1e-9, kVcm + kStepV}}));
-    TranOptions topt;
-    topt.t_stop = 400e-9;
-    topt.dt = 0.5e-9;
-    TranAnalysis tran(topt);
-    const TranResult tr = tran.run(ug.net);
-    double settling_ns = 1e4;  // fail sentinel: 10 us
-    if (tr.converged) {
-      const auto wave = tr.node_waveform(ug.out);
-      const double final_v = wave.back();
-      if (std::abs(final_v - (kVcm + kStepV)) < 0.05) {
-        const auto st = settling_time(tr.time, wave, kStepT, final_v, 0.01 * kStepV);
-        if (st) settling_ns = *st * 1e9;
-      }
-    }
-
-    result.metrics[kPowerMw] = power_mw;
-    result.metrics[kDcGainDb] = adm_db;
-    result.metrics[kCmrrDb] = cmrr_db;
-    result.metrics[kPsrrDb] = psrr_db;
-    result.metrics[kPhaseMarginDeg] = pm.value_or(0.0);
-    result.metrics[kSettlingNs] = settling_ns;
-    result.metrics[kUgfMhz] = ugf.value_or(0.0) * 1e-6;
-    result.metrics[kSwingV] = swing;
-    result.metrics[kNoiseMvrms] = noise_mv;
-    result.simulation_ok = true;
-    return result;
-  } catch (const std::exception&) {
-    return result;  // failure metrics already set
-  }
+std::unique_ptr<EvalSession> TwoStageOta::make_session() const {
+  return std::make_unique<OtaSession>(*this, variation_);
 }
 
 }  // namespace maopt::ckt

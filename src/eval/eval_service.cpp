@@ -44,6 +44,25 @@ ThreadPool& EvalService::batch_pool() const {
   return *pool_;
 }
 
+std::unique_ptr<ckt::EvalSession> EvalService::acquire_session() const {
+  if (!config_.use_sessions) return nullptr;
+  {
+    const std::lock_guard lock(sessions_mutex_);
+    if (!sessions_.empty()) {
+      auto session = std::move(sessions_.back());
+      sessions_.pop_back();
+      return session;
+    }
+  }
+  return inner_->make_session();
+}
+
+void EvalService::release_session(std::unique_ptr<ckt::EvalSession> session) const {
+  if (session == nullptr) return;
+  const std::lock_guard lock(sessions_mutex_);
+  sessions_.push_back(std::move(session));
+}
+
 EvalOutcome EvalService::last_outcome() { return t_last_outcome; }
 
 EvalCounters EvalService::counters() const {
@@ -113,11 +132,15 @@ ckt::EvalResult EvalService::evaluate_impl(const Vec& x, EvalOutcome& outcome) c
   }
 
   // Producer: run the simulation on this thread, publish, then resolve.
+  // Evaluation goes through a pooled session when enabled, so repeated
+  // same-topology designs reuse one prepared testbench and its solver
+  // workspaces instead of rebuilding everything per design.
   simulations_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<ckt::EvalSession> session = acquire_session();
   ckt::EvalResult result;
   Stopwatch timer;
   try {
-    result = inner_->evaluate(x);
+    result = session != nullptr ? session->evaluate(x) : inner_->evaluate(x);
   } catch (...) {
     // Keep the waiters and the in-flight map consistent even when the inner
     // problem throws (possible when the service wraps a raw problem rather
@@ -137,6 +160,8 @@ ckt::EvalResult EvalService::evaluate_impl(const Vec& x, EvalOutcome& outcome) c
   outcome = EvalOutcome{};
   outcome.seconds = timer.elapsed_seconds();
   if (resilient_ != nullptr) outcome.call = ckt::ResilientEvaluator::last_call_stats();
+
+  release_session(std::move(session));  // the throw path drops it instead
 
   if (result.simulation_ok) cache_->insert(key, problem_fp_, x, result.metrics);
   flight->outcome = outcome;

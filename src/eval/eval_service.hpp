@@ -55,6 +55,12 @@ struct EvalServiceConfig {
   /// empty disables persistence (memory-only cache).
   std::string cache_dir;
   double quant_epsilon = 0.0;  ///< design quantization for cache keys
+  /// Evaluate through pooled EvalSessions (see ckt::EvalSession): persistent
+  /// per-worker testbenches amortize netlist construction and solver
+  /// workspaces across same-topology designs. Sessions snapshot the inner
+  /// problem's process-variation settings when first created — the same
+  /// service-lifetime assumption the cache fingerprint already makes.
+  bool use_sessions = true;
 };
 
 /// Monotonic service totals. Invariants (validated by check_telemetry.py):
@@ -138,6 +144,13 @@ class EvalService final : public ckt::SizingProblem {
   ckt::EvalResult evaluate_impl(const Vec& x, EvalOutcome& outcome) const;
   ThreadPool& batch_pool() const;
 
+  /// Session pool: producers check a session out for the duration of one
+  /// simulation and return it afterwards, so concurrent batch workers each
+  /// drive their own persistent testbench. Returns null when sessions are
+  /// disabled. A session whose evaluation threw is discarded, not returned.
+  std::unique_ptr<ckt::EvalSession> acquire_session() const;
+  void release_session(std::unique_ptr<ckt::EvalSession> session) const;
+
   const ckt::SizingProblem* inner_;
   const ckt::ResilientEvaluator* resilient_;  ///< inner_ when it is resilient
   EvalServiceConfig config_;
@@ -149,6 +162,9 @@ class EvalService final : public ckt::SizingProblem {
 
   mutable std::mutex pool_mutex_;
   mutable std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex sessions_mutex_;
+  mutable std::vector<std::unique_ptr<ckt::EvalSession>> sessions_;  ///< idle sessions
 
   mutable std::atomic<std::uint64_t> requested_{0};
   mutable std::atomic<std::uint64_t> hits_{0};

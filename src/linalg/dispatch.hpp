@@ -1,0 +1,23 @@
+// Load-time SIMD dispatch for hot numeric kernels.
+//
+// The portable baseline targets x86-64 SSE2; on hosts with AVX2+FMA the
+// ifunc resolver picks a 4-wide FMA clone of the same source at load time,
+// so the plain build still gets vector throughput without -march=native.
+// (With MAOPT_NATIVE=ON the whole TU is already compiled for the host and
+// cloning would be redundant.) Sanitizer builds must not clone: the ifunc
+// resolver runs before the sanitizer runtime initializes, and the clones
+// hide reports behind uninstrumented dispatch — MAOPT_SAN defines
+// MAOPT_NO_TARGET_CLONES (and GCC's own __SANITIZE_* macros back it up for
+// ASan/TSan).
+//
+// Shared by the GEMM kernels (gemm.cpp), the LU factorization trailing
+// update (lu.cpp), and the AC sweep combine kernel (ac_analysis.cpp).
+#pragma once
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && !defined(__AVX2__) && \
+    !defined(MAOPT_NO_TARGET_CLONES) && !defined(__SANITIZE_ADDRESS__) &&                    \
+    !defined(__SANITIZE_THREAD__)
+#define MAOPT_TARGET_CLONES __attribute__((target_clones("default", "arch=x86-64-v3")))
+#else
+#define MAOPT_TARGET_CLONES
+#endif

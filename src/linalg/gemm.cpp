@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "linalg/dispatch.hpp"
 
 namespace maopt::linalg {
 
@@ -18,22 +19,9 @@ constexpr std::size_t kColsTile = 256;
 
 }  // namespace
 
-// The portable baseline targets x86-64 SSE2; on hosts with AVX2+FMA the
-// ifunc resolver picks a 4-wide FMA clone of the same source at load time,
-// so the plain build still gets vector throughput without -march=native.
-// (With MAOPT_NATIVE=ON the whole TU is already compiled for the host and
-// cloning would be redundant.) Sanitizer builds must not clone: the ifunc
-// resolver runs before the sanitizer runtime initializes, and the clones
-// hide reports behind uninstrumented dispatch — MAOPT_SAN defines
-// MAOPT_NO_TARGET_CLONES (and GCC's own __SANITIZE_* macros back it up for
-// ASan/TSan).
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && !defined(__AVX2__) && \
-    !defined(MAOPT_NO_TARGET_CLONES) && !defined(__SANITIZE_ADDRESS__) &&                    \
-    !defined(__SANITIZE_THREAD__)
-#define MAOPT_GEMM_CLONES __attribute__((target_clones("default", "arch=x86-64-v3")))
-#else
-#define MAOPT_GEMM_CLONES
-#endif
+// Dispatch rationale lives in linalg/dispatch.hpp (shared with lu.cpp and
+// the AC sweep combine kernel).
+#define MAOPT_GEMM_CLONES MAOPT_TARGET_CLONES
 
 namespace {
 // Shared precondition of the three raw kernels: when any work is implied,

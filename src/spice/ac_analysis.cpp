@@ -2,10 +2,33 @@
 
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
+#include "linalg/dispatch.hpp"
 #include "linalg/lu.hpp"
 
 namespace maopt::spice {
+
+namespace {
+
+// A = G + jωC over the flattened n*n system: out is the interleaved
+// (re, im) view of the complex MNA matrix. Elementwise and branch-free, so
+// the AVX2 clone processes 2 complex entries per 4-wide vector op.
+MAOPT_TARGET_CLONES
+void combine_gc(const double* g, const double* c, double omega, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[2 * i] = g[i];
+    out[2 * i + 1] = omega * c[i];
+  }
+}
+
+}  // namespace
+
+void combine_ac_system(const Mat& g, const Mat& c, double omega, CMat& a) {
+  a.ensure_shape(g.rows(), g.cols());
+  combine_gc(g.data().data(), c.data().data(), omega,
+             reinterpret_cast<double*>(a.data().data()), g.data().size());
+}
 
 std::vector<double> log_frequency_grid(double f_start, double f_stop, int points_per_decade) {
   std::vector<double> freqs;
@@ -19,17 +42,40 @@ std::vector<double> log_frequency_grid(double f_start, double f_stop, int points
   return freqs;
 }
 
+std::vector<AcSweep> AcAnalysis::run_multi(Netlist& netlist, const Vec& op,
+                                           const std::vector<double>& frequencies,
+                                           const std::vector<CVec>& excitations) const {
+  if (!netlist.prepared()) netlist.prepare();
+  std::vector<AcSweep> sweeps(excitations.size());
+  for (auto& sweep : sweeps) {
+    sweep.frequencies = frequencies;
+    sweep.solutions.reserve(frequencies.size());
+  }
+  netlist.build_ac_parts(op, g_, c_, rhs_);  // rhs_ discarded: callers pass excitations
+  for (const double f : frequencies) {
+    const double omega = 2.0 * std::numbers::pi * f;
+    combine_ac_system(g_, c_, omega, lu_.matrix());
+    if (!linalg::lu_factor(lu_)) throw std::runtime_error("LU: matrix is singular");
+    for (std::size_t e = 0; e < excitations.size(); ++e) {
+      sweeps[e].solutions.emplace_back();
+      linalg::lu_solve_factored(lu_, excitations[e], sweeps[e].solutions.back());
+    }
+  }
+  return sweeps;
+}
+
 AcSweep AcAnalysis::run(Netlist& netlist, const Vec& op, const std::vector<double>& frequencies) const {
   if (!netlist.prepared()) netlist.prepare();
   AcSweep sweep;
   sweep.frequencies = frequencies;
   sweep.solutions.reserve(frequencies.size());
-  CMat a;
-  CVec rhs;
+  netlist.build_ac_parts(op, g_, c_, rhs_);
   for (const double f : frequencies) {
     const double omega = 2.0 * std::numbers::pi * f;
-    netlist.build_ac_system(omega, op, a, rhs);
-    sweep.solutions.push_back(linalg::lu_solve(std::move(a), rhs));
+    combine_ac_system(g_, c_, omega, lu_.matrix());
+    if (!linalg::lu_factor(lu_)) throw std::runtime_error("LU: matrix is singular");
+    sweep.solutions.emplace_back();
+    linalg::lu_solve_factored(lu_, rhs_, sweep.solutions.back());
   }
   return sweep;
 }

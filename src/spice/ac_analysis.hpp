@@ -1,9 +1,16 @@
 // Small-signal AC analysis: the netlist is linearized at a DC operating
 // point and the complex MNA system (G + jwC) x = b is solved per frequency.
+//
+// Hot path: the ω-independent G/C parts and the excitation are assembled
+// ONCE per sweep (one device-model linearization total, instead of one per
+// frequency), then each frequency point is a cheap SIMD combine
+// A = G + jωC into a reused complex LU workspace plus an in-place factor
+// and back-substitution — zero steady-state allocations across the sweep.
 #pragma once
 
 #include <vector>
 
+#include "linalg/lu.hpp"
 #include "spice/netlist.hpp"
 
 namespace maopt::spice {
@@ -21,10 +28,31 @@ struct AcSweep {
 /// Log-spaced frequency grid [f_start, f_stop] with `points_per_decade`.
 std::vector<double> log_frequency_grid(double f_start, double f_stop, int points_per_decade);
 
+/// A = G + jωC (SIMD-dispatched elementwise combine over matching shapes).
+/// Shared by the AC and noise sweeps.
+void combine_ac_system(const Mat& g, const Mat& c, double omega, CMat& a);
+
 class AcAnalysis {
  public:
-  /// `op` is a converged DC solution for `netlist`.
+  /// `op` is a converged DC solution for `netlist`. Reuses the analysis
+  /// object's workspace across sweeps (and across designs in a batch);
+  /// not safe to call concurrently on one AcAnalysis instance.
   AcSweep run(Netlist& netlist, const Vec& op, const std::vector<double>& frequencies) const;
+
+  /// One sweep per excitation over a shared factorization: A(ω) = G + jωC
+  /// does not depend on source magnitudes, so the combine+factor at each
+  /// frequency is done once and back-substituted against every rhs in
+  /// `excitations` (capture them with Netlist::build_ac_rhs between
+  /// magnitude changes). Solutions are bit-identical to running `run` once
+  /// per excitation — the same factored bits back-substitute the same rhs.
+  std::vector<AcSweep> run_multi(Netlist& netlist, const Vec& op,
+                                 const std::vector<double>& frequencies,
+                                 const std::vector<CVec>& excitations) const;
+
+ private:
+  mutable Mat g_, c_;
+  mutable CVec rhs_;
+  mutable linalg::LuWorkComplex lu_;
 };
 
 }  // namespace maopt::spice

@@ -91,6 +91,10 @@ void Resistor::stamp_ac(ComplexStamper& s, double, const Vec&) const {
   s.conductance(a_, b_, {1.0 / ohms_, 0.0});
 }
 
+void Resistor::stamp_ac_parts(RealStamper& g, RealStamper&, CVec&, const Vec&) const {
+  g.conductance(a_, b_, 1.0 / ohms_);
+}
+
 void Resistor::collect_noise(std::vector<NoiseSource>& sources, const Vec&) const {
   // Johnson-Nyquist thermal noise: S_i = 4 k T / R  [A^2/Hz].
   sources.push_back({a_, b_, 4.0 * kBoltzmann * kRoomTemp / ohms_, 0.0, "R"});
@@ -108,6 +112,10 @@ void Capacitor::stamp_nonlinear(RealStamper&, const NonlinearStampArgs&) const {
 
 void Capacitor::stamp_ac(ComplexStamper& s, double omega, const Vec&) const {
   s.conductance(a_, b_, {0.0, omega * farads_});
+}
+
+void Capacitor::stamp_ac_parts(RealStamper&, RealStamper& c, CVec&, const Vec&) const {
+  c.conductance(a_, b_, farads_);
 }
 
 void Capacitor::collect_caps(std::vector<CapacitorStamp>& caps, const Vec&) const {
@@ -138,6 +146,15 @@ void Inductor::stamp_ac(ComplexStamper& s, double omega, const Vec&) const {
   s.add(br, br, {0.0, -omega * henries_});
 }
 
+void Inductor::stamp_ac_parts(RealStamper& g, RealStamper& c, CVec&, const Vec&) const {
+  const int br = branch_base();
+  g.add(a_, br, 1.0);
+  g.add(b_, br, -1.0);
+  g.add(br, a_, 1.0);
+  g.add(br, b_, -1.0);
+  c.add(br, br, -henries_);
+}
+
 // --- VSource ---
 
 VSource::VSource(int a, int b, Waveform waveform, double ac_mag)
@@ -162,6 +179,23 @@ void VSource::stamp_ac(ComplexStamper& s, double, const Vec&) const {
   s.rhs_add(br, {ac_mag_, 0.0});
 }
 
+void VSource::stamp_ac_parts(RealStamper& g, RealStamper&, CVec& rhs, const Vec&) const {
+  const int br = branch_base();
+  g.add(a_, br, 1.0);
+  g.add(b_, br, -1.0);
+  g.add(br, a_, 1.0);
+  g.add(br, b_, -1.0);
+  rhs[static_cast<std::size_t>(br)] += std::complex<double>{ac_mag_, 0.0};
+}
+
+void VSource::stamp_ac_rhs(CVec& rhs) const {
+  rhs[static_cast<std::size_t>(branch_base())] += std::complex<double>{ac_mag_, 0.0};
+}
+
+void VSource::collect_time_inputs(double time, Vec& out) const {
+  out.push_back(time < 0.0 ? waveform_.dc_value() : waveform_.value(time));
+}
+
 // --- ISource ---
 
 ISource::ISource(int a, int b, Waveform waveform, double ac_mag)
@@ -177,6 +211,20 @@ void ISource::stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) co
 void ISource::stamp_ac(ComplexStamper& s, double, const Vec&) const {
   s.current_into(a_, {-ac_mag_, 0.0});
   s.current_into(b_, {ac_mag_, 0.0});
+}
+
+void ISource::stamp_ac_parts(RealStamper&, RealStamper&, CVec& rhs, const Vec&) const {
+  if (a_ != kGround) rhs[static_cast<std::size_t>(a_)] += std::complex<double>{-ac_mag_, 0.0};
+  if (b_ != kGround) rhs[static_cast<std::size_t>(b_)] += std::complex<double>{ac_mag_, 0.0};
+}
+
+void ISource::stamp_ac_rhs(CVec& rhs) const {
+  if (a_ != kGround) rhs[static_cast<std::size_t>(a_)] += std::complex<double>{-ac_mag_, 0.0};
+  if (b_ != kGround) rhs[static_cast<std::size_t>(b_)] += std::complex<double>{ac_mag_, 0.0};
+}
+
+void ISource::collect_time_inputs(double time, Vec& out) const {
+  out.push_back(time < 0.0 ? waveform_.dc_value() : waveform_.value(time));
 }
 
 // --- CurrentSinkLoad ---
@@ -211,11 +259,22 @@ double CurrentSinkLoad::current_at(const Vec& x) const {
   return current_.dc_value() * shape(v).first;
 }
 
+void CurrentSinkLoad::collect_time_inputs(double time, Vec& out) const {
+  out.push_back(time < 0.0 ? current_.dc_value() : current_.value(time));
+}
+
 void CurrentSinkLoad::stamp_ac(ComplexStamper& s, double, const Vec& op) const {
   const double v = Netlist::voltage(op, a_) - Netlist::voltage(op, b_);
   const auto [f, dfdv] = shape(v);
   (void)f;
   s.conductance(a_, b_, {current_.dc_value() * dfdv, 0.0});
+}
+
+void CurrentSinkLoad::stamp_ac_parts(RealStamper& g, RealStamper&, CVec&, const Vec& op) const {
+  const double v = Netlist::voltage(op, a_) - Netlist::voltage(op, b_);
+  const auto [f, dfdv] = shape(v);
+  (void)f;
+  g.conductance(a_, b_, current_.dc_value() * dfdv);
 }
 
 // --- Vcvs ---
@@ -241,6 +300,16 @@ void Vcvs::stamp_ac(ComplexStamper& s, double, const Vec&) const {
   s.add(br, n_, {-1.0, 0.0});
   s.add(br, cp_, {-gain_, 0.0});
   s.add(br, cn_, {gain_, 0.0});
+}
+
+void Vcvs::stamp_ac_parts(RealStamper& g, RealStamper&, CVec&, const Vec&) const {
+  const int br = branch_base();
+  g.add(p_, br, 1.0);
+  g.add(n_, br, -1.0);
+  g.add(br, p_, 1.0);
+  g.add(br, n_, -1.0);
+  g.add(br, cp_, -gain_);
+  g.add(br, cn_, gain_);
 }
 
 }  // namespace maopt::spice

@@ -33,6 +33,7 @@ class Resistor final : public Device {
   Resistor(int a, int b, double ohms);
   void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
   void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+  void stamp_ac_parts(RealStamper& g, RealStamper& c, CVec& rhs, const Vec& op) const override;
   void collect_noise(std::vector<NoiseSource>& sources, const Vec& op) const override;
 
   void set_resistance(double ohms);
@@ -51,6 +52,7 @@ class Capacitor final : public Device {
   /// Open circuit at DC.
   void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
   void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+  void stamp_ac_parts(RealStamper& g, RealStamper& c, CVec& rhs, const Vec& op) const override;
   void collect_caps(std::vector<CapacitorStamp>& caps, const Vec& op) const override;
 
   void set_capacitance(double farads) { farads_ = farads; }
@@ -69,6 +71,7 @@ class Inductor final : public Device {
   int num_branches() const override { return 1; }
   void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
   void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+  void stamp_ac_parts(RealStamper& g, RealStamper& c, CVec& rhs, const Vec& op) const override;
 
   double inductance() const { return henries_; }
 
@@ -85,6 +88,9 @@ class VSource final : public Device {
   int num_branches() const override { return 1; }
   void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
   void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+  void stamp_ac_parts(RealStamper& g, RealStamper& c, CVec& rhs, const Vec& op) const override;
+  void stamp_ac_rhs(CVec& rhs) const override;
+  void collect_time_inputs(double time, Vec& out) const override;
 
   void set_waveform(Waveform waveform) { waveform_ = std::move(waveform); }
   void set_dc(double v) { waveform_ = Waveform::dc(v); }
@@ -106,6 +112,9 @@ class ISource final : public Device {
   ISource(int a, int b, Waveform waveform, double ac_mag = 0.0);
   void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
   void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+  void stamp_ac_parts(RealStamper& g, RealStamper& c, CVec& rhs, const Vec& op) const override;
+  void stamp_ac_rhs(CVec& rhs) const override;
+  void collect_time_inputs(double time, Vec& out) const override;
 
   void set_waveform(Waveform waveform) { waveform_ = std::move(waveform); }
   void set_dc(double i) { waveform_ = Waveform::dc(i); }
@@ -127,6 +136,8 @@ class CurrentSinkLoad final : public Device {
   CurrentSinkLoad(int a, int b, Waveform current, double v_knee = 0.2);
   void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
   void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+  void stamp_ac_parts(RealStamper& g, RealStamper& c, CVec& rhs, const Vec& op) const override;
+  void collect_time_inputs(double time, Vec& out) const override;
 
   void set_waveform(Waveform current) { current_ = std::move(current); }
   void set_dc(double i) { current_ = Waveform::dc(i); }
@@ -150,6 +161,7 @@ class Vcvs final : public Device {
   int num_branches() const override { return 1; }
   void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
   void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+  void stamp_ac_parts(RealStamper& g, RealStamper& c, CVec& rhs, const Vec& op) const override;
 
  private:
   int p_, n_, cp_, cn_;

@@ -80,14 +80,34 @@ void Mosfet::set_geometry(double w, double l, double m) {
   w_ = w;
   l_ = l;
   m_ = m;
+  memo_valid_ = false;
 }
 
 Mosfet::Linearized Mosfet::linearize(const Vec& x) const {
+  const double raw_vg = Netlist::voltage(x, g_);
+  const double raw_vd = Netlist::voltage(x, d_);
+  const double raw_vs = Netlist::voltage(x, s_);
+  const double raw_vb = Netlist::voltage(x, b_);
+  if (memo_valid_ && raw_vg == memo_vg_ && raw_vd == memo_vd_ && raw_vs == memo_vs_ &&
+      raw_vb == memo_vb_)
+    return memo_lin_;
+  const Linearized lin = linearize_uncached(raw_vg, raw_vd, raw_vs, raw_vb);
+  memo_vg_ = raw_vg;
+  memo_vd_ = raw_vd;
+  memo_vs_ = raw_vs;
+  memo_vb_ = raw_vb;
+  memo_lin_ = lin;
+  memo_valid_ = true;
+  return lin;
+}
+
+Mosfet::Linearized Mosfet::linearize_uncached(double raw_vg, double raw_vd, double raw_vs,
+                                              double raw_vb) const {
   const double sign = model_.type == MosType::Nmos ? 1.0 : -1.0;
-  const double vg = sign * Netlist::voltage(x, g_);
-  const double vd = sign * Netlist::voltage(x, d_);
-  const double vs = sign * Netlist::voltage(x, s_);
-  const double vb = sign * Netlist::voltage(x, b_);
+  const double vg = sign * raw_vg;
+  const double vd = sign * raw_vd;
+  const double vs = sign * raw_vs;
+  const double vb = sign * raw_vb;
 
   const double k = model_.kp * (w_ / l_) * m_;
   const double lambda = model_.lambda_l / l_;
@@ -171,26 +191,47 @@ void Mosfet::stamp_ac(ComplexStamper& s, double omega, const Vec& op) const {
   for (const auto& c : caps) s.conductance(c.node_a, c.node_b, {0.0, omega * c.capacitance});
 }
 
-void Mosfet::collect_caps(std::vector<CapacitorStamp>& caps, const Vec& op) const {
+void Mosfet::stamp_ac_parts(RealStamper& g, RealStamper& c, CVec&, const Vec& op) const {
   const Linearized lin = linearize(op);
+  g.add(d_, g_, lin.gg);
+  g.add(d_, d_, lin.gd);
+  g.add(d_, s_, lin.gs);
+  g.add(d_, b_, lin.gb);
+  g.add(s_, g_, -lin.gg);
+  g.add(s_, d_, -lin.gd);
+  g.add(s_, s_, -lin.gs);
+  g.add(s_, b_, -lin.gb);
+  const MeyerCaps mc = meyer_caps(lin);
+  c.conductance(g_, s_, mc.cgs);
+  c.conductance(g_, d_, mc.cgd);
+  c.conductance(d_, b_, mc.cj);
+  c.conductance(s_, b_, mc.cj);
+}
+
+Mosfet::MeyerCaps Mosfet::meyer_caps(const Linearized& lin) const {
   const double c_gate = model_.cox * w_ * l_ * m_;
   const double c_ov = model_.cov * w_ * m_;
-  double cgs, cgd;
+  MeyerCaps mc{};
   if (lin.canon.cutoff) {
-    cgs = c_ov;
-    cgd = c_ov;
+    mc.cgs = c_ov;
+    mc.cgd = c_ov;
   } else if (lin.canon.saturated) {
-    cgs = (2.0 / 3.0) * c_gate + c_ov;  // Meyer saturation partition
-    cgd = c_ov;
+    mc.cgs = (2.0 / 3.0) * c_gate + c_ov;  // Meyer saturation partition
+    mc.cgd = c_ov;
   } else {
-    cgs = 0.5 * c_gate + c_ov;
-    cgd = 0.5 * c_gate + c_ov;
+    mc.cgs = 0.5 * c_gate + c_ov;
+    mc.cgd = 0.5 * c_gate + c_ov;
   }
-  const double cj = model_.cj_w * w_ * m_;
-  caps.push_back({g_, s_, cgs});
-  caps.push_back({g_, d_, cgd});
-  caps.push_back({d_, b_, cj});
-  caps.push_back({s_, b_, cj});
+  mc.cj = model_.cj_w * w_ * m_;
+  return mc;
+}
+
+void Mosfet::collect_caps(std::vector<CapacitorStamp>& caps, const Vec& op) const {
+  const MeyerCaps mc = meyer_caps(linearize(op));
+  caps.push_back({g_, s_, mc.cgs});
+  caps.push_back({g_, d_, mc.cgd});
+  caps.push_back({d_, b_, mc.cj});
+  caps.push_back({s_, b_, mc.cj});
 }
 
 void Mosfet::collect_noise(std::vector<NoiseSource>& sources, const Vec& op) const {

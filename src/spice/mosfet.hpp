@@ -71,6 +71,9 @@ class Mosfet final : public Device {
 
   void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const override;
   void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const override;
+  /// Single-linearize fast path: stamp_ac calls linearize() twice (directly
+  /// and again through collect_caps); this evaluates the device model once.
+  void stamp_ac_parts(RealStamper& g, RealStamper& c, CVec& rhs, const Vec& op) const override;
   void collect_caps(std::vector<CapacitorStamp>& caps, const Vec& op) const override;
   void collect_noise(std::vector<NoiseSource>& sources, const Vec& op) const override;
 
@@ -96,11 +99,29 @@ class Mosfet final : public Device {
     double id_real;         ///< current into the real drain terminal
     MosEval canon;          ///< canonical-frame evaluation
   };
+  /// Memoized on the four terminal voltages: Newton re-stamps every device
+  /// each iteration, but in converged/settled regions (transient tails, DC
+  /// sweep plateaus) most devices see unchanged bias and skip the model
+  /// evaluation. Identical inputs return the identical stored result.
   Linearized linearize(const Vec& x) const;
+  Linearized linearize_uncached(double vg, double vd, double vs, double vb) const;
+
+  struct MeyerCaps {
+    double cgs, cgd, cj;  ///< gate-source, gate-drain, junction (per d/s) [F]
+  };
+  MeyerCaps meyer_caps(const Linearized& lin) const;
 
   int d_, g_, s_, b_;
   MosModel model_;
   double w_, l_, m_;
+
+  // linearize() memo: raw terminal voltages of the last evaluation and its
+  // result. Invalidated by set_geometry() (the model card never changes
+  // after construction). Mutable for the same reason analysis workspaces
+  // are: caching does not change observable device behaviour.
+  mutable double memo_vg_ = 0.0, memo_vd_ = 0.0, memo_vs_ = 0.0, memo_vb_ = 0.0;
+  mutable Linearized memo_lin_{};
+  mutable bool memo_valid_ = false;
 };
 
 }  // namespace maopt::spice

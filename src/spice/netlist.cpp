@@ -74,6 +74,25 @@ void Netlist::build_ac_system(double omega, const Vec& op, CMat& a, CVec& rhs) c
   for (const auto& dev : devices_) dev->stamp_ac(s, omega, op);
 }
 
+void Netlist::build_ac_parts(const Vec& op, Mat& g, Mat& c, CVec& rhs) const {
+  if (!prepared_) throw std::logic_error("Netlist: prepare() not called");
+  g.resize(system_size_, system_size_);
+  c.resize(system_size_, system_size_);
+  rhs.assign(system_size_, std::complex<double>{});
+  RealStamper gs(g);
+  RealStamper cs(c);
+  constexpr double kAcGmin = 1e-12;
+  for (std::size_t n = 0; n < num_nodes_; ++n)
+    gs.add(static_cast<int>(n), static_cast<int>(n), kAcGmin);
+  for (const auto& dev : devices_) dev->stamp_ac_parts(gs, cs, rhs, op);
+}
+
+void Netlist::build_ac_rhs(CVec& rhs) const {
+  if (!prepared_) throw std::logic_error("Netlist: prepare() not called");
+  rhs.assign(system_size_, std::complex<double>{});
+  for (const auto& dev : devices_) dev->stamp_ac_rhs(rhs);
+}
+
 std::vector<CapacitorStamp> Netlist::collect_caps(const Vec& op) const {
   std::vector<CapacitorStamp> caps;
   for (const auto& dev : devices_) dev->collect_caps(caps, op);
@@ -84,6 +103,11 @@ std::vector<NoiseSource> Netlist::collect_noise(const Vec& op) const {
   std::vector<NoiseSource> sources;
   for (const auto& dev : devices_) dev->collect_noise(sources, op);
   return sources;
+}
+
+void Netlist::collect_time_inputs(double time, Vec& out) const {
+  out.clear();
+  for (const auto& dev : devices_) dev->collect_time_inputs(time, out);
 }
 
 }  // namespace maopt::spice

@@ -34,9 +34,12 @@ using linalg::Vec;
 inline constexpr int kGround = -1;
 
 /// Stamp helper around the real MNA matrix/RHS; ignores ground rows/columns.
+/// The matrix-only form (no RHS) is used by the ω-affine AC decomposition,
+/// where the G and C parts have no excitation of their own.
 class RealStamper {
  public:
-  RealStamper(Mat& a, Vec& rhs) : a_(a), rhs_(rhs) {}
+  RealStamper(Mat& a, Vec& rhs) : a_(a), rhs_(&rhs) {}
+  explicit RealStamper(Mat& a) : a_(a), rhs_(nullptr) {}
 
   void add(int i, int j, double v) {
     if (i == kGround || j == kGround) return;
@@ -51,17 +54,17 @@ class RealStamper {
   }
   /// Current `i` flowing INTO node (adds to the RHS of that node's KCL row).
   void current_into(int node, double i) {
-    if (node == kGround) return;
-    rhs_[static_cast<std::size_t>(node)] += i;
+    if (node == kGround || rhs_ == nullptr) return;
+    (*rhs_)[static_cast<std::size_t>(node)] += i;
   }
   void rhs_add(int row, double v) {
-    if (row == kGround) return;
-    rhs_[static_cast<std::size_t>(row)] += v;
+    if (row == kGround || rhs_ == nullptr) return;
+    (*rhs_)[static_cast<std::size_t>(row)] += v;
   }
 
  private:
   Mat& a_;
-  Vec& rhs_;
+  Vec* rhs_;
 };
 
 /// Complex counterpart for AC/noise analyses.
@@ -130,6 +133,19 @@ class Device {
 
   virtual void stamp_nonlinear(RealStamper& s, const NonlinearStampArgs& args) const = 0;
   virtual void stamp_ac(ComplexStamper& s, double omega, const Vec& op) const = 0;
+  /// ω-affine decomposition of stamp_ac: the full small-signal system is
+  /// A(ω) = G + jωC with an ω-independent excitation, so devices stamp their
+  /// conductive part into `g`, their capacitive/inductive part into `c`
+  /// (scaled by ω at combine time), and their excitation into `rhs`. Every
+  /// in-tree stamp_ac is exactly ω-affine; the pure virtual keeps new
+  /// devices honest (a silently missing part would corrupt every AC sweep).
+  virtual void stamp_ac_parts(RealStamper& g, RealStamper& c, CVec& rhs, const Vec& op) const = 0;
+  /// Excitation-only restamp: adds exactly the `rhs` contribution that
+  /// stamp_ac_parts would add, nothing else. Lets callers capture several
+  /// excitations (set magnitudes, re-collect rhs) against one G/C assembly;
+  /// only independent sources carry an AC excitation, so the default is a
+  /// no-op.
+  virtual void stamp_ac_rhs(CVec& rhs) const { (void)rhs; }
   virtual void collect_caps(std::vector<CapacitorStamp>& caps, const Vec& op) const {
     (void)caps;
     (void)op;
@@ -137,6 +153,16 @@ class Device {
   virtual void collect_noise(std::vector<NoiseSource>& sources, const Vec& op) const {
     (void)sources;
     (void)op;
+  }
+  /// Appends every time-varying input this device feeds into stamp_nonlinear
+  /// at the given time (waveform values of independent sources / loads).
+  /// Together with the iterate and the companion state these values fully
+  /// determine the assembled system of a transient step, so the transient
+  /// engine uses them as part of its step-memo key. Devices without
+  /// time-dependence append nothing.
+  virtual void collect_time_inputs(double time, Vec& out) const {
+    (void)time;
+    (void)out;
   }
 
  private:
@@ -181,10 +207,26 @@ class Netlist {
   void build_nonlinear_system(const Vec& x, double source_scale, double time, double gmin,
                               Mat& a, Vec& rhs) const;
   /// Builds the complex small-signal system at angular frequency omega.
+  /// One-shot reference path; the sweep hot path uses build_ac_parts().
   void build_ac_system(double omega, const Vec& op, CMat& a, CVec& rhs) const;
+  /// Stamps the ω-independent parts of the small-signal system once:
+  /// A(ω) = g + jω·c with excitation `rhs`. An AC/noise sweep assembles
+  /// these a single time and combines per frequency.
+  void build_ac_parts(const Vec& op, Mat& g, Mat& c, CVec& rhs) const;
+
+  /// Rebuilds only the AC excitation vector (the `rhs` that build_ac_parts
+  /// fills), picking up source magnitudes changed since the last assembly.
+  /// G and C do not depend on AC magnitudes, so pairing one build_ac_parts
+  /// with several build_ac_rhs captures a set of excitations for
+  /// AcAnalysis::run_multi.
+  void build_ac_rhs(CVec& rhs) const;
 
   std::vector<CapacitorStamp> collect_caps(const Vec& op) const;
   std::vector<NoiseSource> collect_noise(const Vec& op) const;
+
+  /// Collects every device's time-varying stamp inputs at `time` into `out`
+  /// (cleared first). See Device::collect_time_inputs.
+  void collect_time_inputs(double time, Vec& out) const;
 
   /// Voltage of node index `n` in solution vector `x` (0 for ground).
   static double voltage(const Vec& x, int n) {

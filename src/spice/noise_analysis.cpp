@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 #include "linalg/lu.hpp"
+#include "spice/ac_analysis.hpp"
 
 namespace maopt::spice {
 
@@ -23,21 +25,20 @@ NoiseResult NoiseAnalysis::run(Netlist& netlist, const Vec& op, int out_pos, int
 
   const std::vector<NoiseSource> sources = netlist.collect_noise(op);
 
-  CMat a;
-  CVec rhs;
-  CVec e_out(netlist.system_size(), std::complex<double>{});
-  if (out_pos != kGround) e_out[static_cast<std::size_t>(out_pos)] = {1.0, 0.0};
-  if (out_neg != kGround) e_out[static_cast<std::size_t>(out_neg)] = {-1.0, 0.0};
+  netlist.build_ac_parts(op, g_, c_, rhs_);
+  e_out_.assign(netlist.system_size(), std::complex<double>{});
+  if (out_pos != kGround) e_out_[static_cast<std::size_t>(out_pos)] = {1.0, 0.0};
+  if (out_neg != kGround) e_out_[static_cast<std::size_t>(out_neg)] = {-1.0, 0.0};
 
   for (const double f : frequencies) {
     const double omega = 2.0 * std::numbers::pi * f;
-    netlist.build_ac_system(omega, op, a, rhs);
-    const linalg::LuComplex lu(std::move(a));
-    const CVec z = lu.solve_transposed(e_out);
+    combine_ac_system(g_, c_, omega, lu_.matrix());
+    if (!linalg::lu_factor(lu_)) throw std::runtime_error("LU: matrix is singular");
+    linalg::lu_solve_factored_transposed(lu_, e_out_, z_);
     double psd = 0.0;
     for (const auto& src : sources) {
-      const std::complex<double> za = Netlist::voltage(z, src.node_a);
-      const std::complex<double> zb = Netlist::voltage(z, src.node_b);
+      const std::complex<double> za = Netlist::voltage(z_, src.node_a);
+      const std::complex<double> zb = Netlist::voltage(z_, src.node_b);
       psd += std::norm(za - zb) * src.psd(f);
     }
     result.output_psd.push_back(psd);

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "linalg/lu.hpp"
 #include "spice/netlist.hpp"
 
 namespace maopt::spice {
@@ -25,8 +26,16 @@ double integrate_psd(const std::vector<double>& freqs, const std::vector<double>
 class NoiseAnalysis {
  public:
   /// Output measured as V(out_pos) - V(out_neg); pass kGround for single-ended.
+  /// The G/C parts are assembled once; each frequency is a combine + in-place
+  /// factor + one adjoint back-substitution into reused workspace buffers.
+  /// Not safe to call concurrently on one NoiseAnalysis instance.
   NoiseResult run(Netlist& netlist, const Vec& op, int out_pos, int out_neg,
                   const std::vector<double>& frequencies) const;
+
+ private:
+  mutable Mat g_, c_;
+  mutable CVec rhs_, e_out_, z_;
+  mutable linalg::LuWorkComplex lu_;
 };
 
 }  // namespace maopt::spice

@@ -25,14 +25,28 @@ struct TranOptions {
 
 struct TranResult {
   std::vector<double> time;
-  std::vector<Vec> x;  ///< full solution per accepted step (including t=0)
+  /// Accepted solutions (including t=0), flattened row-major: step k's state
+  /// occupies states[k*stride .. k*stride+stride). One flat buffer instead
+  /// of a Vec per step keeps the fixed-step hot loop allocation-free.
+  Vec states;
+  std::size_t stride = 0;
   bool converged = false;
+  std::size_t newton_iterations = 0;  ///< total Newton iterations across the run
+  std::size_t newton_memo_hits = 0;   ///< factor+solves skipped via the identical-system memo
+  std::size_t step_memo_hits = 0;     ///< whole steps (assembly included) served from the step memo
+
+  std::size_t num_steps() const { return time.size(); }
+
+  /// Unknown `i` (node voltage or branch current) at accepted step `k`.
+  double value(std::size_t k, int i) const {
+    return i == kGround ? 0.0 : states[k * stride + static_cast<std::size_t>(i)];
+  }
 
   /// Waveform of one node across all accepted steps.
   std::vector<double> node_waveform(int node) const {
     std::vector<double> v;
-    v.reserve(x.size());
-    for (const auto& xi : x) v.push_back(Netlist::voltage(xi, node));
+    v.reserve(num_steps());
+    for (std::size_t k = 0; k < num_steps(); ++k) v.push_back(value(k, node));
     return v;
   }
 };

@@ -9,6 +9,8 @@
 
 #include "circuits/analytic_problems.hpp"
 #include "circuits/resilient_problem.hpp"
+#include "circuits/two_stage_ota.hpp"
+#include "common/rng.hpp"
 
 namespace maopt::eval {
 namespace {
@@ -312,6 +314,90 @@ TEST_F(ServiceFixture, QuantizationEpsilonMergesNearbyDesigns) {
   EXPECT_EQ(counting.calls.load(), 1);
   EXPECT_EQ(rb.metrics, ra.metrics) << "b served from a's bucket";
   EXPECT_EQ(service.counters().hits, 1u);
+}
+
+/// Counts make_session() calls so the pool's reuse can be asserted.
+class SessionCountingProblem final : public ckt::SizingProblem {
+ public:
+  explicit SessionCountingProblem(const ckt::SizingProblem& inner) : inner_(&inner) {}
+  const ckt::ProblemSpec& spec() const override { return inner_->spec(); }
+  std::size_t dim() const override { return inner_->dim(); }
+  const Vec& lower_bounds() const override { return inner_->lower_bounds(); }
+  const Vec& upper_bounds() const override { return inner_->upper_bounds(); }
+  const std::vector<bool>& integer_mask() const override { return inner_->integer_mask(); }
+  std::vector<std::string> parameter_names() const override {
+    return inner_->parameter_names();
+  }
+  ckt::EvalResult evaluate(const Vec& x) const override { return inner_->evaluate(x); }
+  std::unique_ptr<ckt::EvalSession> make_session() const override {
+    sessions_created.fetch_add(1, std::memory_order_relaxed);
+    return inner_->make_session();
+  }
+
+  mutable std::atomic<int> sessions_created{0};
+
+ private:
+  const ckt::SizingProblem* inner_;
+};
+
+TEST_F(ServiceFixture, SessionPoolCreatesAtMostOneSessionPerWorker) {
+  SessionCountingProblem problem(quad);
+  EvalServiceConfig config;
+  config.num_threads = 2;
+  EvalService service(problem, config);
+
+  std::vector<Vec> designs;
+  for (int i = 0; i < 8; ++i) designs.push_back({0.01 * i, 0.2, 0.3});
+  service.evaluate_batch(designs);
+  service.evaluate_batch(designs);  // all hits: no new sessions either way
+  for (int i = 0; i < 8; ++i) designs[static_cast<std::size_t>(i)][0] = 0.5 + 0.01 * i;
+  service.evaluate_batch(designs);  // misses again: sessions come from the pool
+
+  const int created = problem.sessions_created.load();
+  EXPECT_GE(created, 1);
+  EXPECT_LE(created, 2) << "at most one session per concurrent worker";
+
+  const auto c = service.counters();
+  EXPECT_EQ(c.hits + c.misses, c.requested);
+  EXPECT_EQ(c.simulations, c.misses - c.coalesced);
+}
+
+TEST_F(ServiceFixture, SessionsDisabledNeverCreatesSessions) {
+  SessionCountingProblem problem(quad);
+  EvalServiceConfig config;
+  config.use_sessions = false;
+  EvalService service(problem, config);
+  service.evaluate({0.1, 0.2, 0.3});
+  std::vector<Vec> designs = {{0.3, 0.2, 0.1}, {0.4, 0.2, 0.1}};
+  service.evaluate_batch(designs);
+  EXPECT_EQ(problem.sessions_created.load(), 0);
+}
+
+TEST(EvalServiceSessions, CircuitBatchThroughSessionsMatchesPointPath) {
+  ckt::TwoStageOta ota;
+  EvalServiceConfig config;
+  config.num_threads = 2;
+  ASSERT_TRUE(config.use_sessions);  // default on
+  EvalService service(ota, config);
+
+  maopt::Rng rng(123);
+  std::vector<Vec> designs;
+  for (int i = 0; i < 3; ++i) designs.push_back(ota.random_design(rng));
+  designs.push_back(designs[0]);  // duplicate: coalesces or hits
+
+  const auto results = service.evaluate_batch(designs);
+  ASSERT_EQ(results.size(), designs.size());
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const auto ref = ota.evaluate(designs[i]);
+    EXPECT_EQ(results[i].simulation_ok, ref.simulation_ok) << "design " << i;
+    EXPECT_EQ(results[i].metrics, ref.metrics) << "design " << i;
+  }
+
+  const auto c = service.counters();
+  EXPECT_EQ(c.requested, 4u);
+  EXPECT_EQ(c.hits + c.misses, c.requested);
+  EXPECT_EQ(c.simulations, c.misses - c.coalesced);
+  EXPECT_EQ(c.simulations, 3u) << "duplicate design must not re-simulate";
 }
 
 }  // namespace

@@ -109,5 +109,125 @@ TEST(Lu, SolveDimensionMismatchThrows) {
   EXPECT_THROW(dec.solve({1.0, 2.0, 3.0}), std::invalid_argument);
 }
 
+// --- Workspace (hot-path) API ---
+
+Mat random_dd_matrix(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Mat a(n, n);
+  for (auto& v : a.data()) v = rng.uniform(-1, 1);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n) + 2.0;
+  return a;
+}
+
+TEST(LuWorkspaceTest, FactoredSolveIsBitIdenticalToDecomposition) {
+  const std::size_t n = 9;
+  const Mat a = random_dd_matrix(n, 7);
+  Rng rng(8);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-5, 5);
+
+  LuWorkReal ws;
+  ws.matrix() = a;
+  ASSERT_TRUE(lu_factor(ws));
+  std::vector<double> x;
+  lu_solve_factored(ws, b, x);
+
+  // LuDecomposition runs on the same kernels, so results must match exactly.
+  const LuReal dec(a);
+  const auto x_ref = dec.solve(b);
+  ASSERT_EQ(x.size(), x_ref.size());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x[i], x_ref[i]);
+
+  std::vector<double> xt;
+  lu_solve_factored_transposed(ws, b, xt);
+  const auto xt_ref = dec.solve_transposed(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(xt[i], xt_ref[i]);
+
+  EXPECT_EQ(ws.determinant(), dec.determinant());
+}
+
+TEST(LuWorkspaceTest, ComplexFactoredSolveMatchesDecomposition) {
+  using C = std::complex<double>;
+  const std::size_t n = 7;
+  Rng rng(11);
+  CMat a(n, n);
+  for (auto& v : a.data()) v = C(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += C(5, 0);
+  std::vector<C> b(n);
+  for (auto& v : b) v = C(rng.uniform(-1, 1), rng.uniform(-1, 1));
+
+  LuWorkComplex ws;
+  ws.matrix() = a;
+  ASSERT_TRUE(lu_factor(ws));
+  std::vector<C> x;
+  lu_solve_factored(ws, b, x);
+  const LuComplex dec(a);
+  const auto x_ref = dec.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x[i], x_ref[i]);
+
+  std::vector<C> xt;
+  lu_solve_factored_transposed(ws, b, xt);
+  const auto xt_ref = dec.solve_transposed(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(xt[i], xt_ref[i]);
+}
+
+TEST(LuWorkspaceTest, SteadyStateReuseNeverReallocates) {
+  const std::size_t n = 12;
+  LuWorkReal ws;
+  std::vector<double> b(n, 1.0);
+  std::vector<double> x;
+  std::vector<double> xt;
+
+  // Warm-up: first factor/solve sizes every buffer.
+  ws.matrix() = random_dd_matrix(n, 100);
+  ASSERT_TRUE(lu_factor(ws));
+  lu_solve_factored(ws, b, x);
+  lu_solve_factored_transposed(ws, b, xt);
+
+  const double* a_ptr = ws.matrix().data().data();
+  const std::size_t a_cap = ws.matrix().data().capacity();
+  const double* x_ptr = x.data();
+
+  // Steady state: re-assemble same-dimension systems in place and re-solve.
+  for (int round = 0; round < 16; ++round) {
+    Mat& m = ws.matrix();
+    Rng rng(200 + static_cast<std::uint64_t>(round));
+    for (auto& v : m.data()) v = rng.uniform(-1, 1);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) += static_cast<double>(n) + 2.0;
+    ASSERT_TRUE(lu_factor(ws));
+    lu_solve_factored(ws, b, x);
+    lu_solve_factored_transposed(ws, b, xt);
+
+    EXPECT_EQ(ws.matrix().data().data(), a_ptr);
+    EXPECT_EQ(ws.matrix().data().capacity(), a_cap);
+    EXPECT_EQ(x.data(), x_ptr);
+  }
+}
+
+TEST(LuWorkspaceTest, SingularFactorReturnsFalseAndLeavesUnfactored) {
+  LuWorkReal ws;
+  ws.matrix() = Mat(2, 2, {1, 2, 2, 4});
+  EXPECT_FALSE(lu_factor(ws));
+  EXPECT_FALSE(ws.factored());
+
+  // The workspace stays usable: assemble a regular system and carry on.
+  ws.matrix() = Mat(2, 2, {2, 1, 1, 3});
+  ASSERT_TRUE(lu_factor(ws));
+  EXPECT_TRUE(ws.factored());
+  std::vector<double> x;
+  lu_solve_factored(ws, {5, 10}, x);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuWorkspaceTest, WritingMatrixInvalidatesFactorization) {
+  LuWorkReal ws;
+  ws.matrix() = Mat(2, 2, {2, 1, 1, 3});
+  ASSERT_TRUE(lu_factor(ws));
+  EXPECT_TRUE(ws.factored());
+  ws.matrix()(0, 0) = 5.0;  // non-const access flips the factored flag
+  EXPECT_FALSE(ws.factored());
+}
+
 }  // namespace
 }  // namespace maopt::linalg

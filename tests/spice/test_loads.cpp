@@ -84,8 +84,8 @@ TEST(CurrentSinkLoad, TransientStepFollowsWaveform) {
   ASSERT_TRUE(tr.converged);
   // Branch current of the vsource = -load current.
   const std::size_t branch = 1;  // 1 node + branch index 1
-  EXPECT_NEAR(tr.x.front()[branch], -1e-3, 1e-9);
-  EXPECT_NEAR(tr.x.back()[branch], -20e-3, 1e-9);
+  EXPECT_NEAR(tr.value(0, static_cast<int>(branch)), -1e-3, 1e-9);
+  EXPECT_NEAR(tr.value(tr.num_steps() - 1, static_cast<int>(branch)), -20e-3, 1e-9);
 }
 
 TEST(CurrentSinkLoad, InvalidKneeThrows) {
