@@ -2,17 +2,16 @@
 
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace maopt::ckt {
 
@@ -116,11 +115,11 @@ ResilientEvaluator::Attempt ResilientEvaluator::run_attempt(const Vec& x,
   }
 
   struct Shared {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    EvalResult result;
-    std::exception_ptr error;
+    Mutex mutex;
+    CondVar cv;
+    bool done MAOPT_GUARDED_BY(mutex) = false;
+    EvalResult result MAOPT_GUARDED_BY(mutex);
+    std::exception_ptr error MAOPT_GUARDED_BY(mutex);
   };
   auto shared = std::make_shared<Shared>();
   inflight_.fetch_add(1, std::memory_order_relaxed);
@@ -133,7 +132,7 @@ ResilientEvaluator::Attempt ResilientEvaluator::run_attempt(const Vec& x,
       error = std::current_exception();
     }
     {
-      std::lock_guard lock(shared->mutex);
+      const MutexLock lock(shared->mutex);
       shared->result = std::move(result);
       shared->error = error;
       shared->done = true;
@@ -144,9 +143,10 @@ ResilientEvaluator::Attempt ResilientEvaluator::run_attempt(const Vec& x,
     inflight.fetch_sub(1, std::memory_order_release);
   });
 
-  std::unique_lock lock(shared->mutex);
-  const bool finished = shared->cv.wait_for(lock, to_duration(config_.deadline_seconds),
-                                            [&shared] { return shared->done; });
+  MutexLock lock(shared->mutex);
+  const bool finished =
+      shared->cv.wait_for(lock, to_duration(config_.deadline_seconds),
+                          [&shared]() MAOPT_REQUIRES(shared->mutex) { return shared->done; });
   if (!finished) {
     lock.unlock();
     worker.detach();  // cannot kill a thread portably; result is discarded
@@ -154,9 +154,11 @@ ResilientEvaluator::Attempt ResilientEvaluator::run_attempt(const Vec& x,
     a.kind = FailureKind::Timeout;
     return a;
   }
+  EvalResult result = std::move(shared->result);
+  const std::exception_ptr error = shared->error;
   lock.unlock();
   worker.join();
-  return classify(std::move(shared->result), shared->error);
+  return classify(std::move(result), error);
 }
 
 namespace {

@@ -4,12 +4,13 @@
 #include <chrono>
 #include <ctime>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace maopt {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Info};
-std::mutex g_mutex;
+Mutex g_mutex;  // serializes stderr lines; leaf lock (nothing acquired under it)
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -27,7 +28,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
-  std::lock_guard lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -1,0 +1,238 @@
+// Compile-time concurrency annotations + the annotated mutex the whole tree
+// locks with.
+//
+// Two halves:
+//
+//   1. Clang thread-safety-analysis attribute macros (MAOPT_CAPABILITY,
+//      MAOPT_GUARDED_BY, MAOPT_REQUIRES, ...) in the style of abseil's
+//      thread_annotations.h. Under Clang with -Wthread-safety (cmake
+//      -DMAOPT_THREAD_SAFETY=ON) every lock acquisition, guarded-member
+//      access, and lock-order annotation is verified at compile time, on
+//      every build, for every file — not just the interleavings a TSan run
+//      happens to see. Under other compilers the macros expand to nothing,
+//      so they cost exactly zero in any release build.
+//
+//   2. maopt::Mutex / maopt::MutexLock / maopt::CondVar — thin, annotated,
+//      zero-overhead wrappers over std::mutex / scoped locking /
+//      std::condition_variable_any. Raw std::mutex cannot carry capability
+//      attributes, so the repo-wide rule (enforced by tools/maopt_lint.py,
+//      check `raw-mutex`) is: every lock in src/ goes through these types.
+//      Lock() and unlock() are inline forwards; the wrapper adds no state
+//      (static_assert'd below) and no indirection.
+//
+// Also home to MAOPT_HOT: a marker for allocation-free hot functions
+// (Newton loop, Adam step, GEMM/LU kernels). It expands to
+// __attribute__((hot)) where supported, and tools/maopt_lint.py (check
+// `hot-alloc`) statically rejects heap allocation inside any function so
+// marked.
+//
+// The lock hierarchy itself (which mutex may be held while acquiring which)
+// is documented in DESIGN.md ("Lock hierarchy"); MAOPT_ACQUIRED_BEFORE /
+// MAOPT_ACQUIRED_AFTER encode the cross-class edges where they matter.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros. Guarded by __has_attribute so they light up under any
+// compiler implementing the analysis (Clang) and vanish elsewhere (GCC).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#define MAOPT_THREAD_ANNOTATION_(x) __has_attribute(x)
+#else
+#define MAOPT_THREAD_ANNOTATION_(x) 0
+#endif
+
+#if MAOPT_THREAD_ANNOTATION_(capability)
+#define MAOPT_CAPABILITY(x) __attribute__((capability(x)))
+#else
+#define MAOPT_CAPABILITY(x)
+#endif
+
+#if MAOPT_THREAD_ANNOTATION_(scoped_lockable)
+#define MAOPT_SCOPED_CAPABILITY __attribute__((scoped_lockable))
+#else
+#define MAOPT_SCOPED_CAPABILITY
+#endif
+
+#if MAOPT_THREAD_ANNOTATION_(guarded_by)
+#define MAOPT_GUARDED_BY(x) __attribute__((guarded_by(x)))
+#else
+#define MAOPT_GUARDED_BY(x)
+#endif
+
+#if MAOPT_THREAD_ANNOTATION_(pt_guarded_by)
+#define MAOPT_PT_GUARDED_BY(x) __attribute__((pt_guarded_by(x)))
+#else
+#define MAOPT_PT_GUARDED_BY(x)
+#endif
+
+#if MAOPT_THREAD_ANNOTATION_(acquire_capability)
+#define MAOPT_ACQUIRE(...) __attribute__((acquire_capability(__VA_ARGS__)))
+#else
+#define MAOPT_ACQUIRE(...)
+#endif
+
+#if MAOPT_THREAD_ANNOTATION_(release_capability)
+#define MAOPT_RELEASE(...) __attribute__((release_capability(__VA_ARGS__)))
+#else
+#define MAOPT_RELEASE(...)
+#endif
+
+#if MAOPT_THREAD_ANNOTATION_(try_acquire_capability)
+#define MAOPT_TRY_ACQUIRE(...) __attribute__((try_acquire_capability(__VA_ARGS__)))
+#else
+#define MAOPT_TRY_ACQUIRE(...)
+#endif
+
+#if MAOPT_THREAD_ANNOTATION_(requires_capability)
+#define MAOPT_REQUIRES(...) __attribute__((requires_capability(__VA_ARGS__)))
+#else
+#define MAOPT_REQUIRES(...)
+#endif
+
+#if MAOPT_THREAD_ANNOTATION_(locks_excluded)
+#define MAOPT_EXCLUDES(...) __attribute__((locks_excluded(__VA_ARGS__)))
+#else
+#define MAOPT_EXCLUDES(...)
+#endif
+
+#if MAOPT_THREAD_ANNOTATION_(acquired_before)
+#define MAOPT_ACQUIRED_BEFORE(...) __attribute__((acquired_before(__VA_ARGS__)))
+#else
+#define MAOPT_ACQUIRED_BEFORE(...)
+#endif
+
+#if MAOPT_THREAD_ANNOTATION_(acquired_after)
+#define MAOPT_ACQUIRED_AFTER(...) __attribute__((acquired_after(__VA_ARGS__)))
+#else
+#define MAOPT_ACQUIRED_AFTER(...)
+#endif
+
+#if MAOPT_THREAD_ANNOTATION_(assert_capability)
+#define MAOPT_ASSERT_CAPABILITY(x) __attribute__((assert_capability(x)))
+#else
+#define MAOPT_ASSERT_CAPABILITY(x)
+#endif
+
+#if MAOPT_THREAD_ANNOTATION_(lock_returned)
+#define MAOPT_RETURN_CAPABILITY(x) __attribute__((lock_returned(x)))
+#else
+#define MAOPT_RETURN_CAPABILITY(x)
+#endif
+
+#if MAOPT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+#define MAOPT_NO_THREAD_SAFETY_ANALYSIS __attribute__((no_thread_safety_analysis))
+#else
+#define MAOPT_NO_THREAD_SAFETY_ANALYSIS
+#endif
+
+// MAOPT_HOT — allocation-free hot-function marker. Placement (enforced by
+// convention and readable by tools/maopt_lint.py): immediately before the
+// return type of the function *definition*. The lint check `hot-alloc`
+// rejects `new`, malloc-family calls, make_unique/make_shared, and growing
+// container calls (push_back, resize, reserve, ...) inside the marked body;
+// a cold-start sizing line can opt out with `// maopt-lint: allow(hot-alloc)`.
+#if defined(__GNUC__) || defined(__clang__)
+#define MAOPT_HOT __attribute__((hot))
+#else
+#define MAOPT_HOT
+#endif
+
+namespace maopt {
+
+// ---------------------------------------------------------------------------
+// Annotated synchronization primitives.
+// ---------------------------------------------------------------------------
+
+/// std::mutex with the `mutex` capability attached. Same size, same cost:
+/// lock()/unlock()/try_lock() are inline forwards the optimizer collapses to
+/// the underlying pthread calls (asserted by MutexBench in
+/// tests/common/test_thread_annotations.cpp).
+class MAOPT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MAOPT_ACQUIRE() { m_.lock(); }
+  void unlock() MAOPT_RELEASE() { m_.unlock(); }
+  bool try_lock() MAOPT_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "maopt::Mutex must add no state over std::mutex");
+
+/// Scoped lock over a Mutex — the annotated replacement for
+/// std::lock_guard / std::unique_lock. Constructed locked; unlock()/lock()
+/// exist for condition-variable waits and for releasing early.
+class MAOPT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) MAOPT_ACQUIRE(mutex) : mutex_(&mutex), held_(true) {
+    mutex_->lock();
+  }
+  ~MutexLock() MAOPT_RELEASE() {
+    if (held_) mutex_->unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  MutexLock(MutexLock&&) = delete;
+  MutexLock& operator=(MutexLock&&) = delete;
+
+  /// Releases the mutex before scope end (idempotent is a contract
+  /// violation: calling unlock() twice is caught by the analysis, not at
+  /// runtime — mirror std::unique_lock discipline).
+  void unlock() MAOPT_RELEASE() {
+    mutex_->unlock();
+    held_ = false;
+  }
+  /// Re-acquires after an unlock() (used around blocking joins).
+  void lock() MAOPT_ACQUIRE() {
+    mutex_->lock();
+    held_ = true;
+  }
+
+  bool owns_lock() const { return held_; }
+
+ private:
+  friend class CondVar;
+  Mutex* mutex_;
+  bool held_;
+};
+
+/// Condition variable bound to maopt::Mutex. Implemented over
+/// std::condition_variable_any waiting directly on the Mutex (which is
+/// BasicLockable); wait() takes the scoped MutexLock so the capability
+/// bookkeeping stays with the caller's scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`'s mutex and waits; re-acquired on return.
+  template <typename Predicate>
+  void wait(MutexLock& lock, Predicate pred) {
+    cv_.wait(*lock.mutex_, std::move(pred));
+  }
+
+  /// Timed predicate wait; returns pred() at wake-up (false on timeout).
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(MutexLock& lock, const std::chrono::duration<Rep, Period>& dur, Predicate pred) {
+    return cv_.wait_for(*lock.mutex_, dur, std::move(pred));
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace maopt

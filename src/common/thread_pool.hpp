@@ -3,16 +3,15 @@
 // this with N_act OS processes; threads give the same parallel structure).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace maopt {
 
@@ -36,7 +35,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      const MutexLock lock(mutex_);
       MAOPT_CHECK(!stop_, "ThreadPool::submit: pool is shutting down");
       tasks_.emplace([task] { (*task)(); });
     }
@@ -57,10 +56,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ MAOPT_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stop_ MAOPT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace maopt

@@ -18,7 +18,7 @@ bool EliteSet::try_insert(const Vec& x, double fom) {
   // relies on and silently corrupt the ranking.
   MAOPT_CHECK(!std::isnan(fom), "EliteSet::try_insert: NaN FoM");
   MAOPT_CHECK(!x.empty(), "EliteSet::try_insert: empty design vector");
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   MAOPT_CHECK(entries_.empty() || x.size() == entries_.front().x.size(),
               "EliteSet::try_insert: design dimension differs from existing members");
   if (entries_.size() >= capacity_ && fom >= entries_.back().fom) return false;
@@ -40,18 +40,18 @@ bool EliteSet::try_insert(const Vec& x, double fom) {
 }
 
 std::vector<EliteSet::Entry> EliteSet::snapshot() const {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   return entries_;
 }
 
 EliteSet::Entry EliteSet::best() const {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   MAOPT_CHECK(!entries_.empty(), "EliteSet::best: empty");
   return entries_.front();
 }
 
 void EliteSet::bounds(Vec& lower, Vec& upper) const {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   MAOPT_CHECK(!entries_.empty(), "EliteSet::bounds: empty");
   const std::size_t d = entries_.front().x.size();
   lower.assign(d, 1e300);
@@ -65,7 +65,7 @@ void EliteSet::bounds(Vec& lower, Vec& upper) const {
 }
 
 std::size_t EliteSet::size() const {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   return entries_.size();
 }
 

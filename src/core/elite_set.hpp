@@ -9,9 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "linalg/matrix.hpp"
 
 namespace maopt::core {
@@ -52,8 +52,8 @@ class EliteSet {
   std::size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<Entry> entries_;  ///< kept sorted by ascending fom
+  mutable Mutex mutex_;  ///< leaf lock: shared across actor threads, nothing acquired under it
+  std::vector<Entry> entries_ MAOPT_GUARDED_BY(mutex_);  ///< kept sorted by ascending fom
   std::size_t capacity_;
 };
 

@@ -7,6 +7,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/thread_annotations.hpp"
+
 namespace maopt::core {
 
 namespace {
@@ -105,8 +107,19 @@ void write_trajectory_csv(const std::string& path, const RunHistory& history) {
   write_trajectory_csv(out, history);
 }
 
+namespace {
+/// Serializes checkpoint writes process-wide. The tmp name is derived from
+/// `path` alone, so two concurrent runs checkpointing to the same path would
+/// interleave writes into one tmp file and commit a torn snapshot — a latent
+/// race once many runs share a process (the multi-tenant daemon). A leaf
+/// lock held only for the write + rename; checkpoints are cadence-paced, so
+/// contention is nil.
+Mutex g_checkpoint_mutex;
+}  // namespace
+
 std::uint64_t save_checkpoint(const std::string& path, const RunHistory& history,
                               std::uint64_t seed) {
+  const MutexLock io_lock(g_checkpoint_mutex);
   const std::string tmp = path + ".tmp";
   std::uint64_t bytes = 0;
   {

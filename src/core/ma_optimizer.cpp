@@ -275,10 +275,13 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
     if (ns_iteration) {
       // --- Algorithm 2: near-sampling, one simulation, no training ---
       Stopwatch ns_clock;
-      const Vec candidate = near_sampling_candidate(problem, fom, critic, scaler, anchor->x,
-                                                    config_.near_sampling, ns_rng);
+      Vec candidate;
+      {
+        const obs::ScopedSpan ns_span(spans, obs::Phase::NearSample);
+        candidate = near_sampling_candidate(problem, fom, critic, scaler, anchor->x,
+                                            config_.near_sampling, ns_rng);
+      }
       if (!replaying) history.ns_seconds += ns_clock.elapsed_seconds();
-      spans.add(obs::Phase::NearSample, -1, ns_clock.elapsed_seconds());
 
       SimRecord rec;
       SimMeta meta;
@@ -287,11 +290,13 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
         if (rec.x != candidate) replay_diverged.store(true, std::memory_order_relaxed);
       } else {
         Stopwatch sim_clock;
-        rec = evaluate_record(problem, candidate);
+        {
+          const obs::ScopedSpan sim_span(spans, obs::Phase::Simulate);
+          rec = evaluate_record(problem, candidate);
+        }
         const double sim_s = sim_clock.elapsed_seconds();
         history.sim_seconds += sim_s;
         meta.seconds = sim_s;
-        spans.add(obs::Phase::Simulate, -1, sim_s);
         if (service != nullptr) {
           meta_from_outcome(meta, eval::EvalService::last_outcome());
         } else if (resilient != nullptr) {
@@ -305,12 +310,14 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
       Stopwatch train_clock;
       const std::vector<SimRecord>& training_set =
           ok_records.empty() ? history.records : ok_records;
-      const PseudoSampleBatcher batcher(training_set, scaler);
-      critic.fit_normalizer(training_set, &pool);
-      critic.train_round(batcher, critic_rng, &pool);
+      {
+        const obs::ScopedSpan train_span(spans, obs::Phase::CriticTrain);
+        const PseudoSampleBatcher batcher(training_set, scaler);
+        critic.fit_normalizer(training_set, &pool);
+        critic.train_round(batcher, critic_rng, &pool);
+      }
       critic_trained = true;
       if (!replaying) history.train_seconds += train_clock.elapsed_seconds();
-      spans.add(obs::Phase::CriticTrain, -1, train_clock.elapsed_seconds());
 
       const std::size_t workers = std::min(n_act, simulation_budget - sims);
       std::vector<SimRecord> results(workers);
@@ -326,7 +333,7 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
         EliteSet& elite = config_.shared_elite_set ? elites[0] : elites[i];
 
         ThreadCpuTimer tclock;
-        Stopwatch train_wall;
+        obs::ScopedSpan train_span(spans, obs::Phase::ActorTrain, static_cast<int>(i));
         CriticEnsemble local_critic(critic);  // private forward/backward workspace
         Vec lb_raw, ub_raw;
         elite.bounds(lb_raw, ub_raw);
@@ -338,7 +345,7 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
         const Vec proposal_unit =
             actors[i].select_candidate_unit(local_critic, fom, elite.snapshot(), scaler);
         worker_train_s[i] = tclock.elapsed_seconds();
-        spans.add(obs::Phase::ActorTrain, static_cast<int>(i), train_wall.elapsed_seconds());
+        train_span.stop();
         worker_meta[i].lane = static_cast<int>(i);
 
         Vec candidate(d);
@@ -354,10 +361,12 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
         } else {
           ThreadCpuTimer sclock;
           Stopwatch sim_wall;
-          results[i] = evaluate_record(problem, std::move(candidate));
+          {
+            const obs::ScopedSpan sim_span(spans, obs::Phase::Simulate, static_cast<int>(i));
+            results[i] = evaluate_record(problem, std::move(candidate));
+          }
           worker_sim_s[i] = sclock.elapsed_seconds();
           worker_meta[i].seconds = sim_wall.elapsed_seconds();
-          spans.add(obs::Phase::Simulate, static_cast<int>(i), worker_meta[i].seconds);
           if (resilient != nullptr)
             worker_meta[i].call = ckt::ResilientEvaluator::last_call_stats();
         }
@@ -397,7 +406,9 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
             worker_sim_s[i] = outcome.seconds;
             worker_meta[i].seconds = outcome.seconds;
             meta_from_outcome(worker_meta[i], outcome);
-            spans.add(obs::Phase::Simulate, static_cast<int>(i), outcome.seconds);
+            // Not a ScopedSpan: the duration was measured inside the service
+            // worker; a call-site span would time result bookkeeping instead.
+            spans.add(obs::Phase::Simulate, static_cast<int>(i), outcome.seconds);  // maopt-lint: allow(observer-bracketing)
           }
         }
       }

@@ -35,7 +35,7 @@ EvalService::EvalService(const ckt::SizingProblem& inner, EvalServiceConfig conf
 EvalService::~EvalService() = default;
 
 ThreadPool& EvalService::batch_pool() const {
-  const std::lock_guard lock(pool_mutex_);
+  const MutexLock lock(pool_mutex_);
   if (!pool_) {
     std::size_t n = config_.num_threads;
     if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -47,7 +47,7 @@ ThreadPool& EvalService::batch_pool() const {
 std::unique_ptr<ckt::EvalSession> EvalService::acquire_session() const {
   if (!config_.use_sessions) return nullptr;
   {
-    const std::lock_guard lock(sessions_mutex_);
+    const MutexLock lock(sessions_mutex_);
     if (!sessions_.empty()) {
       auto session = std::move(sessions_.back());
       sessions_.pop_back();
@@ -59,7 +59,7 @@ std::unique_ptr<ckt::EvalSession> EvalService::acquire_session() const {
 
 void EvalService::release_session(std::unique_ptr<ckt::EvalSession> session) const {
   if (session == nullptr) return;
-  const std::lock_guard lock(sessions_mutex_);
+  const MutexLock lock(sessions_mutex_);
   sessions_.push_back(std::move(session));
 }
 
@@ -98,7 +98,7 @@ ckt::EvalResult EvalService::evaluate_impl(const Vec& x, EvalOutcome& outcome) c
   std::shared_ptr<InFlight> flight;
   bool producer = false;
   {
-    const std::lock_guard lock(inflight_mutex_);
+    const MutexLock lock(inflight_mutex_);
     // Re-check under the lock: a producer may have published between our
     // lookup above and here (publishers insert into the cache *before*
     // erasing their in-flight entry, so this pair of checks has no gap).
@@ -151,7 +151,7 @@ ckt::EvalResult EvalService::evaluate_impl(const Vec& x, EvalOutcome& outcome) c
     outcome.call.last_kind = ckt::FailureKind::Exception;
     flight->outcome = outcome;
     {
-      const std::lock_guard lock(inflight_mutex_);
+      const MutexLock lock(inflight_mutex_);
       inflight_.erase(key);
     }
     flight->promise.set_exception(std::current_exception());
@@ -166,7 +166,7 @@ ckt::EvalResult EvalService::evaluate_impl(const Vec& x, EvalOutcome& outcome) c
   if (result.simulation_ok) cache_->insert(key, problem_fp_, x, result.metrics);
   flight->outcome = outcome;
   {
-    const std::lock_guard lock(inflight_mutex_);
+    const MutexLock lock(inflight_mutex_);
     inflight_.erase(key);
   }
   flight->promise.set_value(result);

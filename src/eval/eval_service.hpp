@@ -30,11 +30,12 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 #include "circuits/resilient_problem.hpp"
 #include "circuits/sizing_problem.hpp"
@@ -157,14 +158,20 @@ class EvalService final : public ckt::SizingProblem {
   std::uint64_t problem_fp_;
   std::unique_ptr<ResultCache> cache_;
 
-  mutable std::mutex inflight_mutex_;
-  mutable std::unordered_map<CacheKey, std::shared_ptr<InFlight>, CacheKeyHash> inflight_;
+  /// Lock hierarchy (DESIGN.md "Lock hierarchy"): inflight_mutex_ is held
+  /// while calling into ResultCache (whose mutex_ is below it); the other two
+  /// are leaves. No maopt lock is ever taken while holding pool_mutex_ or
+  /// sessions_mutex_.
+  mutable Mutex inflight_mutex_;
+  mutable std::unordered_map<CacheKey, std::shared_ptr<InFlight>, CacheKeyHash> inflight_
+      MAOPT_GUARDED_BY(inflight_mutex_);
 
-  mutable std::mutex pool_mutex_;
-  mutable std::unique_ptr<ThreadPool> pool_;
+  mutable Mutex pool_mutex_;
+  mutable std::unique_ptr<ThreadPool> pool_ MAOPT_GUARDED_BY(pool_mutex_);
 
-  mutable std::mutex sessions_mutex_;
-  mutable std::vector<std::unique_ptr<ckt::EvalSession>> sessions_;  ///< idle sessions
+  mutable Mutex sessions_mutex_;
+  mutable std::vector<std::unique_ptr<ckt::EvalSession>> sessions_
+      MAOPT_GUARDED_BY(sessions_mutex_);  ///< idle sessions
 
   mutable std::atomic<std::uint64_t> requested_{0};
   mutable std::atomic<std::uint64_t> hits_{0};

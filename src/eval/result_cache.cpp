@@ -87,6 +87,10 @@ CacheKey make_cache_key(std::uint64_t problem_fp, std::span<const double> x, dou
 
 ResultCache::ResultCache(Config config) : config_(std::move(config)) {
   MAOPT_CHECK(config_.memory_capacity >= 1, "ResultCache: memory_capacity must be >= 1");
+  // No concurrent access is possible during construction, but load_journal()
+  // REQUIRES the cache lock (it touches every guarded member), so take it —
+  // uncontended, and the annotation contract holds on every path.
+  const MutexLock lock(mutex_);
   if (!config_.journal_path.empty()) load_journal();
 }
 
@@ -189,7 +193,7 @@ void ResultCache::evict_overflow() {
 }
 
 std::optional<Vec> ResultCache::lookup(const CacheKey& key) {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
   Entry& entry = it->second;
@@ -211,7 +215,7 @@ std::optional<Vec> ResultCache::lookup(const CacheKey& key) {
 
 void ResultCache::insert(const CacheKey& key, std::uint64_t problem_fp, const Vec& x,
                          const Vec& metrics) {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   if (entries_.contains(key)) return;
   Entry entry;
   entry.eval.problem_fp = problem_fp;
@@ -244,7 +248,7 @@ void ResultCache::append_journal(const CacheKey& key, Entry& entry) {
 }
 
 std::vector<CachedEval> ResultCache::entries_for(std::uint64_t problem_fp) const {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<CachedEval> out;
   for (const CacheKey& key : insertion_order_) {
     const auto it = entries_.find(key);
@@ -262,7 +266,7 @@ std::vector<CachedEval> ResultCache::entries_for(std::uint64_t problem_fp) const
 }
 
 void ResultCache::compact() {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   writer_.close();
   compact_locked();
   writer_.open(config_.journal_path, std::ios::binary | std::ios::app);
@@ -331,7 +335,7 @@ void ResultCache::compact_locked() {
 }
 
 std::size_t ResultCache::size() const {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   return entries_.size();
 }
 

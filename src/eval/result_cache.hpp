@@ -25,11 +25,12 @@
 #include <cstdint>
 #include <fstream>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 #include "circuits/sizing_problem.hpp"
 #include "linalg/matrix.hpp"
@@ -120,20 +121,25 @@ class ResultCache {
     bool on_disk = false;
   };
 
-  void load_journal();
-  void append_journal(const CacheKey& key, Entry& entry);
-  std::optional<CachedEval> read_record_at(std::uint64_t offset) const;
-  void evict_overflow();
-  void compact_locked();
+  void load_journal() MAOPT_REQUIRES(mutex_);
+  void append_journal(const CacheKey& key, Entry& entry) MAOPT_REQUIRES(mutex_);
+  std::optional<CachedEval> read_record_at(std::uint64_t offset) const MAOPT_REQUIRES(mutex_);
+  void evict_overflow() MAOPT_REQUIRES(mutex_);
+  void compact_locked() MAOPT_REQUIRES(mutex_);
 
   Config config_;
-  mutable std::mutex mutex_;
-  std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_;
-  std::list<CacheKey> lru_;  ///< front = most recent
-  std::vector<CacheKey> insertion_order_;
-  mutable std::ifstream reader_;
-  std::ofstream writer_;
-  std::uint64_t journal_bytes_ = 0;
+  /// Leaf lock (DESIGN.md "Lock hierarchy"): acquired below
+  /// EvalService::inflight_mutex_ (the dedup re-check calls lookup() with the
+  /// in-flight map locked); nothing is acquired while this is held. Guards
+  /// the whole store — including the journal streams, so L2 reads and
+  /// appends are serialized with the index they are consistent with.
+  mutable Mutex mutex_;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_ MAOPT_GUARDED_BY(mutex_);
+  std::list<CacheKey> lru_ MAOPT_GUARDED_BY(mutex_);  ///< front = most recent
+  std::vector<CacheKey> insertion_order_ MAOPT_GUARDED_BY(mutex_);
+  mutable std::ifstream reader_ MAOPT_GUARDED_BY(mutex_);
+  std::ofstream writer_ MAOPT_GUARDED_BY(mutex_);
+  std::uint64_t journal_bytes_ MAOPT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace maopt::eval

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "common/thread_annotations.hpp"
 #include "linalg/dispatch.hpp"
 
 namespace maopt::linalg {
@@ -40,7 +41,7 @@ inline void dcheck_gemm_args(std::size_t m, std::size_t n, std::size_t k, const 
 }  // namespace
 
 MAOPT_GEMM_CLONES
-void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a, const double* b,
+MAOPT_HOT void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a, const double* b,
              double* c) {
   dcheck_gemm_args(m, n, k, a, b, c);
   for (std::size_t jj = 0; jj < n; jj += kColsTile) {
@@ -107,7 +108,7 @@ void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a, const
 }
 
 MAOPT_GEMM_CLONES
-void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a, const double* b,
+MAOPT_HOT void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a, const double* b,
              double* c) {
   dcheck_gemm_args(m, n, k, a, b, c);
   // A is (k x m): column i of A^T is the stride-m column i of A.
@@ -172,7 +173,7 @@ void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a, const
 }
 
 MAOPT_GEMM_CLONES
-void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a, const double* b,
+MAOPT_HOT void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a, const double* b,
              double* c) {
   dcheck_gemm_args(m, n, k, a, b, c);
   // c(i, j) = dot(A.row(i), B.row(j)): both operands contiguous. A 2x4 block

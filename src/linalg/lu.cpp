@@ -6,6 +6,7 @@
 #include <type_traits>
 
 #include "common/check.hpp"
+#include "common/thread_annotations.hpp"
 #include "linalg/dispatch.hpp"
 
 namespace maopt::linalg {
@@ -20,7 +21,7 @@ namespace {
 // without changing any rounding (no reductions).
 
 MAOPT_TARGET_CLONES
-bool factor_kernel(double* a, std::size_t n, std::size_t* perm, double* inv_diag, int* sign) {
+MAOPT_HOT bool factor_kernel(double* a, std::size_t n, std::size_t* perm, double* inv_diag, int* sign) {
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting: largest magnitude in column k on/below the diagonal.
     std::size_t pivot = k;
@@ -59,7 +60,7 @@ bool factor_kernel(double* a, std::size_t n, std::size_t* perm, double* inv_diag
 // keeps std::abs(std::complex) semantics (hypot) so pivot choices are
 // unchanged from the generic path.
 MAOPT_TARGET_CLONES
-bool factor_kernel_cplx(double* a, std::size_t n, std::size_t* perm, double* inv_diag, int* sign) {
+MAOPT_HOT bool factor_kernel_cplx(double* a, std::size_t n, std::size_t* perm, double* inv_diag, int* sign) {
   for (std::size_t k = 0; k < n; ++k) {
     std::size_t pivot = k;
     double best = std::hypot(a[2 * (k * n + k)], a[2 * (k * n + k) + 1]);
@@ -106,7 +107,7 @@ bool factor_kernel_cplx(double* a, std::size_t n, std::size_t* perm, double* inv
 // by the stored pivot reciprocals. Spelled out in real arithmetic so no
 // library complex-multiply/divide calls land on the sweep hot path.
 MAOPT_TARGET_CLONES
-void trisolve_cplx(const double* lu, const double* inv_diag, double* x, std::size_t n) {
+MAOPT_HOT void trisolve_cplx(const double* lu, const double* inv_diag, double* x, std::size_t n) {
   for (std::size_t i = 1; i < n; ++i) {
     const double* row = lu + 2 * i * n;
     double sr = x[2 * i], si = x[2 * i + 1];
@@ -137,7 +138,7 @@ void trisolve_cplx(const double* lu, const double* inv_diag, double* x, std::siz
 // Transposed counterpart (U^T then L^T), reading columns of the row-major
 // factors; used by the noise-analysis adjoint solve.
 MAOPT_TARGET_CLONES
-void trisolve_cplx_transposed(const double* lu, const double* inv_diag, double* y, std::size_t n) {
+MAOPT_HOT void trisolve_cplx_transposed(const double* lu, const double* inv_diag, double* y, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     double sr = y[2 * i], si = y[2 * i + 1];
     for (std::size_t j = 0; j < i; ++j) {

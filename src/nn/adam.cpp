@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/thread_annotations.hpp"
+
 namespace maopt::nn {
 
 namespace {
@@ -14,7 +16,7 @@ namespace {
     !defined(__SANITIZE_THREAD__)
 __attribute__((target_clones("default", "arch=x86-64-v3")))
 #endif
-void adam_update(double* value, double* grad, double* m, double* v, std::size_t size,
+MAOPT_HOT void adam_update(double* value, double* grad, double* m, double* v, std::size_t size,
                  double beta1, double one_minus_beta1, double beta2, double one_minus_beta2,
                  double inv_bc1, double inv_bc2, double lr, double eps, double wd) {
   for (std::size_t i = 0; i < size; ++i) {
@@ -40,7 +42,7 @@ Adam::Adam(std::vector<ParamRef> params, AdamConfig config)
   }
 }
 
-void Adam::step() {
+MAOPT_HOT void Adam::step() {
   ++t_;
   // Hoist the bias corrections as reciprocals: the update then costs one
   // sqrt and one division per parameter instead of one sqrt and three.

@@ -63,12 +63,16 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-JsonlObserver::JsonlObserver(const std::string& path)
-    : path_(path), out_(path, std::ios::out | std::ios::app) {
+JsonlObserver::JsonlObserver(const std::string& path) : path_(path) {
+  // out_ is guarded by io_mutex_; construction is single-threaded but the
+  // lock keeps the annotation contract uniform (same idiom as ResultCache).
+  const MutexLock lock(io_mutex_);
+  out_.open(path, std::ios::out | std::ios::app);
   if (!out_) throw std::runtime_error("JsonlObserver: cannot open " + path);
 }
 
 void JsonlObserver::write_line(const std::string& line) {
+  const MutexLock lock(io_mutex_);
   out_ << line << '\n';
   out_.flush();
 }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/log.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/observer.hpp"
 
 namespace maopt::obs {
@@ -30,12 +31,15 @@ class JsonlObserver final : public RunObserver {
   void on_run_finished(const RunFinished& event) override;
 
  private:
-  /// Appends one line and flushes (the crash-safety contract).
-  void write_line(const std::string& line);
+  /// Appends one line and flushes (the crash-safety contract). Serialized by
+  /// io_mutex_ so several runs can share one sink without interleaving lines
+  /// mid-record (each handler formats its line off-lock, then appends).
+  void write_line(const std::string& line) MAOPT_EXCLUDES(io_mutex_);
 
   std::string path_;
-  std::ofstream out_;
-  Stopwatch since_open_;  ///< source of the per-event "t" timestamp
+  Mutex io_mutex_;  ///< leaf lock: nothing is acquired while it is held
+  std::ofstream out_ MAOPT_GUARDED_BY(io_mutex_);
+  Stopwatch since_open_;  ///< source of the per-event "t" timestamp (const after open)
 };
 
 }  // namespace maopt::obs

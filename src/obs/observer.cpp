@@ -13,23 +13,33 @@ const char* to_string(Phase phase) {
   return "unknown";
 }
 
+// Dispatch holds the sink-list lock for the duration of the fan-out: sinks
+// are leaves of the lock hierarchy (JsonlObserver's io_mutex_ is acquired
+// below this), and events on one multicast stay serialized even when several
+// runs share the observer.
+
 void MulticastObserver::on_run_started(const RunStarted& event) {
+  const MutexLock lock(mutex_);
   for (RunObserver* sink : sinks_) sink->on_run_started(event);
 }
 
 void MulticastObserver::on_simulation_completed(const SimulationCompleted& event) {
+  const MutexLock lock(mutex_);
   for (RunObserver* sink : sinks_) sink->on_simulation_completed(event);
 }
 
 void MulticastObserver::on_iteration_completed(const IterationCompleted& event) {
+  const MutexLock lock(mutex_);
   for (RunObserver* sink : sinks_) sink->on_iteration_completed(event);
 }
 
 void MulticastObserver::on_checkpoint_written(const CheckpointWritten& event) {
+  const MutexLock lock(mutex_);
   for (RunObserver* sink : sinks_) sink->on_checkpoint_written(event);
 }
 
 void MulticastObserver::on_run_finished(const RunFinished& event) {
+  const MutexLock lock(mutex_);
   for (RunObserver* sink : sinks_) sink->on_run_finished(event);
 }
 

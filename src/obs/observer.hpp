@@ -11,10 +11,10 @@
 // the iteration event.
 #pragma once
 
-#include <mutex>
 #include <vector>
 
 #include "common/log.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/events.hpp"
 
 namespace maopt::obs {
@@ -40,12 +40,19 @@ class RunObserver {
 
 /// Fans every event out to a list of sinks (e.g. JSONL file + in-memory
 /// report in one run). Sinks are not owned and must outlive this object.
+/// The sink list is mutex-guarded so add() is safe concurrent with dispatch
+/// — several runs on different threads can share one multicast fan-out (the
+/// multi-tenant daemon shape); the *sinks* they fan to must then be
+/// thread-safe themselves (JsonlObserver is; RunReport is per-run).
 class MulticastObserver final : public RunObserver {
  public:
   MulticastObserver() = default;
   explicit MulticastObserver(std::vector<RunObserver*> sinks) : sinks_(std::move(sinks)) {}
 
-  void add(RunObserver* sink) { sinks_.push_back(sink); }
+  void add(RunObserver* sink) {
+    const MutexLock lock(mutex_);
+    sinks_.push_back(sink);
+  }
 
   void on_run_started(const RunStarted& event) override;
   void on_simulation_completed(const SimulationCompleted& event) override;
@@ -54,7 +61,8 @@ class MulticastObserver final : public RunObserver {
   void on_run_finished(const RunFinished& event) override;
 
  private:
-  std::vector<RunObserver*> sinks_;
+  mutable Mutex mutex_;
+  std::vector<RunObserver*> sinks_ MAOPT_GUARDED_BY(mutex_);
 };
 
 /// Per-run emitting facade held by every optimizer loop. With no observer
@@ -103,13 +111,13 @@ class SpanCollector {
 
   void add(Phase phase, int lane, double seconds) {
     if (!enabled_) return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     spans_.push_back({phase, lane, seconds});
   }
 
   /// Drains the collected spans (ready for the next iteration).
   std::vector<PhaseSpan> take() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     std::vector<PhaseSpan> out;
     out.swap(spans_);
     return out;
@@ -117,8 +125,8 @@ class SpanCollector {
 
  private:
   bool enabled_;
-  std::mutex mutex_;
-  std::vector<PhaseSpan> spans_;
+  Mutex mutex_;
+  std::vector<PhaseSpan> spans_ MAOPT_GUARDED_BY(mutex_);
 };
 
 /// RAII wall-clock span: records [construction, stop-or-destruction) into

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "linalg/dispatch.hpp"
+#include "common/thread_annotations.hpp"
 #include "linalg/lu.hpp"
 
 namespace maopt::spice {
@@ -15,7 +16,7 @@ namespace {
 // (re, im) view of the complex MNA matrix. Elementwise and branch-free, so
 // the AVX2 clone processes 2 complex entries per 4-wide vector op.
 MAOPT_TARGET_CLONES
-void combine_gc(const double* g, const double* c, double omega, double* out, std::size_t n) {
+MAOPT_HOT void combine_gc(const double* g, const double* c, double omega, double* out, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     out[2 * i] = g[i];
     out[2 * i + 1] = omega * c[i];

@@ -5,15 +5,18 @@
 
 #include "linalg/lu.hpp"
 
+#include "common/thread_annotations.hpp"
+
 namespace maopt::spice {
 
-bool DcAnalysis::newton(const Netlist& netlist, double source_scale, double time, double gmin,
-                        const DcOptions& options, Vec& x, int* iterations_out, NewtonWorkspace& ws,
-                        const std::vector<CapacitorStamp>* companion_caps,
-                        const Vec* companion_ieq) {
+MAOPT_HOT bool DcAnalysis::newton(const Netlist& netlist, double source_scale, double time,
+                                  double gmin, const DcOptions& options, Vec& x,
+                                  int* iterations_out, NewtonWorkspace& ws,
+                                  const std::vector<CapacitorStamp>* companion_caps,
+                                  const Vec* companion_ieq) {
   const std::size_t n = netlist.system_size();
   const std::size_t num_nodes = netlist.num_nodes();
-  if (x.size() != n) x.assign(n, 0.0);
+  if (x.size() != n) x.assign(n, 0.0);  // maopt-lint: allow(hot-alloc) cold-start sizing
   ++ws.solves;
 
   Vec& x_new = ws.x_new;

@@ -1,0 +1,12 @@
+// maopt-lint-fixture-path: src/core/fixture.cpp
+// BAD: bare assert() in src/ — the contract evaporates under NDEBUG.
+#include <cassert>
+
+namespace maopt::core {
+
+int clamp_index(int i, int n) {
+  assert(i >= 0 && i < n);  // flagged: use MAOPT_CHECK / MAOPT_DCHECK
+  return i;
+}
+
+}  // namespace maopt::core

@@ -1,0 +1,18 @@
+// maopt-lint-fixture-path: src/core/fixture.cpp
+// GOOD: contracts via MAOPT_CHECK/MAOPT_DCHECK; static_assert is fine; the
+// word assert in comments/strings must not trip the masked scanner.
+#include "common/check.hpp"
+
+namespace maopt::core {
+
+static_assert(sizeof(int) >= 4, "ILP32 or wider");
+
+int clamp_index(int i, int n) {
+  MAOPT_CHECK(n > 0, "clamp_index: empty range");
+  MAOPT_DCHECK(i >= 0 && i < n, "clamp_index: out of range");
+  const char* doc = "call assert(x) to taste";  // masked: not a finding
+  (void)doc;
+  return i;
+}
+
+}  // namespace maopt::core

@@ -1,0 +1,17 @@
+// maopt-lint-fixture-path: src/linalg/fixture.cpp
+// BAD: heap allocation inside a MAOPT_HOT function body.
+#include <memory>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace maopt::linalg {
+
+MAOPT_HOT void accumulate(std::vector<double>& out, const double* src, int n) {
+  out.reserve(static_cast<std::size_t>(n));  // flagged: growing-container call
+  for (int i = 0; i < n; ++i) out.push_back(src[i]);  // flagged
+  auto scratch = std::make_unique<double[]>(16);      // flagged
+  (void)scratch;
+}
+
+}  // namespace maopt::linalg

@@ -1,0 +1,22 @@
+// maopt-lint-fixture-path: src/linalg/fixture.cpp
+// GOOD: hot body touches only caller-sized workspaces; allocation outside the
+// MAOPT_HOT function is fine; a justified cold-start line uses the
+// suppression comment; "new" inside a comment/string is masked.
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace maopt::linalg {
+
+MAOPT_HOT void accumulate(std::vector<double>& out, const double* src, int n) {
+  if (out.size() != static_cast<std::size_t>(n))
+    out.assign(static_cast<std::size_t>(n), 0.0);  // maopt-lint: allow(hot-alloc) cold-start sizing
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] += src[i];
+  // a new value lands in out[i] each pass — masked, not a finding
+}
+
+void cold_setup(std::vector<double>& out, int n) {
+  out.resize(static_cast<std::size_t>(n));  // not hot: allocation allowed
+}
+
+}  // namespace maopt::linalg

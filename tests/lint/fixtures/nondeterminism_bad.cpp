@@ -1,0 +1,24 @@
+// maopt-lint-fixture-path: src/core/fixture.cpp
+// BAD: entropy and wall-clock sources inside the deterministic core.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace maopt::core {
+
+unsigned fresh_seed() {
+  std::random_device rd;  // flagged
+  return rd();
+}
+
+double jitter() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // flagged twice
+  return rand() / 100.0;                             // flagged
+}
+
+long long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // flagged
+}
+
+}  // namespace maopt::core

@@ -1,0 +1,17 @@
+// maopt-lint-fixture-path: src/core/fixture.cpp
+// GOOD: decisions derive from seeded common/rng.hpp streams; identifiers that
+// merely contain forbidden substrings (operand, strand) are not matches.
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace maopt::core {
+
+double jitter(std::uint64_t seed, std::uint64_t design_hash) {
+  Rng rng(derive_seed(seed, design_hash));
+  return rng.normal();
+}
+
+int operand_count(int strands) { return strands + 1; }  // no rand() match
+
+}  // namespace maopt::core

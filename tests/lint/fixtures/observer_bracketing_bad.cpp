@@ -1,0 +1,14 @@
+// maopt-lint-fixture-path: src/core/fixture.cpp
+// BAD: a do_run implementation emitting its own run bracket, plus a raw
+// SpanCollector::add instead of the RAII ScopedSpan.
+#include "obs/observer.hpp"
+
+namespace maopt::core {
+
+void run_search(obs::RunObserver& observer, obs::SpanCollector& spans) {
+  obs::RunStarted started;  // flagged: brackets belong to Optimizer::run
+  observer.on_run_started(started);
+  spans.add(obs::Phase::Simulation, 0.0, 1.0);  // flagged: use ScopedSpan
+}
+
+}  // namespace maopt::core

@@ -1,0 +1,16 @@
+// maopt-lint-fixture-path: src/core/fixture.cpp
+// GOOD: a do_run implementation emits interior events only and records
+// spans through the RAII helper.
+#include "obs/observer.hpp"
+
+namespace maopt::core {
+
+void run_search(obs::RunObserver& observer, obs::SpanCollector& spans) {
+  {
+    const obs::ScopedSpan span(spans, obs::Phase::Simulation);
+    obs::SimulationCompleted done;
+    observer.on_simulation_completed(done);
+  }
+}
+
+}  // namespace maopt::core

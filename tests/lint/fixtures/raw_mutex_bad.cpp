@@ -1,0 +1,22 @@
+// maopt-lint-fixture-path: src/eval/fixture.cpp
+// BAD: raw std:: locking in src/ — invisible to -Wthread-safety.
+#include <condition_variable>
+#include <mutex>
+
+namespace maopt::eval {
+
+class Queue {
+ public:
+  void notify() {
+    const std::lock_guard<std::mutex> lock(mutex_);  // flagged twice
+    ready_ = true;
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;             // flagged
+  std::condition_variable cv_;   // flagged
+  bool ready_ = false;
+};
+
+}  // namespace maopt::eval

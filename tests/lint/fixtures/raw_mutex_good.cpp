@@ -1,0 +1,23 @@
+// maopt-lint-fixture-path: src/eval/fixture.cpp
+// GOOD: locking via the annotated maopt wrappers.
+#include "common/thread_annotations.hpp"
+
+namespace maopt::eval {
+
+class Queue {
+ public:
+  void notify() {
+    {
+      const MutexLock lock(mutex_);
+      ready_ = true;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  Mutex mutex_;
+  CondVar cv_;
+  bool ready_ MAOPT_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace maopt::eval

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
-# clang-tidy gate over src/ using the committed .clang-tidy config.
+# Unified static-analysis entry point: clang-format (dry-run), clang-tidy,
+# and the repo-invariant linter tools/maopt_lint.py under one command.
 #
 # Usage:
-#   tools/lint.sh                     # lint every .cpp under src/
-#   tools/lint.sh src/nn              # lint a subtree
-#   tools/lint.sh src examples        # lint several trees
-#   tools/lint.sh --fix [path...]     # apply clang-tidy fixits
+#   tools/lint.sh                     # all stages over the default trees
+#   tools/lint.sh src/nn              # restrict to a subtree
+#   tools/lint.sh src examples        # several trees
+#   tools/lint.sh --fix [path...]     # clang-format -i + clang-tidy fixits
+#   tools/lint.sh --only tidy ...     # one stage: format | tidy | maopt
 #
-# Needs a compile_commands.json; one is configured into build-tidy/ on first
-# run (any generator, no compilation required). Exits 0 with a SKIPPED
-# notice when clang-tidy is not installed (the sanitizer matrix still runs),
-# so the script is safe to call unconditionally from hooks and CI shims.
+# Stage availability degrades gracefully: clang-format / clang-tidy stages
+# print a SKIPPED notice when the tool is not installed (maopt_lint is
+# pure Python and always runs), and the script's exit code reflects only
+# the stages that actually ran — safe to call unconditionally from hooks
+# and CI shims. clang-tidy needs a compile_commands.json; one is configured
+# into build-tidy/ on first run (no compilation required).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -26,39 +30,94 @@ find_tool() {
   return 1
 }
 
-tidy="$(find_tool clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15)" || {
-  echo "lint.sh: SKIPPED — clang-tidy not installed (apt install clang-tidy)."
-  exit 0
-}
-
-fix_args=()
-if [[ "${1:-}" == "--fix" ]]; then
-  fix_args=(--fix --fix-errors)
-  shift
-fi
+fix=0
+only=""
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --fix) fix=1; shift ;;
+    --only) only="${2:?--only needs a stage: format|tidy|maopt}"; shift 2 ;;
+    *) echo "lint.sh: unknown option '$1'" >&2; exit 2 ;;
+  esac
+done
 targets=("$@")
 if [[ "${#targets[@]}" -eq 0 ]]; then
   targets=(src)
 fi
 
-build_dir="${repo_root}/build-tidy"
-if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
-  echo "lint.sh: configuring ${build_dir} for compile_commands.json"
-  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
-fi
+run_stage() {  # run_stage <name> -> 0 when enabled
+  [[ -z "${only}" || "${only}" == "$1" ]]
+}
 
-mapfile -t files < <(find "${targets[@]}" -name '*.cpp' | sort)
-if [[ "${#files[@]}" -eq 0 ]]; then
-  echo "lint.sh: no .cpp files under '${targets[*]}'" >&2
+mapfile -t cpp_files < <(find "${targets[@]}" -name '*.cpp' -o -name '*.hpp' | sort)
+if [[ "${#cpp_files[@]}" -eq 0 ]]; then
+  echo "lint.sh: no C++ files under '${targets[*]}'" >&2
   exit 1
 fi
 
-echo "lint.sh: ${tidy} over ${#files[@]} files (config .clang-tidy, warnings are errors)"
 status=0
-"${tidy}" -p "${build_dir}" --quiet "${fix_args[@]}" "${files[@]}" || status=$?
+
+# --- stage: clang-format ----------------------------------------------------
+if run_stage format; then
+  if fmt="$(find_tool clang-format clang-format-19 clang-format-18 clang-format-17 clang-format-16 clang-format-15)"; then
+    if [[ ${fix} -eq 1 ]]; then
+      echo "lint.sh[format]: ${fmt} -i over ${#cpp_files[@]} files"
+      "${fmt}" -i "${cpp_files[@]}"
+    else
+      echo "lint.sh[format]: ${fmt} --dry-run over ${#cpp_files[@]} files"
+      if ! "${fmt}" --dry-run --Werror "${cpp_files[@]}"; then
+        echo "lint.sh[format]: FAILED — run tools/lint.sh --fix" >&2
+        status=1
+      fi
+    fi
+  else
+    echo "lint.sh[format]: SKIPPED — clang-format not installed."
+  fi
+fi
+
+# --- stage: clang-tidy ------------------------------------------------------
+if run_stage tidy; then
+  if tidy="$(find_tool clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15)"; then
+    build_dir="${repo_root}/build-tidy"
+    if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+      echo "lint.sh[tidy]: configuring ${build_dir} for compile_commands.json"
+      cmake -B "${build_dir}" -S "${repo_root}" > /dev/null
+    fi
+    fix_args=()
+    if [[ ${fix} -eq 1 ]]; then
+      fix_args=(--fix --fix-errors)
+    fi
+    mapfile -t tidy_files < <(printf '%s\n' "${cpp_files[@]}" | grep '\.cpp$' || true)
+    echo "lint.sh[tidy]: ${tidy} over ${#tidy_files[@]} files (config .clang-tidy, warnings are errors)"
+    if ! "${tidy}" -p "${build_dir}" --quiet "${fix_args[@]}" "${tidy_files[@]}"; then
+      echo "lint.sh[tidy]: FAILED — fix the warnings above (or run tools/lint.sh --fix)" >&2
+      status=1
+    fi
+  else
+    echo "lint.sh[tidy]: SKIPPED — clang-tidy not installed (apt install clang-tidy)."
+  fi
+fi
+
+# --- stage: maopt_lint ------------------------------------------------------
+if run_stage maopt; then
+  maopt_args=()
+  # Feed parse args to the optional libclang frontend when a build dir has
+  # already exported them; the lexical frontend ignores the flag's absence.
+  for cc in build/compile_commands.json build-tidy/compile_commands.json; do
+    if [[ -f "${cc}" ]]; then
+      maopt_args=(--compile-commands "${cc}")
+      break
+    fi
+  done
+  echo "lint.sh[maopt]: tools/maopt_lint.py ${maopt_args[*]:-}"
+  if ! python3 tools/maopt_lint.py "${maopt_args[@]}"; then
+    echo "lint.sh[maopt]: FAILED — repo invariants violated (see findings above)" >&2
+    status=1
+  fi
+fi
+
 if [[ ${status} -eq 0 ]]; then
-  echo "lint.sh: OK — zero warnings"
+  echo "lint.sh: OK"
 else
-  echo "lint.sh: FAILED — fix the warnings above (or run tools/lint.sh --fix)" >&2
+  echo "lint.sh: FAILED" >&2
 fi
 exit ${status}

@@ -7,14 +7,19 @@
 #   tools/san.sh thread              # TSan
 #   tools/san.sh address,undefined   # combined ASan+UBSan (the CI pairing)
 #
-# Extra args after the sanitizer are forwarded to ctest, e.g.
-#   tools/san.sh thread -R ThreadPool
+# A bare word after the sanitizer becomes a ctest -R test filter, and any
+# flag-style args are forwarded to ctest verbatim, e.g.
+#   tools/san.sh thread ThreadPool        # only tests matching ThreadPool
+#   tools/san.sh thread -R ThreadPool -V  # same, spelled out
 # Builds land in build-san-<name>/ so the flavors don't clobber each other
 # or the main build/.
 set -euo pipefail
 
-san="${1:?usage: tools/san.sh address|undefined|thread|address,undefined [ctest args...]}"
+san="${1:?usage: tools/san.sh address|undefined|thread|address,undefined [test-filter] [ctest args...]}"
 shift || true
+if [[ "${1:-}" != "" && "${1:0:1}" != "-" ]]; then
+  set -- -R "$1" "${@:2}"
+fi
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-san-${san//,/-}"
