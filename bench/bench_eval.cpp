@@ -13,6 +13,17 @@
 //   batch_sims_per_s   one evaluate_batch() over the same count of fresh designs
 //   batch_speedup      batch / point
 //
+// Rows (fault-tolerant variation sweeps, synthetic simulator cost): each
+// optimizer-visible evaluation of a RobustProblem/YieldProblem fans out to
+// |variants| simulations, so corner and Monte Carlo workloads are where
+// batching pays the most.
+//   sweep_serial_sims_per_s   5-corner RobustProblem over the serial sweep
+//   sweep_batched_sims_per_s  same corners fanned through EvalService
+//   sweep_batch_speedup       batched / serial
+//   mc_serial_sims_per_s      64-instance YieldProblem, serial sweep
+//   mc_batched_sims_per_s     same instances fanned through EvalService
+//   mc_batch_speedup          batched / serial
+//
 // Rows (raw in-tree simulator, real TwoStageOta — per-layer hot-path record;
 // each is the best of several interleaved rounds so one noisy round cannot
 // fake a regression or an improvement):
@@ -55,7 +66,10 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// Adds a fixed delay to every evaluation — a stand-in simulator cost.
+/// Adds a fixed delay to every evaluation — a stand-in simulator cost. It
+/// claims process-variation support so the sweep benches can fan corners and
+/// Monte Carlo instances over it; the synthetic cost model itself is
+/// variation-independent (only throughput is measured).
 class SlowProblem final : public ckt::SizingProblem {
  public:
   SlowProblem(const ckt::SizingProblem& inner, int micros) : inner_(&inner), micros_(micros) {}
@@ -67,6 +81,12 @@ class SlowProblem final : public ckt::SizingProblem {
   const std::vector<bool>& integer_mask() const override { return inner_->integer_mask(); }
   std::vector<std::string> parameter_names() const override { return inner_->parameter_names(); }
   ckt::EvalResult evaluate(const linalg::Vec& x) const override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros_));
+    return inner_->evaluate(x);
+  }
+  bool supports_process_variation() const override { return true; }
+  ckt::EvalResult evaluate_at(const linalg::Vec& x,
+                              const ckt::ProcessVariation& /*pv*/) const override {
     std::this_thread::sleep_for(std::chrono::microseconds(micros_));
     return inner_->evaluate(x);
   }
@@ -159,7 +179,72 @@ int main(int argc, char** argv) {
     metrics.push_back({"batch_speedup", batch_rate / cold_rate, "x"});
   }
 
-  // --- 3) raw in-tree simulator hot path (real circuit, no synthetic cost) ---
+  // --- 3) fault-tolerant variation sweeps: serial vs batched fan-out ---
+  // One RobustProblem/YieldProblem evaluation is |variants| simulations; the
+  // serial path runs them one after another, the EvalService backend runs
+  // them as one parallel batch with per-variant cache keys. Thread count is
+  // forced to at least 8: the synthetic cost is a sleep, so even a one-core
+  // CI box shows the fan-out win.
+  {
+    const auto sweep_threads = std::max<std::size_t>(8, threads);
+    const auto sweep_designs = static_cast<std::size_t>(smoke ? 4 : 16);
+    const auto mc_designs = static_cast<std::size_t>(smoke ? 1 : 4);
+
+    const auto time_sweep = [](const ckt::SizingProblem& sweep,
+                               const std::vector<linalg::Vec>& designs) {
+      const auto t0 = Clock::now();
+      for (const auto& x : designs) sweep.evaluate(x);
+      return seconds_since(t0);
+    };
+
+    // 5-corner worst-case sweep.
+    double corner_speedup = 0.0;
+    {
+      const ckt::RobustProblem serial(problem);
+      eval::EvalServiceConfig config;
+      config.num_threads = sweep_threads;
+      const eval::EvalService service(problem, config);
+      const ckt::RobustProblem batched(service);
+      const auto designs = make_designs(problem, sweep_designs, 31);
+      const double sims = static_cast<double>(sweep_designs * serial.num_corners());
+      const double serial_rate = sims / time_sweep(serial, designs);
+      const double batched_rate = sims / time_sweep(batched, designs);
+      corner_speedup = batched_rate / serial_rate;
+      std::printf("corner sweep, %zu designs x %zu corners over %zu threads: "
+                  "serial %.0f, batched %.0f sims/s (%.1fx)\n",
+                  sweep_designs, serial.num_corners(), sweep_threads, serial_rate, batched_rate,
+                  corner_speedup);
+      metrics.push_back({"sweep_serial_sims_per_s", serial_rate, "sims/s"});
+      metrics.push_back({"sweep_batched_sims_per_s", batched_rate, "sims/s"});
+      metrics.push_back({"sweep_batch_speedup", corner_speedup, "x"});
+    }
+
+    // 64-instance Monte Carlo yield sweep.
+    {
+      ckt::YieldConfig yield_config;
+      const ckt::YieldProblem serial(problem, yield_config);
+      eval::EvalServiceConfig config;
+      config.num_threads = sweep_threads;
+      const eval::EvalService service(problem, config);
+      const ckt::YieldProblem batched(service, yield_config);
+      const auto designs = make_designs(problem, mc_designs, 37);
+      const double sims = static_cast<double>(mc_designs * serial.num_instances());
+      const double serial_rate = sims / time_sweep(serial, designs);
+      const double batched_rate = sims / time_sweep(batched, designs);
+      std::printf("mc sweep, %zu designs x %zu instances over %zu threads: "
+                  "serial %.0f, batched %.0f sims/s (%.1fx)\n",
+                  mc_designs, serial.num_instances(), sweep_threads, serial_rate, batched_rate,
+                  batched_rate / serial_rate);
+      metrics.push_back({"mc_serial_sims_per_s", serial_rate, "sims/s"});
+      metrics.push_back({"mc_batched_sims_per_s", batched_rate, "sims/s"});
+      metrics.push_back({"mc_batch_speedup", batched_rate / serial_rate, "x"});
+    }
+    if (corner_speedup < 3.0)
+      std::fprintf(stderr, "warning: sweep_batch_speedup %.2fx below the 3x acceptance bar\n",
+                   corner_speedup);
+  }
+
+  // --- 4) raw in-tree simulator hot path (real circuit, no synthetic cost) ---
   // Interleaved A/B: every path is timed once per round and the best round
   // wins, so background load hits all paths alike instead of whichever ran
   // last.
@@ -208,7 +293,7 @@ int main(int argc, char** argv) {
     metrics.push_back({"raw_batch_sims_per_s", batch_rate, "sims/s"});
   }
 
-  // --- 4) per-layer micro metrics on a shared MOSFET testbench ---
+  // --- 5) per-layer micro metrics on a shared MOSFET testbench ---
   {
     using namespace maopt::spice;
     Netlist net;

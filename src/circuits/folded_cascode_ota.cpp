@@ -282,4 +282,14 @@ std::unique_ptr<EvalSession> FoldedCascodeOta::make_session() const {
   return std::make_unique<FcSession>(*this, variation_);
 }
 
+EvalResult FoldedCascodeOta::evaluate_at(const Vec& x, const ProcessVariation& pv) const {
+  validate_process_variation(pv);
+  return FcSession(*this, pv).evaluate(x);
+}
+
+std::unique_ptr<EvalSession> FoldedCascodeOta::make_session_at(const ProcessVariation& pv) const {
+  validate_process_variation(pv);
+  return std::make_unique<FcSession>(*this, pv);
+}
+
 }  // namespace maopt::ckt

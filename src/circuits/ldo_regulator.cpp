@@ -299,4 +299,14 @@ std::unique_ptr<EvalSession> LdoRegulator::make_session() const {
   return std::make_unique<LdoSession>(*this, variation_, profile_);
 }
 
+EvalResult LdoRegulator::evaluate_at(const Vec& x, const ProcessVariation& pv) const {
+  validate_process_variation(pv);
+  return LdoSession(*this, pv, profile_).evaluate(x);
+}
+
+std::unique_ptr<EvalSession> LdoRegulator::make_session_at(const ProcessVariation& pv) const {
+  validate_process_variation(pv);
+  return std::make_unique<LdoSession>(*this, pv, profile_);
+}
+
 }  // namespace maopt::ckt

@@ -49,6 +49,10 @@ class LdoRegulator final : public SizingProblem {
   void set_process_variation(const ProcessVariation& pv) override { variation_ = pv; }
   bool supports_process_variation() const override { return true; }
 
+  /// Thread-safe variation-pinned evaluation (see TwoStageOta::evaluate_at).
+  EvalResult evaluate_at(const Vec& x, const ProcessVariation& pv) const override;
+  std::unique_ptr<EvalSession> make_session_at(const ProcessVariation& pv) const override;
+
   enum Metric {
     kQuiescentMa = 0,
     kVoutMinV,      // Vout > 1.75

@@ -30,8 +30,9 @@ ProcessVariation corner_variation(ProcessCorner corner, double vth_step = 0.03,
                                   double kp_step_rel = 0.10);
 
 /// Evaluates `x` at all five corners; returns one EvalResult per corner in
-/// enum order. The problem's variation state is reset to nominal afterwards.
-std::vector<EvalResult> evaluate_corners(SizingProblem& problem, const Vec& x,
+/// enum order. Runs through the thread-safe evaluate_at primitive, so the
+/// problem's ambient variation state is never touched.
+std::vector<EvalResult> evaluate_corners(const SizingProblem& problem, const Vec& x,
                                          double vth_step = 0.03, double kp_step_rel = 0.10);
 
 struct YieldResult {
@@ -44,10 +45,10 @@ struct YieldResult {
 };
 
 /// Evaluates design `x` under `instances` Monte Carlo mismatch draws with
-/// the given sigmas. The problem's variation state is mutated during the
-/// sweep and reset to nominal afterwards; not thread-safe with concurrent
-/// evaluate() calls on the same object.
-YieldResult estimate_yield(SizingProblem& problem, const Vec& x, int instances,
+/// the given sigmas (instance k draws from seed k). Runs through the
+/// thread-safe evaluate_at primitive, so the problem's ambient variation
+/// state is never touched and the call is safe under concurrent evaluates.
+YieldResult estimate_yield(const SizingProblem& problem, const Vec& x, int instances,
                            double sigma_vth, double sigma_kp_rel);
 
 }  // namespace maopt::ckt

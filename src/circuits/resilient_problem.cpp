@@ -83,8 +83,8 @@ ResilientEvaluator::~ResilientEvaluator() {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
 }
 
-ResilientEvaluator::Attempt ResilientEvaluator::run_attempt(const Vec& x,
-                                                            EvalSession* session) const {
+ResilientEvaluator::Attempt ResilientEvaluator::run_attempt(const Vec& x, EvalSession* session,
+                                                            const ProcessVariation& pv) const {
   attempts_.fetch_add(1, std::memory_order_relaxed);
 
   auto classify = [this](EvalResult result, const std::exception_ptr& error) {
@@ -107,7 +107,7 @@ ResilientEvaluator::Attempt ResilientEvaluator::run_attempt(const Vec& x,
     EvalResult result;
     std::exception_ptr error;
     try {
-      result = session != nullptr ? session->evaluate(x) : inner_->evaluate(x);
+      result = session != nullptr ? session->evaluate(x) : inner_->evaluate_at(x, pv);
     } catch (...) {
       error = std::current_exception();
     }
@@ -123,11 +123,11 @@ ResilientEvaluator::Attempt ResilientEvaluator::run_attempt(const Vec& x,
   };
   auto shared = std::make_shared<Shared>();
   inflight_.fetch_add(1, std::memory_order_relaxed);
-  std::thread worker([inner = inner_, x, shared, &inflight = inflight_] {
+  std::thread worker([inner = inner_, x, pv, shared, &inflight = inflight_] {
     EvalResult result;
     std::exception_ptr error;
     try {
-      result = inner->evaluate(x);
+      result = inner->evaluate_at(x, pv);
     } catch (...) {
       error = std::current_exception();
     }
@@ -168,9 +168,17 @@ thread_local ResilientEvaluator::CallStats tl_last_call;
 
 ResilientEvaluator::CallStats ResilientEvaluator::last_call_stats() { return tl_last_call; }
 
-EvalResult ResilientEvaluator::evaluate(const Vec& x) const { return evaluate_with(x, nullptr); }
+EvalResult ResilientEvaluator::evaluate(const Vec& x) const {
+  return evaluate_with(x, nullptr, ProcessVariation{});
+}
 
-EvalResult ResilientEvaluator::evaluate_with(const Vec& x, EvalSession* session) const {
+EvalResult ResilientEvaluator::evaluate_at(const Vec& x, const ProcessVariation& pv) const {
+  validate_process_variation(pv);
+  return evaluate_with(x, nullptr, pv);
+}
+
+EvalResult ResilientEvaluator::evaluate_with(const Vec& x, EvalSession* session,
+                                             const ProcessVariation& pv) const {
   evaluations_.fetch_add(1, std::memory_order_relaxed);
   const Vec& lo = lower_bounds();
   const Vec& hi = upper_bounds();
@@ -191,7 +199,7 @@ EvalResult ResilientEvaluator::evaluate_with(const Vec& x, EvalSession* session)
         attempt_x[j] += config_.retry_jitter_frac * (hi[j] - lo[j]) * jitter.normal();
       attempt_x = clip(std::move(attempt_x));
     }
-    Attempt a = run_attempt(attempt_x, session);
+    Attempt a = run_attempt(attempt_x, session, pv);
     if (a.ok) {
       tl_last_call = call;
       return std::move(a.result);
@@ -213,14 +221,18 @@ EvalResult ResilientEvaluator::evaluate_with(const Vec& x, EvalSession* session)
 /// attempt through it, keeping the full retry/classification pipeline.
 class ResilientEvaluator::Session final : public EvalSession {
  public:
-  Session(const ResilientEvaluator& outer, std::unique_ptr<EvalSession> inner)
-      : outer_(&outer), inner_(std::move(inner)) {}
+  Session(const ResilientEvaluator& outer, std::unique_ptr<EvalSession> inner,
+          ProcessVariation pv)
+      : outer_(&outer), inner_(std::move(inner)), pv_(pv) {}
 
-  EvalResult evaluate(const Vec& x) override { return outer_->evaluate_with(x, inner_.get()); }
+  EvalResult evaluate(const Vec& x) override {
+    return outer_->evaluate_with(x, inner_.get(), pv_);
+  }
 
  private:
   const ResilientEvaluator* outer_;
   std::unique_ptr<EvalSession> inner_;
+  ProcessVariation pv_;  ///< retries that bypass the inner session keep the pin
 };
 
 std::unique_ptr<EvalSession> ResilientEvaluator::make_session() const {
@@ -228,7 +240,15 @@ std::unique_ptr<EvalSession> ResilientEvaluator::make_session() const {
   // threads; a reused inner session would race them. Fall back to the default
   // forwarding session, which goes through the thread-per-attempt path.
   if (config_.deadline_seconds > 0.0) return SizingProblem::make_session();
-  return std::make_unique<Session>(*this, inner_->make_session());
+  return std::make_unique<Session>(*this, inner_->make_session(), ProcessVariation{});
+}
+
+std::unique_ptr<EvalSession> ResilientEvaluator::make_session_at(const ProcessVariation& pv) const {
+  validate_process_variation(pv);
+  // Same deadline caveat as make_session(); the default forwarding session
+  // routes through evaluate_at(x, pv) and thus the thread-per-attempt path.
+  if (config_.deadline_seconds > 0.0) return SizingProblem::make_session_at(pv);
+  return std::make_unique<Session>(*this, inner_->make_session_at(pv), pv);
 }
 
 FailureStats ResilientEvaluator::stats() const {
@@ -263,7 +283,30 @@ FaultInjectingProblem::FaultInjectingProblem(const SizingProblem& inner,
 }
 
 EvalResult FaultInjectingProblem::evaluate(const Vec& x) const {
-  Rng rng(derive_seed(config_.seed, hash_design(x)));
+  return evaluate_at(x, ProcessVariation{});
+}
+
+EvalResult FaultInjectingProblem::evaluate_at(const Vec& x, const ProcessVariation& pv) const {
+  validate_process_variation(pv);
+  // Fold the variation into the fault hash only when it is enabled, so the
+  // nominal fault decision for a design stays bit-identical to evaluate()
+  // regardless of which entry point the caller used.
+  std::uint64_t h = hash_design(x);
+  if (pv.enabled()) {
+    auto mix = [&h](double v) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof(bits));
+      h ^= bits + 0x9E3779B97F4A7C15ULL + (h << 6U) + (h >> 2U);
+    };
+    mix(pv.sigma_vth);
+    mix(pv.sigma_kp_rel);
+    mix(static_cast<double>(pv.seed));
+    mix(pv.nmos_vth_shift);
+    mix(pv.pmos_vth_shift);
+    mix(pv.nmos_kp_factor);
+    mix(pv.pmos_kp_factor);
+  }
+  Rng rng(derive_seed(config_.seed, h));
   double u = rng.uniform();
 
   if ((u -= config_.throw_rate) < 0.0) {
@@ -273,7 +316,7 @@ EvalResult FaultInjectingProblem::evaluate(const Vec& x) const {
   if ((u -= config_.hang_rate) < 0.0) {
     injected_.fetch_add(1, std::memory_order_relaxed);
     std::this_thread::sleep_for(to_duration(config_.hang_seconds));
-    return inner_->evaluate(x);
+    return inner_->evaluate_at(x, pv);
   }
   if ((u -= config_.nan_rate) < 0.0) {
     injected_.fetch_add(1, std::memory_order_relaxed);
@@ -290,7 +333,7 @@ EvalResult FaultInjectingProblem::evaluate(const Vec& x) const {
     r.simulation_ok = true;
     return r;
   }
-  return inner_->evaluate(x);
+  return inner_->evaluate_at(x, pv);
 }
 
 }  // namespace maopt::ckt

@@ -101,6 +101,16 @@ class ResilientEvaluator final : public SizingProblem {
   /// metrics: every failure mode yields {failure_metrics(), ok=false}.
   EvalResult evaluate(const Vec& x) const override;
 
+  /// Variation-pinned evaluation with the full deadline/retry/scrub pipeline;
+  /// `pv` is forwarded to the inner problem's evaluate_at on every attempt
+  /// (including deadline-guarded ones), so corner sweeps keep per-attempt
+  /// fault tolerance. Thread-safe like evaluate().
+  EvalResult evaluate_at(const Vec& x, const ProcessVariation& pv) const override;
+  std::unique_ptr<EvalSession> make_session_at(const ProcessVariation& pv) const override;
+  bool supports_process_variation() const override {
+    return inner_->supports_process_variation();
+  }
+
   /// Persistent-session support: wraps the inner problem's session in the
   /// same retry/scrub logic — but only when deadline_seconds <= 0, where
   /// attempts run inline on the calling thread. With a deadline, a timed-out
@@ -137,9 +147,10 @@ class ResilientEvaluator final : public SizingProblem {
     bool ok = false;
   };
   /// `session` (optional) is used for the inner evaluation; inline-attempt
-  /// mode only — the deadline path always evaluates through inner_.
-  Attempt run_attempt(const Vec& x, EvalSession* session) const;
-  EvalResult evaluate_with(const Vec& x, EvalSession* session) const;
+  /// mode only — the deadline path always evaluates through inner_ (with the
+  /// attempt's variation setting forwarded).
+  Attempt run_attempt(const Vec& x, EvalSession* session, const ProcessVariation& pv) const;
+  EvalResult evaluate_with(const Vec& x, EvalSession* session, const ProcessVariation& pv) const;
 
   const SizingProblem* inner_;
   ResilientConfig config_;
@@ -182,6 +193,15 @@ class FaultInjectingProblem final : public SizingProblem {
   Vec failure_metrics() const override { return inner_->failure_metrics(); }
 
   EvalResult evaluate(const Vec& x) const override;
+
+  /// Variation-pinned injection: the fault decision is a pure function of
+  /// (seed, x) at nominal — identical to evaluate() — and of (seed, x, pv)
+  /// under an enabled variation, so each corner / Monte Carlo instance draws
+  /// its own deterministic fault. Replay- and thread-deterministic either way.
+  EvalResult evaluate_at(const Vec& x, const ProcessVariation& pv) const override;
+  bool supports_process_variation() const override {
+    return inner_->supports_process_variation();
+  }
 
   /// Faults injected so far (throws + hangs + NaN + garbage).
   std::uint64_t injected() const { return injected_.load(); }

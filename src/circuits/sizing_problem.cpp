@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hpp"
+
 namespace maopt::ckt {
 
 namespace {
@@ -17,10 +19,50 @@ class ForwardingSession final : public EvalSession {
   const SizingProblem* problem_;
 };
 
+/// Default variation-pinned session: forwards to evaluate_at(x, pv).
+class VariedForwardingSession final : public EvalSession {
+ public:
+  VariedForwardingSession(const SizingProblem& problem, ProcessVariation pv)
+      : problem_(&problem), pv_(pv) {}
+  EvalResult evaluate(const Vec& x) override { return problem_->evaluate_at(x, pv_); }
+
+ private:
+  const SizingProblem* problem_;
+  ProcessVariation pv_;
+};
+
 }  // namespace
+
+void validate_process_variation(const ProcessVariation& pv) {
+  MAOPT_CHECK(std::isfinite(pv.sigma_vth) && pv.sigma_vth >= 0.0,
+              "ProcessVariation: sigma_vth must be finite and >= 0");
+  MAOPT_CHECK(std::isfinite(pv.sigma_kp_rel) && pv.sigma_kp_rel >= 0.0,
+              "ProcessVariation: sigma_kp_rel must be finite and >= 0");
+  MAOPT_CHECK(std::isfinite(pv.nmos_vth_shift) && std::isfinite(pv.pmos_vth_shift),
+              "ProcessVariation: vth shifts must be finite");
+  MAOPT_CHECK(std::isfinite(pv.nmos_kp_factor) && pv.nmos_kp_factor > 0.0,
+              "ProcessVariation: nmos_kp_factor must be finite and > 0");
+  MAOPT_CHECK(std::isfinite(pv.pmos_kp_factor) && pv.pmos_kp_factor > 0.0,
+              "ProcessVariation: pmos_kp_factor must be finite and > 0");
+}
 
 std::unique_ptr<EvalSession> SizingProblem::make_session() const {
   return std::make_unique<ForwardingSession>(*this);
+}
+
+EvalResult SizingProblem::evaluate_at(const Vec& x, const ProcessVariation& pv) const {
+  validate_process_variation(pv);
+  MAOPT_CHECK(!pv.enabled() || supports_process_variation(),
+              "evaluate_at: enabled variation on a problem without variation support");
+  return evaluate(x);
+}
+
+std::unique_ptr<EvalSession> SizingProblem::make_session_at(const ProcessVariation& pv) const {
+  validate_process_variation(pv);
+  MAOPT_CHECK(!pv.enabled() || supports_process_variation(),
+              "make_session_at: enabled variation on a problem without variation support");
+  if (!pv.enabled()) return make_session();
+  return std::make_unique<VariedForwardingSession>(*this, pv);
 }
 
 double normalized_violation(const ConstraintSpec& c, double value) {

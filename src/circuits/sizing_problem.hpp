@@ -41,6 +41,12 @@ struct ProcessVariation {
   }
 };
 
+/// Contract-checks a variation setting: sigmas must be finite and >= 0,
+/// shifts finite, KP factors finite and > 0. Throws ContractViolation
+/// (MAOPT_CHECK) on violation — a negative sigma or zero KP factor would
+/// otherwise silently produce unphysical model cards deep inside a sweep.
+void validate_process_variation(const ProcessVariation& pv);
+
 struct ConstraintSpec {
   std::string name;
   std::string unit;
@@ -58,9 +64,17 @@ struct ProblemSpec {
 };
 
 /// Result of one simulation: metrics[0] = f0, metrics[1..m] = constraints.
+/// The variant fields carry robustness provenance when the result is an
+/// aggregate over a corner / Monte Carlo sweep (variation_sweep.hpp):
+/// `variants_total` = 0 marks a plain single-point evaluation; `degraded`
+/// marks an aggregate whose metrics were shaped by a partial-failure policy
+/// (some variants failed but the sweep still produced a usable bound).
 struct EvalResult {
   Vec metrics;
   bool simulation_ok = true;
+  bool degraded = false;              ///< partial-failure policy shaped the metrics
+  std::uint32_t variants_failed = 0;  ///< failed or breaker-skipped variants
+  std::uint32_t variants_total = 0;   ///< sweep width; 0 = single-point result
 };
 
 /// Reusable single-threaded evaluator for one problem. Circuit problems back
@@ -95,6 +109,22 @@ class SizingProblem {
   /// through clip()). Must be thread-safe: implementations build a fresh
   /// netlist per call.
   virtual EvalResult evaluate(const Vec& x) const = 0;
+
+  /// Simulates design x under the given variation setting WITHOUT touching
+  /// the problem's ambient variation state — the thread-safe primitive corner
+  /// sweeps and Monte Carlo yield estimation are built on (the legacy
+  /// set_process_variation() + evaluate() sequence mutates shared state and
+  /// cannot run concurrently). Must be thread-safe whenever evaluate() is.
+  /// The default contract-checks pv and forwards to evaluate(): correct for
+  /// variation-free problems at nominal, a ContractViolation when an enabled
+  /// pv reaches a problem without variation support. Variation-capable
+  /// circuits and decorators override.
+  virtual EvalResult evaluate_at(const Vec& x, const ProcessVariation& pv) const;
+
+  /// Session pinned to one variation setting (the per-worker analog of
+  /// evaluate_at). Default: contract-checks pv like evaluate_at and returns a
+  /// session forwarding every call to evaluate_at(x, pv).
+  virtual std::unique_ptr<EvalSession> make_session_at(const ProcessVariation& pv) const;
 
   /// Creates a reusable evaluation session (see EvalSession). The default
   /// forwards every call to evaluate() — correct for analytic problems and

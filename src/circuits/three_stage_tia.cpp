@@ -263,4 +263,14 @@ std::unique_ptr<EvalSession> ThreeStageTia::make_session() const {
   return std::make_unique<TiaSession>(*this, variation_);
 }
 
+EvalResult ThreeStageTia::evaluate_at(const Vec& x, const ProcessVariation& pv) const {
+  validate_process_variation(pv);
+  return TiaSession(*this, pv).evaluate(x);
+}
+
+std::unique_ptr<EvalSession> ThreeStageTia::make_session_at(const ProcessVariation& pv) const {
+  validate_process_variation(pv);
+  return std::make_unique<TiaSession>(*this, pv);
+}
+
 }  // namespace maopt::ckt

@@ -324,4 +324,14 @@ std::unique_ptr<EvalSession> TwoStageOta::make_session() const {
   return std::make_unique<OtaSession>(*this, variation_);
 }
 
+EvalResult TwoStageOta::evaluate_at(const Vec& x, const ProcessVariation& pv) const {
+  validate_process_variation(pv);
+  return OtaSession(*this, pv).evaluate(x);
+}
+
+std::unique_ptr<EvalSession> TwoStageOta::make_session_at(const ProcessVariation& pv) const {
+  validate_process_variation(pv);
+  return std::make_unique<OtaSession>(*this, pv);
+}
+
 }  // namespace maopt::ckt

@@ -42,6 +42,11 @@ class TwoStageOta final : public SizingProblem {
   void set_process_variation(const ProcessVariation& pv) override { variation_ = pv; }
   bool supports_process_variation() const override { return true; }
 
+  /// Thread-safe variation-pinned evaluation: simulates under `pv` without
+  /// touching the ambient variation state (the sweep-engine primitive).
+  EvalResult evaluate_at(const Vec& x, const ProcessVariation& pv) const override;
+  std::unique_ptr<EvalSession> make_session_at(const ProcessVariation& pv) const override;
+
   /// Indices of the metric columns, for tests and reporting.
   enum Metric {
     kPowerMw = 0,

@@ -38,6 +38,7 @@ std::vector<SimRecord> sample_initial_set(const SizingProblem& problem, std::siz
     const ckt::EvalResult eval = problem.evaluate(r.x);
     r.metrics = eval.metrics;
     r.simulation_ok = eval.simulation_ok;
+    copy_provenance(r, eval);
     records.push_back(std::move(r));
   }
   return records;
@@ -69,9 +70,16 @@ std::vector<SimRecord> sample_initial_set_lhs(const SizingProblem& problem, std:
     const ckt::EvalResult eval = problem.evaluate(r.x);
     r.metrics = eval.metrics;
     r.simulation_ok = eval.simulation_ok;
+    copy_provenance(r, eval);
     records.push_back(std::move(r));
   }
   return records;
+}
+
+void copy_provenance(SimRecord& record, const ckt::EvalResult& eval) {
+  record.degraded = eval.degraded;
+  record.variants_failed = eval.variants_failed;
+  record.variants_total = eval.variants_total;
 }
 
 bool annotate_record(SimRecord& record, const SizingProblem& problem, const FomEvaluator& fom) {
@@ -104,6 +112,7 @@ SimRecord evaluate_record(const SizingProblem& problem, Vec x) {
     ckt::EvalResult eval = problem.evaluate(x);
     rec.metrics = std::move(eval.metrics);
     rec.simulation_ok = eval.simulation_ok;
+    copy_provenance(rec, eval);
   } catch (...) {
     rec.metrics = problem.failure_metrics();
     rec.simulation_ok = false;

@@ -25,6 +25,14 @@ struct SimRecord {
   double fom = 0.0;
   bool feasible = false;
   bool simulation_ok = false;
+  /// Robustness provenance, copied from EvalResult when the problem is a
+  /// corner / Monte Carlo sweep (variation_sweep.hpp): variants_total = 0
+  /// marks a plain single-point simulation; degraded marks an aggregate
+  /// shaped by a partial-failure policy. Persisted in checkpoints (format
+  /// v2) so resumed runs keep their failure provenance.
+  bool degraded = false;
+  std::uint32_t variants_failed = 0;
+  std::uint32_t variants_total = 0;
 };
 
 struct RunHistory {
@@ -63,6 +71,13 @@ std::vector<SimRecord> sample_initial_set(const SizingProblem& problem, std::siz
 /// at the same budget. Integer parameters are rounded afterwards.
 std::vector<SimRecord> sample_initial_set_lhs(const SizingProblem& problem, std::size_t n,
                                               Rng& rng);
+
+/// Copies the sweep provenance fields (degraded / variants_failed /
+/// variants_total) from an evaluation result into a record. Kept out of
+/// annotate_record so every record-construction site — serial, pooled, and
+/// the service batch path — applies it uniformly right where the EvalResult
+/// is consumed.
+void copy_provenance(SimRecord& record, const ckt::EvalResult& eval);
 
 /// Fills fom / feasible for one record, scrubbing failures: when the
 /// simulation failed or produced non-finite metrics or a non-finite FoM, the

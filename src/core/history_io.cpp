@@ -143,6 +143,9 @@ std::uint64_t save_checkpoint(const std::string& path, const RunHistory& history
       put_pod<double>(out, r.fom);
       put_pod<std::uint8_t>(out, r.feasible ? 1 : 0);
       put_pod<std::uint8_t>(out, r.simulation_ok ? 1 : 0);
+      put_pod<std::uint8_t>(out, r.degraded ? 1 : 0);
+      put_pod<std::uint32_t>(out, r.variants_failed);
+      put_pod<std::uint32_t>(out, r.variants_total);
     }
     put_pod<std::uint64_t>(out, history.best_fom_after.size());
     out.write(reinterpret_cast<const char*>(history.best_fom_after.data()),
@@ -168,7 +171,7 @@ RunCheckpoint load_checkpoint(const std::string& path) {
 
   RunCheckpoint ckpt;
   ckpt.version = get_pod<std::uint32_t>(in);
-  if (ckpt.version != kCheckpointFormatVersion)
+  if (ckpt.version != 1 && ckpt.version != kCheckpointFormatVersion)
     throw std::runtime_error("checkpoint: unsupported format version " +
                              std::to_string(ckpt.version));
   ckpt.seed = get_pod<std::uint64_t>(in);
@@ -190,6 +193,12 @@ RunCheckpoint load_checkpoint(const std::string& path) {
     r.fom = get_pod<double>(in);
     r.feasible = get_pod<std::uint8_t>(in) != 0;
     r.simulation_ok = get_pod<std::uint8_t>(in) != 0;
+    if (ckpt.version >= 2) {
+      // v1 predates sweeps: its records keep the single-point defaults.
+      r.degraded = get_pod<std::uint8_t>(in) != 0;
+      r.variants_failed = get_pod<std::uint32_t>(in);
+      r.variants_total = get_pod<std::uint32_t>(in);
+    }
     h.records.push_back(std::move(r));
   }
   h.best_fom_after.resize(get_count(in));

@@ -23,9 +23,11 @@ void write_records_csv(const std::string& path, const RunHistory& history,
 void write_trajectory_csv(std::ostream& out, const RunHistory& history);
 void write_trajectory_csv(const std::string& path, const RunHistory& history);
 
-/// Current on-disk checkpoint format version (bumped on layout changes;
-/// load_checkpoint rejects other versions).
-inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+/// Current on-disk checkpoint format version. v2 appends the sweep
+/// provenance fields (degraded / variants_failed / variants_total) to each
+/// record. load_checkpoint still reads v1 snapshots (provenance defaults to
+/// single-point) and rejects anything else.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 2;
 
 /// A resumable snapshot of a run: the full history plus the master seed the
 /// run's RNG streams derive from. Because every optimizer RNG stream is

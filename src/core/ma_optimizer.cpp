@@ -398,6 +398,7 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
               results[i].x = std::move(batch[k]);
               results[i].metrics = std::move(batch_results[k].metrics);
               results[i].simulation_ok = batch_results[k].simulation_ok;
+              copy_provenance(results[i], batch_results[k]);
               outcome = outcomes[k];
             } else {
               results[i] = evaluate_record(problem, std::move(batch[k]));

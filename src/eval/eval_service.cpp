@@ -83,9 +83,58 @@ ckt::EvalResult EvalService::evaluate(const Vec& x) const {
   return result;
 }
 
+ckt::EvalResult EvalService::evaluate_at(const Vec& x, const ckt::ProcessVariation& pv) const {
+  ckt::validate_process_variation(pv);
+  t_last_outcome = EvalOutcome{};  // a throwing call must not leave a stale outcome
+  EvalOutcome outcome;
+  ckt::EvalResult result = evaluate_impl(x, pv, outcome);
+  t_last_outcome = outcome;
+  return result;
+}
+
+std::vector<ckt::EvalResult> EvalService::evaluate_variants(
+    const Vec& x, std::span<const ckt::ProcessVariation> pvs) const {
+  std::vector<ckt::EvalResult> results(pvs.size());
+  if (pvs.empty()) return results;
+
+  // A throwing variant must become a failed result, not a lost sweep: the
+  // sweep engine owns partial-failure semantics and needs every slot filled.
+  const auto run_one = [this, &x, &pvs, &results](std::size_t i) {
+    EvalOutcome outcome;
+    try {
+      results[i] = evaluate_impl(x, pvs[i], outcome);
+    } catch (...) {
+      results[i].metrics = inner_->failure_metrics();
+      results[i].simulation_ok = false;
+    }
+  };
+
+  if (pvs.size() == 1) {
+    run_one(0);
+    return results;
+  }
+  ThreadPool& pool = batch_pool();
+  std::vector<std::future<void>> futures;
+  futures.reserve(pvs.size());
+  for (std::size_t i = 0; i < pvs.size(); ++i)
+    futures.push_back(pool.submit([&run_one, i] { run_one(i); }));
+  for (auto& fut : futures) fut.get();
+  return results;
+}
+
 ckt::EvalResult EvalService::evaluate_impl(const Vec& x, EvalOutcome& outcome) const {
+  return evaluate_impl(x, ckt::ProcessVariation{}, outcome);
+}
+
+ckt::EvalResult EvalService::evaluate_impl(const Vec& x, const ckt::ProcessVariation& pv,
+                                           EvalOutcome& outcome) const {
   requested_.fetch_add(1, std::memory_order_relaxed);
-  const CacheKey key = make_cache_key(problem_fp_, x, config_.quant_epsilon);
+  // Per-variant content address: an enabled variation folds its fingerprint
+  // into the problem fingerprint, so every corner / MC instance of a design
+  // caches (and dedups) independently; nominal keys are unchanged.
+  const std::uint64_t fp =
+      pv.enabled() ? problem_fp_ ^ variation_fingerprint(pv) : problem_fp_;
+  const CacheKey key = make_cache_key(fp, x, config_.quant_epsilon);
 
   // Fast path: already cached.
   if (auto metrics = cache_->lookup(key)) {
@@ -136,11 +185,14 @@ ckt::EvalResult EvalService::evaluate_impl(const Vec& x, EvalOutcome& outcome) c
   // same-topology designs reuse one prepared testbench and its solver
   // workspaces instead of rebuilding everything per design.
   simulations_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_ptr<ckt::EvalSession> session = acquire_session();
+  // Pooled sessions are pinned to the nominal variation (the service-lifetime
+  // assumption use_sessions documents); varied evaluations go through the
+  // thread-safe variation-pinned primitive instead.
+  std::unique_ptr<ckt::EvalSession> session = pv.enabled() ? nullptr : acquire_session();
   ckt::EvalResult result;
   Stopwatch timer;
   try {
-    result = session != nullptr ? session->evaluate(x) : inner_->evaluate(x);
+    result = session != nullptr ? session->evaluate(x) : inner_->evaluate_at(x, pv);
   } catch (...) {
     // Keep the waiters and the in-flight map consistent even when the inner
     // problem throws (possible when the service wraps a raw problem rather
@@ -163,7 +215,7 @@ ckt::EvalResult EvalService::evaluate_impl(const Vec& x, EvalOutcome& outcome) c
 
   release_session(std::move(session));  // the throw path drops it instead
 
-  if (result.simulation_ok) cache_->insert(key, problem_fp_, x, result.metrics);
+  if (result.simulation_ok) cache_->insert(key, fp, x, result.metrics);
   flight->outcome = outcome;
   {
     const MutexLock lock(inflight_mutex_);

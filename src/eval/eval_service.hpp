@@ -39,6 +39,7 @@
 
 #include "circuits/resilient_problem.hpp"
 #include "circuits/sizing_problem.hpp"
+#include "circuits/variation_sweep.hpp"
 #include "eval/result_cache.hpp"
 
 namespace maopt {
@@ -86,7 +87,7 @@ struct EvalOutcome {
   ckt::ResilientEvaluator::CallStats call;  ///< inner resilient stats (producer's)
 };
 
-class EvalService final : public ckt::SizingProblem {
+class EvalService final : public ckt::SizingProblem, public ckt::SweepBackend {
  public:
   /// `inner` is not owned and must outlive this service. When `inner` is a
   /// ResilientEvaluator its per-call retry/failure stats are captured on the
@@ -110,6 +111,25 @@ class EvalService final : public ckt::SizingProblem {
   /// Point path: cache lookup -> in-flight join -> simulate. Thread-safe
   /// whenever the inner problem's evaluate() is.
   ckt::EvalResult evaluate(const Vec& x) const override;
+
+  /// Variation-pinned point path: same cache/dedup pipeline under a
+  /// per-variant key (problem fingerprint folded with the variation
+  /// fingerprint when `pv` is enabled — nominal keys are unchanged, so
+  /// existing journals stay valid). Enabled variations bypass the pooled
+  /// sessions (those are pinned to the nominal setting) and evaluate through
+  /// the inner problem's evaluate_at.
+  ckt::EvalResult evaluate_at(const Vec& x,
+                              const ckt::ProcessVariation& pv) const override;
+  bool supports_process_variation() const override {
+    return inner_->supports_process_variation();
+  }
+
+  /// SweepBackend: fans one design's variants over the batch pool, each
+  /// through the variation-pinned point path above. A variant whose
+  /// simulation throws is returned as a failed EvalResult — partial failure
+  /// is the expected case for sweep callers (variation_sweep.hpp).
+  std::vector<ckt::EvalResult> evaluate_variants(
+      const Vec& x, std::span<const ckt::ProcessVariation> pvs) const override;
 
   /// Batched path: evaluates every design over the internal pool (duplicates
   /// within the batch coalesce onto one simulation). Results are positional.
@@ -143,6 +163,8 @@ class EvalService final : public ckt::SizingProblem {
   };
 
   ckt::EvalResult evaluate_impl(const Vec& x, EvalOutcome& outcome) const;
+  ckt::EvalResult evaluate_impl(const Vec& x, const ckt::ProcessVariation& pv,
+                                EvalOutcome& outcome) const;
   ThreadPool& batch_pool() const;
 
   /// Session pool: producers check a session out for the duration of one

@@ -78,6 +78,13 @@ std::uint64_t problem_fingerprint(const ckt::SizingProblem& problem) {
   return h;
 }
 
+std::uint64_t variation_fingerprint(const ckt::ProcessVariation& pv) {
+  if (!pv.enabled()) return 0;
+  const double fields[6] = {pv.sigma_vth,      pv.sigma_kp_rel,  pv.nmos_vth_shift,
+                            pv.pmos_vth_shift, pv.nmos_kp_factor, pv.pmos_kp_factor};
+  return hash_design(fields, 0.0, hash_u64(pv.seed, kKeySeedLo));
+}
+
 CacheKey make_cache_key(std::uint64_t problem_fp, std::span<const double> x, double epsilon) {
   CacheKey key;
   key.hi = hash_design(x, epsilon, hash_u64(problem_fp, kKeySeedHi));

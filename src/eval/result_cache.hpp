@@ -63,6 +63,14 @@ std::uint64_t problem_fingerprint(const ckt::SizingProblem& problem);
 
 CacheKey make_cache_key(std::uint64_t problem_fp, std::span<const double> x, double epsilon);
 
+/// Stable identity hash of a process-variation setting, folded into the
+/// problem fingerprint for per-variant cache keys: corner and Monte Carlo
+/// results are addressed separately from nominal ones (and from each other),
+/// so a sweep never aliases a nominal cache entry. Returns 0 for a disabled
+/// (all-default) variation — callers skip the fold so nominal keys, and with
+/// them every pre-existing journal, stay byte-identical.
+std::uint64_t variation_fingerprint(const ckt::ProcessVariation& pv);
+
 /// One cached evaluation: the exact design simulated (not the quantized
 /// bucket) and its metric vector. `problem_fp` routes warm starts to the
 /// right problem when one journal holds several.

@@ -98,6 +98,44 @@ struct CheckpointWritten {
   std::uint64_t bytes = 0;
 };
 
+/// One corner / Monte Carlo sweep opening (circuits/variation_sweep.hpp).
+/// Sweep events are bracketed: every SweepStarted is followed by exactly
+/// `variants` SweepVariantEvaluated events and one SweepCompleted with the
+/// same sweep_id, with no events of another sweep interleaved (the engine
+/// buffers and emits the whole bracket atomically at sweep end, so the
+/// guarantee holds even when sweeps for different designs run concurrently).
+struct SweepStarted {
+  std::uint64_t sweep_id = 0;  ///< unique per engine instance, monotonic
+  std::string kind;            ///< "corners" or "monte-carlo"
+  std::string aggregation;     ///< to_string(RobustAggregation)
+  std::uint64_t variants = 0;  ///< sweep width (corners or MC instances)
+};
+
+/// One variant of a sweep finished (or was short-circuited). Exactly one of
+/// {ok, failed, skipped} holds per variant: ok = usable metrics, skipped =
+/// a tripped circuit breaker suppressed the simulation, otherwise failed.
+struct SweepVariantEvaluated {
+  std::uint64_t sweep_id = 0;
+  std::uint64_t variant = 0;  ///< 0-based index within the sweep
+  std::string label;          ///< corner name ("ss") or MC tag ("mc17")
+  bool ok = false;
+  bool skipped = false;   ///< breaker open: no simulation was attempted
+  double fom0 = 0.0;      ///< metrics[0] of the variant (0 when not ok)
+  double seconds = 0.0;   ///< wall-clock of this variant's evaluation
+};
+
+/// Sweep closing bracket: tallies plus the failure-policy provenance that
+/// also lands in the aggregate EvalResult.
+struct SweepCompleted {
+  std::uint64_t sweep_id = 0;
+  std::uint64_t variants_ok = 0;
+  std::uint64_t variants_failed = 0;
+  std::uint64_t variants_skipped = 0;
+  bool degraded = false;  ///< a partial-failure policy shaped the aggregate
+  std::string policy;     ///< to_string(SweepFailurePolicy) in force
+  double seconds = 0.0;   ///< wall-clock of the whole sweep
+};
+
 struct RunFinished {
   std::string algorithm;
   std::uint64_t simulations = 0;  ///< post-initial simulations performed

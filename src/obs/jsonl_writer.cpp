@@ -216,4 +216,64 @@ void JsonlObserver::on_run_finished(const RunFinished& e) {
   write_line(line);
 }
 
+void JsonlObserver::on_sweep_started(const SweepStarted& e) {
+  std::string line = event_head("sweep_started");
+  line += ",\"sweep_id\":";
+  append_u64(line, e.sweep_id);
+  line += ",\"kind\":";
+  append_string(line, e.kind);
+  line += ",\"aggregation\":";
+  append_string(line, e.aggregation);
+  line += ",\"variants\":";
+  append_u64(line, e.variants);
+  line += ",\"t\":";
+  append_double(line, since_open_.elapsed_seconds());
+  line += '}';
+  write_line(line);
+}
+
+void JsonlObserver::on_sweep_variant_evaluated(const SweepVariantEvaluated& e) {
+  std::string line = event_head("sweep_variant");
+  line += ",\"sweep_id\":";
+  append_u64(line, e.sweep_id);
+  line += ",\"variant\":";
+  append_u64(line, e.variant);
+  line += ",\"label\":";
+  append_string(line, e.label);
+  line += ",\"ok\":";
+  append_bool(line, e.ok);
+  line += ",\"skipped\":";
+  append_bool(line, e.skipped);
+  line += ",\"fom0\":";
+  append_double(line, e.fom0);
+  line += ",\"seconds\":";
+  append_double(line, e.seconds);
+  line += ",\"t\":";
+  append_double(line, since_open_.elapsed_seconds());
+  line += '}';
+  write_line(line);
+}
+
+void JsonlObserver::on_sweep_completed(const SweepCompleted& e) {
+  std::string line = event_head("sweep_completed");
+  line += ",\"sweep_id\":";
+  append_u64(line, e.sweep_id);
+  line += ",\"ok\":";
+  append_u64(line, e.variants_ok);
+  line += ",\"failed\":";
+  append_u64(line, e.variants_failed);
+  line += ",\"skipped\":";
+  append_u64(line, e.variants_skipped);
+  line += ",\"degraded\":";
+  append_bool(line, e.degraded);
+  line += ",\"policy\":";
+  append_string(line, e.policy);
+  line += ",\"seconds\":";
+  append_double(line, e.seconds);
+  line += ",\"t\":";
+  append_double(line, since_open_.elapsed_seconds());
+  line += '}';
+  write_line(line);
+}
+
 }  // namespace maopt::obs

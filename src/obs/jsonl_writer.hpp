@@ -29,6 +29,9 @@ class JsonlObserver final : public RunObserver {
   void on_iteration_completed(const IterationCompleted& event) override;
   void on_checkpoint_written(const CheckpointWritten& event) override;
   void on_run_finished(const RunFinished& event) override;
+  void on_sweep_started(const SweepStarted& event) override;
+  void on_sweep_variant_evaluated(const SweepVariantEvaluated& event) override;
+  void on_sweep_completed(const SweepCompleted& event) override;
 
  private:
   /// Appends one line and flushes (the crash-safety contract). Serialized by

@@ -43,4 +43,19 @@ void MulticastObserver::on_run_finished(const RunFinished& event) {
   for (RunObserver* sink : sinks_) sink->on_run_finished(event);
 }
 
+void MulticastObserver::on_sweep_started(const SweepStarted& event) {
+  const MutexLock lock(mutex_);
+  for (RunObserver* sink : sinks_) sink->on_sweep_started(event);
+}
+
+void MulticastObserver::on_sweep_variant_evaluated(const SweepVariantEvaluated& event) {
+  const MutexLock lock(mutex_);
+  for (RunObserver* sink : sinks_) sink->on_sweep_variant_evaluated(event);
+}
+
+void MulticastObserver::on_sweep_completed(const SweepCompleted& event) {
+  const MutexLock lock(mutex_);
+  for (RunObserver* sink : sinks_) sink->on_sweep_completed(event);
+}
+
 }  // namespace maopt::obs

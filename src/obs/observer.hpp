@@ -36,6 +36,15 @@ class RunObserver {
   virtual void on_iteration_completed(const IterationCompleted& /*event*/) {}
   virtual void on_checkpoint_written(const CheckpointWritten& /*event*/) {}
   virtual void on_run_finished(const RunFinished& /*event*/) {}
+
+  /// Sweep brackets (circuits/variation_sweep.hpp). Unlike the run events
+  /// above, these may arrive from whichever thread evaluated the sweep — the
+  /// engine serializes whole brackets under its own mutex, so brackets never
+  /// interleave, but a sink shared with a concurrent driver must be
+  /// thread-safe (JsonlObserver and MulticastObserver are).
+  virtual void on_sweep_started(const SweepStarted& /*event*/) {}
+  virtual void on_sweep_variant_evaluated(const SweepVariantEvaluated& /*event*/) {}
+  virtual void on_sweep_completed(const SweepCompleted& /*event*/) {}
 };
 
 /// Fans every event out to a list of sinks (e.g. JSONL file + in-memory
@@ -59,6 +68,9 @@ class MulticastObserver final : public RunObserver {
   void on_iteration_completed(const IterationCompleted& event) override;
   void on_checkpoint_written(const CheckpointWritten& event) override;
   void on_run_finished(const RunFinished& event) override;
+  void on_sweep_started(const SweepStarted& event) override;
+  void on_sweep_variant_evaluated(const SweepVariantEvaluated& event) override;
+  void on_sweep_completed(const SweepCompleted& event) override;
 
  private:
   mutable Mutex mutex_;
@@ -92,6 +104,15 @@ class RunTelemetry {
   }
   void emit(const RunFinished& event) {
     if (observer_ != nullptr) observer_->on_run_finished(event);
+  }
+  void emit(const SweepStarted& event) {
+    if (observer_ != nullptr) observer_->on_sweep_started(event);
+  }
+  void emit(const SweepVariantEvaluated& event) {
+    if (observer_ != nullptr) observer_->on_sweep_variant_evaluated(event);
+  }
+  void emit(const SweepCompleted& event) {
+    if (observer_ != nullptr) observer_->on_sweep_completed(event);
   }
 
  private:

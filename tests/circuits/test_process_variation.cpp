@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "circuits/analytic_problems.hpp"
 #include "circuits/two_stage_ota.hpp"
@@ -118,6 +119,73 @@ TEST(EstimateYield, ZeroSigmaYieldMatchesNominalFeasibility) {
   const bool nominal_feasible = p.feasible(p.evaluate(x).metrics);
   const YieldResult y = estimate_yield(p, x, 3, 0.0, 0.0);
   EXPECT_EQ(y.yield(), nominal_feasible ? 1.0 : 0.0);
+}
+
+TEST(ValidateProcessVariation, ContractChecks) {
+  EXPECT_NO_THROW(validate_process_variation(ProcessVariation{}));
+
+  ProcessVariation negative_sigma;
+  negative_sigma.sigma_vth = -0.01;
+  EXPECT_THROW(validate_process_variation(negative_sigma), std::invalid_argument);
+
+  ProcessVariation nan_sigma;
+  nan_sigma.sigma_kp_rel = std::nan("");
+  EXPECT_THROW(validate_process_variation(nan_sigma), std::invalid_argument);
+
+  ProcessVariation inf_shift;
+  inf_shift.nmos_vth_shift = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(validate_process_variation(inf_shift), std::invalid_argument);
+
+  ProcessVariation zero_kp;
+  zero_kp.pmos_kp_factor = 0.0;
+  EXPECT_THROW(validate_process_variation(zero_kp), std::invalid_argument);
+
+  ProcessVariation negative_kp;
+  negative_kp.nmos_kp_factor = -1.0;
+  EXPECT_THROW(validate_process_variation(negative_kp), std::invalid_argument);
+}
+
+TEST(EvaluateAt, RejectsEnabledVariationOnUnawareProblem) {
+  ConstrainedQuadratic p(3);
+  ProcessVariation pv;
+  pv.sigma_vth = 0.02;
+  EXPECT_THROW(p.evaluate_at({0.3, 0.3, 0.3}, pv), std::invalid_argument);
+  EXPECT_THROW(p.make_session_at(pv), std::invalid_argument);
+  // Nominal pv is fine and matches evaluate().
+  const Vec x{0.3, 0.3, 0.3};
+  EXPECT_EQ(p.evaluate_at(x, ProcessVariation{}).metrics, p.evaluate(x).metrics);
+}
+
+TEST(EvaluateAt, DoesNotTouchAmbientVariationState) {
+  TwoStageOta p;
+  const Vec x = p.clip({1.0, 1.0, 1.0, 0.5, 0.5, 20, 10, 5, 40, 20, 2.0, 500, 1000, 4, 4, 4});
+  const auto nominal = p.evaluate(x);
+
+  ProcessVariation pv;
+  pv.sigma_vth = 0.02;
+  pv.seed = 7;
+  const auto varied = p.evaluate_at(x, pv);
+  ASSERT_TRUE(varied.simulation_ok);
+  EXPECT_NE(varied.metrics, nominal.metrics);
+  // The ambient state was never mutated: evaluate() still reports nominal.
+  EXPECT_EQ(p.evaluate(x).metrics, nominal.metrics);
+
+  // evaluate_at matches the legacy set_process_variation + evaluate result.
+  p.set_process_variation(pv);
+  EXPECT_EQ(p.evaluate(x).metrics, varied.metrics);
+  p.set_process_variation(ProcessVariation{});
+}
+
+TEST(EvaluateAt, SessionPinnedToVariationMatchesEvaluateAt) {
+  TwoStageOta p;
+  const Vec x = p.clip({1.0, 1.0, 1.0, 0.5, 0.5, 20, 10, 5, 40, 20, 2.0, 500, 1000, 4, 4, 4});
+  ProcessVariation pv;
+  pv.sigma_vth = 0.015;
+  pv.seed = 3;
+  const auto direct = p.evaluate_at(x, pv);
+  auto session = p.make_session_at(pv);
+  EXPECT_EQ(session->evaluate(x).metrics, direct.metrics);
+  EXPECT_EQ(session->evaluate(x).metrics, direct.metrics);  // reusable
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "../support/variation_test_problems.hpp"
 #include "circuits/analytic_problems.hpp"
 
 namespace maopt::ckt {
@@ -270,6 +271,91 @@ TEST(FaultInjection, RejectsInvalidRates) {
   cfg.throw_rate = 0.6;
   cfg.nan_rate = 0.6;
   EXPECT_THROW(FaultInjectingProblem(inner, cfg), std::invalid_argument);
+}
+
+TEST(FaultInjection, NominalEvaluateAtMatchesEvaluateFaultDecisions) {
+  // Fault decisions at nominal are pure in (seed, x): evaluate_at with a
+  // disabled variation must draw exactly the same faults as evaluate().
+  ConstrainedQuadratic inner(3);
+  FaultInjectionConfig cfg;
+  cfg.nan_rate = 0.5;
+  cfg.seed = 11;
+  const FaultInjectingProblem a(inner, cfg);
+  const FaultInjectingProblem b(inner, cfg);
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const Vec x = inner.random_design(rng);
+    const EvalResult via_evaluate = a.evaluate(x);
+    const EvalResult via_at = b.evaluate_at(x, ProcessVariation{});
+    EXPECT_EQ(via_evaluate.simulation_ok, via_at.simulation_ok);
+    const bool a_nan = std::isnan(via_evaluate.metrics[0]);
+    const bool b_nan = std::isnan(via_at.metrics[0]);
+    EXPECT_EQ(a_nan, b_nan);
+  }
+}
+
+TEST(FaultInjection, VariantsDrawIndependentDeterministicFaults) {
+  // Under an enabled variation the fault decision folds in pv, so each
+  // corner / instance draws its own fault — deterministically.
+  testing::VariedAnalytic inner;
+  FaultInjectionConfig cfg;
+  cfg.nan_rate = 0.5;
+  cfg.seed = 23;
+  const FaultInjectingProblem faulty(inner, cfg);
+  Rng rng(9);
+  int diverged = 0;
+  for (int i = 0; i < 30; ++i) {
+    const Vec x = inner.random_design(rng);
+    ProcessVariation pv;
+    pv.sigma_vth = 0.02;
+    pv.seed = 1;
+    const EvalResult first = faulty.evaluate_at(x, pv);
+    EXPECT_EQ(faulty.evaluate_at(x, pv).simulation_ok, first.simulation_ok);  // replayable
+    pv.seed = 2;
+    const EvalResult second = faulty.evaluate_at(x, pv);
+    const bool first_nan = std::isnan(first.metrics[0]);
+    const bool second_nan = std::isnan(second.metrics[0]);
+    if (first_nan != second_nan) ++diverged;
+  }
+  EXPECT_GT(diverged, 0);  // at ~50% rates the two variants must disagree somewhere
+}
+
+TEST(ResilientEvaluator, EvaluateAtRetriesAndScrubsPerVariant) {
+  // The full deadline/retry/scrub pipeline applies to variation-pinned
+  // evaluations too, and forwards pv on every attempt.
+  testing::VariedAnalytic inner;
+  FaultInjectionConfig cfg;
+  cfg.nan_rate = 0.4;
+  cfg.seed = 31;
+  const FaultInjectingProblem faulty(inner, cfg);
+  ResilientConfig rcfg;
+  rcfg.max_retries = 2;
+  const ResilientEvaluator res(faulty, rcfg);
+  EXPECT_TRUE(res.supports_process_variation());
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    ProcessVariation pv;
+    pv.sigma_vth = 0.05;
+    pv.seed = static_cast<std::uint64_t>(i);
+    EvalResult r;
+    EXPECT_NO_THROW(r = res.evaluate_at(inner.random_design(rng), pv));
+    for (const double m : r.metrics) EXPECT_TRUE(std::isfinite(m));
+  }
+  EXPECT_GT(faulty.injected(), 0u);
+}
+
+TEST(ResilientEvaluator, SessionAtMatchesEvaluateAt) {
+  testing::VariedAnalytic inner;
+  const ResilientEvaluator res(inner);  // no deadline -> wrapping session
+  ProcessVariation pv;
+  pv.sigma_vth = 0.03;
+  pv.seed = 5;
+  auto session = res.make_session_at(pv);
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) {
+    const Vec x = inner.random_design(rng);
+    EXPECT_EQ(session->evaluate(x).metrics, res.evaluate_at(x, pv).metrics);
+  }
 }
 
 TEST(ResilientOverFaultInjection, EndToEndNeverThrowsAndScrubs) {

@@ -7,8 +7,10 @@
 #include <thread>
 #include <vector>
 
+#include "../support/variation_test_problems.hpp"
 #include "circuits/analytic_problems.hpp"
 #include "circuits/resilient_problem.hpp"
+#include "circuits/robust_problem.hpp"
 #include "circuits/two_stage_ota.hpp"
 #include "common/rng.hpp"
 
@@ -34,6 +36,16 @@ class CountingProblem final : public ckt::SizingProblem {
     calls.fetch_add(1, std::memory_order_relaxed);
     if (hook) hook(x);
     return inner_->evaluate(x);
+  }
+
+  ckt::EvalResult evaluate_at(const Vec& x, const ckt::ProcessVariation& pv) const override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    if (hook) hook(x);
+    return inner_->evaluate_at(x, pv);
+  }
+
+  bool supports_process_variation() const override {
+    return inner_->supports_process_variation();
   }
 
   mutable std::atomic<int> calls{0};
@@ -398,6 +410,117 @@ TEST(EvalServiceSessions, CircuitBatchThroughSessionsMatchesPointPath) {
   EXPECT_EQ(c.hits + c.misses, c.requested);
   EXPECT_EQ(c.simulations, c.misses - c.coalesced);
   EXPECT_EQ(c.simulations, 3u) << "duplicate design must not re-simulate";
+}
+
+TEST(ServiceSweep, EvaluateAtUsesPerVariantCacheKeys) {
+  ckt::testing::VariedAnalytic varied;
+  CountingProblem counting(varied);
+  EvalServiceConfig config;
+  config.use_sessions = false;  // CountingProblem counts evaluate() only
+  EvalService service(counting, config);
+
+  const Vec x{0.4, 0.6};
+  ckt::ProcessVariation corner;
+  corner.nmos_vth_shift = 0.03;
+
+  const auto nominal = service.evaluate(x);
+  const auto at_corner = service.evaluate_at(x, corner);
+  EXPECT_NE(nominal.metrics, at_corner.metrics);
+  // A corner result must never be served from the nominal cache entry (or
+  // vice versa), but repeats of either key are pure hits.
+  EXPECT_EQ(service.evaluate(x).metrics, nominal.metrics);
+  EXPECT_EQ(service.evaluate_at(x, corner).metrics, at_corner.metrics);
+  const auto c = service.counters();
+  EXPECT_EQ(c.requested, 4u);
+  EXPECT_EQ(c.hits, 2u);
+  EXPECT_EQ(c.misses, 2u);
+}
+
+TEST(ServiceSweep, NominalEvaluateAtSharesTheNominalKey) {
+  ckt::ConstrainedQuadratic quad(3);
+  CountingProblem counting(quad);
+  EvalService service(counting);
+  const Vec x{0.3, 0.3, 0.3};
+  service.evaluate(x);
+  // A disabled variation is the nominal key: pure cache hit, no new sim.
+  service.evaluate_at(x, ckt::ProcessVariation{});
+  const auto c = service.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(counting.calls.load(), 1);
+}
+
+TEST(ServiceSweep, EvaluateVariantsMatchesDirectEvaluateAt) {
+  ckt::testing::VariedAnalytic varied;
+  EvalServiceConfig config;
+  config.num_threads = 4;
+  EvalService service(varied, config);
+
+  std::vector<ckt::ProcessVariation> pvs(6);
+  for (std::size_t k = 0; k < pvs.size(); ++k) {
+    pvs[k].sigma_vth = 0.04;
+    pvs[k].seed = k + 1;
+  }
+  const Vec x{0.2, 0.7};
+  const auto batched = service.evaluate_variants(x, pvs);
+  ASSERT_EQ(batched.size(), pvs.size());
+  for (std::size_t k = 0; k < pvs.size(); ++k) {
+    const auto direct = varied.evaluate_at(x, pvs[k]);
+    EXPECT_EQ(batched[k].metrics, direct.metrics) << "variant " << k;
+    EXPECT_TRUE(batched[k].simulation_ok) << "variant " << k;
+  }
+  // Re-running the same sweep is all cache hits.
+  (void)service.evaluate_variants(x, pvs);
+  const auto c = service.counters();
+  EXPECT_EQ(c.requested, 12u);
+  EXPECT_EQ(c.hits, 6u);
+  EXPECT_EQ(c.simulations, 6u);
+}
+
+TEST(ServiceSweep, ThrowingVariantIsReportedFailedNotPropagated) {
+  ckt::testing::VariedAnalytic varied;
+  ckt::FaultInjectionConfig fcfg;
+  fcfg.throw_rate = 1.0;
+  ckt::FaultInjectingProblem faulty(varied, fcfg);
+  EvalService service(faulty);
+  std::vector<ckt::ProcessVariation> pvs(3);
+  for (std::size_t k = 0; k < pvs.size(); ++k) {
+    pvs[k].sigma_vth = 0.02;
+    pvs[k].seed = k;
+  }
+  std::vector<ckt::EvalResult> results;
+  ASSERT_NO_THROW(results = service.evaluate_variants({0.5, 0.5}, pvs));
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.simulation_ok);
+    EXPECT_EQ(r.metrics, faulty.failure_metrics());
+  }
+}
+
+TEST(ServiceSweep, SweepProblemOverServiceRunsBatched) {
+  // The full tentpole stack: VariationSweepProblem detects the service as a
+  // SweepBackend and fans corners through it, with per-variant caching.
+  ckt::testing::VariedAnalytic varied;
+  EvalServiceConfig config;
+  config.num_threads = 4;
+  EvalService service(varied, config);
+  ckt::RobustProblem robust(service, ckt::RobustConfig{});
+  EXPECT_TRUE(robust.batched());
+
+  const Vec x{0.25, 0.25};
+  const auto via_service = robust.evaluate(x);
+  ckt::RobustProblem serial(varied, ckt::RobustConfig{});
+  EXPECT_FALSE(serial.batched());
+  const auto via_serial = serial.evaluate(x);
+  ASSERT_TRUE(via_service.simulation_ok);
+  EXPECT_EQ(via_service.metrics, via_serial.metrics);  // batched == serial, bitwise
+
+  // Second sweep of the same design: all five corners served from cache.
+  (void)robust.evaluate(x);
+  const auto c = service.counters();
+  EXPECT_EQ(c.requested, 10u);
+  EXPECT_EQ(c.hits, 5u);
+  EXPECT_EQ(c.simulations, 5u);
 }
 
 }  // namespace

@@ -11,8 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "../support/variation_test_problems.hpp"
 #include "circuits/analytic_problems.hpp"
 #include "circuits/resilient_problem.hpp"
+#include "circuits/robust_problem.hpp"
 #include "core/ma_optimizer.hpp"
 #include "core/random_search.hpp"
 #include "obs/jsonl_writer.hpp"
@@ -307,6 +309,82 @@ TEST_F(JsonlFixture, FaultInjectedRunStaysParseableLineByLine) {
   EXPECT_GT(retried_or_failed + 0u, 0u);
   EXPECT_GT(faulty.injected(), 0u);
   std::remove(path.c_str());
+}
+
+TEST_F(JsonlFixture, SweepBracketsWriteTheDocumentedSchema) {
+  ckt::testing::VariedAnalytic varied;
+  ckt::testing::SeedFailInjector faulty(varied, {1});
+  ckt::RobustConfig rconfig;  // 5 corners, penalize-failed
+  ckt::RobustProblem robust(faulty, rconfig);
+
+  const std::string path = temp_path("maopt_jsonl_sweep.jsonl");
+  std::remove(path.c_str());
+  {
+    JsonlObserver sink(path);
+    robust.set_observer(&sink);
+    robust.evaluate({0.3, 0.3});
+    robust.evaluate({0.6, 0.6});
+  }
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u * (1 + 5 + 1));
+  int started = 0, variants = 0, completed = 0;
+  std::string open_id;  // sweep_id of the open bracket, "" when closed
+  for (const auto& line : lines) {
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(parse_line(line, &fields)) << line;
+    const std::string& kind = fields["event"];
+    if (kind == "sweep_started") {
+      ++started;
+      EXPECT_TRUE(open_id.empty()) << "bracket interleaving: " << line;
+      for (const char* key : {"sweep_id", "kind", "aggregation", "variants", "t"})
+        EXPECT_EQ(fields.count(key), 1u) << key << " missing: " << line;
+      EXPECT_EQ(fields["kind"], "corners");
+      EXPECT_EQ(fields["aggregation"], "worst-case");
+      open_id = "open";
+    } else if (kind == "sweep_variant") {
+      ++variants;
+      EXPECT_FALSE(open_id.empty()) << "variant outside bracket: " << line;
+      for (const char* key : {"sweep_id", "variant", "label", "ok", "skipped", "fom0",
+                              "seconds", "t"})
+        EXPECT_EQ(fields.count(key), 1u) << key << " missing: " << line;
+    } else if (kind == "sweep_completed") {
+      ++completed;
+      EXPECT_FALSE(open_id.empty()) << "completed outside bracket: " << line;
+      for (const char* key : {"sweep_id", "ok", "failed", "skipped", "degraded", "policy",
+                              "seconds", "t"})
+        EXPECT_EQ(fields.count(key), 1u) << key << " missing: " << line;
+      EXPECT_EQ(fields["policy"], "penalize-failed");
+      open_id.clear();
+    } else {
+      ADD_FAILURE() << "unexpected event kind in sweep-only stream: " << line;
+    }
+  }
+  EXPECT_EQ(started, 2);
+  EXPECT_EQ(variants, 10);
+  EXPECT_EQ(completed, 2);
+  std::remove(path.c_str());
+}
+
+TEST(MulticastObserver, FansOutSweepEvents) {
+  struct CountingSink final : RunObserver {
+    int started = 0, variants = 0, completed = 0;
+    void on_sweep_started(const SweepStarted&) override { ++started; }
+    void on_sweep_variant_evaluated(const SweepVariantEvaluated&) override { ++variants; }
+    void on_sweep_completed(const SweepCompleted&) override { ++completed; }
+  };
+  CountingSink a, b;
+  MulticastObserver multicast;
+  multicast.add(&a);
+  multicast.add(&b);
+  multicast.on_sweep_started(SweepStarted{});
+  multicast.on_sweep_variant_evaluated(SweepVariantEvaluated{});
+  multicast.on_sweep_completed(SweepCompleted{});
+  for (const CountingSink* sink : {&a, &b}) {
+    EXPECT_EQ(sink->started, 1);
+    EXPECT_EQ(sink->variants, 1);
+    EXPECT_EQ(sink->completed, 1);
+  }
 }
 
 }  // namespace

@@ -9,7 +9,20 @@ Checks, per run bracket (run_started .. run_finished):
   * iteration numbers are strictly increasing;
   * span phases are from the documented set and non-negative.
 
-Usage: tools/check_telemetry.py run.jsonl [--expect-runs N]
+Checks, per sweep bracket (sweep_started .. sweep_completed, emitted by
+corner / Monte Carlo sweep problems — see "Robust & yield workloads"):
+  * brackets never interleave: at most one sweep is open at a time, and
+    every sweep_variant / sweep_completed carries the open sweep_id;
+  * a bracket holds exactly the declared number of sweep_variant events;
+  * sweep_completed tallies are consistent: ok + failed + skipped equals
+    the declared variant count and matches the per-variant events;
+  * a variant is never both ok and skipped, and a degraded sweep has both
+    lost variants and survivors (whole-sweep failures report their losses
+    with degraded = false).
+Non-sweep events may appear inside a sweep bracket (evaluating threads
+emit concurrently with the optimizer), but sweep events may not.
+
+Usage: tools/check_telemetry.py run.jsonl [--expect-runs N] [--min-sweeps N]
 Exit code 0 = valid, 1 = violations found (printed to stderr).
 """
 
@@ -23,8 +36,14 @@ EVENT_KINDS = {
     "iteration_completed",
     "checkpoint_written",
     "run_finished",
+    "sweep_started",
+    "sweep_variant",
+    "sweep_completed",
 }
 PHASES = {"critic-train", "actor-train", "simulate", "near-sample", "elite-update"}
+SWEEP_KINDS = {"corners", "monte-carlo"}
+AGGREGATIONS = {"worst-case", "k-sigma", "yield-quantile"}
+POLICIES = {"fail-fast", "penalize-failed", "conservative-bound"}
 
 REQUIRED_KEYS = {
     "run_started": {"algorithm", "problem", "seed", "budget", "num_initial", "dim", "t"},
@@ -41,6 +60,9 @@ REQUIRED_KEYS = {
         "algorithm", "simulations", "best_fom", "feasible", "aborted",
         "abort_reason", "wall_seconds", "counters", "t",
     },
+    "sweep_started": {"sweep_id", "kind", "aggregation", "variants", "t"},
+    "sweep_variant": {"sweep_id", "variant", "label", "ok", "skipped", "fom0", "seconds", "t"},
+    "sweep_completed": {"sweep_id", "ok", "failed", "skipped", "degraded", "policy", "seconds", "t"},
 }
 
 
@@ -56,6 +78,9 @@ class Checker:
         self.cache_misses = 0
         self.cache_coalesced = 0
         self.total_cache_hits = 0  # across all runs, for --min-cache-hits
+        # Open sweep bracket state (None when no sweep is open).
+        self.sweep = None
+        self.sweeps = 0  # completed brackets, for --min-sweeps
 
     def error(self, lineno, msg):
         self.errors.append(f"line {lineno}: {msg}")
@@ -121,6 +146,86 @@ class Checker:
         if not self.in_run:
             self.error(lineno, "checkpoint_written outside a run bracket")
 
+    def on_sweep_started(self, lineno, event):
+        if self.sweep is not None:
+            self.error(lineno, "sweep_started while a sweep bracket is still open "
+                               f"(sweep_id {self.sweep['id']})")
+        if event.get("kind") not in SWEEP_KINDS:
+            self.error(lineno, f"unknown sweep kind {event.get('kind')!r}")
+        if event.get("aggregation") not in AGGREGATIONS:
+            self.error(lineno, f"unknown sweep aggregation {event.get('aggregation')!r}")
+        variants = event.get("variants", 0)
+        if not isinstance(variants, int) or variants < 1:
+            self.error(lineno, f"sweep_started declares {variants!r} variants")
+            variants = 0
+        self.sweep = {
+            "id": event.get("sweep_id"),
+            "variants": variants,
+            "ok": 0,
+            "failed": 0,
+            "skipped": 0,
+        }
+
+    def on_sweep_variant(self, lineno, event):
+        if self.sweep is None:
+            self.error(lineno, "sweep_variant outside a sweep bracket")
+            return
+        if event.get("sweep_id") != self.sweep["id"]:
+            self.error(lineno, f"sweep_variant sweep_id {event.get('sweep_id')} does not "
+                               f"match the open bracket ({self.sweep['id']})")
+        if event.get("seconds", 0) < 0:
+            self.error(lineno, "negative sweep variant seconds")
+        if event.get("ok") and event.get("skipped"):
+            self.error(lineno, "sweep variant both ok and skipped")
+        if event.get("skipped"):
+            self.sweep["skipped"] += 1
+        elif event.get("ok"):
+            self.sweep["ok"] += 1
+        else:
+            self.sweep["failed"] += 1
+        total = self.sweep["ok"] + self.sweep["failed"] + self.sweep["skipped"]
+        if total > self.sweep["variants"]:
+            self.error(lineno, f"more sweep_variant events than the declared "
+                               f"{self.sweep['variants']} variants")
+
+    def on_sweep_completed(self, lineno, event):
+        if self.sweep is None:
+            self.error(lineno, "sweep_completed without sweep_started")
+            return
+        sweep, self.sweep = self.sweep, None
+        self.sweeps += 1
+        if event.get("sweep_id") != sweep["id"]:
+            self.error(lineno, f"sweep_completed sweep_id {event.get('sweep_id')} does not "
+                               f"match the open bracket ({sweep['id']})")
+        if event.get("policy") not in POLICIES:
+            self.error(lineno, f"unknown sweep policy {event.get('policy')!r}")
+        if event.get("seconds", 0) < 0:
+            self.error(lineno, "negative sweep seconds")
+        ok = event.get("ok", 0)
+        failed = event.get("failed", 0)
+        skipped = event.get("skipped", 0)
+        for name, expected, got in (
+            ("ok", sweep["ok"], ok),
+            ("failed", sweep["failed"], failed),
+            ("skipped", sweep["skipped"], skipped),
+        ):
+            if expected != got:
+                self.error(lineno, f"sweep_completed {name}={got} but the bracket has "
+                                   f"{expected} such sweep_variant events")
+        if ok + failed + skipped != sweep["variants"]:
+            self.error(lineno, f"sweep tallies ({ok} + {failed} + {skipped}) do not cover "
+                               f"the declared {sweep['variants']} variants")
+        # degraded marks a *partial* loss that was absorbed into the
+        # aggregate: it requires lost variants AND survivors. Whole-sweep
+        # failures (fail-fast, every variant down, below min_ok_fraction)
+        # report their losses with degraded = false.
+        if event.get("degraded"):
+            if failed + skipped == 0:
+                self.error(lineno, "sweep marked degraded but no variant failed or was skipped")
+            if ok == 0:
+                self.error(lineno, "sweep marked degraded but no variant succeeded "
+                                   "(should be a whole-sweep failure)")
+
     def on_run_finished(self, lineno, event):
         if not self.in_run:
             self.error(lineno, "run_finished without run_started")
@@ -164,6 +269,8 @@ def main():
                         help="require exactly N run brackets")
     parser.add_argument("--min-cache-hits", type=int, default=None,
                         help="require at least N cache-hit simulations across all runs")
+    parser.add_argument("--min-sweeps", type=int, default=None,
+                        help="require at least N complete sweep brackets")
     args = parser.parse_args()
 
     checker = Checker()
@@ -174,8 +281,12 @@ def main():
                 checker.check_line(lineno, line)
     if checker.in_run:
         checker.error("EOF", "stream ends inside a run bracket (no run_finished)")
+    if checker.sweep is not None:
+        checker.error("EOF", "stream ends inside a sweep bracket (no sweep_completed)")
     if args.expect_runs is not None and checker.runs != args.expect_runs:
         checker.error("EOF", f"expected {args.expect_runs} runs, found {checker.runs}")
+    if args.min_sweeps is not None and checker.sweeps < args.min_sweeps:
+        checker.error("EOF", f"expected >= {args.min_sweeps} sweep brackets, found {checker.sweeps}")
     if args.min_cache_hits is not None and checker.total_cache_hits < args.min_cache_hits:
         checker.error(
             "EOF",
