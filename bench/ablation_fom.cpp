@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
       const ckt::FomEvaluator score_fom(problem, ref, ckt::FomSemantics::Corrected);
 
       core::MaOptimizer opt(core::MaOptConfig::ma_opt());
-      const auto h = opt.run(problem, initial, train_fom, config.seed0 + run, config.sims);
+      const auto h = opt.run(problem, initial, train_fom, {.seed = config.seed0 + run, .simulation_budget = config.sims});
       if (h.best_feasible() != nullptr) ++successes;
       double best = 1e300;
       for (const auto& r : h.records) best = std::min(best, score_fom(r.metrics));

@@ -154,7 +154,7 @@ int main(int argc, char** argv) {
 
     core::MaOptimizer opt(core::MaOptConfig::ma_opt());
     const auto t0 = Clock::now();
-    const auto h = opt.run(problem, init, fom, 7, budget);
+    const auto h = opt.run(problem, init, fom, {.seed = 7, .simulation_budget = budget});
     const double s = seconds_since(t0);
     const double iters_per_s = static_cast<double>(h.simulations_used()) / s;
     std::printf("ma_opt end-to-end: %.2f sims/s (%zu sims, train %.2fs)\n", iters_per_s,

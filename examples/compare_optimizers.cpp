@@ -21,6 +21,13 @@
 int main(int argc, char** argv) {
   using namespace maopt;
   const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::printf(
+        "usage: compare_optimizers [--circuit tia|ota] [--sims N] [--seed N]\n"
+        "                          [--jsonl PATH] [--cache-dir DIR] [--warm-start]\n"
+        "Runs the full algorithm roster on one circuit with a shared initial set.\n");
+    return 0;
+  }
   const auto sims = static_cast<std::size_t>(args.get_int("sims", 60));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const std::string jsonl_path = args.get("jsonl", "");
@@ -35,13 +42,12 @@ int main(int argc, char** argv) {
 
   // With a cache dir the whole roster shares one EvalService (and one result
   // journal): later optimizers hit designs earlier ones already simulated.
-  std::unique_ptr<eval::EvalService> service;
+  std::unique_ptr<serve::ServiceStack> stack;
   const ckt::SizingProblem* eval_target = problem.get();
   if (!cache_dir.empty() || warm_start) {
-    eval::EvalServiceConfig service_config;
-    service_config.cache_dir = cache_dir;
-    service = std::make_unique<eval::EvalService>(*problem, service_config);
-    eval_target = service.get();
+    stack = std::make_unique<serve::ServiceStack>(
+        *problem, serve::ServiceConfig::builder().cache_dir(cache_dir).build());
+    eval_target = &stack->service();
   }
 
   Rng rng(seed);
@@ -81,15 +87,16 @@ int main(int argc, char** argv) {
   for (auto& opt : roster) opt->run(*eval_target, initial, fom, options);
 
   std::printf("%s\n", report.table().c_str());
-  if (service != nullptr) {
-    const auto c = service->counters();
+  if (stack != nullptr) {
+    const eval::EvalService& service = stack->service();
+    const auto c = service.counters();
     std::printf("eval service: %llu requested, %llu hits, %llu misses, %llu coalesced, "
                 "%llu simulations (cache: %zu entries%s%s)\n",
                 static_cast<unsigned long long>(c.requested),
                 static_cast<unsigned long long>(c.hits),
                 static_cast<unsigned long long>(c.misses),
                 static_cast<unsigned long long>(c.coalesced),
-                static_cast<unsigned long long>(c.simulations), service->cache().size(),
+                static_cast<unsigned long long>(c.simulations), service.cache().size(),
                 cache_dir.empty() ? ", memory-only" : ", journal in ", cache_dir.c_str());
   }
   if (jsonl != nullptr) std::printf("event stream: %s\n", jsonl->path().c_str());

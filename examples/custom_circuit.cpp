@@ -81,6 +81,11 @@ class CsAmpProblem final : public ckt::SizingProblem {
 int main(int argc, char** argv) {
   using namespace maopt;
   const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::printf("usage: custom_circuit [--sims N] [--seed N]\n"
+                "Optimizes the hand-rolled common-source amplifier problem.\n");
+    return 0;
+  }
   const auto sims = static_cast<std::size_t>(args.get_int("sims", 50));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2));
 
@@ -92,7 +97,7 @@ int main(int argc, char** argv) {
   const auto fom = ckt::FomEvaluator::fit_reference(problem, rows);
 
   core::MaOptimizer optimizer(core::MaOptConfig::ma_opt());
-  const auto history = optimizer.run(problem, initial, fom, seed, sims);
+  const auto history = optimizer.run(problem, initial, fom, {.seed = seed, .simulation_budget = sims});
 
   const core::SimRecord* best = history.best_feasible();
   if (!best) best = history.best();

@@ -15,6 +15,12 @@
 int main(int argc, char** argv) {
   using namespace maopt;
   const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::printf("usage: fault_tolerance [--fault-rate PCT] [--sims N] [--seed N]\n"
+                "Runs MA-Opt over a faulty simulator, then resumes from a checkpoint\n"
+                "and verifies the trajectories agree.\n");
+    return 0;
+  }
   const auto sims = static_cast<std::size_t>(args.get_int("sims", 40));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
   const double fault_rate = args.get_int("fault-rate", 25) / 100.0;
@@ -50,7 +56,7 @@ int main(int argc, char** argv) {
               circuit.spec().name.c_str(), fault_rate * 100, sims);
 
   core::MaOptimizer opt(cfg);
-  const core::RunHistory h = opt.run(resilient, initial, fom, seed, sims);
+  const core::RunHistory h = opt.run(resilient, initial, fom, {.seed = seed, .simulation_budget = sims});
 
   std::printf("run:      best FoM %.5g  (log10 %.2f), %zu/%zu simulations failed%s\n",
               h.best_fom_after.back(), std::log10(std::max(h.best_fom_after.back(), 1e-12)),

@@ -10,6 +10,11 @@
 int main(int argc, char** argv) {
   using namespace maopt;
   const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::printf("usage: ldo_design [--sims N] [--seed N] [--fine]\n"
+                "Sizes the LDO regulator with MA-Opt (--fine uses full transients).\n");
+    return 0;
+  }
   const auto sims = static_cast<std::size_t>(args.get_int("sims", 60));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
 
@@ -31,7 +36,7 @@ int main(int argc, char** argv) {
   core::MaOptimizer optimizer(core::MaOptConfig::ma_opt());
   std::printf("Optimizing quiescent current with %s (%zu simulations)...\n",
               optimizer.name().c_str(), sims);
-  const auto history = optimizer.run(problem, initial, fom, seed, sims);
+  const auto history = optimizer.run(problem, initial, fom, {.seed = seed, .simulation_budget = sims});
 
   const core::SimRecord* best = history.best_feasible();
   const bool feasible = best != nullptr;

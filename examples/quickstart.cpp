@@ -12,6 +12,11 @@
 int main(int argc, char** argv) {
   using namespace maopt;
   const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::printf("usage: quickstart [--sims N] [--init N] [--seed N]\n"
+                "Sizes the two-stage OTA with MA-Opt and prints the best design.\n");
+    return 0;
+  }
   const auto sims = static_cast<std::size_t>(args.get_int("sims", 60));
   const auto n_init = static_cast<std::size_t>(args.get_int("init", 40));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
@@ -34,7 +39,7 @@ int main(int argc, char** argv) {
   // 3) Optimize.
   core::MaOptimizer optimizer(core::MaOptConfig::ma_opt());
   std::printf("Running %s for %zu simulations...\n", optimizer.name().c_str(), sims);
-  const core::RunHistory history = optimizer.run(problem, initial, fom, seed, sims);
+  const core::RunHistory history = optimizer.run(problem, initial, fom, {.seed = seed, .simulation_budget = sims});
 
   // 4) Report.
   const core::SimRecord* best = history.best_feasible();

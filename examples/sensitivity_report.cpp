@@ -1,7 +1,7 @@
 // Sensitivity report: which design knob moves which metric, at a given
 // design point — printed for the two-stage OTA reference design.
 //
-//   ./examples/sensitivity_report [--rel_step 0.02]
+//   ./examples/sensitivity_report [--rel-step 0.02]
 #include <cstdio>
 
 #include "maopt.hpp"
@@ -9,7 +9,12 @@
 int main(int argc, char** argv) {
   using namespace maopt;
   const CliArgs args(argc, argv);
-  const double rel_step = args.get_double("rel_step", 0.02);
+  if (args.has("help")) {
+    std::printf("usage: sensitivity_report [--rel-step F]\n"
+                "Prints the parameter-to-metric sensitivity table of the OTA.\n");
+    return 0;
+  }
+  const double rel_step = args.get_double("rel-step", 0.02);
 
   ckt::TwoStageOta problem;
   const linalg::Vec x =

@@ -13,10 +13,12 @@
 // (validate with tools/check_telemetry.py <file> --min-sweeps N).
 //
 //   ./examples/yield_analysis [--sims 40] [--init 30] [--mc 64]
-//                             [--sigma_vth 0.01] [--sigma_kp 0.03]
+//                             [--sigma-vth 0.01] [--sigma-kp 0.03]
 //                             [--yield-target 0.9] [--fault-rate 0]
 //                             [--policy penalize-failed] [--threads 4]
 //                             [--jsonl PATH] [--seed 0]
+//
+// (Flag spellings are canonicalized by CliArgs: --sigma_vth == --sigma-vth.)
 //
 // Budgets count sweep evaluations: one --sims unit is 5 corner simulations,
 // and the Monte Carlo step adds --mc instance simulations.
@@ -47,11 +49,20 @@ bool parse_policy(const std::string& name, maopt::ckt::SweepFailurePolicy* out) 
 int main(int argc, char** argv) {
   using namespace maopt;
   const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::printf(
+        "usage: yield_analysis [--sims N] [--init N] [--mc N] [--sigma-vth V]\n"
+        "                      [--sigma-kp F] [--yield-target F] [--fault-rate F]\n"
+        "                      [--policy fail-fast|penalize-failed|conservative-bound]\n"
+        "                      [--threads N] [--jsonl PATH] [--seed N]\n"
+        "Corner-robust MA-Opt run plus Monte-Carlo mismatch yield on the winner.\n");
+    return 0;
+  }
   const auto sims = static_cast<std::size_t>(args.get_int("sims", 40));
   const auto init = static_cast<std::size_t>(args.get_int("init", 30));
   const int mc = static_cast<int>(args.get_int("mc", 64));
-  const double sigma_vth = args.get_double("sigma_vth", 0.01);
-  const double sigma_kp = args.get_double("sigma_kp", 0.03);
+  const double sigma_vth = args.get_double("sigma-vth", 0.01);
+  const double sigma_kp = args.get_double("sigma-kp", 0.03);
   const double yield_target = args.get_double("yield-target", 0.9);
   const double fault_rate = args.get_double("fault-rate", 0.0);
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 4));
@@ -65,16 +76,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // The stack: real OTA, seeded fault injection, batched evaluation service.
+  // The stack: real OTA, seeded fault injection, batched evaluation service —
+  // assembled from one validated ServiceConfig instead of per-layer structs.
   ckt::TwoStageOta ota;
   const ckt::FaultInjectingProblem faulty(
       ota, ckt::FaultInjectionConfig::mixed(fault_rate, seed + 0xFA));
-  eval::EvalServiceConfig service_config;
-  service_config.num_threads = threads;
-  const eval::EvalService service(faulty, service_config);
+  const auto service_config = serve::ServiceConfig::builder()
+                                  .threads(threads)
+                                  .failure_policy(failure_policy)
+                                  .yield_target(yield_target)
+                                  .build();
+  const serve::ServiceStack stack(faulty, service_config);
+  const eval::EvalService& service = stack.service();
 
   ckt::RobustConfig robust_config;
-  robust_config.policy.failure_policy = failure_policy;
+  robust_config.policy = service_config.sweep;
   ckt::RobustProblem robust(service, robust_config);
 
   std::unique_ptr<obs::JsonlObserver> sink;
@@ -95,7 +111,7 @@ int main(int argc, char** argv) {
   const auto fom = ckt::FomEvaluator::fit_reference(robust, rows);
 
   core::MaOptimizer optimizer(core::MaOptConfig::ma_opt());
-  const auto history = optimizer.run(robust, initial, fom, seed, sims);
+  const auto history = optimizer.run(robust, initial, fom, {.seed = seed, .simulation_budget = sims});
   const core::SimRecord* best = history.best_feasible();
   if (best == nullptr) best = history.best();
   std::printf("Best across corners: fom=%.4g, feasible=%s, worst-corner power=%.4g mW\n",
@@ -112,8 +128,7 @@ int main(int argc, char** argv) {
   yield_config.mismatch.instances = mc;
   yield_config.mismatch.sigma_vth = sigma_vth;
   yield_config.mismatch.sigma_kp_rel = sigma_kp;
-  yield_config.policy.failure_policy = failure_policy;
-  yield_config.policy.yield_target = yield_target;
+  yield_config.policy = service_config.sweep;  // failure policy + yield target
   ckt::YieldProblem yield(service, yield_config);
   if (sink) yield.set_observer(sink.get());
 

@@ -1,9 +1,16 @@
 #include "common/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace maopt {
+
+std::string CliArgs::canonical(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), '_', '-');
+  return out;
+}
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -15,34 +22,34 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
     std::string name = arg.substr(2);
     const auto eq = name.find('=');
     if (eq != std::string::npos) {
-      flags_[name.substr(0, eq)] = name.substr(eq + 1);
+      flags_[canonical(name.substr(0, eq))] = name.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      flags_[name] = argv[++i];
+      flags_[canonical(name)] = argv[++i];
     } else {
-      flags_[name] = "true";
+      flags_[canonical(name)] = "true";
     }
   }
 }
 
-bool CliArgs::has(const std::string& name) const { return flags_.count(name) > 0; }
+bool CliArgs::has(const std::string& name) const { return flags_.count(canonical(name)) > 0; }
 
 std::string CliArgs::get(const std::string& name, const std::string& fallback) const {
-  const auto it = flags_.find(name);
+  const auto it = flags_.find(canonical(name));
   return it == flags_.end() ? fallback : it->second;
 }
 
 std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
-  const auto it = flags_.find(name);
+  const auto it = flags_.find(canonical(name));
   return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
-  const auto it = flags_.find(name);
+  const auto it = flags_.find(canonical(name));
   return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
-  const auto it = flags_.find(name);
+  const auto it = flags_.find(canonical(name));
   if (it == flags_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }

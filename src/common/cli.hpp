@@ -1,5 +1,10 @@
 // Minimal command-line flag parsing for the bench/experiment binaries.
 // Supports `--name value`, `--name=value` and boolean `--flag` forms.
+//
+// Flag names are canonicalized: underscores become dashes at parse time and
+// at every lookup, so `--sigma_vth` and `--sigma-vth` are the same flag (the
+// documented spelling is the dashed one; the underscore form exists for
+// backward compatibility with older scripts).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +26,9 @@ class CliArgs {
 
   /// Positional (non-flag) arguments, in order.
   const std::vector<std::string>& positional() const { return positional_; }
+
+  /// The canonical spelling of a flag name: `_` -> `-`.
+  static std::string canonical(const std::string& name);
 
  private:
   std::map<std::string, std::string> flags_;

@@ -48,6 +48,15 @@ RunHistory DeOptimizer::do_run(const SizingProblem& problem,
   // One iteration = one generation; mutation/crossover reports as an
   // ActorTrain span (candidate selection), evaluations as Simulate spans.
   while (sims < simulation_budget) {
+    if (options.control != nullptr) {
+      const RunControl::Signal signal = options.control->poll();
+      if (signal == RunControl::Signal::Kill) {
+        history.aborted = true;
+        history.abort_reason = "killed";
+        break;
+      }
+      if (signal == RunControl::Signal::Pause) break;
+    }
     ++iteration;
     Stopwatch iter_clock;
     std::vector<obs::PhaseSpan> spans;

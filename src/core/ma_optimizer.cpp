@@ -53,7 +53,7 @@ RunHistory MaOptimizer::do_run(const SizingProblem& problem,
                                const std::vector<SimRecord>& initial, const FomEvaluator& fom,
                                const RunOptions& options, obs::RunTelemetry& telemetry) {
   return run_impl(problem, initial, {}, fom, options.seed, options.simulation_budget,
-                  /*checkpoint_timers=*/nullptr, telemetry);
+                  /*checkpoint_timers=*/nullptr, options.control, telemetry);
 }
 
 RunHistory MaOptimizer::resume(const SizingProblem& problem, const RunCheckpoint& checkpoint,
@@ -71,7 +71,8 @@ RunHistory MaOptimizer::resume(const SizingProblem& problem, const RunCheckpoint
   effective.seed = checkpoint.seed;
   emit_run_started(telemetry, name(), problem, initial.size(), effective);
   RunHistory history = run_impl(problem, std::move(initial), std::move(replay), fom,
-                                checkpoint.seed, options.simulation_budget, &h, telemetry);
+                                checkpoint.seed, options.simulation_budget, &h, options.control,
+                                telemetry);
   emit_run_finished(telemetry, history);
   return history;
 }
@@ -86,7 +87,7 @@ RunHistory MaOptimizer::resume(const SizingProblem& problem, const RunCheckpoint
 RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRecord> initial,
                                  std::vector<SimRecord> replay, const FomEvaluator& fom,
                                  std::uint64_t seed, std::size_t simulation_budget,
-                                 const RunHistory* checkpoint_timers,
+                                 const RunHistory* checkpoint_timers, RunControl* control,
                                  obs::RunTelemetry& telemetry) {
   RunHistory history;
   history.algorithm = config_.name;
@@ -256,6 +257,24 @@ RunHistory MaOptimizer::run_impl(const SizingProblem& problem, std::vector<SimRe
   };
 
   for (int t = 1; sims < simulation_budget; ++t) {
+    // Cooperative yield point: records are consistent at iteration
+    // boundaries, so this is the one place a pause checkpoint may be taken.
+    // Pause is deferred while a resume replay is still in progress — the
+    // on-disk snapshot already covers the replayed prefix.
+    if (control != nullptr) {
+      const RunControl::Signal signal = control->poll();
+      if (signal == RunControl::Signal::Kill) {
+        history.aborted = true;
+        history.abort_reason = "killed";
+        break;
+      }
+      if (signal == RunControl::Signal::Pause && replay_pos >= replay_count) {
+        if (!config_.checkpoint_path.empty())
+          emit_checkpoint(save_checkpoint(config_.checkpoint_path, history, seed), t - 1);
+        break;
+      }
+    }
+
     if (config_.max_consecutive_failures > 0 &&
         consecutive_failures >= config_.max_consecutive_failures) {
       history.aborted = true;

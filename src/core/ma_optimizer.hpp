@@ -81,7 +81,7 @@ class MaOptimizer final : public Optimizer {
   RunHistory run_impl(const SizingProblem& problem, std::vector<SimRecord> initial,
                       std::vector<SimRecord> replay, const FomEvaluator& fom, std::uint64_t seed,
                       std::size_t simulation_budget, const RunHistory* checkpoint_timers,
-                      obs::RunTelemetry& telemetry);
+                      RunControl* control, obs::RunTelemetry& telemetry);
 
   MaOptConfig config_;
 };

@@ -63,15 +63,6 @@ std::vector<SimRecord> Optimizer::warm_start_records(const SizingProblem& proble
   return warm;
 }
 
-RunHistory Optimizer::run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
-                          const FomEvaluator& fom, std::uint64_t seed,
-                          std::size_t simulation_budget) {
-  RunOptions options;
-  options.seed = seed;
-  options.simulation_budget = simulation_budget;
-  return run(problem, initial, fom, options);
-}
-
 void Optimizer::emit_run_started(obs::RunTelemetry& telemetry, const std::string& algorithm,
                                  const SizingProblem& problem, std::size_t num_initial,
                                  const RunOptions& options) {

@@ -17,6 +17,34 @@ struct EvalOutcome;
 
 namespace maopt::core {
 
+/// Cooperative run control: an external party (serve::OptDaemon, a signal
+/// handler, a test) raises Pause or Kill and the optimizer loop observes it
+/// at its next iteration boundary. poll() must be thread-safe — it is called
+/// from the run's driving thread while the signal is raised from another.
+/// Semantics at a yield point:
+///   Pause — stop cleanly; MaOptimizer writes a checkpoint first (when
+///           checkpoint_path is set) so the run can resume bit-identically.
+///           The history is NOT marked aborted: the run is suspended, and
+///           pause is deferred while a checkpoint replay is in progress
+///           (pausing mid-replay would re-checkpoint a prefix).
+///   Kill  — stop immediately; the history is marked aborted with reason
+///           "killed".
+/// Signals are level-triggered: poll() keeps returning the raised signal
+/// until the controller clears it.
+class RunControl {
+ public:
+  enum class Signal { None, Pause, Kill };
+
+  RunControl() = default;
+  RunControl(const RunControl&) = default;
+  RunControl& operator=(const RunControl&) = default;
+  RunControl(RunControl&&) = default;
+  RunControl& operator=(RunControl&&) = default;
+  virtual ~RunControl() = default;
+
+  virtual Signal poll() = 0;
+};
+
 /// Per-run parameters for Optimizer::run. Aggregates what used to be loose
 /// (seed, budget) trailing arguments so adding a knob no longer churns every
 /// optimizer signature.
@@ -25,6 +53,9 @@ struct RunOptions {
   std::size_t simulation_budget = 0;
   /// Telemetry sink; not owned, may be nullptr (disables all emission).
   obs::RunObserver* observer = nullptr;
+  /// Cooperative pause/kill signal source; not owned, may be nullptr (the
+  /// run is then uninterruptible). Polled once per optimizer iteration.
+  RunControl* control = nullptr;
   /// Seed the run from cached prior-run results: when `problem` is an
   /// eval::EvalService, its cached evaluations for this problem (deduplicated
   /// against `initial`, best FoM first, at most `warm_start_max`) are
@@ -56,10 +87,16 @@ class Optimizer {
   RunHistory run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
                  const FomEvaluator& fom, const RunOptions& options);
 
-  /// Legacy 5-argument form, kept as a thin delegating overload so existing
-  /// callers compile unchanged.
-  RunHistory run(const SizingProblem& problem, const std::vector<SimRecord>& initial,
-                 const FomEvaluator& fom, std::uint64_t seed, std::size_t simulation_budget);
+  /// Legacy 5-argument form. Deprecated for one release (PR 9); every
+  /// in-tree caller now uses the RunOptions overload above.
+  [[deprecated("use run(problem, initial, fom, RunOptions) instead")]] RunHistory run(
+      const SizingProblem& problem, const std::vector<SimRecord>& initial, const FomEvaluator& fom,
+      std::uint64_t seed, std::size_t simulation_budget) {
+    RunOptions options;
+    options.seed = seed;
+    options.simulation_budget = simulation_budget;
+    return run(problem, initial, fom, options);
+  }
 
  protected:
   /// Optimizer-specific loop. Implementations emit IterationCompleted /

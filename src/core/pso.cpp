@@ -54,6 +54,15 @@ RunHistory PsoOptimizer::do_run(const SizingProblem& problem,
   // report as an ActorTrain span (candidate selection), evaluations as
   // per-simulation Simulate spans.
   while (sims < simulation_budget) {
+    if (options.control != nullptr) {
+      const RunControl::Signal signal = options.control->poll();
+      if (signal == RunControl::Signal::Kill) {
+        history.aborted = true;
+        history.abort_reason = "killed";
+        break;
+      }
+      if (signal == RunControl::Signal::Pause) break;
+    }
     ++iteration;
     Stopwatch iter_clock;
     std::vector<obs::PhaseSpan> spans;

@@ -28,6 +28,15 @@ RunHistory RandomSearch::do_run(const SizingProblem& problem,
   // Every simulation is its own iteration: there is no training phase, so
   // the iteration event carries a single Simulate span.
   for (std::size_t i = 0; i < options.simulation_budget; ++i) {
+    if (options.control != nullptr) {
+      const RunControl::Signal signal = options.control->poll();
+      if (signal == RunControl::Signal::Kill) {
+        history.aborted = true;
+        history.abort_reason = "killed";
+        break;
+      }
+      if (signal == RunControl::Signal::Pause) break;
+    }
     Stopwatch sim;
     SimRecord rec = evaluate_record(problem, problem.random_design(rng));
     const double sim_s = sim.elapsed_seconds();

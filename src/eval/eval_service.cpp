@@ -12,13 +12,46 @@ namespace maopt::eval {
 namespace {
 
 thread_local EvalOutcome t_last_outcome;  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+thread_local std::string t_tenant;        // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
 
 std::string journal_path_for(const std::string& cache_dir) {
   if (cache_dir.empty()) return {};
   return (std::filesystem::path(cache_dir) / "eval_cache.bin").string();
 }
 
+/// RAII admission grant: blocks in the constructor until the tenant is
+/// granted `n` simulation slots, returns them on destruction (every exit
+/// path, including exceptions thrown by the inner simulator).
+class AdmissionGuard {
+ public:
+  AdmissionGuard(BatchAdmission* admission, std::string tenant, std::size_t n)
+      : admission_(admission), tenant_(std::move(tenant)), n_(n) {
+    if (admission_ != nullptr && n_ > 0) admission_->acquire(tenant_, n_);
+  }
+  ~AdmissionGuard() {
+    if (admission_ != nullptr && n_ > 0) admission_->release(tenant_, n_);
+  }
+
+  AdmissionGuard(const AdmissionGuard&) = delete;
+  AdmissionGuard& operator=(const AdmissionGuard&) = delete;
+  AdmissionGuard(AdmissionGuard&&) = delete;
+  AdmissionGuard& operator=(AdmissionGuard&&) = delete;
+
+ private:
+  BatchAdmission* admission_;
+  std::string tenant_;
+  std::size_t n_;
+};
+
 }  // namespace
+
+ScopedTenant::ScopedTenant(std::string name) : previous_(std::move(t_tenant)) {
+  t_tenant = std::move(name);
+}
+
+ScopedTenant::~ScopedTenant() { t_tenant = std::move(previous_); }
+
+const std::string& EvalService::current_tenant() { return t_tenant; }
 
 EvalService::EvalService(const ckt::SizingProblem& inner, EvalServiceConfig config)
     : inner_(&inner),
@@ -35,6 +68,7 @@ EvalService::EvalService(const ckt::SizingProblem& inner, EvalServiceConfig conf
 EvalService::~EvalService() = default;
 
 ThreadPool& EvalService::batch_pool() const {
+  if (config_.shared_pool != nullptr) return *config_.shared_pool;
   const MutexLock lock(pool_mutex_);
   if (!pool_) {
     std::size_t n = config_.num_threads;
@@ -42,6 +76,24 @@ ThreadPool& EvalService::batch_pool() const {
     pool_ = std::make_unique<ThreadPool>(n);
   }
   return *pool_;
+}
+
+void EvalService::register_tenant(const std::string& name, const std::string& cache_dir) {
+  if (name.empty()) return;  // the empty name is the default namespace
+  const MutexLock lock(tenants_mutex_);
+  if (tenants_.contains(name)) return;
+  ResultCache::Config cache_config;
+  cache_config.memory_capacity = config_.memory_capacity;
+  cache_config.journal_path = journal_path_for(cache_dir);
+  cache_config.quant_epsilon = config_.quant_epsilon;
+  tenants_.emplace(name, std::make_unique<ResultCache>(std::move(cache_config)));
+}
+
+ResultCache& EvalService::cache_for(const std::string& tenant) const {
+  if (tenant.empty()) return *cache_;
+  const MutexLock lock(tenants_mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? *cache_ : *it->second;
 }
 
 std::unique_ptr<ckt::EvalSession> EvalService::acquire_session() const {
@@ -77,8 +129,9 @@ EvalCounters EvalService::counters() const {
 
 ckt::EvalResult EvalService::evaluate(const Vec& x) const {
   t_last_outcome = EvalOutcome{};  // a throwing call must not leave a stale outcome
+  const AdmissionGuard grant(admission_.load(std::memory_order_acquire), t_tenant, 1);
   EvalOutcome outcome;
-  ckt::EvalResult result = evaluate_impl(x, outcome);
+  ckt::EvalResult result = evaluate_impl(x, ckt::ProcessVariation{}, cache_for(t_tenant), outcome);
   t_last_outcome = outcome;
   return result;
 }
@@ -86,8 +139,9 @@ ckt::EvalResult EvalService::evaluate(const Vec& x) const {
 ckt::EvalResult EvalService::evaluate_at(const Vec& x, const ckt::ProcessVariation& pv) const {
   ckt::validate_process_variation(pv);
   t_last_outcome = EvalOutcome{};  // a throwing call must not leave a stale outcome
+  const AdmissionGuard grant(admission_.load(std::memory_order_acquire), t_tenant, 1);
   EvalOutcome outcome;
-  ckt::EvalResult result = evaluate_impl(x, pv, outcome);
+  ckt::EvalResult result = evaluate_impl(x, pv, cache_for(t_tenant), outcome);
   t_last_outcome = outcome;
   return result;
 }
@@ -96,13 +150,17 @@ std::vector<ckt::EvalResult> EvalService::evaluate_variants(
     const Vec& x, std::span<const ckt::ProcessVariation> pvs) const {
   std::vector<ckt::EvalResult> results(pvs.size());
   if (pvs.empty()) return results;
+  // Tenant and admission are resolved here, on the caller's thread — pool
+  // workers never inherit the thread-local namespace.
+  const AdmissionGuard grant(admission_.load(std::memory_order_acquire), t_tenant, pvs.size());
+  ResultCache& cache = cache_for(t_tenant);
 
   // A throwing variant must become a failed result, not a lost sweep: the
   // sweep engine owns partial-failure semantics and needs every slot filled.
-  const auto run_one = [this, &x, &pvs, &results](std::size_t i) {
+  const auto run_one = [this, &x, &pvs, &results, &cache](std::size_t i) {
     EvalOutcome outcome;
     try {
-      results[i] = evaluate_impl(x, pvs[i], outcome);
+      results[i] = evaluate_impl(x, pvs[i], cache, outcome);
     } catch (...) {
       results[i].metrics = inner_->failure_metrics();
       results[i].simulation_ok = false;
@@ -122,12 +180,8 @@ std::vector<ckt::EvalResult> EvalService::evaluate_variants(
   return results;
 }
 
-ckt::EvalResult EvalService::evaluate_impl(const Vec& x, EvalOutcome& outcome) const {
-  return evaluate_impl(x, ckt::ProcessVariation{}, outcome);
-}
-
 ckt::EvalResult EvalService::evaluate_impl(const Vec& x, const ckt::ProcessVariation& pv,
-                                           EvalOutcome& outcome) const {
+                                           ResultCache& cache, EvalOutcome& outcome) const {
   requested_.fetch_add(1, std::memory_order_relaxed);
   // Per-variant content address: an enabled variation folds its fingerprint
   // into the problem fingerprint, so every corner / MC instance of a design
@@ -136,8 +190,8 @@ ckt::EvalResult EvalService::evaluate_impl(const Vec& x, const ckt::ProcessVaria
       pv.enabled() ? problem_fp_ ^ variation_fingerprint(pv) : problem_fp_;
   const CacheKey key = make_cache_key(fp, x, config_.quant_epsilon);
 
-  // Fast path: already cached.
-  if (auto metrics = cache_->lookup(key)) {
+  // Fast path: already cached (in this request's tenant namespace).
+  if (auto metrics = cache.lookup(key)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     outcome = EvalOutcome{};
     outcome.cache_hit = true;
@@ -151,7 +205,7 @@ ckt::EvalResult EvalService::evaluate_impl(const Vec& x, const ckt::ProcessVaria
     // Re-check under the lock: a producer may have published between our
     // lookup above and here (publishers insert into the cache *before*
     // erasing their in-flight entry, so this pair of checks has no gap).
-    if (auto metrics = cache_->lookup(key)) {
+    if (auto metrics = cache.lookup(key)) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       outcome = EvalOutcome{};
       outcome.cache_hit = true;
@@ -177,6 +231,10 @@ ckt::EvalResult EvalService::evaluate_impl(const Vec& x, const ckt::ProcessVaria
     outcome = flight->outcome;
     outcome.coalesced = true;
     outcome.seconds = 0.0;  // no new simulation ran for this request
+    // Cross-tenant dedup: a consumer in a different namespace records the
+    // shared result in its own cache, so its journal stays self-contained.
+    if (result.simulation_ok && flight->published_to != &cache)
+      cache.insert(key, fp, x, result.metrics);
     return result;
   }
 
@@ -215,8 +273,9 @@ ckt::EvalResult EvalService::evaluate_impl(const Vec& x, const ckt::ProcessVaria
 
   release_session(std::move(session));  // the throw path drops it instead
 
-  if (result.simulation_ok) cache_->insert(key, fp, x, result.metrics);
+  if (result.simulation_ok) cache.insert(key, fp, x, result.metrics);
   flight->outcome = outcome;
+  flight->published_to = &cache;
   {
     const MutexLock lock(inflight_mutex_);
     inflight_.erase(key);
@@ -233,9 +292,14 @@ std::vector<ckt::EvalResult> EvalService::evaluate_batch(
     outcomes->resize(xs.size());
   }
   if (xs.empty()) return results;
+  // This is the scheduler's throttle point: the whole batch is one grant, so
+  // a greedy job waits here while other tenants' batches drain. Tenant and
+  // cache are resolved on the caller's thread (workers have no namespace).
+  const AdmissionGuard grant(admission_.load(std::memory_order_acquire), t_tenant, xs.size());
+  ResultCache& cache = cache_for(t_tenant);
   if (xs.size() == 1) {
     EvalOutcome outcome;
-    results[0] = evaluate_impl(xs[0], outcome);
+    results[0] = evaluate_impl(xs[0], ckt::ProcessVariation{}, cache, outcome);
     t_last_outcome = outcome;
     if (outcomes != nullptr) (*outcomes)[0] = outcome;
     return results;
@@ -246,8 +310,8 @@ std::vector<ckt::EvalResult> EvalService::evaluate_batch(
   futures.reserve(xs.size());
   std::vector<EvalOutcome> local(xs.size());
   for (std::size_t i = 0; i < xs.size(); ++i) {
-    futures.push_back(pool.submit([this, &xs, &results, &local, i] {
-      results[i] = evaluate_impl(xs[i], local[i]);
+    futures.push_back(pool.submit([this, &xs, &results, &local, &cache, i] {
+      results[i] = evaluate_impl(xs[i], ckt::ProcessVariation{}, cache, local[i]);
     }));
   }
   // Wait on everything before rethrowing so the captured references above

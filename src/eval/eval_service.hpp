@@ -52,6 +52,10 @@ struct EvalServiceConfig {
   /// Workers for evaluate_batch(); 0 uses hardware_concurrency. The pool is
   /// created lazily on the first batch call, so point-path users pay nothing.
   std::size_t num_threads = 0;
+  /// Externally-owned worker pool shared across services (the daemon gives
+  /// every per-problem EvalService one pool so N jobs contend for one set of
+  /// simulator workers). Overrides num_threads; must outlive the service.
+  ThreadPool* shared_pool = nullptr;
   std::size_t memory_capacity = 4096;  ///< L1 LRU entries
   /// Directory for the persistent journal (`eval_cache.bin` inside it);
   /// empty disables persistence (memory-only cache).
@@ -75,6 +79,46 @@ struct EvalCounters {
   std::uint64_t misses = 0;
   std::uint64_t coalesced = 0;
   std::uint64_t simulations = 0;
+};
+
+/// Simulation-grant gate, called at every public evaluation entry point.
+/// acquire() blocks the calling tenant until the scheduler grants it `n`
+/// simulation slots; release() returns them once the work (simulated, hit,
+/// or coalesced — grants meter *requests*, the budget currency) completes.
+/// Implementations must be thread-safe and must always eventually grant —
+/// the service holds no lock while blocked in acquire(). The daemon's
+/// serve::FairShareScheduler is the production implementation.
+class BatchAdmission {
+ public:
+  BatchAdmission() = default;
+  BatchAdmission(const BatchAdmission&) = default;
+  BatchAdmission& operator=(const BatchAdmission&) = default;
+  BatchAdmission(BatchAdmission&&) = default;
+  BatchAdmission& operator=(BatchAdmission&&) = default;
+  virtual ~BatchAdmission() = default;
+
+  virtual void acquire(const std::string& tenant, std::size_t n) = 0;
+  virtual void release(const std::string& tenant, std::size_t n) = 0;
+};
+
+/// Scopes the calling thread to a tenant namespace: cache lookups/inserts on
+/// this thread go to the tenant's ResultCache (see
+/// EvalService::register_tenant) and admission grants are accounted to it.
+/// Thread-local and recursive-safe; the previous tenant is restored on
+/// destruction. Pool workers do NOT inherit the caller's tenant — the
+/// service captures it at the API entry point and threads it through.
+class ScopedTenant {
+ public:
+  explicit ScopedTenant(std::string name);
+  ~ScopedTenant();
+
+  ScopedTenant(const ScopedTenant&) = delete;
+  ScopedTenant& operator=(const ScopedTenant&) = delete;
+  ScopedTenant(ScopedTenant&&) = delete;
+  ScopedTenant& operator=(ScopedTenant&&) = delete;
+
+ private:
+  std::string previous_;
 };
 
 /// Per-request telemetry, mirroring ResilientEvaluator::CallStats: how the
@@ -149,21 +193,44 @@ class EvalService final : public ckt::SizingProblem, public ckt::SweepBackend {
   std::uint64_t fingerprint() const { return problem_fp_; }
 
   /// Cached results for the wrapped problem, in insertion order — the feed
-  /// for warm starts.
-  std::vector<CachedEval> cached() const { return cache_->entries_for(problem_fp_); }
+  /// for warm starts. Reads the calling thread's tenant namespace.
+  std::vector<CachedEval> cached() const {
+    return cache_for(current_tenant()).entries_for(problem_fp_);
+  }
 
   ResultCache& cache() const { return *cache_; }
   const EvalServiceConfig& config() const { return config_; }
+
+  /// Registers a tenant namespace: requests made under ScopedTenant(name) go
+  /// through a private ResultCache whose journal lives in `cache_dir`
+  /// (`eval_cache.bin` inside it; empty = memory-only). Journals are fully
+  /// isolated per tenant while the in-flight dedup layer stays shared, so
+  /// two tenants asking for the same design still share one simulation.
+  /// Idempotent for an existing name; never removed for the service's life.
+  void register_tenant(const std::string& name, const std::string& cache_dir = {});
+
+  /// Installs the simulation-grant gate consulted by every public evaluation
+  /// entry (not owned, may be null to remove; must outlive its installation).
+  void set_admission(BatchAdmission* admission) {
+    admission_.store(admission, std::memory_order_release);
+  }
+
+  /// The calling thread's tenant namespace (empty = the default namespace).
+  static const std::string& current_tenant();
 
  private:
   struct InFlight {
     std::promise<ckt::EvalResult> promise;
     std::shared_future<ckt::EvalResult> future;
     EvalOutcome outcome;  ///< written by the producer before the promise resolves
+    ResultCache* published_to = nullptr;  ///< producer's namespace (same ordering)
   };
 
-  ckt::EvalResult evaluate_impl(const Vec& x, EvalOutcome& outcome) const;
-  ckt::EvalResult evaluate_impl(const Vec& x, const ckt::ProcessVariation& pv,
+  /// The tenant's ResultCache (the default cache for the empty / an unknown
+  /// name). References stay valid for the service's lifetime.
+  ResultCache& cache_for(const std::string& tenant) const;
+
+  ckt::EvalResult evaluate_impl(const Vec& x, const ckt::ProcessVariation& pv, ResultCache& cache,
                                 EvalOutcome& outcome) const;
   ThreadPool& batch_pool() const;
 
@@ -194,6 +261,14 @@ class EvalService final : public ckt::SizingProblem, public ckt::SweepBackend {
   mutable Mutex sessions_mutex_;
   mutable std::vector<std::unique_ptr<ckt::EvalSession>> sessions_
       MAOPT_GUARDED_BY(sessions_mutex_);  ///< idle sessions
+
+  /// Leaf lock, held only for map resolution (never across cache or
+  /// simulator calls). Tenant caches are append-only for the service's life.
+  mutable Mutex tenants_mutex_;
+  mutable std::unordered_map<std::string, std::unique_ptr<ResultCache>> tenants_
+      MAOPT_GUARDED_BY(tenants_mutex_);
+
+  std::atomic<BatchAdmission*> admission_{nullptr};
 
   mutable std::atomic<std::uint64_t> requested_{0};
   mutable std::atomic<std::uint64_t> hits_{0};

@@ -34,6 +34,15 @@ core::RunHistory BoOptimizer::do_run(const core::SizingProblem& problem,
   // One iteration = one simulation. GP (re)fitting reports as a CriticTrain
   // span, the EI acquisition search as ActorTrain, evaluation as Simulate.
   for (std::size_t it = 0; it < simulation_budget; ++it) {
+    if (options.control != nullptr) {
+      const core::RunControl::Signal signal = options.control->poll();
+      if (signal == core::RunControl::Signal::Kill) {
+        history.aborted = true;
+        history.abort_reason = "killed";
+        break;
+      }
+      if (signal == core::RunControl::Signal::Pause) break;
+    }
     if (config_.max_consecutive_failures > 0 &&
         consecutive_failures >= config_.max_consecutive_failures) {
       history.aborted = true;

@@ -147,4 +147,41 @@ struct RunFinished {
   RunCounters counters;
 };
 
+/// Daemon job lifecycle (serve::OptDaemon). Unlike run brackets, job
+/// brackets of different jobs MAY interleave in one stream — jobs are
+/// concurrent by design; `job_id` is the correlation key. Each job emits one
+/// JobSubmitted, a chain of JobStateChanged whose `from` continues the
+/// previous `to`, and one terminal JobFinished.
+struct JobSubmitted {
+  std::uint64_t job_id = 0;  ///< unique per daemon instance, monotonic
+  std::string name;          ///< caller-chosen job name (unique among live jobs)
+  std::string tenant;
+  std::string problem;    ///< registered problem name the job optimizes
+  std::string algorithm;  ///< optimizer roster name ("MA-Opt", "Random", ...)
+  std::uint64_t seed = 0;
+  std::uint64_t simulation_budget = 0;
+};
+
+struct JobStateChanged {
+  std::uint64_t job_id = 0;
+  std::string name;
+  std::string from;  ///< serve::to_string(JobState)
+  std::string to;
+  std::string reason;  ///< operator-facing cause ("pause requested", ...)
+};
+
+/// Terminal job bracket: final state plus the job's run-level totals
+/// (carried per job so a multi-job stream stays attributable).
+struct JobFinished {
+  std::uint64_t job_id = 0;
+  std::string name;
+  std::string tenant;
+  std::string state;              ///< "done" | "failed" | "killed"
+  std::uint64_t simulations = 0;  ///< budgeted simulations the job consumed
+  double best_fom = 0.0;          ///< NaN when the job never produced one
+  bool feasible = false;
+  double wall_seconds = 0.0;  ///< job wall-clock across all running segments
+  RunCounters counters;       ///< last run segment's counters
+};
+
 }  // namespace maopt::obs

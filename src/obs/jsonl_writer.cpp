@@ -254,6 +254,82 @@ void JsonlObserver::on_sweep_variant_evaluated(const SweepVariantEvaluated& e) {
   write_line(line);
 }
 
+void JsonlObserver::on_job_submitted(const JobSubmitted& e) {
+  std::string line = event_head("job_submitted");
+  line += ",\"job_id\":";
+  append_u64(line, e.job_id);
+  line += ",\"name\":";
+  append_string(line, e.name);
+  line += ",\"tenant\":";
+  append_string(line, e.tenant);
+  line += ",\"problem\":";
+  append_string(line, e.problem);
+  line += ",\"algorithm\":";
+  append_string(line, e.algorithm);
+  line += ",\"seed\":";
+  append_u64(line, e.seed);
+  line += ",\"simulation_budget\":";
+  append_u64(line, e.simulation_budget);
+  line += ",\"t\":";
+  append_double(line, since_open_.elapsed_seconds());
+  line += '}';
+  write_line(line);
+}
+
+void JsonlObserver::on_job_state_changed(const JobStateChanged& e) {
+  std::string line = event_head("job_state_changed");
+  line += ",\"job_id\":";
+  append_u64(line, e.job_id);
+  line += ",\"name\":";
+  append_string(line, e.name);
+  line += ",\"from\":";
+  append_string(line, e.from);
+  line += ",\"to\":";
+  append_string(line, e.to);
+  line += ",\"reason\":";
+  append_string(line, e.reason);
+  line += ",\"t\":";
+  append_double(line, since_open_.elapsed_seconds());
+  line += '}';
+  write_line(line);
+}
+
+void JsonlObserver::on_job_finished(const JobFinished& e) {
+  std::string line = event_head("job_finished");
+  line += ",\"job_id\":";
+  append_u64(line, e.job_id);
+  line += ",\"name\":";
+  append_string(line, e.name);
+  line += ",\"tenant\":";
+  append_string(line, e.tenant);
+  line += ",\"state\":";
+  append_string(line, e.state);
+  line += ",\"simulations\":";
+  append_u64(line, e.simulations);
+  line += ",\"best_fom\":";
+  append_double(line, e.best_fom);
+  line += ",\"feasible\":";
+  append_bool(line, e.feasible);
+  line += ",\"wall_seconds\":";
+  append_double(line, e.wall_seconds);
+  line += ",\"counters\":{\"simulations\":";
+  append_u64(line, e.counters.simulations);
+  line += ",\"failures\":";
+  append_u64(line, e.counters.failures);
+  line += ",\"retries\":";
+  append_u64(line, e.counters.retries);
+  line += ",\"cache_hits\":";
+  append_u64(line, e.counters.cache_hits);
+  line += ",\"cache_misses\":";
+  append_u64(line, e.counters.cache_misses);
+  line += ",\"cache_coalesced\":";
+  append_u64(line, e.counters.cache_coalesced);
+  line += "},\"t\":";
+  append_double(line, since_open_.elapsed_seconds());
+  line += '}';
+  write_line(line);
+}
+
 void JsonlObserver::on_sweep_completed(const SweepCompleted& e) {
   std::string line = event_head("sweep_completed");
   line += ",\"sweep_id\":";

@@ -32,6 +32,9 @@ class JsonlObserver final : public RunObserver {
   void on_sweep_started(const SweepStarted& event) override;
   void on_sweep_variant_evaluated(const SweepVariantEvaluated& event) override;
   void on_sweep_completed(const SweepCompleted& event) override;
+  void on_job_submitted(const JobSubmitted& event) override;
+  void on_job_state_changed(const JobStateChanged& event) override;
+  void on_job_finished(const JobFinished& event) override;
 
  private:
   /// Appends one line and flushes (the crash-safety contract). Serialized by

@@ -58,4 +58,19 @@ void MulticastObserver::on_sweep_completed(const SweepCompleted& event) {
   for (RunObserver* sink : sinks_) sink->on_sweep_completed(event);
 }
 
+void MulticastObserver::on_job_submitted(const JobSubmitted& event) {
+  const MutexLock lock(mutex_);
+  for (RunObserver* sink : sinks_) sink->on_job_submitted(event);
+}
+
+void MulticastObserver::on_job_state_changed(const JobStateChanged& event) {
+  const MutexLock lock(mutex_);
+  for (RunObserver* sink : sinks_) sink->on_job_state_changed(event);
+}
+
+void MulticastObserver::on_job_finished(const JobFinished& event) {
+  const MutexLock lock(mutex_);
+  for (RunObserver* sink : sinks_) sink->on_job_finished(event);
+}
+
 }  // namespace maopt::obs

@@ -45,6 +45,13 @@ class RunObserver {
   virtual void on_sweep_started(const SweepStarted& /*event*/) {}
   virtual void on_sweep_variant_evaluated(const SweepVariantEvaluated& /*event*/) {}
   virtual void on_sweep_completed(const SweepCompleted& /*event*/) {}
+
+  /// Daemon job lifecycle (serve::OptDaemon). Arrive from daemon control
+  /// threads — concurrent jobs interleave, so shared sinks must be
+  /// thread-safe (JsonlObserver and MulticastObserver are).
+  virtual void on_job_submitted(const JobSubmitted& /*event*/) {}
+  virtual void on_job_state_changed(const JobStateChanged& /*event*/) {}
+  virtual void on_job_finished(const JobFinished& /*event*/) {}
 };
 
 /// Fans every event out to a list of sinks (e.g. JSONL file + in-memory
@@ -71,6 +78,9 @@ class MulticastObserver final : public RunObserver {
   void on_sweep_started(const SweepStarted& event) override;
   void on_sweep_variant_evaluated(const SweepVariantEvaluated& event) override;
   void on_sweep_completed(const SweepCompleted& event) override;
+  void on_job_submitted(const JobSubmitted& event) override;
+  void on_job_state_changed(const JobStateChanged& event) override;
+  void on_job_finished(const JobFinished& event) override;
 
  private:
   mutable Mutex mutex_;

@@ -1,0 +1,107 @@
+// FairShareScheduler — deficit-round-robin admission over simulation grants.
+//
+// The daemon installs one scheduler as the eval::BatchAdmission gate of every
+// EvalService it owns; each optimizer batch then blocks at the service's
+// evaluate entry until the scheduler grants its tenant `n` simulation slots.
+// Fairness is weighted DRR over *simulation requests* (the budget currency):
+// each replenishment round credits every waiting tenant `quantum * weight`
+// deficit, and a tenant's head request is admitted once its deficit covers
+// the request and the slots fit under `capacity`. Over any window where two
+// equal-weight tenants both stay backlogged, their granted-simulation totals
+// track each other to within one batch plus one quantum — the "within 2x of
+// proportional share" invariant tests/serve/test_scheduler.cpp asserts.
+//
+// Invariants (DESIGN.md section 10):
+//   * FIFO per tenant: requests from one tenant are granted in arrival order.
+//   * No starvation: every waiter is eventually granted — deficits of waiting
+//     tenants grow without bound while capacity frees up, and a request
+//     larger than `capacity` is admitted alone (when in_use == 0).
+//   * Work conservation: capacity permitting, a grant is never withheld from
+//     the only backlogged tenant.
+//   * mutex_ is a leaf lock: acquire()/release() never call out while holding
+//     it, and the EvalService holds no lock while blocked in acquire().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "common/thread_annotations.hpp"
+#include "eval/eval_service.hpp"
+
+namespace maopt::serve {
+
+struct SchedulerConfig {
+  /// Maximum simulation slots in flight across all tenants; 0 = unlimited
+  /// (admission degenerates to pure accounting — nothing ever blocks).
+  std::size_t capacity = 0;
+  /// Deficit credited per replenishment round to a waiting tenant of
+  /// weight 1.0 — the DRR quantum, in simulations.
+  std::size_t quantum = 8;
+};
+
+class FairShareScheduler final : public eval::BatchAdmission {
+ public:
+  explicit FairShareScheduler(SchedulerConfig config = {});
+
+  FairShareScheduler(const FairShareScheduler&) = delete;
+  FairShareScheduler& operator=(const FairShareScheduler&) = delete;
+
+  /// Sets (or registers) a tenant's fair-share weight; default weight is 1.0.
+  /// Weights <= 0 are clamped to a minimal positive share.
+  void set_weight(const std::string& tenant, double weight) MAOPT_EXCLUDES(mutex_);
+
+  /// Blocks the caller until `n` slots are granted to `tenant`. Requests from
+  /// one tenant are served FIFO; an unknown tenant is registered at weight 1.
+  void acquire(const std::string& tenant, std::size_t n) override MAOPT_EXCLUDES(mutex_);
+
+  /// Returns `n` slots and wakes whatever the freed capacity now admits.
+  void release(const std::string& tenant, std::size_t n) override MAOPT_EXCLUDES(mutex_);
+
+  struct TenantStats {
+    double weight = 1.0;
+    std::uint64_t granted_sims = 0;  ///< lifetime simulations admitted
+    std::size_t waiting = 0;         ///< requests currently queued
+  };
+
+  /// Per-tenant grant totals — the measurement behind the fairness bound.
+  std::map<std::string, TenantStats> stats() const MAOPT_EXCLUDES(mutex_);
+
+  /// Slots currently granted and not yet released.
+  std::size_t in_use() const MAOPT_EXCLUDES(mutex_);
+
+  const SchedulerConfig& config() const { return config_; }
+
+ private:
+  struct Waiter {
+    std::size_t n = 0;
+    bool granted = false;
+  };
+
+  struct TenantState {
+    double weight = 1.0;
+    double deficit = 0.0;
+    std::deque<Waiter*> queue;  ///< FIFO of blocked acquire() calls (stack-owned)
+    std::uint64_t granted_sims = 0;
+  };
+
+  /// One admission sweep: grants every head request the deficits and
+  /// capacity currently admit, replenishing deficits (one DRR round per
+  /// pass) while some head still fits under capacity. Callers notify the
+  /// condvar after it returns true (something was granted).
+  bool dispatch() MAOPT_REQUIRES(mutex_);
+
+  TenantState& state_for(const std::string& tenant) MAOPT_REQUIRES(mutex_);
+
+  const SchedulerConfig config_;
+
+  mutable Mutex mutex_;  ///< leaf lock (below OptDaemon::mutex_ in the hierarchy)
+  CondVar granted_cv_;
+  std::unordered_map<std::string, TenantState> tenants_ MAOPT_GUARDED_BY(mutex_);
+  std::size_t in_use_ MAOPT_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rr_cursor_ MAOPT_GUARDED_BY(mutex_) = 0;  ///< rotates scan start
+};
+
+}  // namespace maopt::serve

@@ -170,7 +170,7 @@ TEST_F(EnsembleFixture, MaOptimizerRunsWithEnsemble) {
   cfg.actor.steps_per_round = 5;
   cfg.near_sampling.num_samples = 100;
   MaOptimizer opt(cfg);
-  const RunHistory h = opt.run(problem, init, fom, 3, 12);
+  const RunHistory h = opt.run(problem, init, fom, {.seed = 3, .simulation_budget = 12});
   EXPECT_EQ(h.simulations_used(), 12u);
 }
 

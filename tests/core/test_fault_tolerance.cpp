@@ -63,7 +63,7 @@ TEST_F(FaultFixture, MaOptSurvivesFaultRateSweep) {
     for (const auto& cfg : {MaOptConfig::dnn_opt(), MaOptConfig::ma_opt()}) {
       MaOptimizer opt(small_config(cfg));
       RunHistory h;
-      ASSERT_NO_THROW(h = opt.run(faulty, initial, *fom, 5, 20))
+      ASSERT_NO_THROW(h = opt.run(faulty, initial, *fom, {.seed = 5, .simulation_budget = 20}))
           << cfg.name << " rate " << rate;
       assert_history_clean(h, 20);
       EXPECT_FALSE(h.aborted);
@@ -83,7 +83,7 @@ TEST_F(FaultFixture, MaOptAcceptanceRunAtTwentyFivePercent) {
 
   MaOptimizer opt(small_config(MaOptConfig::ma_opt()));
   RunHistory h;
-  ASSERT_NO_THROW(h = opt.run(resilient, initial, *fom, 9, 30));
+  ASSERT_NO_THROW(h = opt.run(resilient, initial, *fom, {.seed = 9, .simulation_budget = 30}));
   assert_history_clean(h, 30);
   EXPECT_FALSE(h.aborted);
   EXPECT_GT(faulty.injected(), 0u);
@@ -97,7 +97,7 @@ TEST_F(FaultFixture, FailedRecordsStayOutOfTrajectoryAndBest) {
   fcfg.seed = 77;
   const ckt::FaultInjectingProblem faulty(problem, fcfg);
   MaOptimizer opt(small_config(MaOptConfig::ma_opt2()));
-  const RunHistory h = opt.run(faulty, initial, *fom, 6, 25);
+  const RunHistory h = opt.run(faulty, initial, *fom, {.seed = 6, .simulation_budget = 25});
   assert_history_clean(h, 25);
   ASSERT_GT(h.failures(), 0u);  // the 50% NaN rate must have hit something
   // Every failed record carries the same finite penalty FoM and is skipped
@@ -115,7 +115,7 @@ TEST_F(FaultFixture, CircuitBreakerAbortsCleanlyOnPersistentFailure) {
   cfg.max_consecutive_failures = 5;
   MaOptimizer opt(cfg);
   RunHistory h;
-  ASSERT_NO_THROW(h = opt.run(faulty, initial, *fom, 2, 60));
+  ASSERT_NO_THROW(h = opt.run(faulty, initial, *fom, {.seed = 2, .simulation_budget = 60}));
   EXPECT_TRUE(h.aborted);
   EXPECT_NE(h.abort_reason.find("circuit breaker"), std::string::npos);
   EXPECT_LT(h.simulations_used(), 60u);       // partial history, not a crash
@@ -130,7 +130,7 @@ TEST_F(FaultFixture, BreakerDisabledRunsFullBudgetEvenWhenAllFail) {
   MaOptConfig cfg = small_config(MaOptConfig::dnn_opt());
   cfg.max_consecutive_failures = 0;
   MaOptimizer opt(cfg);
-  const RunHistory h = opt.run(faulty, initial, *fom, 2, 10);
+  const RunHistory h = opt.run(faulty, initial, *fom, {.seed = 2, .simulation_budget = 10});
   EXPECT_FALSE(h.aborted);
   EXPECT_EQ(h.simulations_used(), 10u);
   for (const auto& f : h.best_fom_after) EXPECT_TRUE(std::isfinite(f));
@@ -145,7 +145,7 @@ TEST_F(FaultFixture, BoSurvivesFaultsAndBreaksOnPersistentFailure) {
     const ckt::FaultInjectingProblem faulty(problem, fcfg);
     gp::BoOptimizer bo;
     RunHistory h;
-    ASSERT_NO_THROW(h = bo.run(faulty, initial, *fom, 3, 10)) << "rate " << rate;
+    ASSERT_NO_THROW(h = bo.run(faulty, initial, *fom, {.seed = 3, .simulation_budget = 10})) << "rate " << rate;
     EXPECT_EQ(h.simulations_used(), 10u);
     for (const auto& r : h.records) EXPECT_TRUE(std::isfinite(r.fom));
     for (std::size_t i = 1; i < h.best_fom_after.size(); ++i)
@@ -159,7 +159,7 @@ TEST_F(FaultFixture, BoSurvivesFaultsAndBreaksOnPersistentFailure) {
   bcfg.max_consecutive_failures = 4;
   gp::BoOptimizer bo(bcfg);
   RunHistory h;
-  ASSERT_NO_THROW(h = bo.run(broken, initial, *fom, 3, 30));
+  ASSERT_NO_THROW(h = bo.run(broken, initial, *fom, {.seed = 3, .simulation_budget = 30}));
   EXPECT_TRUE(h.aborted);
   EXPECT_LT(h.simulations_used(), 30u);
 }
@@ -173,7 +173,7 @@ TEST_F(FaultFixture, CheckpointResumeReproducesUninterruptedRun) {
 
   // Reference: uninterrupted run, no checkpointing.
   MaOptimizer ref_opt(cfg);
-  const RunHistory ref = ref_opt.run(problem, initial, *fom, 77, budget);
+  const RunHistory ref = ref_opt.run(problem, initial, *fom, {.seed = 77, .simulation_budget = budget});
 
   // Checkpointed twin: identical trajectory, but snapshots every 4
   // iterations. The last snapshot on disk is exactly what a run killed
@@ -182,7 +182,7 @@ TEST_F(FaultFixture, CheckpointResumeReproducesUninterruptedRun) {
   cfg.checkpoint_path = path;
   cfg.checkpoint_every = 4;
   MaOptimizer ckpt_opt(cfg);
-  const RunHistory full = ckpt_opt.run(problem, initial, *fom, 77, budget);
+  const RunHistory full = ckpt_opt.run(problem, initial, *fom, {.seed = 77, .simulation_budget = budget});
   ASSERT_EQ(full.records.size(), ref.records.size());
 
   const RunCheckpoint snapshot = load_checkpoint(path);
@@ -219,12 +219,12 @@ TEST_F(FaultFixture, CheckpointResumeDeterministicUnderFaults) {
   const std::size_t budget = 18;
   MaOptConfig cfg = small_config(MaOptConfig::ma_opt2());
   MaOptimizer ref_opt(cfg);
-  const RunHistory ref = ref_opt.run(faulty, initial, *fom, 13, budget);
+  const RunHistory ref = ref_opt.run(faulty, initial, *fom, {.seed = 13, .simulation_budget = budget});
 
   cfg.checkpoint_path = path;
   cfg.checkpoint_every = 4;
   MaOptimizer ckpt_opt(cfg);
-  (void)ckpt_opt.run(faulty, initial, *fom, 13, budget);
+  (void)ckpt_opt.run(faulty, initial, *fom, {.seed = 13, .simulation_budget = budget});
 
   const RunCheckpoint snapshot = load_checkpoint(path);
   ASSERT_LT(snapshot.history.simulations_used(), budget);
@@ -245,7 +245,7 @@ TEST_F(FaultFixture, ResumeWithFullyCompleteCheckpointIsANoOp) {
   const std::size_t budget = 12;
   MaOptConfig cfg = small_config(MaOptConfig::dnn_opt());
   MaOptimizer opt(cfg);
-  const RunHistory h = opt.run(problem, initial, *fom, 4, budget);
+  const RunHistory h = opt.run(problem, initial, *fom, {.seed = 4, .simulation_budget = budget});
   save_checkpoint(path, h, 4);
 
   const RunCheckpoint snapshot = load_checkpoint(path);

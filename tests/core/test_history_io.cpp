@@ -22,7 +22,7 @@ struct IoFixture : ::testing::Test {
     for (const auto& r : init) rows.push_back(r.metrics);
     const auto fom = ckt::FomEvaluator::fit_reference(problem, rows);
     RandomSearch rs;
-    history = rs.run(problem, init, fom, 2, 7);
+    history = rs.run(problem, init, fom, {.seed = 2, .simulation_budget = 7});
   }
   ckt::ConstrainedQuadratic problem;
   RunHistory history;

@@ -32,7 +32,7 @@ TEST(Integration, MaOptOnTwoStageOtaImprovesFom) {
   for (const auto& r : annotated) init_best = std::min(init_best, r.fom);
 
   MaOptimizer opt(small_config(MaOptConfig::ma_opt()));
-  const RunHistory h = opt.run(problem, init, fom, 1, 12);
+  const RunHistory h = opt.run(problem, init, fom, {.seed = 1, .simulation_budget = 12});
   EXPECT_EQ(h.simulations_used(), 12u);
   EXPECT_LE(h.best_fom_after.back(), init_best);
   // Every proposed design simulated successfully (the testbench is robust).
@@ -52,8 +52,8 @@ TEST(Integration, DnnOptOnTiaRunsDeterministically) {
 
   MaOptimizer a(small_config(MaOptConfig::dnn_opt()));
   MaOptimizer b(small_config(MaOptConfig::dnn_opt()));
-  const RunHistory ha = a.run(problem, init, fom, 5, 8);
-  const RunHistory hb = b.run(problem, init, fom, 5, 8);
+  const RunHistory ha = a.run(problem, init, fom, {.seed = 5, .simulation_budget = 8});
+  const RunHistory hb = b.run(problem, init, fom, {.seed = 5, .simulation_budget = 8});
   ASSERT_EQ(ha.records.size(), hb.records.size());
   for (std::size_t i = 0; i < ha.records.size(); ++i) {
     EXPECT_EQ(ha.records[i].x, hb.records[i].x);

@@ -48,7 +48,7 @@ TEST_F(OptFixture, RespectsSimulationBudgetExactly) {
   for (const auto& cfg : {MaOptConfig::dnn_opt(), MaOptConfig::ma_opt1(),
                           MaOptConfig::ma_opt2(), MaOptConfig::ma_opt()}) {
     MaOptimizer opt(test_config(cfg));
-    const RunHistory h = opt.run(problem, initial, *fom, 5, 20);
+    const RunHistory h = opt.run(problem, initial, *fom, {.seed = 5, .simulation_budget = 20});
     EXPECT_EQ(h.simulations_used(), 20u) << cfg.name;
     EXPECT_EQ(h.best_fom_after.size(), 20u) << cfg.name;
   }
@@ -56,7 +56,7 @@ TEST_F(OptFixture, RespectsSimulationBudgetExactly) {
 
 TEST_F(OptFixture, BestFomTrajectoryMonotone) {
   MaOptimizer opt(test_config(MaOptConfig::ma_opt()));
-  const RunHistory h = opt.run(problem, initial, *fom, 2, 30);
+  const RunHistory h = opt.run(problem, initial, *fom, {.seed = 2, .simulation_budget = 30});
   for (std::size_t i = 1; i < h.best_fom_after.size(); ++i)
     EXPECT_LE(h.best_fom_after[i], h.best_fom_after[i - 1]);
 }
@@ -68,15 +68,15 @@ TEST_F(OptFixture, ImprovesOverInitialBest) {
   for (const auto& r : recs) init_best = std::min(init_best, r.fom);
 
   MaOptimizer opt(test_config(MaOptConfig::ma_opt()));
-  const RunHistory h = opt.run(problem, initial, *fom, 3, 40);
+  const RunHistory h = opt.run(problem, initial, *fom, {.seed = 3, .simulation_budget = 40});
   EXPECT_LT(h.best_fom_after.back(), init_best);
 }
 
 TEST_F(OptFixture, DeterministicForFixedSeed) {
   MaOptimizer a(test_config(MaOptConfig::ma_opt()));
   MaOptimizer b(test_config(MaOptConfig::ma_opt()));
-  const RunHistory ha = a.run(problem, initial, *fom, 77, 15);
-  const RunHistory hb = b.run(problem, initial, *fom, 77, 15);
+  const RunHistory ha = a.run(problem, initial, *fom, {.seed = 77, .simulation_budget = 15});
+  const RunHistory hb = b.run(problem, initial, *fom, {.seed = 77, .simulation_budget = 15});
   ASSERT_EQ(ha.records.size(), hb.records.size());
   for (std::size_t i = 0; i < ha.records.size(); ++i) EXPECT_EQ(ha.records[i].x, hb.records[i].x);
 }
@@ -85,13 +85,13 @@ TEST_F(OptFixture, NearSamplingIterationsHappenOnceFeasible) {
   // The quadratic problem has feasible designs in any moderate sample, so
   // NS fires every T_NS iterations and its timer accumulates.
   MaOptimizer opt(test_config(MaOptConfig::ma_opt()));
-  const RunHistory h = opt.run(problem, initial, *fom, 4, 30);
+  const RunHistory h = opt.run(problem, initial, *fom, {.seed = 4, .simulation_budget = 30});
   EXPECT_GT(h.ns_seconds, 0.0);
 }
 
 TEST_F(OptFixture, NoNearSamplingInMaOpt2) {
   MaOptimizer opt(test_config(MaOptConfig::ma_opt2()));
-  const RunHistory h = opt.run(problem, initial, *fom, 4, 30);
+  const RunHistory h = opt.run(problem, initial, *fom, {.seed = 4, .simulation_budget = 30});
   EXPECT_DOUBLE_EQ(h.ns_seconds, 0.0);
 }
 
@@ -103,7 +103,7 @@ TEST_F(OptFixture, CandidatesRespectBoundsAndIntegrality) {
   for (const auto& r : init) rows.push_back(r.metrics);
   const auto rfom = ckt::FomEvaluator::fit_reference(rosen, rows);
   MaOptimizer opt(test_config(MaOptConfig::ma_opt()));
-  const RunHistory h = opt.run(rosen, init, rfom, 8, 25);
+  const RunHistory h = opt.run(rosen, init, rfom, {.seed = 8, .simulation_budget = 25});
   for (std::size_t i = init.size(); i < h.records.size(); ++i) {
     const auto& x = h.records[i].x;
     for (std::size_t c = 0; c < x.size(); ++c) {
@@ -133,15 +133,15 @@ TEST_F(OptFixture, BeatsRandomSearchOnAverage) {
     const auto f = ckt::FomEvaluator::fit_reference(problem, rows);
     MaOptimizer ma(cfg);
     RandomSearch rnd;
-    ma_total += ma.run(problem, init, f, seed, 45).best_fom_after.back();
-    rnd_total += rnd.run(problem, init, f, seed, 45).best_fom_after.back();
+    ma_total += ma.run(problem, init, f, {.seed = seed, .simulation_budget = 45}).best_fom_after.back();
+    rnd_total += rnd.run(problem, init, f, {.seed = seed, .simulation_budget = 45}).best_fom_after.back();
   }
   EXPECT_LT(ma_total, rnd_total);
 }
 
 TEST_F(OptFixture, TimersAccountedAndHistoryAnnotated) {
   MaOptimizer opt(test_config(MaOptConfig::ma_opt2()));
-  const RunHistory h = opt.run(problem, initial, *fom, 9, 12);
+  const RunHistory h = opt.run(problem, initial, *fom, {.seed = 9, .simulation_budget = 12});
   EXPECT_GT(h.train_seconds, 0.0);
   EXPECT_GT(h.wall_seconds, 0.0);
   EXPECT_EQ(h.algorithm, "MA-Opt2");
@@ -153,7 +153,7 @@ TEST_F(OptFixture, TimersAccountedAndHistoryAnnotated) {
 
 TEST_F(OptFixture, BestFeasibleReturnsLowestTargetAmongFeasible) {
   MaOptimizer opt(test_config(MaOptConfig::dnn_opt()));
-  const RunHistory h = opt.run(problem, initial, *fom, 10, 20);
+  const RunHistory h = opt.run(problem, initial, *fom, {.seed = 10, .simulation_budget = 20});
   const SimRecord* bf = h.best_feasible();
   if (bf != nullptr) {
     for (const auto& r : h.records) {

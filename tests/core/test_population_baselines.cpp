@@ -23,7 +23,7 @@ struct BaselineFixture : ::testing::Test {
 
 TEST_F(BaselineFixture, PsoRespectsBudgetAndMonotoneTrajectory) {
   PsoOptimizer pso;
-  const RunHistory h = pso.run(problem, initial, *fom, 3, 37);
+  const RunHistory h = pso.run(problem, initial, *fom, {.seed = 3, .simulation_budget = 37});
   EXPECT_EQ(h.simulations_used(), 37u);
   for (std::size_t i = 1; i < h.best_fom_after.size(); ++i)
     EXPECT_LE(h.best_fom_after[i], h.best_fom_after[i - 1]);
@@ -31,7 +31,7 @@ TEST_F(BaselineFixture, PsoRespectsBudgetAndMonotoneTrajectory) {
 
 TEST_F(BaselineFixture, DeRespectsBudgetAndMonotoneTrajectory) {
   DeOptimizer de;
-  const RunHistory h = de.run(problem, initial, *fom, 3, 41);
+  const RunHistory h = de.run(problem, initial, *fom, {.seed = 3, .simulation_budget = 41});
   EXPECT_EQ(h.simulations_used(), 41u);
   for (std::size_t i = 1; i < h.best_fom_after.size(); ++i)
     EXPECT_LE(h.best_fom_after[i], h.best_fom_after[i - 1]);
@@ -39,7 +39,7 @@ TEST_F(BaselineFixture, DeRespectsBudgetAndMonotoneTrajectory) {
 
 TEST_F(BaselineFixture, PsoCandidatesWithinBounds) {
   PsoOptimizer pso;
-  const RunHistory h = pso.run(problem, initial, *fom, 5, 40);
+  const RunHistory h = pso.run(problem, initial, *fom, {.seed = 5, .simulation_budget = 40});
   for (std::size_t i = initial.size(); i < h.records.size(); ++i)
     for (std::size_t c = 0; c < problem.dim(); ++c) {
       EXPECT_GE(h.records[i].x[c], problem.lower_bounds()[c]);
@@ -55,7 +55,7 @@ TEST_F(BaselineFixture, DeCandidatesRespectIntegerMask) {
   for (const auto& r : init) rows.push_back(r.metrics);
   const auto f = ckt::FomEvaluator::fit_reference(rosen, rows);
   DeOptimizer de;
-  const RunHistory h = de.run(rosen, init, f, 7, 30);
+  const RunHistory h = de.run(rosen, init, f, {.seed = 7, .simulation_budget = 30});
   for (std::size_t i = init.size(); i < h.records.size(); ++i)
     EXPECT_DOUBLE_EQ(h.records[i].x.back(), std::round(h.records[i].x.back()));
 }
@@ -68,19 +68,19 @@ TEST_F(BaselineFixture, BothImproveOverInitialBest) {
 
   PsoOptimizer pso;
   DeOptimizer de;
-  EXPECT_LT(pso.run(problem, initial, *fom, 11, 60).best_fom_after.back(), init_best);
-  EXPECT_LT(de.run(problem, initial, *fom, 11, 60).best_fom_after.back(), init_best);
+  EXPECT_LT(pso.run(problem, initial, *fom, {.seed = 11, .simulation_budget = 60}).best_fom_after.back(), init_best);
+  EXPECT_LT(de.run(problem, initial, *fom, {.seed = 11, .simulation_budget = 60}).best_fom_after.back(), init_best);
 }
 
 TEST_F(BaselineFixture, DeterministicForFixedSeed) {
   PsoOptimizer p1, p2;
-  const auto a = p1.run(problem, initial, *fom, 21, 20);
-  const auto b = p2.run(problem, initial, *fom, 21, 20);
+  const auto a = p1.run(problem, initial, *fom, {.seed = 21, .simulation_budget = 20});
+  const auto b = p2.run(problem, initial, *fom, {.seed = 21, .simulation_budget = 20});
   for (std::size_t i = 0; i < a.records.size(); ++i) EXPECT_EQ(a.records[i].x, b.records[i].x);
 
   DeOptimizer d1, d2;
-  const auto c = d1.run(problem, initial, *fom, 22, 20);
-  const auto d = d2.run(problem, initial, *fom, 22, 20);
+  const auto c = d1.run(problem, initial, *fom, {.seed = 22, .simulation_budget = 20});
+  const auto d = d2.run(problem, initial, *fom, {.seed = 22, .simulation_budget = 20});
   for (std::size_t i = 0; i < c.records.size(); ++i) EXPECT_EQ(c.records[i].x, d.records[i].x);
 }
 
@@ -92,8 +92,8 @@ TEST_F(BaselineFixture, SmallInitialSetStillWorks) {
   const auto f = ckt::FomEvaluator::fit_reference(problem, rows);
   PsoOptimizer pso;
   DeOptimizer de;
-  EXPECT_EQ(pso.run(problem, tiny, f, 1, 15).simulations_used(), 15u);
-  EXPECT_EQ(de.run(problem, tiny, f, 1, 15).simulations_used(), 15u);
+  EXPECT_EQ(pso.run(problem, tiny, f, {.seed = 1, .simulation_budget = 15}).simulations_used(), 15u);
+  EXPECT_EQ(de.run(problem, tiny, f, {.seed = 1, .simulation_budget = 15}).simulations_used(), 15u);
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ TEST(RandomSearch, BudgetAndTrajectoryShape) {
   const auto fom = ckt::FomEvaluator::fit_reference(problem, rows);
 
   RandomSearch rs;
-  const RunHistory h = rs.run(problem, init, fom, 5, 25);
+  const RunHistory h = rs.run(problem, init, fom, {.seed = 5, .simulation_budget = 25});
   EXPECT_EQ(h.simulations_used(), 25u);
   EXPECT_EQ(h.records.size(), 35u);
   for (std::size_t i = 1; i < h.best_fom_after.size(); ++i)
@@ -31,8 +31,8 @@ TEST(RandomSearch, Deterministic) {
   for (const auto& r : init) rows.push_back(r.metrics);
   const auto fom = ckt::FomEvaluator::fit_reference(problem, rows);
   RandomSearch a, b;
-  const auto ha = a.run(problem, init, fom, 9, 10);
-  const auto hb = b.run(problem, init, fom, 9, 10);
+  const auto ha = a.run(problem, init, fom, {.seed = 9, .simulation_budget = 10});
+  const auto hb = b.run(problem, init, fom, {.seed = 9, .simulation_budget = 10});
   for (std::size_t i = 0; i < ha.records.size(); ++i) EXPECT_EQ(ha.records[i].x, hb.records[i].x);
 }
 

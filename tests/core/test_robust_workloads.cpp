@@ -47,7 +47,7 @@ struct RobustWorkloadFixture : ::testing::Test {
     const auto fom = ckt::FomEvaluator::fit_reference(problem, rows);
     MaOptimizer opt(small_config(MaOptConfig::ma_opt()));
     RunHistory h;
-    ASSERT_NO_THROW(h = opt.run(problem, initial, fom, seed, budget));
+    ASSERT_NO_THROW(h = opt.run(problem, initial, fom, {.seed = seed, .simulation_budget = budget}));
     EXPECT_FALSE(h.aborted);
     EXPECT_EQ(h.simulations_used(), budget);
     for (const auto& r : h.records) {
@@ -142,14 +142,14 @@ TEST_F(RobustWorkloadFixture, CheckpointResumeReplaysSweepRunBitIdentical) {
   const std::size_t budget = 20;
   MaOptConfig cfg = small_config(MaOptConfig::ma_opt());
   MaOptimizer ref_opt(cfg);
-  const RunHistory ref = ref_opt.run(robust, initial, fom, 31, budget);
+  const RunHistory ref = ref_opt.run(robust, initial, fom, {.seed = 31, .simulation_budget = budget});
 
   // The cadence must not divide the terminal iteration, so the last snapshot
   // on disk is exactly what a run killed mid-budget would leave behind.
   cfg.checkpoint_path = path;
   cfg.checkpoint_every = 3;
   MaOptimizer ckpt_opt(cfg);
-  (void)ckpt_opt.run(robust, initial, fom, 31, budget);
+  (void)ckpt_opt.run(robust, initial, fom, {.seed = 31, .simulation_budget = budget});
 
   const RunCheckpoint snapshot = load_checkpoint(path);
   EXPECT_EQ(snapshot.version, kCheckpointFormatVersion);

@@ -32,7 +32,7 @@ TEST(Bo, RespectsSimulationBudget) {
   cfg.local_candidates = 32;
   cfg.hyperfit_restarts = 4;
   BoOptimizer bo(cfg);
-  const RunHistory h = bo.run(s.problem, s.initial, *s.fom, 7, 15);
+  const RunHistory h = bo.run(s.problem, s.initial, *s.fom, {.seed = 7, .simulation_budget = 15});
   EXPECT_EQ(h.simulations_used(), 15u);
   EXPECT_EQ(h.records.size(), s.initial.size() + 15);
   EXPECT_EQ(h.best_fom_after.size(), 15u);
@@ -45,7 +45,7 @@ TEST(Bo, BestFomTrajectoryIsMonotoneNonIncreasing) {
   cfg.local_candidates = 32;
   cfg.hyperfit_restarts = 4;
   BoOptimizer bo(cfg);
-  const RunHistory h = bo.run(s.problem, s.initial, *s.fom, 3, 20);
+  const RunHistory h = bo.run(s.problem, s.initial, *s.fom, {.seed = 3, .simulation_budget = 20});
   for (std::size_t i = 1; i < h.best_fom_after.size(); ++i)
     EXPECT_LE(h.best_fom_after[i], h.best_fom_after[i - 1]);
 }
@@ -63,7 +63,7 @@ TEST(Bo, ImprovesOverInitialBest) {
   cfg.local_candidates = 64;
   cfg.hyperfit_restarts = 8;
   BoOptimizer bo(cfg);
-  const RunHistory h = bo.run(s.problem, s.initial, *s.fom, 11, 30);
+  const RunHistory h = bo.run(s.problem, s.initial, *s.fom, {.seed = 11, .simulation_budget = 30});
   EXPECT_LT(h.best_fom_after.back(), init_best);
 }
 
@@ -74,8 +74,8 @@ TEST(Bo, DeterministicForFixedSeed) {
   cfg.local_candidates = 16;
   cfg.hyperfit_restarts = 2;
   BoOptimizer a(cfg), b(cfg);
-  const RunHistory ha = a.run(s.problem, s.initial, *s.fom, 42, 10);
-  const RunHistory hb = b.run(s.problem, s.initial, *s.fom, 42, 10);
+  const RunHistory ha = a.run(s.problem, s.initial, *s.fom, {.seed = 42, .simulation_budget = 10});
+  const RunHistory hb = b.run(s.problem, s.initial, *s.fom, {.seed = 42, .simulation_budget = 10});
   ASSERT_EQ(ha.records.size(), hb.records.size());
   for (std::size_t i = 0; i < ha.records.size(); ++i)
     EXPECT_EQ(ha.records[i].x, hb.records[i].x);
@@ -88,7 +88,7 @@ TEST(Bo, TracksTrainAndSimTime) {
   cfg.local_candidates = 16;
   cfg.hyperfit_restarts = 2;
   BoOptimizer bo(cfg);
-  const RunHistory h = bo.run(s.problem, s.initial, *s.fom, 1, 5);
+  const RunHistory h = bo.run(s.problem, s.initial, *s.fom, {.seed = 1, .simulation_budget = 5});
   EXPECT_GT(h.train_seconds, 0.0);
   EXPECT_GE(h.wall_seconds, h.train_seconds);
 }

@@ -1,0 +1,405 @@
+#include "serve/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuits/analytic_problems.hpp"
+#include "circuits/fom.hpp"
+#include "common/rng.hpp"
+#include "core/history_io.hpp"
+#include "core/ma_optimizer.hpp"
+
+namespace maopt::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// The reference the daemon must match bit-for-bit: the bare-run protocol
+/// (X_init from Rng(seed), FoM reference fit on the initial metrics, default
+/// MA-Opt config) without any service, scheduler, or daemon in the path.
+core::RunHistory bare_run(const ckt::SizingProblem& problem, std::uint64_t seed, std::size_t init,
+                          std::size_t budget) {
+  Rng rng(seed);
+  auto initial = core::sample_initial_set(problem, init, rng);
+  std::vector<linalg::Vec> rows;
+  rows.reserve(initial.size());
+  for (const auto& record : initial) rows.push_back(record.metrics);
+  const auto fom = ckt::FomEvaluator::fit_reference(problem, rows);
+  core::MaOptimizer optimizer(core::MaOptConfig::ma_opt());
+  return optimizer.run(problem, initial, fom, {.seed = seed, .simulation_budget = budget});
+}
+
+/// Collects the daemon's job-scoped telemetry for chain/terminal assertions.
+class JobEventLog final : public obs::RunObserver {
+ public:
+  void on_job_submitted(const obs::JobSubmitted& event) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    submitted_.push_back(event);
+  }
+  void on_job_state_changed(const obs::JobStateChanged& event) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    transitions_.push_back(event);
+  }
+  void on_job_finished(const obs::JobFinished& event) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    finished_.push_back(event);
+  }
+
+  std::vector<obs::JobSubmitted> submitted() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return submitted_;
+  }
+  std::vector<obs::JobStateChanged> transitions() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return transitions_;
+  }
+  std::vector<obs::JobFinished> finished() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return finished_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<obs::JobSubmitted> submitted_;
+  std::vector<obs::JobStateChanged> transitions_;
+  std::vector<obs::JobFinished> finished_;
+};
+
+template <typename Predicate>
+bool eventually(Predicate predicate, std::chrono::milliseconds limit = 30000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (!predicate()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(1ms);
+  }
+  return true;
+}
+
+struct DaemonFixture : ::testing::Test {
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    work_dir = ::testing::TempDir() + "maopt_daemon_" + info->name();
+    std::filesystem::remove_all(work_dir);
+  }
+  void TearDown() override { std::filesystem::remove_all(work_dir); }
+
+  DaemonConfig daemon_config() {
+    DaemonConfig config;
+    config.work_dir = work_dir;
+    config.num_threads = 2;
+    config.observer = &log;
+    return config;
+  }
+
+  std::string work_dir;
+  JobEventLog log;
+  ckt::ConstrainedQuadratic problem{6};
+};
+
+TEST_F(DaemonFixture, MatchesBareRunBitIdentically) {
+  constexpr std::uint64_t kSeed = 7;
+  constexpr std::size_t kInit = 10;
+  constexpr std::size_t kBudget = 24;
+
+  OptDaemon daemon(daemon_config());
+  daemon.add_problem("quad", problem);
+
+  JobSpec spec;
+  spec.name = "solo";
+  spec.problem = "quad";
+  spec.seed = kSeed;
+  spec.simulation_budget = kBudget;
+  spec.initial_samples = kInit;
+  spec.checkpoint_every = 2;
+  daemon.submit(spec);
+  const JobStatus status = daemon.wait("solo");
+
+  const core::RunHistory bare = bare_run(problem, kSeed, kInit, kBudget);
+  ASSERT_EQ(status.state, JobState::Done);
+  EXPECT_EQ(status.simulations, kBudget);
+  EXPECT_EQ(status.best_fom, bare.best_fom_after.back());  // exact, not approx
+  EXPECT_EQ(status.feasible, bare.best_feasible() != nullptr);
+
+  // The periodic checkpoint holds a prefix of the run; every entry of its
+  // best-FoM trajectory must equal the bare run's, element for element.
+  const core::RunCheckpoint checkpoint = core::load_checkpoint(work_dir + "/solo.ckpt");
+  EXPECT_EQ(checkpoint.seed, kSeed);
+  ASSERT_FALSE(checkpoint.history.best_fom_after.empty());
+  ASSERT_LE(checkpoint.history.best_fom_after.size(), bare.best_fom_after.size());
+  for (std::size_t i = 0; i < checkpoint.history.best_fom_after.size(); ++i)
+    EXPECT_EQ(checkpoint.history.best_fom_after[i], bare.best_fom_after[i]) << "at " << i;
+}
+
+TEST_F(DaemonFixture, PauseResumeCycleReproducesTheUninterruptedRun) {
+  constexpr std::uint64_t kSeed = 3;
+  constexpr std::size_t kInit = 10;
+  constexpr std::size_t kBudget = 40;
+
+  OptDaemon daemon(daemon_config());
+  daemon.add_problem("quad", problem);
+
+  JobSpec spec;
+  spec.name = "pr";
+  spec.problem = "quad";
+  spec.seed = kSeed;
+  spec.simulation_budget = kBudget;
+  spec.initial_samples = kInit;
+  daemon.submit(spec);
+
+  // Pause mid-run (after a few post-initial simulations). If the job races
+  // to completion first the pause is refused and the equality check below
+  // still holds — but on any realistic machine the pause lands.
+  ASSERT_TRUE(eventually([&] {
+    const JobStatus status = daemon.status("pr");
+    return status.simulations >= 4 || is_terminal(status.state);
+  }));
+  if (daemon.pause("pr")) {
+    const JobStatus paused = daemon.wait("pr");
+    if (paused.state == JobState::Paused) {
+      EXPECT_TRUE(std::filesystem::exists(work_dir + "/pr.ckpt"));
+      EXPECT_FALSE(daemon.resume("nonexistent"));
+      ASSERT_TRUE(daemon.resume("pr"));
+      EXPECT_FALSE(daemon.resume("pr"));  // already running again
+    }
+  }
+
+  const JobStatus status = daemon.wait("pr");
+  const core::RunHistory bare = bare_run(problem, kSeed, kInit, kBudget);
+  ASSERT_EQ(status.state, JobState::Done);
+  EXPECT_EQ(status.simulations, kBudget);
+  EXPECT_EQ(status.best_fom, bare.best_fom_after.back());
+  EXPECT_EQ(status.feasible, bare.best_feasible() != nullptr);
+
+  // Counters accumulate across segments: the resumed segment replays the
+  // checkpointed records without re-simulating, so the summed simulation
+  // count equals the budget regardless of how many segments ran.
+  EXPECT_EQ(status.counters.simulations, kBudget);
+}
+
+TEST_F(DaemonFixture, KillWhileCheckpointingStopsAtYieldPoint) {
+  OptDaemon daemon(daemon_config());
+  daemon.add_problem("quad", problem);
+
+  JobSpec spec;
+  spec.name = "doomed";
+  spec.problem = "quad";
+  spec.seed = 5;
+  spec.simulation_budget = 5000;  // far more than the test lets it spend
+  spec.initial_samples = 10;
+  spec.checkpoint_every = 1;  // checkpoint every iteration: kill races the writer
+  daemon.submit(spec);
+
+  ASSERT_TRUE(eventually([&] { return daemon.status("doomed").simulations >= 2; }));
+  ASSERT_TRUE(daemon.kill("doomed"));
+  const JobStatus status = daemon.wait("doomed");
+  EXPECT_EQ(status.state, JobState::Killed);
+  EXPECT_LT(status.simulations, spec.simulation_budget);
+  EXPECT_FALSE(daemon.kill("doomed"));    // already terminal
+  EXPECT_FALSE(daemon.resume("doomed"));  // killed jobs stay dead
+
+  const auto finished = log.finished();
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_EQ(finished[0].name, "doomed");
+  EXPECT_EQ(finished[0].state, "killed");
+}
+
+TEST_F(DaemonFixture, ResumeAfterDaemonRestartCompletesTheBudget) {
+  constexpr std::uint64_t kSeed = 11;
+  constexpr std::size_t kInit = 10;
+  constexpr std::size_t kBudget = 30;
+
+  JobSpec spec;
+  spec.name = "restart";
+  spec.problem = "quad";
+  spec.seed = kSeed;
+  spec.simulation_budget = kBudget;
+  spec.initial_samples = kInit;
+
+  {
+    OptDaemon daemon(daemon_config());
+    daemon.add_problem("quad", problem);
+    daemon.submit(spec);
+    // Pause before the first yield point: the checkpoint then carries only
+    // the initial set — the hardest replay case for the restart path.
+    ASSERT_TRUE(daemon.pause("restart"));
+    const JobStatus paused = daemon.wait("restart");
+    ASSERT_EQ(paused.state, JobState::Paused);
+  }  // daemon destroyed; the paused job's checkpoint stays in work_dir
+
+  OptDaemon daemon(daemon_config());
+  daemon.add_problem("quad", problem);
+  spec.resume_from_checkpoint = true;
+  daemon.submit(spec);
+  const JobStatus status = daemon.wait("restart");
+
+  const core::RunHistory bare = bare_run(problem, kSeed, kInit, kBudget);
+  ASSERT_EQ(status.state, JobState::Done);
+  EXPECT_EQ(status.simulations, kBudget);
+  EXPECT_EQ(status.best_fom, bare.best_fom_after.back());
+}
+
+TEST_F(DaemonFixture, TwoTenantsSameDesignIsolatedJournals) {
+  constexpr std::uint64_t kSeed = 21;
+  constexpr std::size_t kInit = 10;
+  constexpr std::size_t kBudget = 20;
+
+  DaemonConfig config = daemon_config();
+  config.scheduler.capacity = 8;  // force both jobs through the admission gate
+  OptDaemon daemon(config);
+  daemon.register_tenant("alice", 1.0);
+  daemon.register_tenant("bob", 1.0);
+  daemon.add_problem("quad", problem);
+
+  JobSpec spec;
+  spec.problem = "quad";
+  spec.seed = kSeed;
+  spec.simulation_budget = kBudget;
+  spec.initial_samples = kInit;
+
+  spec.name = "job-a";
+  spec.tenant = "alice";
+  daemon.submit(spec);
+  spec.name = "job-b";
+  spec.tenant = "bob";
+  daemon.submit(spec);
+
+  const JobStatus a = daemon.wait("job-a");
+  const JobStatus b = daemon.wait("job-b");
+  ASSERT_EQ(a.state, JobState::Done);
+  ASSERT_EQ(b.state, JobState::Done);
+  // Same seed, same problem: identical trajectories whichever tenant ran.
+  EXPECT_EQ(a.best_fom, b.best_fom);
+  EXPECT_EQ(a.simulations, b.simulations);
+
+  // Isolated journals: each tenant's namespace persisted its own results.
+  const std::string alice_dir = work_dir + "/tenants/alice/quad";
+  const std::string bob_dir = work_dir + "/tenants/bob/quad";
+  EXPECT_TRUE(std::filesystem::exists(alice_dir) && !std::filesystem::is_empty(alice_dir));
+  EXPECT_TRUE(std::filesystem::exists(bob_dir) && !std::filesystem::is_empty(bob_dir));
+
+  // Both tenants were metered, and equal weights kept them within 2x of the
+  // proportional (equal) grant share.
+  const auto stats = daemon.scheduler().stats();
+  const std::uint64_t alice_granted = stats.at("alice").granted_sims;
+  const std::uint64_t bob_granted = stats.at("bob").granted_sims;
+  EXPECT_GE(alice_granted, kBudget);
+  EXPECT_GE(bob_granted, kBudget);
+  EXPECT_LE(alice_granted, 2 * bob_granted);
+  EXPECT_LE(bob_granted, 2 * alice_granted);
+
+  // Warm rerun in alice's namespace: every in-run request is now a hit —
+  // a cache miss here would mean the namespaces leaked or the trajectory
+  // diverged.
+  spec.name = "job-a2";
+  spec.tenant = "alice";
+  daemon.submit(spec);
+  const JobStatus a2 = daemon.wait("job-a2");
+  ASSERT_EQ(a2.state, JobState::Done);
+  EXPECT_EQ(a2.best_fom, a.best_fom);
+  EXPECT_EQ(a2.counters.cache_misses, 0u);
+  EXPECT_EQ(a2.counters.cache_hits, kBudget);
+}
+
+TEST_F(DaemonFixture, SubmitValidation) {
+  OptDaemon daemon(daemon_config());
+  daemon.add_problem("quad", problem);
+  EXPECT_THROW(daemon.add_problem("quad", problem), std::invalid_argument);
+
+  JobSpec ok;
+  ok.name = "valid";
+  ok.problem = "quad";
+  ok.algorithm = "Random";
+  ok.simulation_budget = 5;
+  ok.initial_samples = 8;
+  daemon.submit(ok);
+
+  JobSpec bad = ok;
+  EXPECT_THROW(daemon.submit(bad), std::invalid_argument);  // duplicate name
+  bad.name = "";
+  EXPECT_THROW(daemon.submit(bad), std::invalid_argument);  // empty name
+  bad = ok;
+  bad.name = "b1";
+  bad.problem = "no-such-problem";
+  EXPECT_THROW(daemon.submit(bad), std::invalid_argument);
+  bad = ok;
+  bad.name = "b2";
+  bad.algorithm = "SimulatedAnnealing";
+  EXPECT_THROW(daemon.submit(bad), std::invalid_argument);
+  bad = ok;
+  bad.name = "b3";
+  bad.simulation_budget = 0;
+  EXPECT_THROW(daemon.submit(bad), std::invalid_argument);
+  bad = ok;
+  bad.name = "b4";
+  bad.algorithm = "PSO";
+  bad.resume_from_checkpoint = true;  // PSO cannot checkpoint
+  EXPECT_THROW(daemon.submit(bad), std::invalid_argument);
+
+  EXPECT_THROW(daemon.status("no-such-job"), std::invalid_argument);
+  EXPECT_THROW(daemon.wait("no-such-job"), std::invalid_argument);
+  EXPECT_THROW(daemon.service("no-such-problem"), std::invalid_argument);
+  EXPECT_FALSE(daemon.kill("no-such-job"));
+  EXPECT_FALSE(daemon.pause("no-such-job"));
+
+  const JobStatus status = daemon.wait("valid");
+  EXPECT_EQ(status.state, JobState::Done);
+  EXPECT_FALSE(daemon.pause("valid"));  // terminal, and Random is not pausable
+  ASSERT_EQ(daemon.jobs().size(), 1u);
+  EXPECT_EQ(daemon.jobs()[0].spec.name, "valid");
+}
+
+TEST_F(DaemonFixture, JobEventsChainFromPendingToTerminal) {
+  OptDaemon daemon(daemon_config());
+  daemon.add_problem("quad", problem);
+
+  JobSpec spec;
+  spec.name = "observed";
+  spec.tenant = "carol";
+  spec.problem = "quad";
+  spec.algorithm = "Random";
+  spec.seed = 13;
+  spec.simulation_budget = 6;
+  spec.initial_samples = 8;
+  const std::uint64_t id = daemon.submit(spec);
+  const JobStatus status = daemon.wait("observed");
+  ASSERT_EQ(status.state, JobState::Done);
+
+  const auto submitted = log.submitted();
+  ASSERT_EQ(submitted.size(), 1u);
+  EXPECT_EQ(submitted[0].job_id, id);
+  EXPECT_EQ(submitted[0].name, "observed");
+  EXPECT_EQ(submitted[0].tenant, "carol");
+  EXPECT_EQ(submitted[0].problem, "quad");
+  EXPECT_EQ(submitted[0].algorithm, "Random");
+  EXPECT_EQ(submitted[0].seed, 13u);
+  EXPECT_EQ(submitted[0].simulation_budget, 6u);
+
+  // Transitions form an unbroken chain starting at "pending" and ending in
+  // the finished event's terminal state — the invariant check_telemetry.py
+  // enforces on JSONL streams, asserted here at the source.
+  const auto transitions = log.transitions();
+  ASSERT_GE(transitions.size(), 2u);
+  std::string state = "pending";
+  for (const auto& transition : transitions) {
+    EXPECT_EQ(transition.from, state);
+    EXPECT_EQ(transition.job_id, id);
+    state = transition.to;
+  }
+  EXPECT_EQ(state, "done");
+
+  const auto finished = log.finished();
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_EQ(finished[0].state, "done");
+  EXPECT_EQ(finished[0].tenant, "carol");
+  EXPECT_EQ(finished[0].simulations, 6u);
+}
+
+}  // namespace
+}  // namespace maopt::serve

@@ -1,0 +1,205 @@
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace maopt::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Spins until `predicate` holds (the scheduler has no wait-for-waiter API;
+/// tests poll stats() instead). Bounded so a regression fails, not hangs.
+template <typename Predicate>
+bool eventually(Predicate predicate, std::chrono::milliseconds limit = 5000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (!predicate()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(1ms);
+  }
+  return true;
+}
+
+TEST(FairShareScheduler, UnlimitedModeNeverBlocks) {
+  FairShareScheduler scheduler({.capacity = 0, .quantum = 8});
+  scheduler.acquire("a", 1000);  // far beyond any real pool; must not block
+  scheduler.acquire("b", 3);
+  EXPECT_EQ(scheduler.in_use(), 1003u);
+
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.at("a").granted_sims, 1000u);
+  EXPECT_EQ(stats.at("b").granted_sims, 3u);
+  EXPECT_EQ(stats.at("a").waiting, 0u);
+
+  scheduler.release("a", 1000);
+  scheduler.release("b", 3);
+  EXPECT_EQ(scheduler.in_use(), 0u);
+}
+
+TEST(FairShareScheduler, CapacityBoundsInFlightSlots) {
+  constexpr std::size_t kCapacity = 4;
+  FairShareScheduler scheduler({.capacity = kCapacity, .quantum = 8});
+
+  std::atomic<std::size_t> in_flight{0};
+  std::atomic<std::size_t> peak{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&scheduler, &in_flight, &peak, t] {
+      const std::string tenant = t % 2 == 0 ? "even" : "odd";
+      for (int i = 0; i < 20; ++i) {
+        scheduler.acquire(tenant, 2);
+        const std::size_t now = in_flight.fetch_add(2, std::memory_order_acq_rel) + 2;
+        std::size_t seen = peak.load(std::memory_order_relaxed);
+        while (now > seen && !peak.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+        }
+        std::this_thread::sleep_for(100us);
+        in_flight.fetch_sub(2, std::memory_order_acq_rel);
+        scheduler.release(tenant, 2);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_LE(peak.load(), kCapacity);
+  EXPECT_EQ(scheduler.in_use(), 0u);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.at("even").granted_sims + stats.at("odd").granted_sims, 8u * 20u * 2u);
+}
+
+TEST(FairShareScheduler, FifoWithinOneTenant) {
+  FairShareScheduler scheduler({.capacity = 2, .quantum = 8});
+  scheduler.acquire("t", 2);  // saturate the capacity so the waiters queue up
+
+  std::mutex order_mutex;
+  std::vector<int> order;
+  const auto waiter = [&](int id) {
+    scheduler.acquire("t", 2);
+    {
+      const std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(id);
+    }
+    scheduler.release("t", 2);
+  };
+
+  std::thread first(waiter, 1);
+  ASSERT_TRUE(eventually([&] { return scheduler.stats().at("t").waiting == 1; }));
+  std::thread second(waiter, 2);
+  ASSERT_TRUE(eventually([&] { return scheduler.stats().at("t").waiting == 2; }));
+
+  scheduler.release("t", 2);
+  first.join();
+  second.join();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(FairShareScheduler, OversizeRequestAdmittedAlone) {
+  FairShareScheduler scheduler({.capacity = 2, .quantum = 8});
+
+  // Wider than the whole capacity: admitted via the in_use == 0 escape.
+  scheduler.acquire("big", 10);
+  EXPECT_EQ(scheduler.in_use(), 10u);
+
+  // While the oversize grant is out, nothing else fits.
+  std::atomic<bool> small_granted{false};
+  std::thread small([&] {
+    scheduler.acquire("small", 1);
+    small_granted.store(true);
+    scheduler.release("small", 1);
+  });
+  ASSERT_TRUE(eventually([&] { return scheduler.stats().count("small") != 0 &&
+                                      scheduler.stats().at("small").waiting == 1; }));
+  EXPECT_FALSE(small_granted.load());
+
+  scheduler.release("big", 10);
+  small.join();
+  EXPECT_TRUE(small_granted.load());
+  EXPECT_EQ(scheduler.in_use(), 0u);
+}
+
+/// Races tenant client threads against each other on a contended scheduler
+/// (`tenants` may repeat a name — one thread per entry, so a repeated tenant
+/// keeps several requests queued at once): every thread loops acquire ->
+/// hold -> release until the FIRST thread to reach `per_thread_target`
+/// granted sims raises the stop flag, then all exit after their in-flight
+/// cycle. The returned per-tenant grant totals therefore reflect scheduler
+/// policy, not thread racing. Note the standard-DRR boundary this harness
+/// exposes: a grant that empties a tenant's queue forfeits its banked
+/// deficit, so weights only bind for tenants that stay backlogged (more
+/// than one client in flight); a lone client per tenant degenerates to
+/// strict alternation regardless of weight.
+std::map<std::string, std::uint64_t> run_contention(FairShareScheduler& scheduler,
+                                                    const std::vector<std::string>& tenants,
+                                                    std::size_t batch,
+                                                    std::size_t per_thread_target,
+                                                    std::chrono::microseconds hold) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (const std::string& tenant : tenants) {
+    threads.emplace_back([&, tenant] {
+      std::size_t mine = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        scheduler.acquire(tenant, batch);
+        std::this_thread::sleep_for(hold);
+        scheduler.release(tenant, batch);
+        mine += batch;
+        if (mine >= per_thread_target) stop.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::map<std::string, std::uint64_t> granted;
+  for (const auto& [name, stats] : scheduler.stats()) granted[name] = stats.granted_sims;
+  return granted;
+}
+
+TEST(FairShareScheduler, EqualWeightsShareWithinTwoFold) {
+  FairShareScheduler scheduler({.capacity = 2, .quantum = 4});
+  scheduler.set_weight("a", 1.0);
+  scheduler.set_weight("b", 1.0);
+
+  const auto granted = run_contention(scheduler, {"a", "b"}, 2, 300, 50us);
+
+  // Equal weights, both backlogged: when the faster tenant crosses the
+  // finish line the other must hold at least half its total — the "within
+  // 2x of proportional share" invariant.
+  const std::uint64_t lo = std::min(granted.at("a"), granted.at("b"));
+  const std::uint64_t hi = std::max(granted.at("a"), granted.at("b"));
+  EXPECT_GE(2 * lo, hi) << "a=" << granted.at("a") << " b=" << granted.at("b");
+}
+
+TEST(FairShareScheduler, HeavierWeightEarnsMoreGrants) {
+  FairShareScheduler scheduler({.capacity = 1, .quantum = 4});
+  scheduler.set_weight("heavy", 3.0);
+  scheduler.set_weight("light", 1.0);
+
+  // Three clients per tenant keep both queues non-empty across grants, so
+  // deficits persist and the steady-state grant ratio tracks the 3:1
+  // weights (quantum * weight sims per replenishment round). A lone client
+  // per tenant would alternate 1:1 — see run_contention's note.
+  const auto granted = run_contention(
+      scheduler, {"heavy", "heavy", "heavy", "light", "light", "light"}, 1, 80, 100us);
+  EXPECT_GE(granted.at("heavy"), 2 * granted.at("light"))
+      << "heavy=" << granted.at("heavy") << " light=" << granted.at("light");
+}
+
+TEST(FairShareScheduler, NonPositiveWeightClampedNotZeroed) {
+  FairShareScheduler scheduler({.capacity = 0, .quantum = 8});
+  scheduler.set_weight("z", -1.0);
+  EXPECT_GT(scheduler.stats().at("z").weight, 0.0);  // never starves outright
+}
+
+}  // namespace
+}  // namespace maopt::serve

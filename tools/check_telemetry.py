@@ -22,7 +22,18 @@ corner / Monte Carlo sweep problems — see "Robust & yield workloads"):
 Non-sweep events may appear inside a sweep bracket (evaluating threads
 emit concurrently with the optimizer), but sweep events may not.
 
+Checks, per job (job_submitted .. job_finished, emitted by serve::OptDaemon):
+  * jobs MAY interleave freely in one stream (unlike run brackets — the
+    daemon multiplexes many jobs); events are correlated by job_id;
+  * every job_state_changed chains (its "from" equals the job's previous
+    "to"), starting from "pending" at job_submitted;
+  * job_finished carries a terminal state (done / failed / killed) matching
+    the job's last transition, and arrives at most once per job;
+  * at EOF no job is left in an active state (pending / running / pausing /
+    killing) — paused and terminal are the only valid resting states.
+
 Usage: tools/check_telemetry.py run.jsonl [--expect-runs N] [--min-sweeps N]
+                                          [--min-jobs N]
 Exit code 0 = valid, 1 = violations found (printed to stderr).
 """
 
@@ -39,7 +50,13 @@ EVENT_KINDS = {
     "sweep_started",
     "sweep_variant",
     "sweep_completed",
+    "job_submitted",
+    "job_state_changed",
+    "job_finished",
 }
+JOB_STATES = {"pending", "running", "pausing", "paused", "killing", "done", "failed", "killed"}
+JOB_ACTIVE_STATES = {"pending", "running", "pausing", "killing"}
+JOB_TERMINAL_STATES = {"done", "failed", "killed"}
 PHASES = {"critic-train", "actor-train", "simulate", "near-sample", "elite-update"}
 SWEEP_KINDS = {"corners", "monte-carlo"}
 AGGREGATIONS = {"worst-case", "k-sigma", "yield-quantile"}
@@ -63,6 +80,14 @@ REQUIRED_KEYS = {
     "sweep_started": {"sweep_id", "kind", "aggregation", "variants", "t"},
     "sweep_variant": {"sweep_id", "variant", "label", "ok", "skipped", "fom0", "seconds", "t"},
     "sweep_completed": {"sweep_id", "ok", "failed", "skipped", "degraded", "policy", "seconds", "t"},
+    "job_submitted": {
+        "job_id", "name", "tenant", "problem", "algorithm", "seed", "simulation_budget", "t",
+    },
+    "job_state_changed": {"job_id", "name", "from", "to", "reason", "t"},
+    "job_finished": {
+        "job_id", "name", "tenant", "state", "simulations", "best_fom", "feasible",
+        "wall_seconds", "counters", "t",
+    },
 }
 
 
@@ -81,6 +106,9 @@ class Checker:
         # Open sweep bracket state (None when no sweep is open).
         self.sweep = None
         self.sweeps = 0  # completed brackets, for --min-sweeps
+        # Per-job state: job_id -> {"state": str, "finished": bool}.
+        self.jobs = {}
+        self.jobs_finished = 0  # job_finished events, for --min-jobs
 
     def error(self, lineno, msg):
         self.errors.append(f"line {lineno}: {msg}")
@@ -226,6 +254,59 @@ class Checker:
                 self.error(lineno, "sweep marked degraded but no variant succeeded "
                                    "(should be a whole-sweep failure)")
 
+    def on_job_submitted(self, lineno, event):
+        job_id = event.get("job_id")
+        if job_id in self.jobs:
+            self.error(lineno, f"duplicate job_submitted for job_id {job_id}")
+            return
+        self.jobs[job_id] = {"state": "pending", "finished": False, "name": event.get("name")}
+
+    def on_job_state_changed(self, lineno, event):
+        job_id = event.get("job_id")
+        job = self.jobs.get(job_id)
+        if job is None:
+            self.error(lineno, f"job_state_changed for unsubmitted job_id {job_id}")
+            return
+        if job["finished"]:
+            self.error(lineno, f"job_state_changed after job_finished (job_id {job_id})")
+        src, dst = event.get("from"), event.get("to")
+        if src not in JOB_STATES:
+            self.error(lineno, f"unknown job state {src!r}")
+        if dst not in JOB_STATES:
+            self.error(lineno, f"unknown job state {dst!r}")
+        if src != job["state"]:
+            self.error(lineno, f"job {job_id} transition from {src!r} but its previous "
+                               f"state is {job['state']!r}")
+        job["state"] = dst
+
+    def on_job_finished(self, lineno, event):
+        job_id = event.get("job_id")
+        job = self.jobs.get(job_id)
+        if job is None:
+            self.error(lineno, f"job_finished for unsubmitted job_id {job_id}")
+            return
+        if job["finished"]:
+            self.error(lineno, f"second job_finished for job_id {job_id}")
+            return
+        job["finished"] = True
+        self.jobs_finished += 1
+        state = event.get("state")
+        if state not in JOB_TERMINAL_STATES:
+            self.error(lineno, f"job_finished with non-terminal state {state!r}")
+        if state != job["state"]:
+            self.error(lineno, f"job_finished state {state!r} does not match the job's "
+                               f"last transition ({job['state']!r})")
+        counters = event.get("counters", {})
+        hits = counters.get("cache_hits", 0)
+        misses = counters.get("cache_misses", 0)
+        coalesced = counters.get("cache_coalesced", 0)
+        if coalesced > misses:
+            self.error(lineno, f"job cache_coalesced ({coalesced}) exceeds cache_misses "
+                               f"({misses})")
+        if hits + misses not in (0, event.get("simulations")):
+            self.error(lineno, f"job cache_hits + cache_misses ({hits} + {misses}) must "
+                               f"equal simulations ({event.get('simulations')}) or be zero")
+
     def on_run_finished(self, lineno, event):
         if not self.in_run:
             self.error(lineno, "run_finished without run_started")
@@ -271,6 +352,8 @@ def main():
                         help="require at least N cache-hit simulations across all runs")
     parser.add_argument("--min-sweeps", type=int, default=None,
                         help="require at least N complete sweep brackets")
+    parser.add_argument("--min-jobs", type=int, default=None,
+                        help="require at least N finished daemon jobs")
     args = parser.parse_args()
 
     checker = Checker()
@@ -283,6 +366,13 @@ def main():
         checker.error("EOF", "stream ends inside a run bracket (no run_finished)")
     if checker.sweep is not None:
         checker.error("EOF", "stream ends inside a sweep bracket (no sweep_completed)")
+    for job_id, job in sorted(checker.jobs.items(), key=str):
+        if job["state"] in JOB_ACTIVE_STATES:
+            checker.error("EOF", f"job {job_id} ({job['name']}) left in active state "
+                                 f"{job['state']!r}")
+    if args.min_jobs is not None and checker.jobs_finished < args.min_jobs:
+        checker.error("EOF", f"expected >= {args.min_jobs} finished jobs, "
+                             f"found {checker.jobs_finished}")
     if args.expect_runs is not None and checker.runs != args.expect_runs:
         checker.error("EOF", f"expected {args.expect_runs} runs, found {checker.runs}")
     if args.min_sweeps is not None and checker.sweeps < args.min_sweeps:
@@ -298,7 +388,8 @@ def main():
             print(err, file=sys.stderr)
         print(f"FAIL: {len(checker.errors)} violation(s) in {args.jsonl}", file=sys.stderr)
         return 1
-    print(f"OK: {checker.runs} run(s) valid in {args.jsonl}")
+    print(f"OK: {checker.runs} run(s), {checker.sweeps} sweep(s), "
+          f"{checker.jobs_finished} finished job(s) valid in {args.jsonl}")
     return 0
 
 
