@@ -15,10 +15,14 @@
 //
 //   help                          this text
 //   problems                      registered problems
+//   load NAME DECK [SPEC]         compile a SPICE deck (+ spec file, default
+//                                 DECK with .spec) and register it as NAME
 //   tenant NAME [WEIGHT]          register NAME and make it the current tenant
 //   submit NAME [k=v ...] [&]     run a job; trailing & backgrounds it
 //                                 keys: problem= algo= seed= sims= init=
-//                                       ckpt-every= jsonl= resume
+//                                       ckpt-every= jsonl= deck= spec= resume
+//                                 deck= compiles and registers the deck on
+//                                 the fly (problem= names it; default stem)
 //   jobs                          job table (%n is the job id)
 //   status %N|NAME                one job's detail
 //   pause %N|NAME                 checkpoint + vacate (MA-family only)
@@ -132,6 +136,7 @@ int main(int argc, char** argv) {
   const bool interactive = isatty(fileno(stdin)) != 0;
   std::string tenant;
   std::string line;
+  std::vector<std::pair<std::string, std::string>> loaded_decks;  // name -> deck path
 
   while (true) {
     if (interactive) {
@@ -148,26 +153,37 @@ int main(int argc, char** argv) {
     try {
       if (cmd == "quit" || cmd == "exit") break;
       if (cmd == "help") {
-        std::printf("commands: help problems tenant submit jobs status pause resume bg fg "
+        std::printf("commands: help problems load tenant submit jobs status pause resume bg fg "
                     "kill sched quit\n");
       } else if (cmd == "problems") {
         std::printf("ota  — two-stage OTA (SPICE)\ntia  — three-stage TIA (SPICE)\n"
                     "quad — constrained quadratic (analytic, fast)\n");
         if (faulty)
           std::printf("quad-faulty — quad behind %.0f%% injected faults\n", fault_rate * 100.0);
+        for (const auto& [name, path] : loaded_decks)
+          std::printf("%s — deck-compiled (%s)\n", name.c_str(), path.c_str());
+      } else if (cmd == "load") {
+        if (words.size() < 3) {
+          std::printf("usage: load NAME DECK [SPEC]\n");
+          continue;
+        }
+        daemon.add_deck(words[1], words[2], words.size() > 3 ? words[3] : "");
+        loaded_decks.emplace_back(words[1], words[2]);
+        std::printf("%s loaded from %s\n", words[1].c_str(), words[2].c_str());
       } else if (cmd == "tenant") {
         if (words.size() < 2) {
           std::printf("current tenant: %s\n", tenant.empty() ? "(default)" : tenant.c_str());
         } else {
           tenant = words[1];
-          const double weight = words.size() > 2 ? std::strtod(words[2].c_str(), nullptr) : 1.0;
+          const double weight = words.size() > 2 ? spice::parse_spice_value(words[2]) : 1.0;
           daemon.register_tenant(tenant, weight);
           std::printf("tenant %s (weight %g)\n", tenant.c_str(), weight);
         }
       } else if (cmd == "submit") {
         if (words.size() < 2) {
           std::printf("usage: submit NAME [problem=quad] [algo=MA-Opt] [seed=N] [sims=N] "
-                      "[init=N] [ckpt-every=N] [jsonl=PATH] [resume] [&]\n");
+                      "[init=N] [ckpt-every=N] [jsonl=PATH] [deck=PATH] [spec=PATH] "
+                      "[resume] [&]\n");
           continue;
         }
         serve::JobSpec spec;
@@ -183,6 +199,8 @@ int main(int argc, char** argv) {
           const std::string value = eq == std::string::npos ? "" : word.substr(eq + 1);
           if (word == "&") background = true;
           else if (word == "resume") spec.resume_from_checkpoint = true;
+          else if (key == "deck") { spec.deck_path = value; spec.problem.clear(); }
+          else if (key == "spec") spec.spec_path = value;
           else if (key == "problem") spec.problem = value;
           else if (key == "algo") spec.algorithm = value;
           else if (key == "seed") spec.seed = std::strtoull(value.c_str(), nullptr, 10);

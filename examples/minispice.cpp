@@ -9,16 +9,20 @@
 // With no analysis flags, runs the operating point and prints the report.
 // AC/TRAN/NOISE results are printed as CSV on stdout.
 //
+// Decks go through the full deck elaborator (src/deck/), so `.include`,
+// `.param` expressions and `.subckt`/`X` flattening all work; the deck's own
+// analysis and measure cards are ignored here — this tool drives analyses
+// from the command line. Elaboration warnings go to stderr.
+//
 // Example deck:
 //   .model n180 NMOS
+//   .param W=20u
 //   VDD vdd 0 1.8
 //   VIN in 0 DC 0.7 AC 1
 //   RL vdd out 5k
-//   M1 out in 0 0 n180 W=20u L=1u
+//   M1 out in 0 0 n180 W={W} L=1u
 #include <cmath>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 
 #include "maopt.hpp"
 
@@ -32,24 +36,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::ifstream file(args.positional()[0]);
-  if (!file) {
-    std::fprintf(stderr, "cannot open '%s'\n", args.positional()[0].c_str());
-    return 2;
-  }
-  std::stringstream deck;
-  deck << file.rdbuf();
-
-  ParsedNetlist parsed;
+  Netlist netlist;
   try {
-    parsed = parse_netlist(deck.str());
-  } catch (const ParseError& e) {
-    std::fprintf(stderr, "parse error: %s\n", e.what());
+    const deck::ElaboratedDeck elaborated = deck::elaborate_deck_file(args.positional()[0]);
+    for (const auto& warning : elaborated.warnings)
+      std::fprintf(stderr, "warning: %s\n", warning.c_str());
+    deck::build_nominal_netlist(elaborated, netlist);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "deck error: %s\n", e.what());
     return 1;
   }
 
   DcAnalysis dc;
-  const DcResult op = dc.solve(parsed.netlist);
+  const DcResult op = dc.solve(netlist);
   if (!op.converged) {
     std::fprintf(stderr, "DC operating point did not converge\n");
     return 1;
@@ -57,7 +56,7 @@ int main(int argc, char** argv) {
 
   const bool any_analysis = args.has("ac") || args.has("tran") || args.has("noise");
   if (args.has("op") || !any_analysis)
-    std::fputs(operating_point_report(parsed.netlist, op.x).c_str(), stdout);
+    std::fputs(operating_point_report(netlist, op.x).c_str(), stdout);
 
   if (args.has("ac")) {
     // --ac consumes one value via CliArgs; remaining operands are positional.
@@ -68,9 +67,9 @@ int main(int argc, char** argv) {
     }
     const double f0 = args.get_double("ac", 1.0);
     const double f1 = spice::parse_spice_value(args.positional()[1]);
-    const int node = parsed.netlist.find_node(args.positional()[2]);
+    const int node = netlist.find_node(args.positional()[2]);
     AcAnalysis ac;
-    const AcSweep sweep = ac.run(parsed.netlist, op.x, log_frequency_grid(f0, f1, 10));
+    const AcSweep sweep = ac.run(netlist, op.x, log_frequency_grid(f0, f1, 10));
     std::printf("frequency,magnitude_db,phase_deg\n");
     const auto db = magnitude_db(sweep, node);
     const auto ph = phase_deg_unwrapped(sweep, node);
@@ -86,8 +85,8 @@ int main(int argc, char** argv) {
     TranOptions topt;
     topt.t_stop = args.get_double("tran", 1e-6);
     topt.dt = spice::parse_spice_value(args.positional()[1]);
-    const int node = parsed.netlist.find_node(args.positional()[2]);
-    const TranResult tr = TranAnalysis(topt).run(parsed.netlist);
+    const int node = netlist.find_node(args.positional()[2]);
+    const TranResult tr = TranAnalysis(topt).run(netlist);
     if (!tr.converged) {
       std::fprintf(stderr, "transient did not converge\n");
       return 1;
@@ -99,10 +98,10 @@ int main(int argc, char** argv) {
   }
 
   if (args.has("noise")) {
-    const int node = parsed.netlist.find_node(args.get("noise", "out"));
+    const int node = netlist.find_node(args.get("noise", "out"));
     NoiseAnalysis noise;
     const NoiseResult nr =
-        noise.run(parsed.netlist, op.x, node, kGround, log_frequency_grid(1.0, 1e9, 8));
+        noise.run(netlist, op.x, node, kGround, log_frequency_grid(1.0, 1e9, 8));
     std::printf("frequency,psd_v2hz\n");
     for (std::size_t k = 0; k < nr.frequencies.size(); ++k)
       std::printf("%g,%g\n", nr.frequencies[k], nr.output_psd[k]);

@@ -110,6 +110,7 @@ class ResilientEvaluator final : public SizingProblem {
   bool supports_process_variation() const override {
     return inner_->supports_process_variation();
   }
+  std::uint64_t content_fingerprint() const override { return inner_->content_fingerprint(); }
 
   /// Persistent-session support: wraps the inner problem's session in the
   /// same retry/scrub logic — but only when deadline_seconds <= 0, where
@@ -202,6 +203,7 @@ class FaultInjectingProblem final : public SizingProblem {
   bool supports_process_variation() const override {
     return inner_->supports_process_variation();
   }
+  std::uint64_t content_fingerprint() const override { return inner_->content_fingerprint(); }
 
   /// Faults injected so far (throws + hangs + NaN + garbage).
   std::uint64_t injected() const { return injected_.load(); }

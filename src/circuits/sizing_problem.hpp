@@ -142,6 +142,16 @@ class SizingProblem {
   virtual void set_process_variation(const ProcessVariation& pv) { (void)pv; }
   virtual bool supports_process_variation() const { return false; }
 
+  /// Content fingerprint for data-defined problems: a stable hash of the
+  /// problem's *semantic payload* beyond what spec()/bounds expose (e.g. the
+  /// elaborated netlist of a deck-compiled problem). problem_fingerprint()
+  /// (eval/result_cache) folds this in when nonzero, so two decks with the
+  /// same spec but different circuits never share cache entries. The default
+  /// 0 means "spec + bounds fully identify the problem" and leaves every
+  /// existing fingerprint (and on-disk journal) unchanged. Decorators that
+  /// wrap an inner problem must forward this.
+  virtual std::uint64_t content_fingerprint() const { return 0; }
+
   /// Clamp to bounds and round integer-constrained parameters.
   Vec clip(Vec x) const;
 

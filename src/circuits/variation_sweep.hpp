@@ -165,6 +165,7 @@ class VariationSweepProblem : public SizingProblem {
   const std::vector<bool>& integer_mask() const override { return inner_->integer_mask(); }
   std::vector<std::string> parameter_names() const override { return inner_->parameter_names(); }
   Vec failure_metrics() const override { return inner_->failure_metrics(); }
+  std::uint64_t content_fingerprint() const override { return inner_->content_fingerprint(); }
 
   /// One full sweep: evaluates every (non-skipped) variant, applies the
   /// failure policy, aggregates, and stamps the provenance fields

@@ -45,7 +45,10 @@ std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) co
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(canonical(name));
-  return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  // Generic CLI doubles (rates, weights) stay plain C doubles; flags that
+  // should accept "5k"/"2meg" call spice::parse_spice_value at the call site.
+  return it == flags_.end() ? fallback
+                            : std::strtod(it->second.c_str(), nullptr);  // maopt-lint: allow(number-parse)
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {

@@ -1,0 +1,280 @@
+#include "deck/expression.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "spice/parser.hpp"
+
+namespace maopt::deck {
+
+struct Expr::Node {
+  enum class Kind { Number, Param, Add, Sub, Mul, Div, Neg };
+  Kind kind;
+  double value = 0.0;                  // Number
+  std::string name;                    // Param (upper-cased)
+  std::shared_ptr<const Node> lhs, rhs;
+};
+
+namespace {
+
+using Node = Expr::Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+NodePtr make_number(double v) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Number;
+  n->value = v;
+  return n;
+}
+
+NodePtr make_param(std::string name) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Param;
+  n->name = std::move(name);
+  return n;
+}
+
+NodePtr make_op(Node::Kind kind, NodePtr lhs, NodePtr rhs) {
+  auto n = std::make_shared<Node>();
+  n->kind = kind;
+  n->lhs = std::move(lhs);
+  n->rhs = std::move(rhs);
+  return n;
+}
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Recursive-descent parser over the raw text (no separate lexer pass; the
+/// token boundaries are simple enough to scan in place).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  NodePtr parse() {
+    NodePtr e = expr();
+    skip_space();
+    if (pos_ != text_.size()) fail("unexpected '" + std::string(1, text_[pos_]) + "'");
+    return e;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("expression '" + text_ + "' at position " +
+                                std::to_string(pos_) + ": " + message);
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool eat(char c) {
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_space();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  NodePtr expr() {
+    NodePtr lhs = term();
+    while (true) {
+      if (eat('+'))
+        lhs = make_op(Node::Kind::Add, lhs, term());
+      else if (eat('-'))
+        lhs = make_op(Node::Kind::Sub, lhs, term());
+      else
+        return lhs;
+    }
+  }
+
+  NodePtr term() {
+    NodePtr lhs = unary();
+    while (true) {
+      if (eat('*'))
+        lhs = make_op(Node::Kind::Mul, lhs, unary());
+      else if (eat('/'))
+        lhs = make_op(Node::Kind::Div, lhs, unary());
+      else
+        return lhs;
+    }
+  }
+
+  NodePtr unary() {
+    if (eat('-')) return make_op(Node::Kind::Neg, unary(), nullptr);
+    return primary();
+  }
+
+  NodePtr primary() {
+    const char c = peek();
+    if (c == '(') {
+      eat('(');
+      NodePtr inner = expr();
+      if (!eat(')')) fail("expected ')'");
+      return inner;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') return number();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return identifier();
+    fail(c == '\0' ? std::string("unexpected end of expression")
+                   : "unexpected '" + std::string(1, c) + "'");
+  }
+
+  /// Number with optional exponent and engineering suffix: "1.5k", "2meg",
+  /// "1e-9", "3E6Hz". The whole token goes through parse_spice_value so the
+  /// suffix semantics are identical to element cards.
+  NodePtr number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.'))
+      ++pos_;
+    // Exponent: e/E followed by an optional sign and at least one digit.
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      std::size_t p = pos_ + 1;
+      if (p < text_.size() && (text_[p] == '+' || text_[p] == '-')) ++p;
+      if (p < text_.size() && std::isdigit(static_cast<unsigned char>(text_[p]))) {
+        pos_ = p;
+        while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+      }
+    }
+    // Trailing suffix/unit letters belong to the number ("2meg", "10pF").
+    while (pos_ < text_.size() && std::isalpha(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      return make_number(spice::parse_spice_value(token));
+    } catch (const std::invalid_argument& e) {
+      pos_ = start;
+      fail(e.what());
+    }
+  }
+
+  NodePtr identifier() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                   text_[pos_] == '_'))
+      ++pos_;
+    return make_param(upper(text_.substr(start, pos_ - start)));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double eval_node(const Node& n, const ParamEnv& env) {
+  switch (n.kind) {
+    case Node::Kind::Number: return n.value;
+    case Node::Kind::Param: {
+      const auto it = env.find(n.name);
+      if (it == env.end())
+        throw std::invalid_argument("unknown parameter '" + n.name + "' in expression");
+      return it->second;
+    }
+    case Node::Kind::Add: return eval_node(*n.lhs, env) + eval_node(*n.rhs, env);
+    case Node::Kind::Sub: return eval_node(*n.lhs, env) - eval_node(*n.rhs, env);
+    case Node::Kind::Mul: return eval_node(*n.lhs, env) * eval_node(*n.rhs, env);
+    case Node::Kind::Div: return eval_node(*n.lhs, env) / eval_node(*n.rhs, env);
+    case Node::Kind::Neg: return -eval_node(*n.lhs, env);
+  }
+  throw std::logic_error("unreachable expression kind");
+}
+
+void collect_node(const Node& n, std::set<std::string>& out) {
+  if (n.kind == Node::Kind::Param) out.insert(n.name);
+  if (n.lhs) collect_node(*n.lhs, out);
+  if (n.rhs) collect_node(*n.rhs, out);
+}
+
+NodePtr substitute_node(const NodePtr& n, const std::map<std::string, NodePtr>& bindings) {
+  if (n->kind == Node::Kind::Param) {
+    const auto it = bindings.find(n->name);
+    return it != bindings.end() ? it->second : n;
+  }
+  if (!n->lhs && !n->rhs) return n;
+  NodePtr lhs = n->lhs ? substitute_node(n->lhs, bindings) : nullptr;
+  NodePtr rhs = n->rhs ? substitute_node(n->rhs, bindings) : nullptr;
+  if (lhs == n->lhs && rhs == n->rhs) return n;
+  auto copy = std::make_shared<Node>(*n);
+  copy->lhs = std::move(lhs);
+  copy->rhs = std::move(rhs);
+  return copy;
+}
+
+void canonical_node(const Node& n, std::string& out) {
+  switch (n.kind) {
+    case Node::Kind::Number: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", n.value);
+      out += buf;
+      return;
+    }
+    case Node::Kind::Param: out += n.name; return;
+    case Node::Kind::Neg:
+      out += "(-";
+      canonical_node(*n.lhs, out);
+      out += ")";
+      return;
+    default: break;
+  }
+  const char* op = n.kind == Node::Kind::Add   ? "+"
+                   : n.kind == Node::Kind::Sub ? "-"
+                   : n.kind == Node::Kind::Mul ? "*"
+                                               : "/";
+  out += "(";
+  canonical_node(*n.lhs, out);
+  out += op;
+  canonical_node(*n.rhs, out);
+  out += ")";
+}
+
+bool constant_node(const Node& n) {
+  if (n.kind == Node::Kind::Param) return false;
+  if (n.lhs && !constant_node(*n.lhs)) return false;
+  if (n.rhs && !constant_node(*n.rhs)) return false;
+  return true;
+}
+
+}  // namespace
+
+Expr Expr::parse(const std::string& text) {
+  return Expr(Parser(text).parse(), text);
+}
+
+Expr Expr::number(double value) { return Expr(make_number(value)); }
+
+bool Expr::is_constant() const { return root_ != nullptr && constant_node(*root_); }
+
+double Expr::eval(const ParamEnv& env) const {
+  if (!root_) throw std::invalid_argument("evaluating an empty expression");
+  return eval_node(*root_, env);
+}
+
+void Expr::collect_params(std::set<std::string>& out) const {
+  if (root_) collect_node(*root_, out);
+}
+
+Expr Expr::substitute(const std::map<std::string, Expr>& bindings) const {
+  if (!root_ || bindings.empty()) return *this;
+  std::map<std::string, NodePtr> nodes;
+  for (const auto& [name, expr] : bindings)
+    if (expr.root_) nodes[upper(name)] = expr.root_;
+  return Expr(substitute_node(root_, nodes), source_);
+}
+
+std::string Expr::canonical() const {
+  if (!root_) return "<empty>";
+  std::string out;
+  canonical_node(*root_, out);
+  return out;
+}
+
+}  // namespace maopt::deck

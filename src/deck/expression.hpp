@@ -1,0 +1,75 @@
+// Arithmetic expressions for deck parameters (.param W2={W1*2}) and spec
+// objectives (minimize {power*1e3}).
+//
+// Grammar (recursive descent, left-associative):
+//   expr    := term  (('+' | '-') term)*
+//   term    := unary (('*' | '/') unary)*
+//   unary   := '-' unary | primary
+//   primary := number | identifier | '(' expr ')'
+//
+// Numbers use the canonical SPICE value syntax (engineering suffixes
+// included) via spice::parse_spice_value — "1.5k", "2meg" and "10p" mean the
+// same thing in an expression as on an element card. Identifiers reference
+// parameters resolved at evaluation time against a ParamEnv.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+namespace maopt::deck {
+
+/// Parameter environment: upper-cased name -> value.
+using ParamEnv = std::map<std::string, double>;
+
+/// An immutable expression tree. Copies share structure (shared_ptr nodes),
+/// so passing Expr by value is cheap. A default-constructed Expr is empty —
+/// evaluating it throws; use empty() to test.
+class Expr {
+ public:
+  /// Tree node, defined in expression.cpp (public so the implementation's
+  /// free helper functions can name it; the type stays opaque to callers).
+  struct Node;
+
+  Expr() = default;
+
+  /// Parses `text`; throws std::invalid_argument with a position-annotated
+  /// message on malformed input.
+  static Expr parse(const std::string& text);
+
+  /// Constant expression.
+  static Expr number(double value);
+
+  bool empty() const { return root_ == nullptr; }
+
+  /// True when the expression is a plain constant (no parameter references).
+  bool is_constant() const;
+
+  /// Evaluates against `env`; throws std::invalid_argument on an unknown
+  /// parameter reference or an empty expression.
+  double eval(const ParamEnv& env) const;
+
+  /// Adds every referenced parameter name (upper-cased) to `out`.
+  void collect_params(std::set<std::string>& out) const;
+
+  /// Returns a copy with every parameter in `bindings` replaced by its bound
+  /// expression (used for subcircuit instance parameters).
+  Expr substitute(const std::map<std::string, Expr>& bindings) const;
+
+  /// Deterministic serialization — identical expressions (post-parse) yield
+  /// identical strings, which is what the deck content hash folds.
+  std::string canonical() const;
+
+  /// Original source text as written in the deck ("" for synthesized nodes).
+  const std::string& source() const { return source_; }
+
+ private:
+  explicit Expr(std::shared_ptr<const Node> root, std::string source = {})
+      : root_(std::move(root)), source_(std::move(source)) {}
+
+  std::shared_ptr<const Node> root_;
+  std::string source_;
+};
+
+}  // namespace maopt::deck

@@ -1,0 +1,213 @@
+#include "deck/spec.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "spice/parser.hpp"
+
+namespace maopt::deck {
+
+namespace {
+
+using spice::ParseError;
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Whitespace tokenizer keeping '{...}' groups as one token (inner text).
+std::vector<std::string> tokenize(const std::string& file, int number, const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      tokens.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '{') {
+      flush();
+      const auto end = text.find('}', i + 1);
+      if (end == std::string::npos) throw ParseError(file, number, "unterminated '{' expression");
+      tokens.push_back(text.substr(i + 1, end - i - 1));
+      i = end;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+bool is_identifier(const std::string& s) {
+  if (s.empty() || !(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_')) return false;
+  for (const char c : s)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) return false;
+  return true;
+}
+
+double parse_number(const std::string& file, int number, const std::string& token) {
+  try {
+    return spice::parse_spice_value(token);
+  } catch (const std::invalid_argument& e) {
+    throw ParseError(file, number, e.what());
+  }
+}
+
+Expr parse_expr(const std::string& file, int number, const std::string& token) {
+  try {
+    return Expr::parse(token);
+  } catch (const std::invalid_argument& e) {
+    throw ParseError(file, number, e.what());
+  }
+}
+
+/// key=value options from tokens[start..] ("weight=0.01", "unit=dB", bare
+/// flags like "integer" map to "1").
+std::map<std::string, std::string> parse_options(const std::string& file, int number,
+                                                 const std::vector<std::string>& tokens,
+                                                 std::size_t start) {
+  std::map<std::string, std::string> kv;
+  for (std::size_t i = start; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos)
+      kv[upper(tokens[i])] = "1";
+    else if (eq == 0 || eq + 1 >= tokens[i].size())
+      throw ParseError(file, number, "malformed option '" + tokens[i] + "'");
+    else
+      kv[upper(tokens[i].substr(0, eq))] = tokens[i].substr(eq + 1);
+  }
+  return kv;
+}
+
+}  // namespace
+
+DeckSpec parse_spec_text(const std::string& text, const std::string& virtual_path) {
+  DeckSpec spec;
+  bool have_objective = false;
+  std::istringstream stream(text);
+  std::string raw;
+  int number = 0;
+  while (std::getline(stream, raw)) {
+    ++number;
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    const auto first = raw.find_first_not_of(" \t");
+    if (first == std::string::npos || raw[first] == '*') continue;
+    const auto tokens = tokenize(virtual_path, number, raw);
+    if (tokens.empty()) continue;
+    auto err = [&](const std::string& message) -> ParseError {
+      return ParseError(virtual_path, number, message);
+    };
+    const std::string head = upper(tokens[0]);
+
+    if (head == "NAME") {
+      if (tokens.size() != 2) throw err("name expects exactly one argument");
+      spec.problem_name = tokens[1];
+    } else if (head == "PARAM") {
+      if (tokens.size() < 2) throw err("param expects a parameter name");
+      DesignParam p;
+      p.name = upper(tokens[1]);
+      const auto opts = parse_options(virtual_path, number, tokens, 2);
+      bool have_lower = false, have_upper = false;
+      for (const auto& [key, value] : opts) {
+        if (key == "LOWER") {
+          p.lower = parse_number(virtual_path, number, value);
+          have_lower = true;
+        } else if (key == "UPPER") {
+          p.upper = parse_number(virtual_path, number, value);
+          have_upper = true;
+        } else if (key == "INTEGER") {
+          p.integer = true;
+        } else {
+          throw err("unknown param option '" + key + "'");
+        }
+      }
+      if (!have_lower || !have_upper) throw err("param needs lower= and upper=");
+      if (!(p.lower < p.upper))
+        throw err("param " + p.name + ": lower bound must be below upper bound");
+      for (const auto& existing : spec.params)
+        if (existing.name == p.name) throw err("duplicate param '" + p.name + "'");
+      spec.params.push_back(p);
+    } else if (head == "LET") {
+      if (tokens.size() != 3) throw err("let expects 'let NAME {expr}'");
+      spec.lets.emplace_back(upper(tokens[1]), parse_expr(virtual_path, number, tokens[2]));
+    } else if (head == "MINIMIZE") {
+      if (have_objective) throw err("duplicate minimize directive");
+      if (tokens.size() < 2) throw err("minimize expects a name or expression");
+      have_objective = true;
+      spec.objective = parse_expr(virtual_path, number, tokens[1]);
+      if (is_identifier(tokens[1])) spec.objective_name = tokens[1];
+      const auto opts = parse_options(virtual_path, number, tokens, 2);
+      for (const auto& [key, value] : opts) {
+        if (key == "WEIGHT")
+          spec.objective_weight = parse_number(virtual_path, number, value);
+        else if (key == "UNIT")
+          spec.objective_unit = value;
+        else if (key == "NAME")
+          spec.objective_name = value;
+        else
+          throw err("unknown minimize option '" + key + "'");
+      }
+    } else if (head == "CONSTRAINT") {
+      // constraint LHS >=|<= VALUE [weight=] [unit=] [name=]
+      if (tokens.size() < 4) throw err("constraint expects 'LHS >=|<= value'");
+      SpecConstraint c;
+      c.expr = parse_expr(virtual_path, number, tokens[1]);
+      c.name = is_identifier(tokens[1]) ? tokens[1]
+                                        : "c" + std::to_string(spec.constraints.size());
+      if (tokens[2] == ">=")
+        c.kind = ckt::ConstraintKind::GreaterEqual;
+      else if (tokens[2] == "<=")
+        c.kind = ckt::ConstraintKind::LessEqual;
+      else
+        throw err("constraint operator must be >= or <=, got '" + tokens[2] + "'");
+      c.bound = parse_number(virtual_path, number, tokens[3]);
+      const auto opts = parse_options(virtual_path, number, tokens, 4);
+      for (const auto& [key, value] : opts) {
+        if (key == "WEIGHT")
+          c.weight = parse_number(virtual_path, number, value);
+        else if (key == "UNIT")
+          c.unit = value;
+        else if (key == "NAME")
+          c.name = value;
+        else
+          throw err("unknown constraint option '" + key + "'");
+      }
+      for (const auto& existing : spec.constraints)
+        if (existing.name == c.name) throw err("duplicate constraint name '" + c.name + "'");
+      spec.constraints.push_back(std::move(c));
+    } else {
+      throw err("unknown spec directive '" + tokens[0] + "'");
+    }
+  }
+  if (!have_objective)
+    throw ParseError(virtual_path, number, "spec needs exactly one 'minimize' directive");
+  if (spec.params.empty())
+    throw ParseError(virtual_path, number, "spec declares no designable params");
+  return spec;
+}
+
+DeckSpec parse_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError(path, 0, "cannot open spec file");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_spec_text(text.str(), path);
+}
+
+std::string default_spec_path(const std::string& deck_path) {
+  std::filesystem::path p(deck_path);
+  p.replace_extension(".spec");
+  return p.string();
+}
+
+}  // namespace maopt::deck

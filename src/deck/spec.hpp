@@ -1,0 +1,64 @@
+// Optimization spec files: the half of a deck-defined problem that SPICE
+// syntax cannot express — which .params are designable (and their bounds),
+// what to minimize, and which measures are constrained.
+//
+// Line-oriented format ('#' or '*' starts a comment):
+//
+//   name five_transistor_ota
+//   param W1    lower=1u  upper=100u
+//   param MTAIL lower=1   upper=8     integer
+//   let   power_mw {power * 1e3}
+//   minimize power_mw [weight=0.01] [unit=mW]
+//   constraint gain >= 30   [weight=1] [unit=dB]
+//   constraint {vout - 0.9} <= 0.4
+//
+// `minimize` and constraint left-hand sides are either a bare name (a
+// .measure result or a `let`) or a braced expression over them; bounds and
+// numeric values use SPICE suffixes ("2meg"). Exactly one `minimize` is
+// required.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuits/sizing_problem.hpp"
+#include "deck/expression.hpp"
+
+namespace maopt::deck {
+
+struct DesignParam {
+  std::string name;  ///< upper-cased .param name in the deck
+  double lower = 0.0;
+  double upper = 0.0;
+  bool integer = false;
+};
+
+struct SpecConstraint {
+  std::string name;  ///< metric name (lhs identifier, or "c<k>" for expressions)
+  std::string unit;
+  Expr expr;
+  ckt::ConstraintKind kind;
+  double bound = 0.0;
+  double weight = 1.0;
+};
+
+struct DeckSpec {
+  std::string problem_name;
+  std::vector<DesignParam> params;
+  std::vector<std::pair<std::string, Expr>> lets;  ///< declaration order
+  std::string objective_name = "objective";
+  std::string objective_unit;
+  double objective_weight = 1.0;
+  Expr objective;
+  std::vector<SpecConstraint> constraints;
+};
+
+/// Parses a spec file; throws spice::ParseError with file context.
+DeckSpec parse_spec_file(const std::string& path);
+DeckSpec parse_spec_text(const std::string& text, const std::string& virtual_path = "<spec>");
+
+/// Default spec path for a deck: same stem, ".spec" extension
+/// ("decks/foo.cir" -> "decks/foo.spec").
+std::string default_spec_path(const std::string& deck_path);
+
+}  // namespace maopt::deck

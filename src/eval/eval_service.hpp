@@ -167,6 +167,7 @@ class EvalService final : public ckt::SizingProblem, public ckt::SweepBackend {
   bool supports_process_variation() const override {
     return inner_->supports_process_variation();
   }
+  std::uint64_t content_fingerprint() const override { return inner_->content_fingerprint(); }
 
   /// SweepBackend: fans one design's variants over the batch pool, each
   /// through the variation-pinned point path above. A variant whose

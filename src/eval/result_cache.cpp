@@ -75,6 +75,11 @@ std::uint64_t problem_fingerprint(const ckt::SizingProblem& problem) {
   h = hash_design(problem.lower_bounds(), 0.0, h);
   h = hash_design(problem.upper_bounds(), 0.0, h);
   for (const bool b : problem.integer_mask()) h = hash_u64(b ? 1 : 0, h);
+  // Data-defined problems (deck-compiled circuits) carry a content hash of
+  // their semantic payload; folded only when present so every fingerprint —
+  // and every on-disk journal — of the built-in problems stays unchanged.
+  if (const std::uint64_t content = problem.content_fingerprint(); content != 0)
+    h = hash_u64(content, h);
   return h;
 }
 

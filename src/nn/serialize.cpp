@@ -65,7 +65,8 @@ void load_mlp(std::istream& in, Mlp& net) {
       std::string token;
       if (!(in >> token)) throw std::runtime_error("load_mlp: truncated block");
       char* end = nullptr;
-      v = std::strtod(token.c_str(), &end);
+      // Checkpoint floats are plain C-locale doubles, never SPICE-suffixed.
+      v = std::strtod(token.c_str(), &end);  // maopt-lint: allow(number-parse)
       if (end == token.c_str()) throw std::runtime_error("load_mlp: malformed value '" + token + "'");
     }
   }

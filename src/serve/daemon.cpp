@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/de.hpp"
+#include "deck/deck_problem.hpp"
 #include "core/history_io.hpp"
 #include "core/ma_optimizer.hpp"
 #include "core/pso.hpp"
@@ -200,8 +201,27 @@ OptDaemon::~OptDaemon() {
 
 void OptDaemon::add_problem(const std::string& name, const ckt::SizingProblem& problem) {
   const MutexLock lock(mutex_);
-  if (problems_.count(name) != 0)
+  add_problem_locked(name, problem, nullptr, /*reuse_existing=*/false);
+}
+
+void OptDaemon::add_deck(const std::string& name, const std::string& deck_path,
+                         const std::string& spec_path) {
+  // Compile outside the lock: elaboration reads files and builds a nominal
+  // validation session, neither of which belongs under the daemon mutex.
+  auto problem = std::make_unique<deck::DeckProblem>(
+      deck::DeckProblem::from_files(deck_path, spec_path));
+  const MutexLock lock(mutex_);
+  const ckt::SizingProblem& ref = *problem;
+  add_problem_locked(name, ref, std::move(problem), /*reuse_existing=*/false);
+}
+
+void OptDaemon::add_problem_locked(const std::string& name, const ckt::SizingProblem& problem,
+                                   std::unique_ptr<const ckt::SizingProblem> owned,
+                                   bool reuse_existing) {
+  if (problems_.count(name) != 0) {
+    if (reuse_existing) return;  // `owned` (if any) is discarded
     throw std::invalid_argument("OptDaemon: duplicate problem: " + name);
+  }
 
   ServiceConfig service_config = config_.service;
   service_config.shared_pool = pool_.get();  // one simulator pool across all stacks
@@ -210,6 +230,7 @@ void OptDaemon::add_problem(const std::string& name, const ckt::SizingProblem& p
 
   ProblemEntry entry;
   entry.problem = &problem;
+  entry.owned = std::move(owned);
   entry.stack = std::make_unique<ServiceStack>(problem, service_config);
   entry.stack->service().set_admission(&scheduler_);
   for (const auto& [tenant, weight] : tenants_) {
@@ -230,7 +251,27 @@ void OptDaemon::register_tenant(const std::string& name, double weight) {
         name, config_.work_dir + "/tenants/" + name + "/" + problem_name);
 }
 
-std::uint64_t OptDaemon::submit(const JobSpec& spec) {
+std::uint64_t OptDaemon::submit(const JobSpec& submitted) {
+  JobSpec spec = submitted;
+  if (!spec.deck_path.empty()) {
+    if (spec.problem.empty())
+      spec.problem = std::filesystem::path(spec.deck_path).stem().string();
+    bool registered = false;
+    {
+      const MutexLock lock(mutex_);
+      registered = problems_.count(spec.problem) != 0;
+    }
+    if (!registered) {
+      // Compile outside the lock; two racing submits of the same deck both
+      // compile, and the loser's problem is discarded by reuse_existing.
+      auto problem = std::make_unique<deck::DeckProblem>(
+          deck::DeckProblem::from_files(spec.deck_path, spec.spec_path));
+      const MutexLock lock(mutex_);
+      const ckt::SizingProblem& ref = *problem;
+      add_problem_locked(spec.problem, ref, std::move(problem), /*reuse_existing=*/true);
+    }
+  }
+
   const MutexLock lock(mutex_);
   if (spec.name.empty()) throw std::invalid_argument("OptDaemon: job name must be non-empty");
   if (jobs_.count(spec.name) != 0)

@@ -78,6 +78,13 @@ struct JobSpec {
   std::string name;              ///< unique job id (also the checkpoint stem)
   std::string tenant;            ///< fair-share + cache namespace ("" = default)
   std::string problem;           ///< registered problem name
+  /// Deck submission: when non-empty, submit() compiles this SPICE deck (plus
+  /// `spec_path`, or the deck's sibling .spec file) into a DeckProblem and
+  /// registers it under `problem` (defaulting to the deck's file stem) unless
+  /// a problem of that name already exists — so re-submitting the same deck
+  /// reuses the warm ServiceStack and its result cache.
+  std::string deck_path;
+  std::string spec_path;         ///< deck spec file; empty = deck path with .spec
   std::string algorithm = "MA-Opt";
   std::uint64_t seed = 1;
   std::size_t simulation_budget = 100;
@@ -128,6 +135,13 @@ class OptDaemon {
   /// Builds the problem's ServiceStack immediately (every known tenant's
   /// namespace is registered on it). Throws on a duplicate name.
   void add_problem(const std::string& name, const ckt::SizingProblem& problem);
+
+  /// Compiles `deck_path` (+ `spec_path`, or the deck's sibling .spec when
+  /// empty) into a DeckProblem owned by the daemon and registers it like
+  /// add_problem. Throws spice::ParseError / std::invalid_argument when the
+  /// deck does not compile, std::invalid_argument on a duplicate name.
+  void add_deck(const std::string& name, const std::string& deck_path,
+                const std::string& spec_path = "");
 
   /// Registers a tenant: scheduler weight + a private cache namespace on
   /// every problem stack. Idempotent (re-registering updates the weight).
@@ -183,8 +197,20 @@ class OptDaemon {
 
   struct ProblemEntry {
     const ckt::SizingProblem* problem = nullptr;
+    /// Set for deck-compiled problems: the daemon owns them (user-registered
+    /// problems stay caller-owned). Declared before `stack` so the stack —
+    /// which references the problem — is destroyed first.
+    std::unique_ptr<const ckt::SizingProblem> owned;
     std::unique_ptr<ServiceStack> stack;
   };
+
+  /// Shared registration path: builds the ServiceStack and installs the
+  /// entry. `owned` may be null (caller-owned problem). With
+  /// `reuse_existing`, a duplicate name silently keeps the existing entry
+  /// (how concurrent deck submits coalesce) instead of throwing.
+  void add_problem_locked(const std::string& name, const ckt::SizingProblem& problem,
+                          std::unique_ptr<const ckt::SizingProblem> owned, bool reuse_existing)
+      MAOPT_REQUIRES(mutex_);
 
   DaemonConfig config_;
   std::unique_ptr<ThreadPool> pool_;  ///< shared simulator workers

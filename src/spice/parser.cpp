@@ -70,7 +70,10 @@ double parse_spice_value(const std::string& token) {
   }
   std::string suffix = upper(token.substr(pos));
   if (suffix.empty()) return v;
-  if (suffix == "MEG") return v * 1e6;
+  // Multi-letter suffixes first — "MEG"/"MIL" must win over milli even with
+  // trailing unit letters ("2MEGHz", "5milInch").
+  if (suffix.compare(0, 3, "MEG") == 0) return v * 1e6;
+  if (suffix.compare(0, 3, "MIL") == 0) return v * 25.4e-6;
   // Single-letter engineering suffixes; trailing unit letters are ignored
   // SPICE-style ("10pF" == "10p").
   switch (suffix[0]) {
@@ -146,7 +149,15 @@ ParsedNetlist parse_netlist(const std::string& deck) {
       out.models[upper(t[1])] = model;
       continue;
     }
-    if (name[0] == '.') continue;  // other dot-cards (.end, .tran, ...) ignored
+    if (name == ".END") break;  // end of deck — anything after it is not parsed
+    if (name[0] == '.') {
+      // Unknown dot-cards are almost always a typo or a feature the caller
+      // meant to use (deck::elaborate_deck_* handles the full card set) —
+      // warn instead of dropping them without a trace.
+      out.warnings.push_back("line " + std::to_string(line_no) + ": ignoring unsupported card '" +
+                             t[0] + "'");
+      continue;
+    }
 
     try {
       switch (name[0]) {

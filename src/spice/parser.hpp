@@ -19,6 +19,7 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "spice/devices.hpp"
 #include "spice/mosfet.hpp"
@@ -29,14 +30,44 @@ namespace maopt::spice {
 class ParseError : public std::runtime_error {
  public:
   ParseError(int line, const std::string& message)
-      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+      : ParseError(std::string(), line, message, {}) {}
+
+  /// Attributed form: `file` is the deck the offending line lives in and
+  /// `include_chain` the stack of "path:line" frames that .include'd it
+  /// (outermost first), so errors deep inside included libraries point at
+  /// both the bad line and how the parser got there.
+  ParseError(std::string file, int line, const std::string& message,
+             std::vector<std::string> include_chain = {})
+      : std::runtime_error(format(file, line, message, include_chain)),
+        file_(std::move(file)),
+        line_(line),
+        include_chain_(std::move(include_chain)) {}
+
   int line() const { return line_; }
+  const std::string& file() const { return file_; }
+  const std::vector<std::string>& include_chain() const { return include_chain_; }
 
  private:
+  static std::string format(const std::string& file, int line, const std::string& message,
+                            const std::vector<std::string>& chain) {
+    std::string out = file.empty() ? "line " + std::to_string(line)
+                                   : file + ":" + std::to_string(line);
+    if (!chain.empty()) {
+      out += " (included from ";
+      for (std::size_t i = 0; i < chain.size(); ++i) out += (i ? ", " : "") + chain[i];
+      out += ")";
+    }
+    return out + ": " + message;
+  }
+
+  std::string file_;
   int line_;
+  std::vector<std::string> include_chain_;
 };
 
-/// Parses "1.5k", "100f", "2meg", "1e-9" ... into a double.
+/// Parses "1.5k", "100f", "2meg", "1e-9" ... into a double. Multi-letter
+/// suffixes MEG (1e6) and MIL (25.4e-6) are matched before the single-letter
+/// engineering set, so "2MEGHz" and "5mil" do the right thing.
 /// Throws std::invalid_argument on malformed input.
 double parse_spice_value(const std::string& token);
 
@@ -44,6 +75,7 @@ struct ParsedNetlist {
   Netlist netlist;
   std::map<std::string, Device*> devices;       ///< by element name (upper-cased)
   std::map<std::string, MosModel> models;       ///< .model cards (upper-cased)
+  std::vector<std::string> warnings;            ///< non-fatal issues ("line N: ...")
 
   /// Typed device lookup; throws std::out_of_range / std::bad_cast-style
   /// errors as std::runtime_error for friendlier messages.
@@ -58,7 +90,13 @@ struct ParsedNetlist {
 };
 
 /// Parses a full deck; the returned netlist is prepare()d and ready for
-/// analysis.
+/// analysis. Unknown dot-cards are collected into `warnings` instead of
+/// being dropped silently; `.end` terminates parsing.
 ParsedNetlist parse_netlist(const std::string& deck);
+
+/// Result-type alias: parse_netlist returns devices + warnings, not just
+/// a netlist, and call sites that only care about diagnostics read better
+/// with this name.
+using ParseResult = ParsedNetlist;
 
 }  // namespace maopt::spice

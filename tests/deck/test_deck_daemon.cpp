@@ -1,0 +1,184 @@
+// End-to-end deck ingestion through the optimization daemon: submit-by-path,
+// warm-rerun caching, cold/warm bit-identity, and robustness sweeps over a
+// deck-compiled problem under injected faults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "circuits/resilient_problem.hpp"
+#include "circuits/robust_problem.hpp"
+#include "deck/deck_problem.hpp"
+#include "serve/daemon.hpp"
+
+namespace maopt {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* kCsDeck = R"(
+.model n180 NMOS
+.param WCS=20u
+.param RLOAD=5k
+VDD vdd 0 1.8
+VIN in 0 DC 0.7 AC 1
+RL vdd out {RLOAD}
+M1 out in 0 0 n180 W={WCS} L=1u
+CL out 0 200f
+.op
+.ac dec 10 1 1g
+.measure op power supplypower VDD
+.measure op vout v v(out)
+.measure ac gain dcgain v(out)
+.measure ac bw bw v(out) default=0
+)";
+
+const char* kCsSpec = R"(
+name cs_daemon_test
+param WCS   lower=2u  upper=100u
+param RLOAD lower=500 upper=20k
+minimize {POWER*1e3} name=power unit=mW
+constraint GAIN >= 12   unit=dB
+constraint BW   >= 1meg unit=Hz
+constraint VOUT >= 0.5  unit=V
+)";
+
+/// Writes deck + sibling spec into a scratch dir; removed on destruction.
+class DeckFixture {
+ public:
+  DeckFixture() {
+    dir_ = fs::temp_directory_path() / fs::path("maopt_deck_daemon_" + std::to_string(::getpid()) +
+                                               "_" + std::to_string(counter_++));
+    fs::create_directories(dir_);
+    deck_path_ = (dir_ / "cs_stage.cir").string();
+    std::ofstream(deck_path_) << kCsDeck;
+    std::ofstream((dir_ / "cs_stage.spec").string()) << kCsSpec;
+  }
+  ~DeckFixture() { fs::remove_all(dir_); }
+
+  const std::string& deck_path() const { return deck_path_; }
+  std::string work_dir() const { return (dir_ / "daemon").string(); }
+
+ private:
+  static int counter_;
+  fs::path dir_;
+  std::string deck_path_;
+};
+
+int DeckFixture::counter_ = 0;
+
+serve::JobSpec deck_job(const DeckFixture& fx, const std::string& name, std::uint64_t seed) {
+  serve::JobSpec spec;
+  spec.name = name;
+  spec.deck_path = fx.deck_path();
+  spec.algorithm = "Random";  // cheap and deterministic for the same seed
+  spec.seed = seed;
+  spec.simulation_budget = 12;
+  spec.initial_samples = 4;
+  return spec;
+}
+
+TEST(DeckDaemon, SubmitByDeckPathCompilesAndRegisters) {
+  DeckFixture fx;
+  serve::DaemonConfig config;
+  config.work_dir = fx.work_dir();
+  config.num_threads = 2;
+  serve::OptDaemon daemon(config);
+
+  const std::uint64_t id = daemon.submit(deck_job(fx, "job1", 3));
+  EXPECT_GT(id, 0u);
+  const auto status = daemon.wait("job1");
+  EXPECT_EQ(status.state, serve::JobState::Done);
+  // The problem registered under the deck's file stem.
+  EXPECT_EQ(status.spec.problem, "cs_stage");
+  EXPECT_TRUE(std::isfinite(status.best_fom));
+  // The service stack carries the deck's content fingerprint.
+  EXPECT_NE(daemon.service("cs_stage").fingerprint(), 0u);
+}
+
+TEST(DeckDaemon, WarmRerunHitsCacheAndIsBitIdentical) {
+  DeckFixture fx;
+  serve::DaemonConfig config;
+  config.work_dir = fx.work_dir();
+  config.num_threads = 2;
+  serve::OptDaemon daemon(config);
+
+  daemon.submit(deck_job(fx, "cold", 42));
+  const auto cold = daemon.wait("cold");
+  ASSERT_EQ(cold.state, serve::JobState::Done);
+  const auto counters_cold = daemon.service("cs_stage").counters();
+  EXPECT_GT(counters_cold.misses, 0u);
+
+  // Re-submitting the same deck reuses the registered problem (no duplicate
+  // registration), and the same seed replays the same designs — every
+  // simulation is served from the warm result cache.
+  daemon.submit(deck_job(fx, "warm", 42));
+  const auto warm = daemon.wait("warm");
+  ASSERT_EQ(warm.state, serve::JobState::Done);
+  const auto counters_warm = daemon.service("cs_stage").counters();
+  EXPECT_EQ(counters_warm.misses, counters_cold.misses);  // no new simulations
+  EXPECT_GT(counters_warm.hits, counters_cold.hits);
+  EXPECT_EQ(warm.best_fom, cold.best_fom);  // bit-identical cold vs warm
+}
+
+TEST(DeckDaemon, AddDeckRejectsDuplicatesAndBadPaths) {
+  DeckFixture fx;
+  serve::DaemonConfig config;
+  config.work_dir = fx.work_dir();
+  config.num_threads = 1;
+  serve::OptDaemon daemon(config);
+
+  daemon.add_deck("stage", fx.deck_path());
+  EXPECT_THROW(daemon.add_deck("stage", fx.deck_path()), std::invalid_argument);
+  EXPECT_THROW(daemon.add_deck("missing", "/nonexistent/deck.cir"), std::exception);
+
+  // Submitting against the pre-loaded name coalesces instead of recompiling.
+  auto spec = deck_job(fx, "job", 1);
+  spec.problem = "stage";
+  daemon.submit(spec);
+  EXPECT_EQ(daemon.wait("job").state, serve::JobState::Done);
+}
+
+TEST(DeckDaemon, YieldSweepUnderInjectedFaults) {
+  // A deck-compiled problem behind seeded fault injection, swept by the
+  // Monte Carlo yield engine: partial failures must degrade deterministically
+  // instead of poisoning the aggregate.
+  const deck::DeckProblem problem = deck::DeckProblem::from_text(kCsDeck, kCsSpec);
+
+  ckt::FaultInjectionConfig faults;
+  faults.throw_rate = 0.2;
+  faults.nan_rate = 0.1;
+  const ckt::FaultInjectingProblem faulty(problem, faults);
+
+  ckt::YieldConfig config;
+  config.mismatch.sigma_vth = 0.03;
+  config.mismatch.instances = 12;
+  config.policy.failure_policy = ckt::SweepFailurePolicy::PenalizeFailedVariant;
+  const ckt::YieldProblem sweep(faulty, config);
+
+  ckt::Vec x(2);
+  x[0] = 30e-6;
+  x[1] = 8e3;
+  const auto first = sweep.evaluate(x);
+  EXPECT_EQ(first.variants_total, 12u);
+  for (const double m : first.metrics) EXPECT_TRUE(std::isfinite(m));
+  // ~30% fault rate over 12 instances: failures are near-certain, and the
+  // policy keeps the evaluation usable.
+  EXPECT_GT(first.variants_failed, 0u);
+  EXPECT_TRUE(first.simulation_ok);
+  EXPECT_TRUE(first.degraded);
+
+  // Determinism: the whole sweep (fault draws included) replays identically.
+  const auto second = sweep.evaluate(x);
+  EXPECT_EQ(second.variants_failed, first.variants_failed);
+  for (std::size_t k = 0; k < first.metrics.size(); ++k)
+    EXPECT_EQ(first.metrics[k], second.metrics[k]) << "metric " << k;
+
+  // The sweep preserves the deck's content fingerprint for caching layers.
+  EXPECT_EQ(sweep.content_fingerprint(), problem.content_fingerprint());
+}
+
+}  // namespace
+}  // namespace maopt

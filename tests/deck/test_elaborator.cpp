@@ -1,0 +1,232 @@
+#include "deck/elaborator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace maopt::deck {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scratch directory for include-resolution tests; removed on destruction.
+class TempDeckDir {
+ public:
+  TempDeckDir() : dir_(fs::temp_directory_path() / fs::path("maopt_deck_test_" + unique())) {
+    fs::create_directories(dir_);
+  }
+  ~TempDeckDir() { fs::remove_all(dir_); }
+
+  std::string write(const std::string& rel, const std::string& text) {
+    const fs::path p = dir_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << text;
+    return p.string();
+  }
+
+ private:
+  static std::string unique() {
+    static int counter = 0;
+    return std::to_string(++counter) + "_" + std::to_string(::getpid());
+  }
+  fs::path dir_;
+};
+
+TEST(Elaborator, ParamExpressionsEvaluateInOrder) {
+  const auto deck = elaborate_deck_text(".param A=2\n.param B={A*3} C={B+A}\nR1 a 0 {C}\n");
+  const ParamEnv env = deck.nominal_env();
+  EXPECT_DOUBLE_EQ(env.at("A"), 2.0);
+  EXPECT_DOUBLE_EQ(env.at("B"), 6.0);
+  EXPECT_DOUBLE_EQ(env.at("C"), 8.0);
+  ASSERT_EQ(deck.elements.size(), 1u);
+  EXPECT_DOUBLE_EQ(deck.elements[0].value.eval(env), 8.0);
+}
+
+TEST(Elaborator, LaterParamRedefinitionWins) {
+  // Redefinition appends; nominal_env applies declaration order, so the last
+  // assignment is what elements see — the include-then-override idiom.
+  const auto deck = elaborate_deck_text(".param W=1u\n.param W=5u\nR1 a 0 {W*1e6}\n");
+  EXPECT_DOUBLE_EQ(deck.nominal_env().at("W"), 5e-6);
+}
+
+TEST(Elaborator, QuotedAndBracedExpressionsEquivalent) {
+  const auto braced = elaborate_deck_text(".param A=3\nR1 a 0 {A*2}\n");
+  const auto quoted = elaborate_deck_text(".param A=3\nR1 a 0 'A*2'\n");
+  EXPECT_DOUBLE_EQ(braced.elements[0].value.eval(braced.nominal_env()),
+                   quoted.elements[0].value.eval(quoted.nominal_env()));
+}
+
+TEST(Elaborator, ContinuationLinesJoin) {
+  const auto deck = elaborate_deck_text("V1 in 0 PULSE(0 1\n+ 1u 10n 10n\n+ 2u 10u)\nR1 in 0 1k\n");
+  ASSERT_EQ(deck.elements.size(), 2u);
+  EXPECT_EQ(deck.elements[0].source.wave, SourceSpec::Wave::Pulse);
+  EXPECT_EQ(deck.elements[0].source.args.size(), 7u);
+}
+
+TEST(Elaborator, IncludeResolvesRelativeToIncludingFile) {
+  TempDeckDir tmp;
+  tmp.write("lib/models.lib", ".model nx NMOS VTO=0.42\n");
+  const std::string top = tmp.write("top.cir",
+                                    ".include lib/models.lib\n"
+                                    "Vd d 0 1.8\n"
+                                    "M1 d d 0 0 nx W=1u L=1u\n");
+  const auto deck = elaborate_deck_file(top);
+  ASSERT_EQ(deck.models.size(), 1u);
+  EXPECT_EQ(deck.models[0].name, "NX");
+  EXPECT_TRUE(deck.warnings.empty());
+}
+
+TEST(Elaborator, IncludeCycleIsError) {
+  TempDeckDir tmp;
+  const std::string a = tmp.write("a.cir", ".include b.cir\nR1 x 0 1k\n");
+  tmp.write("b.cir", ".include a.cir\n");
+  try {
+    elaborate_deck_file(a);
+    FAIL() << "expected ParseError";
+  } catch (const spice::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("circular"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Elaborator, ErrorsInsideIncludesCarryChainContext) {
+  TempDeckDir tmp;
+  tmp.write("broken.lib", "* comment\nM1 d g s b nosuchmodel W=1u L=1u garbage\n");
+  const std::string top = tmp.write("top.cir", "R1 a 0 1k\n.include broken.lib\n");
+  try {
+    elaborate_deck_file(top);
+    FAIL() << "expected ParseError";
+  } catch (const spice::ParseError& e) {
+    EXPECT_NE(e.file().find("broken.lib"), std::string::npos);
+    ASSERT_EQ(e.include_chain().size(), 1u);
+    EXPECT_NE(e.include_chain()[0].find("top.cir:2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("included from"), std::string::npos);
+  }
+}
+
+TEST(Elaborator, SubcktFlattensWithPrefixedNames) {
+  const auto deck = elaborate_deck_text(R"(
+.subckt divider top bot
+R1 top mid 1k
+R2 mid bot 1k
+.ends
+X1 in out divider
+X2 out 0 divider
+)");
+  ASSERT_EQ(deck.elements.size(), 4u);
+  EXPECT_EQ(deck.elements[0].name, "X1.R1");
+  EXPECT_EQ(deck.elements[1].name, "X1.R2");
+  // Pin nodes map to the instance's connections; internals get a prefix.
+  EXPECT_EQ(deck.elements[0].nodes[0], "in");
+  EXPECT_EQ(deck.elements[0].nodes[1], "x1.mid");
+  EXPECT_EQ(deck.elements[1].nodes[1], "out");
+  EXPECT_EQ(deck.elements[3].nodes[1], "0");  // ground never gets prefixed
+}
+
+TEST(Elaborator, SubcktDefaultsAndInstanceOverrides) {
+  const auto deck = elaborate_deck_text(R"(
+.param SCALE=3
+.subckt load a ratio=1
+R1 a 0 {1k*ratio}
+.ends
+X1 n1 load
+X2 n2 load ratio={SCALE*2}
+)");
+  const ParamEnv env = deck.nominal_env();
+  ASSERT_EQ(deck.elements.size(), 2u);
+  EXPECT_DOUBLE_EQ(deck.elements[0].value.eval(env), 1000.0);   // default ratio=1
+  EXPECT_DOUBLE_EQ(deck.elements[1].value.eval(env), 6000.0);   // {SCALE*2} substituted
+}
+
+TEST(Elaborator, NestedSubcktsFlatten) {
+  const auto deck = elaborate_deck_text(R"(
+.subckt unit p
+R1 p 0 1k
+.ends
+.subckt pair q
+X1 q unit
+X2 q unit
+.ends
+XTOP n pair
+)");
+  ASSERT_EQ(deck.elements.size(), 2u);
+  EXPECT_EQ(deck.elements[0].name, "XTOP.X1.R1");
+  EXPECT_EQ(deck.elements[1].name, "XTOP.X2.R1");
+  EXPECT_EQ(deck.elements[0].nodes[0], "n");
+}
+
+TEST(Elaborator, AnalysisCardsParse) {
+  const auto deck = elaborate_deck_text(R"(
+R1 a 0 1k
+.op
+.ac dec 20 1 1g
+.tran 1u 1m
+.noise v(a) dec 8 10 1e8
+)");
+  ASSERT_NE(deck.analysis(AnalysisKind::Op), nullptr);
+  const AnalysisCard* ac = deck.analysis(AnalysisKind::Ac);
+  ASSERT_NE(ac, nullptr);
+  EXPECT_EQ(ac->points_per_decade, 20);
+  EXPECT_DOUBLE_EQ(ac->f_stop.eval({}), 1e9);
+  const AnalysisCard* tr = deck.analysis(AnalysisKind::Tran);
+  ASSERT_NE(tr, nullptr);
+  EXPECT_DOUBLE_EQ(tr->dt.eval({}), 1e-6);
+  const AnalysisCard* nz = deck.analysis(AnalysisKind::Noise);
+  ASSERT_NE(nz, nullptr);
+  EXPECT_EQ(nz->noise_pos, "a");
+}
+
+TEST(Elaborator, MeasureCardsMapKindsAndKv) {
+  const auto deck = elaborate_deck_text(R"(
+V1 in 0 DC 1 AC 1
+R1 in out 1k
+C1 out 0 1u
+.op
+.ac dec 10 1 1meg
+.tran 1u 10m
+.measure op vout v v(out)
+.measure op pow supplypower V1
+.measure ac gain dcgain v(out)
+.measure ac m0 magat v(out) f=100
+.measure tran rise risetime v(out) from=1m initial=0 final=1 default=1
+)");
+  ASSERT_EQ(deck.measures.size(), 5u);
+  EXPECT_EQ(deck.measures[0].kind, MeasureKind::Voltage);
+  EXPECT_EQ(deck.measures[0].name, "VOUT");
+  EXPECT_EQ(deck.measures[1].kind, MeasureKind::SupplyPower);
+  EXPECT_EQ(deck.measures[1].element, "V1");
+  EXPECT_EQ(deck.measures[2].analysis, AnalysisKind::Ac);
+  EXPECT_DOUBLE_EQ(deck.measures[3].kv.at("F").eval({}), 100.0);
+  EXPECT_TRUE(deck.measures[4].has_default());
+  EXPECT_FALSE(deck.measures[0].has_default());
+}
+
+TEST(Elaborator, MeasureAnalysisMismatchIsError) {
+  // dcgain reads an AC sweep; declaring it under op is a deck bug.
+  EXPECT_THROW(elaborate_deck_text("R1 a 0 1k\n.op\n.measure op g dcgain v(a)\n"),
+               spice::ParseError);
+}
+
+TEST(Elaborator, UnknownCardsWarnAndEndTerminates) {
+  const auto deck = elaborate_deck_text(R"(
+R1 a 0 1k
+.options reltol=1e-5
+.end
+R2 a 0 2k
+)");
+  ASSERT_EQ(deck.elements.size(), 1u);
+  ASSERT_EQ(deck.warnings.size(), 1u);
+  EXPECT_NE(deck.warnings[0].find(".options"), std::string::npos);
+}
+
+TEST(Elaborator, ContentHashIgnoresFormattingButNotValues) {
+  const auto a = elaborate_deck_text(".param W=2u\nR1 a 0 {W*2}\n.op\n");
+  const auto b = elaborate_deck_text("* comment\n.param  W=2u\n\nR1  a 0  { W * 2 }\n.op\n");
+  const auto c = elaborate_deck_text(".param W=3u\nR1 a 0 {W*2}\n.op\n");
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  EXPECT_NE(a.content_hash(), c.content_hash());
+}
+
+}  // namespace
+}  // namespace maopt::deck

@@ -1,0 +1,72 @@
+#include "deck/expression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace maopt::deck {
+namespace {
+
+TEST(Expression, PrecedenceAndParentheses) {
+  EXPECT_DOUBLE_EQ(Expr::parse("1+2*3").eval({}), 7.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("(1+2)*3").eval({}), 9.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("10-4-3").eval({}), 3.0);  // left-associative
+  EXPECT_DOUBLE_EQ(Expr::parse("8/2/2").eval({}), 2.0);
+}
+
+TEST(Expression, UnaryMinus) {
+  EXPECT_DOUBLE_EQ(Expr::parse("-3").eval({}), -3.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("2*-3").eval({}), -6.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("-(1+2)").eval({}), -3.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("--4").eval({}), 4.0);
+}
+
+TEST(Expression, SpiceSuffixNumbers) {
+  EXPECT_DOUBLE_EQ(Expr::parse("1.5k+500").eval({}), 2000.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("2meg/1k").eval({}), 2000.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("100f*1e15").eval({}), 100.0);
+}
+
+TEST(Expression, VariablesAreCaseInsensitive) {
+  const ParamEnv env{{"W1", 3.0}, {"RLOAD", 2.0}};
+  EXPECT_DOUBLE_EQ(Expr::parse("W1*2").eval(env), 6.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("w1*rload").eval(env), 6.0);
+}
+
+TEST(Expression, UnknownParamAndEmptyThrow) {
+  EXPECT_THROW(Expr::parse("nope+1").eval({}), std::invalid_argument);
+  EXPECT_THROW(Expr().eval({}), std::invalid_argument);
+  EXPECT_THROW(Expr::parse("1+*2"), std::invalid_argument);
+  EXPECT_THROW(Expr::parse("(1"), std::invalid_argument);
+}
+
+TEST(Expression, ConstantDetection) {
+  EXPECT_TRUE(Expr::parse("1+2*3").is_constant());
+  EXPECT_FALSE(Expr::parse("1+W").is_constant());
+  EXPECT_TRUE(Expr::number(4.0).is_constant());
+  EXPECT_DOUBLE_EQ(Expr::number(4.0).eval({}), 4.0);
+}
+
+TEST(Expression, CollectParams) {
+  std::set<std::string> refs;
+  Expr::parse("a + b*(c - a)").collect_params(refs);
+  EXPECT_EQ(refs, (std::set<std::string>{"A", "B", "C"}));
+}
+
+TEST(Expression, Substitute) {
+  const Expr e = Expr::parse("W+1");
+  const Expr bound = e.substitute({{"W", Expr::parse("2*X")}});
+  EXPECT_DOUBLE_EQ(bound.eval({{"X", 3.0}}), 7.0);
+  // The original tree is unchanged (immutability).
+  EXPECT_DOUBLE_EQ(e.eval({{"W", 10.0}}), 11.0);
+}
+
+TEST(Expression, CanonicalIsWhitespaceInsensitive) {
+  EXPECT_EQ(Expr::parse("1 + 2*a").canonical(), Expr::parse("1+2 * A").canonical());
+  EXPECT_NE(Expr::parse("1+2*a").canonical(), Expr::parse("1+2*b").canonical());
+  EXPECT_NE(Expr::parse("1+2").canonical(), Expr::parse("2+1").canonical());
+}
+
+}  // namespace
+}  // namespace maopt::deck

@@ -1,0 +1,18 @@
+// maopt-lint-fixture-path: src/serve/number_parse_bad.cpp
+// Hand-rolled string->double conversions outside the blessed parsing sites:
+// every one of these silently mis-reads SPICE-suffixed input.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+double bad_stod(const std::string& s) { return std::stod(s); }
+
+double bad_strtod(const char* s) { return std::strtod(s, nullptr); }
+
+double bad_atof(const char* s) { return atof(s); }
+
+double bad_sscanf(const char* s) {
+  double v = 0.0;
+  sscanf(s, "%lf", &v);
+  return v;
+}

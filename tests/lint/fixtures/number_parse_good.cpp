@@ -1,0 +1,19 @@
+// maopt-lint-fixture-path: src/serve/number_parse_good.cpp
+// Clean: user-facing numbers go through the SPICE value parser, and the one
+// genuine C-locale conversion carries a justified suppression.
+#include <cstdlib>
+#include <string>
+
+namespace maopt::spice {
+double parse_spice_value(const std::string& token);
+}
+
+double good_spice(const std::string& s) { return maopt::spice::parse_spice_value(s); }
+
+double good_checkpoint_float(const char* s) {
+  // Checkpoint payloads are plain C doubles, never suffixed.
+  return std::strtod(s, nullptr);  // maopt-lint: allow(number-parse)
+}
+
+// Mentions in comments or strings never count: std::stod("1k").
+const char* kDoc = "use parse_spice_value, not atof(";

@@ -37,6 +37,35 @@ TEST(SpiceValue, MalformedThrows) {
   EXPECT_THROW(parse_spice_value("1.5x"), std::invalid_argument);
 }
 
+TEST(SpiceValue, MegVersusMilli) {
+  // The classic SPICE trap: M is milli, MEG is mega — in any case mix.
+  EXPECT_DOUBLE_EQ(parse_spice_value("3M"), 3e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3m"), 3e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3MEG"), 3e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3Meg"), 3e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2MEGHz"), 2e6);  // unit letters after MEG
+  EXPECT_DOUBLE_EQ(parse_spice_value("50mV"), 50e-3);  // V is a unit, not a suffix
+}
+
+TEST(SpiceValue, MilSuffix) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("1mil"), 25.4e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("5MIL"), 5 * 25.4e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2milInch"), 2 * 25.4e-6);
+}
+
+TEST(SpiceValue, ExponentThenSuffix) {
+  // stod consumes the exponent; the engineering suffix still multiplies.
+  EXPECT_DOUBLE_EQ(parse_spice_value("1.5e2u"), 1.5e2 * 1e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1e3k"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2E-1m"), 2e-4);
+}
+
+TEST(SpiceValue, NegativeValuesKeepSuffix) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("-2.2u"), -2.2e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("-1meg"), -1e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("-100f"), -100e-15);
+}
+
 TEST(Parser, ResistorDividerDeck) {
   const auto parsed = parse_netlist(R"(
 * simple divider
@@ -162,6 +191,49 @@ TEST(Parser, DeviceLookupTypeMismatch) {
   const auto parsed = parse_netlist("R1 a 0 1k\n");
   EXPECT_THROW(parsed.device<Capacitor>("R1"), std::runtime_error);
   EXPECT_THROW(parsed.device<Resistor>("R9"), std::runtime_error);
+}
+
+TEST(Parser, UnknownDotCardsBecomeWarnings) {
+  const auto parsed = parse_netlist(R"(
+R1 a 0 1k
+.options reltol=1e-4
+.temp 27
+)");
+  EXPECT_EQ(parsed.devices.size(), 1u);  // parsing continued past the cards
+  ASSERT_EQ(parsed.warnings.size(), 2u);
+  EXPECT_NE(parsed.warnings[0].find("line 3"), std::string::npos);
+  EXPECT_NE(parsed.warnings[0].find(".options"), std::string::npos);
+  EXPECT_NE(parsed.warnings[1].find(".temp"), std::string::npos);
+}
+
+TEST(Parser, EndCardTerminatesDeck) {
+  const auto parsed = parse_netlist(R"(
+R1 a 0 1k
+.end
+R2 a 0 2k
+this line would be a parse error if it were reached
+)");
+  EXPECT_EQ(parsed.devices.size(), 1u);
+  EXPECT_EQ(parsed.devices.count("R2"), 0u);
+  EXPECT_TRUE(parsed.warnings.empty());
+}
+
+TEST(ParseErrorContext, PlainLineOnlyForm) {
+  const ParseError e(7, "bad card");
+  EXPECT_EQ(e.line(), 7);
+  EXPECT_TRUE(e.file().empty());
+  EXPECT_TRUE(e.include_chain().empty());
+  EXPECT_STREQ(e.what(), "line 7: bad card");
+}
+
+TEST(ParseErrorContext, FileAndIncludeChainForm) {
+  const ParseError e("lib/mos.lib", 12, "unknown model",
+                     {"top.cir:3", "amp.inc:9"});
+  EXPECT_EQ(e.file(), "lib/mos.lib");
+  EXPECT_EQ(e.line(), 12);
+  ASSERT_EQ(e.include_chain().size(), 2u);
+  EXPECT_STREQ(e.what(),
+               "lib/mos.lib:12 (included from top.cir:3, amp.inc:9): unknown model");
 }
 
 TEST(Parser, FullAmplifierDeckEndToEnd) {

@@ -28,6 +28,11 @@ Enforces invariants that generic clang-tidy checks cannot express:
                        annotated maopt::Mutex / MutexLock / CondVar
                        (src/common/thread_annotations.hpp) so Clang
                        -Wthread-safety sees every acquisition.
+  number-parse         no hand-rolled string->double parsing (stod/strtod/
+                       atof/sscanf family) outside src/deck/ and
+                       src/spice/parser.cpp — user-facing numbers must go
+                       through spice::parse_spice_value so "2meg"/"100f"
+                       engineering suffixes mean the same thing everywhere.
   observer-bracketing  RunStarted/RunFinished bracket events are emitted
                        only by the Optimizer template method
                        (src/core/optimizer.cpp) and always as a pair; phase
@@ -363,6 +368,34 @@ def check_raw_mutex(sf: SourceFile) -> Iterator[Finding]:
                 "cannot see the acquisition; use maopt::Mutex / MutexLock / CondVar "
                 "(src/common/thread_annotations.hpp)",
             )
+
+
+NUMBER_PARSE_RE = re.compile(
+    r"(?<![\w])(?:std\s*::\s*)?(stod|stof|stold|strtod|strtof|strtold|atof|sscanf)\s*\(")
+# The two blessed parsing sites: the SPICE value parser itself and the deck
+# frontend built on top of it (expression lexer included).
+NUMBER_PARSE_EXEMPT_DIRS = ("src/deck",)
+NUMBER_PARSE_EXEMPT_FILES = {"src/spice/parser.cpp"}
+
+
+@register_check(
+    "number-parse",
+    "hand-rolled string->double parsing outside src/deck//src/spice/parser.cpp — "
+    "use spice::parse_spice_value so engineering suffixes parse consistently",
+)
+def check_number_parse(sf: SourceFile) -> Iterator[Finding]:
+    if not sf.in_dir("src", "examples", "bench"):
+        return
+    if sf.in_dir(*NUMBER_PARSE_EXEMPT_DIRS) or sf.path in NUMBER_PARSE_EXEMPT_FILES:
+        return
+    for m in NUMBER_PARSE_RE.finditer(sf.masked):
+        yield from _emit(
+            sf, "number-parse", m.start(),
+            f"{m.group(1)}() silently mis-parses SPICE values ('2meg' -> 2e-3, "
+            "'100f' -> 100); route user-facing numbers through "
+            "spice::parse_spice_value, or justify a raw C-locale double with "
+            "`// maopt-lint: allow(number-parse)`",
+        )
 
 
 BRACKET_OWNER = "src/core/optimizer.cpp"
